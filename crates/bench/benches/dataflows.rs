@@ -1,0 +1,39 @@
+//! Criterion benchmarks comparing the simulated latency of the six dataflows
+//! (the Table 2 experiment in benchmark form) and the schedule builders'
+//! construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mas_attention::{Method, Planner};
+use mas_dataflow::{build_dataflow, DataflowKind, Tiling};
+use mas_sim::HardwareConfig;
+use mas_workloads::Network;
+
+fn bench_method_comparison(c: &mut Criterion) {
+    let planner = Planner::edge_default();
+    let w = Network::BertSmall.attention_workload(1);
+    let mut g = c.benchmark_group("planner_run_bert_small");
+    g.sample_size(15);
+    for method in Method::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &m| {
+            b.iter(|| planner.run(m, &w).unwrap().report.total_cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_construction(c: &mut Criterion) {
+    let hw = HardwareConfig::edge_default();
+    let w = Network::BertBase.attention_workload(1);
+    let t = Tiling::heuristic(&w, &hw);
+    let mut g = c.benchmark_group("build_schedule_bert_base");
+    g.sample_size(20);
+    for kind in [DataflowKind::Flat, DataflowKind::MasAttention, DataflowKind::TileFlow] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| build_dataflow(kind, &w, &t, &hw).unwrap().graph().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_method_comparison, bench_schedule_construction);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the DaVinci-like NPU analytical model (Figure 5
+//! and the SD-UNet end-to-end estimate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mas_dataflow::DataflowKind;
+use mas_npu::e2e::{sd_unet_report, E2eConfig};
+use mas_npu::NpuModel;
+use mas_workloads::sdunet::sd15_reduced_unet;
+use mas_workloads::Network;
+
+fn bench_figure5(c: &mut Criterion) {
+    let model = NpuModel::kirin990();
+    c.bench_function("npu_figure5_all_networks", |b| {
+        b.iter(|| {
+            Network::all()
+                .iter()
+                .map(|n| model.figure5_estimates(&n.attention_workload(1)).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_sd_unet(c: &mut Criterion) {
+    let model = NpuModel::kirin990();
+    let units = sd15_reduced_unet(1);
+    c.bench_function("npu_sd_unet_e2e", |b| {
+        b.iter(|| {
+            sd_unet_report(&model, &units, DataflowKind::MasAttention, E2eConfig::default())
+                .end_to_end_reduction
+        })
+    });
+}
+
+criterion_group!(benches, bench_figure5, bench_sd_unet);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the tiling-search algorithms (cost per candidate
+//! and end-to-end tuning cost at the quick budget), plus an ablation of the
+//! search objective.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mas_dataflow::{AttentionWorkload, DataflowKind};
+use mas_search::cost::{CostModel, Objective};
+use mas_search::grid::GridSearch;
+use mas_search::mcts::MctsSearch;
+use mas_search::random::RandomSearch;
+use mas_search::space::SearchSpace;
+use mas_search::tuner::{AutoTuner, TunerConfig};
+use mas_sim::HardwareConfig;
+
+fn workload() -> AttentionWorkload {
+    AttentionWorkload::new("toy", 1, 2, 128, 64)
+}
+
+fn bench_search_algorithms(c: &mut Criterion) {
+    let hw = HardwareConfig::edge_default();
+    let w = workload();
+    let space = SearchSpace::for_workload(&w, &hw);
+    let mut g = c.benchmark_group("search_30_candidates");
+    g.sample_size(10);
+    g.bench_function("grid", |b| {
+        b.iter(|| {
+            let mut m = CostModel::new(DataflowKind::MasAttention, w.clone(), hw.clone(), Objective::Latency);
+            GridSearch::with_cap(30).run(&space, &mut m).best_objective
+        })
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| {
+            let mut m = CostModel::new(DataflowKind::MasAttention, w.clone(), hw.clone(), Objective::Latency);
+            RandomSearch::new(30, 1).run(&space, &mut m).best_objective
+        })
+    });
+    g.bench_function("mcts", |b| {
+        b.iter(|| {
+            let mut m = CostModel::new(DataflowKind::MasAttention, w.clone(), hw.clone(), Objective::Latency);
+            MctsSearch::new(30, 1).run(&space, &mut m).best_objective
+        })
+    });
+    g.finish();
+}
+
+fn bench_autotune(c: &mut Criterion) {
+    let hw = HardwareConfig::edge_default();
+    let w = workload();
+    let mut g = c.benchmark_group("autotune_quick");
+    g.sample_size(10);
+    for objective in [Objective::Latency, Objective::Energy] {
+        let cfg = TunerConfig { objective, ..TunerConfig::quick() };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{objective:?}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    AutoTuner::new(*cfg, 3)
+                        .tune(DataflowKind::MasAttention, &w, &hw)
+                        .unwrap()
+                        .best_cost
+                        .cycles
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search_algorithms, bench_autotune);
+criterion_main!(benches);

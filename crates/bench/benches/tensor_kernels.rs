@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the numerical substrate: matmul, softmax and
+//! the tiled attention executors used by the golden-data checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mas_tensor::attention::reference_attention;
+use mas_tensor::init::random_qkv;
+use mas_tensor::softmax::{softmax_rows, softmax_rows_online};
+use mas_tensor::tiled::{fused_online_attention, tiled_attention, TileSizes};
+
+fn bench_softmax(c: &mut Criterion) {
+    let (q, k, _v) = random_qkv(1, 2, 128, 64, 1);
+    let logits = mas_tensor::matmul::matmul_nt(&q, &k).unwrap();
+    let mut g = c.benchmark_group("softmax");
+    g.bench_function("three_pass", |b| b.iter(|| softmax_rows(&logits)));
+    g.bench_function("online_chunk32", |b| {
+        b.iter(|| softmax_rows_online(&logits, 32).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_attention_executors(c: &mut Criterion) {
+    let (q, k, v) = random_qkv(1, 2, 96, 64, 2);
+    let tiles = TileSizes::new(32, 48, 96).unwrap();
+    let mut g = c.benchmark_group("attention_numeric");
+    g.bench_function("reference", |b| {
+        b.iter(|| reference_attention(&q, &k, &v).unwrap())
+    });
+    g.bench_function("tiled_flat_mas", |b| {
+        b.iter(|| tiled_attention(&q, &k, &v, tiles).unwrap())
+    });
+    g.bench_function("fused_online_fusemax", |b| {
+        b.iter(|| fused_online_attention(&q, &k, &v, tiles).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_matmul_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul_nt");
+    for n in [32usize, 64, 128] {
+        let (q, k, _v) = random_qkv(1, 1, n, 64, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mas_tensor::matmul::matmul_nt(&q, &k).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_softmax, bench_attention_executors, bench_matmul_sizes);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the §5.4 DRAM-access analysis: write parity between
+//! MAS-Attention and FLAT, and the read ratio (MAS may exceed FLAT when the
+//! proactive overwrite strategy reloads K/V tiles).
+
+use mas_attention::Method;
+use mas_bench::{compare_all_networks, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let planner = opts.planner();
+    println!("Section 5.4: DRAM accesses, MAS-Attention vs FLAT");
+    println!(
+        "{:<28} {:>14} {:>14} {:>10} {:>14} {:>14} {:>10} {:>12}",
+        "Network", "FLAT reads", "MAS reads", "ratio", "FLAT writes", "MAS writes", "ratio", "overwrites"
+    );
+    for (net, report) in compare_all_networks(&planner) {
+        let flat = report.row(Method::Flat).unwrap();
+        let mas = report.row(Method::MasAttention).unwrap();
+        println!(
+            "{:<28} {:>14} {:>14} {:>9.2}x {:>14} {:>14} {:>9.2}x {:>12}",
+            net.name(),
+            flat.dram_read_bytes,
+            mas.dram_read_bytes,
+            mas.dram_read_bytes as f64 / flat.dram_read_bytes as f64,
+            flat.dram_write_bytes,
+            mas.dram_write_bytes,
+            mas.dram_write_bytes as f64 / flat.dram_write_bytes as f64,
+            mas.overwrite_events
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 6: per-network energy breakdown (DRAM, L1, L0, MAC PEs,
+//! VEC PEs) for every method.
+
+use mas_bench::{compare_all_networks, fmt_gpj, Options};
+use mas_dataflow::DataflowKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let planner = opts.planner();
+    println!("Figure 6: energy breakdown per network and method (10^9 pJ)");
+    println!(
+        "{:<28} {:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Network", "Method", "DRAM", "L1", "L0", "MAC PEs", "VEC PEs", "Total"
+    );
+    for (net, report) in compare_all_networks(&planner) {
+        for method in DataflowKind::all() {
+            let row = report.row(method).unwrap();
+            let get = |name: &str| {
+                row.energy_components
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0)
+            };
+            println!(
+                "{:<28} {:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                net.name(),
+                method.name(),
+                fmt_gpj(get("DRAM")),
+                fmt_gpj(get("L1")),
+                fmt_gpj(get("L0")),
+                fmt_gpj(get("MAC PEs")),
+                fmt_gpj(get("VEC PEs")),
+                fmt_gpj(row.energy_pj)
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates Figure 7: best-so-far execution cycles versus search
+//! iterations for the MCTS + GA tuning pipeline, per method, together with
+//! the §5.5 improvement factors over the naive (row-at-a-time) tiling.
+
+use mas_dataflow::DataflowKind;
+use mas_search::tuner::{AutoTuner, TunerConfig};
+use mas_sim::HardwareConfig;
+use mas_workloads::Network;
+
+fn main() {
+    let search_mode = std::env::args().any(|a| a == "--full");
+    let budget = if search_mode { TunerConfig::full() } else { TunerConfig::quick() };
+    let hw = HardwareConfig::edge_default();
+    // The paper highlights BERT-Base, BERT-Large, BERT-Small, the ViT family
+    // and XLM in §5.5; sweep a representative subset.
+    let networks = [Network::BertBase, Network::BertSmall, Network::VitB16, Network::Xlm];
+
+    println!("Figure 7: search convergence (best-so-far cycles vs. iterations)");
+    for net in networks {
+        let w = net.attention_workload(1);
+        for kind in [DataflowKind::Flat, DataflowKind::MasAttention] {
+            let mut tuner = AutoTuner::new(budget, 7);
+            let Some(result) = tuner.tune(kind, &w, &hw) else { continue };
+            let naive = result.naive_cost.map(|c| c.cycles).unwrap_or(0);
+            println!(
+                "\n{} / {}: naive {:.2}M -> tuned {:.3}M cycles ({:.1}x improvement, {} evaluations)",
+                net.name(), kind.name(),
+                naive as f64 / 1e6,
+                result.best_cost.cycles as f64 / 1e6,
+                result.improvement_over_naive().unwrap_or(1.0),
+                result.evaluations
+            );
+            print!("  trajectory:");
+            for p in result.history.downsample(8) {
+                print!(" ({}, {:.3}M)", p.iteration, p.best_objective / 1e6);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates the §5.6 limitation analysis: the maximum sequence length each
+//! method supports in FP16 within the 5 MB shared L1 of the simulated edge
+//! device.
+
+use mas_dataflow::max_seqlen::max_seq_len_all;
+use mas_sim::HardwareConfig;
+
+fn main() {
+    let hw = HardwareConfig::edge_default();
+    println!(
+        "Section 5.6: maximum sequence length (FP16, E=64, {} MB L1)",
+        hw.l1_bytes / (1024 * 1024)
+    );
+    for r in max_seq_len_all(64, &hw, 1 << 23) {
+        println!(
+            "{:<16} max N = {:>9} tokens (working set {:>9} bytes)",
+            r.kind.name(),
+            r.max_seq_len,
+            r.footprint_bytes
+        );
+    }
+    println!("(paper: MAS-Attention ~1M tokens, FLAT ~2M tokens)");
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's Table 2: execution cycles and MAS-Attention
+//! speedups over every baseline, for all Table 1 networks, plus the
+//! geometric-mean row.
+
+use mas_attention::report::geomean_speedup;
+use mas_attention::Method;
+use mas_bench::{baseline_columns, compare_all_networks, fmt_mcycles, fmt_ratio, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let planner = opts.planner();
+    let results = compare_all_networks(&planner);
+
+    println!("Table 2: cycles (10^6) and speedup of MAS-Attention vs. baselines");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Network", "LayerWise", "SoftPipe", "FLAT", "TileFlow", "FuseMax", "MAS",
+        "vs LW", "vs SP", "vs FLAT", "vs TF", "vs FM"
+    );
+    for (net, report) in &results {
+        let mas = report.cycles(Method::MasAttention).unwrap();
+        let cols: Vec<String> = baseline_columns()
+            .iter()
+            .map(|m| fmt_mcycles(report.cycles(*m).unwrap()))
+            .collect();
+        let speedups: Vec<String> = baseline_columns()
+            .iter()
+            .map(|m| fmt_ratio(report.speedup(*m, Method::MasAttention).unwrap()))
+            .collect();
+        println!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+            net.name(), cols[0], cols[1], cols[2], cols[3], cols[4], fmt_mcycles(mas),
+            speedups[0], speedups[1], speedups[2], speedups[3], speedups[4]
+        );
+    }
+    let reports: Vec<_> = results.iter().map(|(_, r)| r.clone()).collect();
+    let geo: Vec<String> = baseline_columns()
+        .iter()
+        .map(|m| fmt_ratio(geomean_speedup(&reports, *m).unwrap()))
+        .collect();
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Geometric Mean", "-", "-", "-", "-", "-", "-", geo[0], geo[1], geo[2], geo[3], geo[4]
+    );
+    if opts.json {
+        for (net, report) in &results {
+            println!("{}", serde_json::json!({"network": net.name(), "report": report}));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's Table 3: energy consumption (10^9 pJ) and
+//! MAS-Attention's energy savings versus every baseline, plus the
+//! geometric-mean row.
+
+use mas_attention::report::geomean_energy_saving;
+use mas_attention::Method;
+use mas_bench::{baseline_columns, compare_all_networks, fmt_gpj, fmt_pct, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let planner = opts.planner();
+    let results = compare_all_networks(&planner);
+
+    println!("Table 3: energy (10^9 pJ) and savings of MAS-Attention vs. baselines");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Network", "LayerWise", "SoftPipe", "FLAT", "TileFlow", "FuseMax", "MAS",
+        "vs LW", "vs SP", "vs FLAT", "vs TF", "vs FM"
+    );
+    for (net, report) in &results {
+        let cols: Vec<String> = baseline_columns()
+            .iter()
+            .map(|m| fmt_gpj(report.energy_pj(*m).unwrap()))
+            .collect();
+        let savings: Vec<String> = baseline_columns()
+            .iter()
+            .map(|m| fmt_pct(report.energy_saving(*m, Method::MasAttention).unwrap()))
+            .collect();
+        println!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9} {:>9} {:>9}",
+            net.name(), cols[0], cols[1], cols[2], cols[3], cols[4],
+            fmt_gpj(report.energy_pj(Method::MasAttention).unwrap()),
+            savings[0], savings[1], savings[2], savings[3], savings[4]
+        );
+    }
+    let reports: Vec<_> = results.iter().map(|(_, r)| r.clone()).collect();
+    let geo: Vec<String> = baseline_columns()
+        .iter()
+        .map(|m| fmt_pct(geomean_energy_saving(&reports, *m).unwrap()))
+        .collect();
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Geometric Mean", "-", "-", "-", "-", "-", "-", geo[0], geo[1], geo[2], geo[3], geo[4]
+    );
+    if opts.json {
+        for (net, report) in &results {
+            println!("{}", serde_json::json!({"network": net.name(), "report": report}));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Golden-data verification entry point (paper §5.1).
+
+use mas_dataflow::numeric::golden_check_method;
+use mas_dataflow::{AttentionWorkload, DataflowKind, Tiling};
+use mas_tensor::golden::GoldenReport;
+use mas_tensor::init::random_qkv;
+use mas_tensor::Result;
+
+/// Runs the golden-data check for one method on a seeded random instance of
+/// the workload: the method's tiled numerical executor must match the
+/// unfused reference attention within floating-point tolerance.
+///
+/// For very large workloads the check is performed on a proportionally
+/// scaled-down instance (the sequence length is capped at 256 and the head
+/// count at 4) — the blocking structure, which is what the check validates,
+/// is preserved by scaling the tiling with the workload.
+///
+/// # Errors
+///
+/// Returns a [`mas_tensor::TensorError`] if tensor shapes are inconsistent.
+pub fn verify_method(
+    method: DataflowKind,
+    workload: &AttentionWorkload,
+    tiling: &Tiling,
+    seed: u64,
+) -> Result<GoldenReport> {
+    // Scale down huge workloads so verification stays fast while keeping the
+    // same number of tiles per dimension.
+    let (seq, heads) = (workload.seq_len.min(256), workload.heads.min(4));
+    let scale = workload.seq_len as f64 / seq as f64;
+    let scaled_tiling = Tiling::new(
+        tiling.b_b,
+        tiling.h_h.min(heads),
+        ((tiling.n_q as f64 / scale).round() as usize).max(1),
+        ((tiling.n_kv as f64 / scale).round() as usize).max(1),
+        &AttentionWorkload::new("verify", workload.batch, heads, seq, workload.embed),
+    );
+    let (q, k, v) = random_qkv(workload.batch, heads, seq, workload.embed, seed);
+    golden_check_method(method, &q, &k, &v, &scaled_tiling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_method_passes_on_a_bert_like_layer() {
+        let w = AttentionWorkload::new("BERT-like", 1, 12, 512, 64);
+        let t = Tiling::new(1, 1, 64, 128, &w);
+        for method in DataflowKind::all() {
+            let report = verify_method(method, &w, &t, 11).unwrap();
+            assert!(
+                report.passed,
+                "{method}: {} mismatches (max abs diff {})",
+                report.mismatches, report.max_abs_diff
+            );
+            assert!(report.elements > 0);
+        }
+    }
+
+    #[test]
+    fn verification_scales_down_long_sequences() {
+        let w = AttentionWorkload::new("long", 1, 2, 8192, 64);
+        let t = Tiling::new(1, 1, 256, 1024, &w);
+        let report = verify_method(DataflowKind::MasAttention, &w, &t, 3).unwrap();
+        assert!(report.passed);
+        // 8192 tokens would be 8192² elements per head; the scaled check is
+        // bounded by 256² per head.
+        assert!(report.elements <= 2 * 256 * 64);
+    }
+}

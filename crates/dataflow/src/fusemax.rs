@@ -1,0 +1,217 @@
+//! FuseMax scaled down to the edge device.
+//!
+//! FuseMax (Nayak et al., 2024) decomposes attention into 12 einsum
+//! primitives executed in a single fused pass: attention scores are computed
+//! sub-tile by sub-tile, the softmax is evaluated *online* (running maximum
+//! and denominator, with the already-accumulated output rescaled whenever the
+//! maximum grows), and the weighted sum with `V` is folded into the same
+//! pipeline. MAC and VEC work overlap, but the online decomposition costs
+//! extra VEC passes (max-merge, rescale, accumulate-denominator) and a final
+//! normalization, and the accumulator rescale adds vector work proportional
+//! to the output tile each sub-tile step.
+//!
+//! Following the paper (§5.5), FuseMax uses manually selected tiling rather
+//! than the search; the comparison harness in `mas-attention` passes it a
+//! fixed heuristic tiling.
+
+use mas_sim::task::TaskId;
+use mas_sim::HardwareConfig;
+
+use crate::kind::DataflowKind;
+use crate::schedule::{kv_can_stay_resident, plan_chunks, BuildStats, Emitter, Schedule};
+use crate::tiling::Tiling;
+use crate::workload::AttentionWorkload;
+
+/// Extra element-wise passes the online-softmax decomposition performs per
+/// score element on top of the plain softmax cost (running-max merge and
+/// denominator correction).
+const ONLINE_EXTRA_PASSES: usize = 2;
+
+/// Builds the FuseMax schedule.
+pub(crate) fn build(
+    workload: &AttentionWorkload,
+    tiling: &Tiling,
+    hw: &HardwareConfig,
+) -> Schedule {
+    let eb = hw.element_bytes;
+    let mut em = Emitter::new();
+    let plans = plan_chunks(workload, tiling, hw);
+    let kv_resident = kv_can_stay_resident(DataflowKind::FuseMax, workload, tiling, hw);
+    let embed = workload.embed;
+    let mut rounds_total = 0usize;
+
+    let resident = crate::schedule::preload_resident_kv(&mut em, &plans, workload, hw, kv_resident);
+
+    for plan in &plans {
+        let core = plan.core;
+        let chunk = plan.index;
+        let (k_resident, v_resident) = resident[plan.index];
+
+        for i in 0..plan.query_blocks {
+            rounds_total += 1;
+            let q_rows = plan.q_rows(workload, tiling, i);
+            let rows = q_rows * plan.slices;
+            let q_bytes = plan.slices * q_rows * embed * eb;
+            let load_q = em.load(format!("c{chunk} r{i}: load Q_{i}"), q_bytes, &[]);
+
+            // The online accumulator state is updated sequentially over the
+            // K/V sub-tiles; score MatMuls for later sub-tiles may run ahead
+            // on the MAC while the VEC digests earlier ones.
+            let mut prev_update: Option<TaskId> = None;
+            let mut prev_accum: Option<TaskId> = None;
+            for j in 0..plan.kv_tiles {
+                let kv_cols = plan.kv_cols(workload, tiling, j);
+                // Score sub-tile S_j = Q_i K_j^T.
+                let mut deps = vec![load_q];
+                if let Some(k) = k_resident {
+                    deps.push(k);
+                } else {
+                    let bytes = plan.slices * kv_cols * embed * eb;
+                    deps.push(em.load(format!("c{chunk} r{i}: load K_{j}"), bytes, &[]));
+                }
+                let score = em.matmul(
+                    format!("c{chunk} r{i}: S_{i},{j} = Q_{i} K_{j}^T"),
+                    core,
+                    rows,
+                    embed,
+                    kv_cols,
+                    &deps,
+                );
+
+                // Online softmax update for the sub-tile: exponentials plus
+                // running max/denominator merges, then the rescale of the
+                // output accumulator (rows × E elements).
+                let mut update_deps = vec![score];
+                if let Some(p) = prev_update {
+                    update_deps.push(p);
+                }
+                let exp = em.softmax(
+                    format!("c{chunk} r{i}: online exp/max S_{i},{j}"),
+                    core,
+                    rows,
+                    kv_cols,
+                    &update_deps,
+                );
+                let correction = em.vec_op(
+                    format!("c{chunk} r{i}: online corrections {j}"),
+                    core,
+                    rows * kv_cols * ONLINE_EXTRA_PASSES + rows * embed,
+                    1,
+                    &[exp],
+                );
+                prev_update = Some(correction);
+
+                // Accumulate O_i += P_{i,j} V_j on the MAC.
+                let mut pv_deps = vec![correction];
+                if let Some(v) = v_resident {
+                    pv_deps.push(v);
+                } else {
+                    let bytes = plan.slices * kv_cols * embed * eb;
+                    pv_deps.push(em.load(format!("c{chunk} r{i}: load V_{j}"), bytes, &[]));
+                }
+                if let Some(a) = prev_accum {
+                    pv_deps.push(a);
+                }
+                let accum = em.matmul(
+                    format!("c{chunk} r{i}: O_{i} += P_{i},{j} V_{j}"),
+                    core,
+                    rows,
+                    kv_cols,
+                    embed,
+                    &pv_deps,
+                );
+                prev_accum = Some(accum);
+            }
+
+            // Final normalization by the accumulated denominator.
+            let mut final_deps: Vec<TaskId> = Vec::new();
+            if let Some(u) = prev_update {
+                final_deps.push(u);
+            }
+            if let Some(a) = prev_accum {
+                final_deps.push(a);
+            }
+            let normalize = em.vec_op(
+                format!("c{chunk} r{i}: normalize O_{i}"),
+                core,
+                rows * embed,
+                1,
+                &final_deps,
+            );
+            let o_bytes = plan.slices * q_rows * embed * eb;
+            em.store(format!("c{chunk} r{i}: store O_{i}"), o_bytes, &[normalize]);
+        }
+    }
+
+    let stats = BuildStats {
+        kind: DataflowKind::FuseMax,
+        tiling: *tiling,
+        rounds: rounds_total,
+        overwrite_events: 0,
+        reload_bytes: 0,
+        redo_mac_ops: 0,
+        kv_resident,
+        l1_high_water_bytes: crate::footprint::footprint(
+            DataflowKind::FuseMax,
+            workload,
+            tiling,
+            eb,
+        )
+        .total_bytes(),
+    };
+    Schedule::new(em.into_graph(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mas_sim::{EnergyModel, Executor};
+
+    fn toy() -> (AttentionWorkload, HardwareConfig, Tiling) {
+        let w = AttentionWorkload::new("toy", 1, 2, 128, 64);
+        let hw = HardwareConfig::edge_default();
+        let t = Tiling::new(1, 1, 32, 64, &w);
+        (w, hw, t)
+    }
+
+    #[test]
+    fn graph_is_valid_and_covers_all_matmul_work() {
+        let (w, hw, t) = toy();
+        let s = build(&w, &t, &hw);
+        s.graph().validate().unwrap();
+        assert_eq!(s.graph().total_mac_ops(), w.total_mac_ops());
+        assert_eq!(
+            s.graph().dram_write_bytes(),
+            w.operand_bytes(hw.element_bytes)
+        );
+    }
+
+    #[test]
+    fn online_decomposition_costs_more_vec_work_than_plain_softmax() {
+        let (w, hw, t) = toy();
+        let fusemax = build(&w, &t, &hw);
+        let mas = crate::mas::build(&w, &t, &hw);
+        let ops = hw.softmax_ops_per_element;
+        assert!(
+            fusemax.graph().total_vec_ops(ops) > mas.graph().total_vec_ops(ops),
+            "FuseMax's online softmax must perform extra vector work"
+        );
+    }
+
+    #[test]
+    fn fusemax_overlaps_but_trails_mas() {
+        let (w, hw, t) = toy();
+        let exec = Executor::new(hw.clone(), EnergyModel::edge_16nm());
+        let fm = exec.run(build(&w, &t, &hw).graph()).unwrap();
+        let mas = exec
+            .run(crate::mas::build(&w, &t, &hw).graph())
+            .unwrap();
+        assert!(fm.mac_vec_overlap_cycles > 0);
+        assert!(
+            mas.total_cycles <= fm.total_cycles,
+            "MAS ({}) should not trail FuseMax ({})",
+            mas.total_cycles,
+            fm.total_cycles
+        );
+    }
+}

@@ -1,0 +1,420 @@
+//! MAS-Attention — semi-synchronous MAC/VEC stream processing (Algorithm 1).
+//!
+//! Two streams of tiled tasks are scheduled per `(B_b, H_h)` chunk:
+//!
+//! * the **MAC stream** executes the two MatMuls — in steady state the MAC
+//!   unit runs `O_{i-2} = P_{i-2} V` followed by `C_i = Q_i Kᵀ` in every
+//!   round (Algorithm 1, lines 13–17),
+//! * the **VEC stream** executes the softmax — `P_{i-1} = softmax(C_{i-1})`
+//!   runs concurrently with the round's MAC work.
+//!
+//! The only cross-stream dependencies are the true data dependencies:
+//! softmax of round `i` needs `C_i`, and `P_i V` needs `P_i`. The MAC stream
+//! is therefore free to run ahead of the VEC stream by one round, which is
+//! exactly the semi-synchronous pipelining the paper introduces.
+//!
+//! When the shared L1 cannot hold the full working set, the **proactive
+//! buffer-overwrite strategy** (§4.3, [`crate::overwrite`]) sacrifices the
+//! resident `K` or `V` tile to guarantee space for `P_i`, reloads it from
+//! DRAM afterwards and redoes the interrupted MatMul sub-tile. The builder
+//! records every such event in [`BuildStats`].
+
+use mas_sim::task::TaskId;
+use mas_sim::HardwareConfig;
+
+use crate::kind::DataflowKind;
+use crate::overwrite::{residency_plan, victim_for_round, OverwriteVictim, ResidencyPlan};
+use crate::schedule::{plan_chunks, BuildStats, ChunkPlan, Emitter, Schedule};
+use crate::tiling::Tiling;
+use crate::workload::AttentionWorkload;
+
+/// Builds the MAS-Attention schedule.
+pub(crate) fn build(
+    workload: &AttentionWorkload,
+    tiling: &Tiling,
+    hw: &HardwareConfig,
+) -> Schedule {
+    let eb = hw.element_bytes;
+    let mut em = Emitter::new();
+    let plans = plan_chunks(workload, tiling, hw);
+    let plan_kind = residency_plan(workload, tiling, hw);
+    let embed = workload.embed;
+
+    let mut rounds_total = 0usize;
+    let mut overwrite_events = 0usize;
+    let mut reload_bytes = 0u64;
+    let mut redo_mac_ops = 0u64;
+
+    let resident = crate::schedule::preload_resident_kv(
+        &mut em,
+        &plans,
+        workload,
+        hw,
+        plan_kind != ResidencyPlan::StreamKv,
+    );
+
+    for plan in &plans {
+        let (k_resident, v_resident) = resident[plan.index];
+        let mut chunk_builder = ChunkBuilder {
+            em: &mut em,
+            workload,
+            tiling,
+            plan,
+            eb,
+            embed,
+            plan_kind,
+            k_resident,
+            v_resident,
+        };
+        let outcome = chunk_builder.emit();
+        rounds_total += plan.query_blocks;
+        overwrite_events += outcome.overwrite_events;
+        reload_bytes += outcome.reload_bytes;
+        redo_mac_ops += outcome.redo_mac_ops;
+    }
+
+    let stats = BuildStats {
+        kind: DataflowKind::MasAttention,
+        tiling: *tiling,
+        rounds: rounds_total,
+        overwrite_events,
+        reload_bytes,
+        redo_mac_ops,
+        kv_resident: plan_kind != ResidencyPlan::StreamKv,
+        l1_high_water_bytes: crate::footprint::footprint(
+            DataflowKind::MasAttention,
+            workload,
+            tiling,
+            eb,
+        )
+        .total_bytes(),
+    };
+    Schedule::new(em.into_graph(), stats)
+}
+
+/// Per-chunk emission outcome.
+struct ChunkOutcome {
+    overwrite_events: usize,
+    reload_bytes: u64,
+    redo_mac_ops: u64,
+}
+
+/// Emits Algorithm 1 for one `(B_b, H_h)` chunk.
+struct ChunkBuilder<'a> {
+    em: &'a mut Emitter,
+    workload: &'a AttentionWorkload,
+    tiling: &'a Tiling,
+    plan: &'a ChunkPlan,
+    eb: usize,
+    embed: usize,
+    plan_kind: ResidencyPlan,
+    k_resident: Option<TaskId>,
+    v_resident: Option<TaskId>,
+}
+
+impl ChunkBuilder<'_> {
+    fn emit(&mut self) -> ChunkOutcome {
+        let qb = self.plan.query_blocks;
+        let mut outcome = ChunkOutcome {
+            overwrite_events: 0,
+            reload_bytes: 0,
+            redo_mac_ops: 0,
+        };
+
+        // Resident K/V loads were prefetched by the caller (None when the
+        // chunk streams its sub-tiles instead).
+        let k_resident = self.k_resident;
+        let v_resident = self.v_resident;
+
+        // Per-round task handles.
+        let mut qk_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); qb];
+        let mut sm_tasks: Vec<Option<TaskId>> = vec![None; qb];
+        let mut pv_last: Vec<Option<TaskId>> = vec![None; qb];
+
+        // Warm-up: C_0 = Q_0 K^T (Algorithm 1, line 5).
+        qk_tasks[0] = self.emit_qk(0, k_resident, None);
+
+        for i in 1..qb {
+            // VEC stream: P_{i-1} = softmax(C_{i-1}).
+            sm_tasks[i - 1] = Some(self.emit_softmax(i - 1, &qk_tasks[i - 1]));
+
+            // Proactive overwrite: producing P_{i-1} may need the space of
+            // the resident K/V tile (§4.3). The victim is reloaded and the
+            // interrupted MatMul sub-tile redone before the MAC stream
+            // consumes it again.
+            let mut reload_gate: Option<TaskId> = None;
+            if self.plan_kind == ResidencyPlan::OverwriteKv {
+                let victim = victim_for_round(i - 1);
+                let (gate, bytes, redo) = self.emit_overwrite(i - 1, victim, sm_tasks[i - 1]);
+                reload_gate = Some(gate);
+                outcome.overwrite_events += 1;
+                outcome.reload_bytes += bytes;
+                outcome.redo_mac_ops += redo;
+            }
+
+            // MAC stream, steady state (i >= 2): O_{i-2} = P_{i-2} V.
+            if i >= 2 {
+                let pv = self.emit_pv(i - 2, sm_tasks[i - 2], v_resident, reload_gate);
+                pv_last[i - 2] = pv.last().copied();
+                self.emit_store_o(i - 2, &pv);
+            }
+
+            // MAC stream: C_i = Q_i K^T, gated on the completion of O_{i-2}
+            // (Algorithm 1, line 16) but *not* on the concurrent softmax.
+            let gate = if i >= 2 { pv_last[i - 2] } else { None };
+            qk_tasks[i] = self.emit_qk(i, k_resident, gate.or(reload_gate));
+        }
+
+        // Finalize (Algorithm 1, lines 21–26).
+        sm_tasks[qb - 1] = Some(self.emit_softmax(qb - 1, &qk_tasks[qb - 1]));
+        if qb >= 2 {
+            let pv = self.emit_pv(qb - 2, sm_tasks[qb - 2], v_resident, None);
+            self.emit_store_o(qb - 2, &pv);
+        }
+        let pv = self.emit_pv(qb - 1, sm_tasks[qb - 1], v_resident, None);
+        self.emit_store_o(qb - 1, &pv);
+
+        outcome
+    }
+
+    /// Emits the Algorithm-2 sweep producing `C_i`.
+    fn emit_qk(&mut self, i: usize, k_resident: Option<TaskId>, gate: Option<TaskId>) -> Vec<TaskId> {
+        let chunk = self.plan.index;
+        let core = self.plan.core;
+        let q_rows = self.plan.q_rows(self.workload, self.tiling, i);
+        let rows = q_rows * self.plan.slices;
+        let q_bytes = self.plan.slices * q_rows * self.embed * self.eb;
+        let load_q = self
+            .em
+            .load(format!("c{chunk} r{i}: load Q_{i}"), q_bytes, &[]);
+        let mut tasks = Vec::with_capacity(self.plan.kv_tiles);
+        for j in 0..self.plan.kv_tiles {
+            let kv_cols = self.plan.kv_cols(self.workload, self.tiling, j);
+            let mut deps = vec![load_q];
+            if let Some(k) = k_resident {
+                deps.push(k);
+            } else {
+                let bytes = self.plan.slices * kv_cols * self.embed * self.eb;
+                deps.push(
+                    self.em
+                        .load(format!("c{chunk} r{i}: load K_{j}"), bytes, &[]),
+                );
+            }
+            if let Some(g) = gate {
+                deps.push(g);
+            }
+            tasks.push(self.em.matmul(
+                format!("c{chunk} r{i}: C_{i},{j} = Q_{i} K_{j}^T"),
+                core,
+                rows,
+                self.embed,
+                kv_cols,
+                &deps,
+            ));
+        }
+        tasks
+    }
+
+    /// Emits the Algorithm-3 softmax for round `i`.
+    fn emit_softmax(&mut self, i: usize, qk: &[TaskId]) -> TaskId {
+        let chunk = self.plan.index;
+        let core = self.plan.core;
+        let q_rows = self.plan.q_rows(self.workload, self.tiling, i);
+        let rows = q_rows * self.plan.slices;
+        self.em.softmax(
+            format!("c{chunk} r{i}: P_{i} = softmax(C_{i})"),
+            core,
+            rows,
+            self.workload.seq_len,
+            qk,
+        )
+    }
+
+    /// Emits the Algorithm-4 sweep producing `O_i`.
+    fn emit_pv(
+        &mut self,
+        i: usize,
+        sm: Option<TaskId>,
+        v_resident: Option<TaskId>,
+        extra_gate: Option<TaskId>,
+    ) -> Vec<TaskId> {
+        let chunk = self.plan.index;
+        let core = self.plan.core;
+        let q_rows = self.plan.q_rows(self.workload, self.tiling, i);
+        let rows = q_rows * self.plan.slices;
+        let mut tasks = Vec::with_capacity(self.plan.kv_tiles);
+        for j in 0..self.plan.kv_tiles {
+            let kv_cols = self.plan.kv_cols(self.workload, self.tiling, j);
+            let mut deps = Vec::new();
+            if let Some(s) = sm {
+                deps.push(s);
+            }
+            if let Some(v) = v_resident {
+                deps.push(v);
+            } else {
+                let bytes = self.plan.slices * kv_cols * self.embed * self.eb;
+                deps.push(
+                    self.em
+                        .load(format!("c{chunk} r{i}: load V_{j}"), bytes, &[]),
+                );
+            }
+            if let Some(g) = extra_gate {
+                deps.push(g);
+            }
+            tasks.push(self.em.matmul(
+                format!("c{chunk} r{i}: O_{i} += P_{i},{j} V_{j}"),
+                core,
+                rows,
+                kv_cols,
+                self.embed,
+                &deps,
+            ));
+        }
+        tasks
+    }
+
+    /// Emits the DRAM store of `O_i`.
+    fn emit_store_o(&mut self, i: usize, pv: &[TaskId]) {
+        let chunk = self.plan.index;
+        let q_rows = self.plan.q_rows(self.workload, self.tiling, i);
+        let o_bytes = self.plan.slices * q_rows * self.embed * self.eb;
+        self.em
+            .store(format!("c{chunk} r{i}: store O_{i}"), o_bytes, pv);
+    }
+
+    /// Emits one proactive-overwrite event for round `i`: the victim tile is
+    /// reloaded from DRAM after `P_i` is complete, and the interrupted MatMul
+    /// sub-tile is redone. Returns the gate task the MAC stream must wait on,
+    /// plus the reload bytes and redone MAC operations.
+    fn emit_overwrite(
+        &mut self,
+        i: usize,
+        victim: OverwriteVictim,
+        sm: Option<TaskId>,
+    ) -> (TaskId, u64, u64) {
+        let chunk = self.plan.index;
+        let core = self.plan.core;
+        let kv_cols = self.plan.kv_cols(self.workload, self.tiling, 0);
+        let bytes = self.plan.slices * kv_cols * self.embed * self.eb;
+        let deps: Vec<TaskId> = sm.into_iter().collect();
+        let reload = self.em.load(
+            format!("c{chunk} r{i}: reload {} tile after overwrite", victim.name()),
+            bytes,
+            &deps,
+        );
+        // The interrupted MatMul sub-tile is redone once the operand is back.
+        let q_rows = self.plan.q_rows(self.workload, self.tiling, i);
+        let rows = q_rows * self.plan.slices;
+        let (m, k, n) = match victim {
+            // Interrupted O = P V sub-tile.
+            OverwriteVictim::V => (rows, kv_cols, self.embed),
+            // Interrupted C = Q K^T sub-tile.
+            OverwriteVictim::K => (rows, self.embed, kv_cols),
+        };
+        let redo = self.em.matmul(
+            format!("c{chunk} r{i}: redo interrupted MatMul ({})", victim.name()),
+            core,
+            m,
+            k,
+            n,
+            &[reload],
+        );
+        (redo, bytes as u64, (m * k * n) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mas_sim::task::Resource;
+    use mas_sim::{EnergyModel, Executor};
+
+    fn toy() -> (AttentionWorkload, HardwareConfig, Tiling) {
+        let w = AttentionWorkload::new("toy", 1, 2, 128, 64);
+        let hw = HardwareConfig::edge_default();
+        let t = Tiling::new(1, 1, 32, 64, &w);
+        (w, hw, t)
+    }
+
+    #[test]
+    fn graph_is_valid_and_covers_all_work() {
+        let (w, hw, t) = toy();
+        let s = build(&w, &t, &hw);
+        s.graph().validate().unwrap();
+        assert_eq!(s.graph().total_mac_ops(), w.total_mac_ops());
+        assert_eq!(s.stats().rounds, t.rounds(&w));
+        assert_eq!(s.stats().overwrite_events, 0);
+        // Writes are only the attention output, exactly like FLAT (§5.4.1).
+        assert_eq!(
+            s.graph().dram_write_bytes(),
+            w.operand_bytes(hw.element_bytes)
+        );
+    }
+
+    #[test]
+    fn mas_overlaps_mac_and_vec_on_the_same_core() {
+        let (w, hw, t) = toy();
+        let s = build(&w, &t, &hw);
+        let report = Executor::new(hw, EnergyModel::edge_16nm())
+            .run(s.graph())
+            .unwrap();
+        let trace = report.trace.as_ref().unwrap();
+        let overlap =
+            trace.overlap_cycles(Resource::Mac { core: 0 }, Resource::Vec { core: 0 });
+        assert!(overlap > 0, "MAS must overlap MAC and VEC on the same core");
+    }
+
+    #[test]
+    fn mas_is_faster_than_flat_and_layerwise() {
+        let (w, hw, t) = toy();
+        let exec = Executor::new(hw.clone(), EnergyModel::edge_16nm());
+        let mas = exec.run(build(&w, &t, &hw).graph()).unwrap().total_cycles;
+        let flat = exec
+            .run(crate::flat::build(&w, &t, &hw).graph())
+            .unwrap()
+            .total_cycles;
+        let lw = exec
+            .run(crate::layerwise::build(&w, &t, &hw).graph())
+            .unwrap()
+            .total_cycles;
+        assert!(mas < flat, "MAS ({mas}) must beat FLAT ({flat})");
+        assert!(mas < lw, "MAS ({mas}) must beat Layer-Wise ({lw})");
+    }
+
+    #[test]
+    fn single_round_chunks_are_handled() {
+        let w = AttentionWorkload::new("one-round", 1, 1, 32, 32);
+        let hw = HardwareConfig::edge_default();
+        let t = Tiling::new(1, 1, 32, 32, &w);
+        let s = build(&w, &t, &hw);
+        s.graph().validate().unwrap();
+        assert_eq!(s.stats().rounds, 1);
+        assert_eq!(s.graph().total_mac_ops(), w.total_mac_ops());
+    }
+
+    #[test]
+    fn overwrite_regime_adds_reload_traffic_and_redo_work() {
+        // Pressure the L1 so that only the FLAT-like footprint fits together
+        // with the resident K/V.
+        let w = AttentionWorkload::new("long", 1, 2, 8192, 64);
+        let t = Tiling::new(1, 2, 64, 512, &w);
+        let mut hw = HardwareConfig::edge_default();
+        hw.l1_bytes = 7 * 1024 * 1024;
+        assert_eq!(residency_plan(&w, &t, &hw), ResidencyPlan::OverwriteKv);
+
+        let s = build(&w, &t, &hw);
+        s.graph().validate().unwrap();
+        assert!(s.stats().overwrite_events > 0);
+        assert!(s.stats().reload_bytes > 0);
+        assert!(s.stats().redo_mac_ops > 0);
+        // The schedule reads more from DRAM than the minimal Q+K+V.
+        assert!(s.graph().dram_read_bytes() > 3 * w.operand_bytes(hw.element_bytes));
+        // Writes stay equal to the output size (§5.4.1).
+        assert_eq!(s.graph().dram_write_bytes(), w.operand_bytes(hw.element_bytes));
+        // Total MAC work = workload + redone sub-tiles.
+        assert_eq!(
+            s.graph().total_mac_ops(),
+            w.total_mac_ops() + s.stats().redo_mac_ops
+        );
+    }
+}

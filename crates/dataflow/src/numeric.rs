@@ -1,0 +1,118 @@
+//! Numerical execution of each dataflow (golden-data check support).
+//!
+//! The schedules in this crate describe *when* tiles are computed; this
+//! module computes *what* they contain, by dispatching each method to the
+//! matching tiled executor in `mas-tensor`. All methods implement exact
+//! attention, so all of them must match the unfused reference within
+//! floating-point accumulation tolerance — the paper's golden-data check
+//! (§5.1).
+
+use mas_tensor::attention::reference_attention;
+use mas_tensor::golden::{golden_check, GoldenReport, Tolerance};
+use mas_tensor::tiled::{fused_online_attention, tiled_attention, TileSizes};
+use mas_tensor::{Result, Tensor};
+
+use crate::kind::DataflowKind;
+use crate::tiling::Tiling;
+
+/// Computes the attention output of `kind` on the given operands using the
+/// blocking structure that method would use on-device.
+///
+/// # Errors
+///
+/// Returns a [`mas_tensor::TensorError`] if the operand shapes are
+/// inconsistent or the tiling is invalid for them.
+pub fn execute_numeric(
+    kind: DataflowKind,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    tiling: &Tiling,
+) -> Result<Tensor> {
+    let seq_len = q.shape().rows();
+    match kind {
+        // The unfused and the P-to-DRAM baselines materialize full
+        // intermediates; their arithmetic is the reference computation.
+        DataflowKind::LayerWise | DataflowKind::SoftPipe => reference_attention(q, k, v),
+        // Row-block methods: two sweeps over K/V sub-tiles per query block.
+        DataflowKind::Flat | DataflowKind::TileFlow | DataflowKind::MasAttention => {
+            let tiles = TileSizes::new(tiling.n_q, tiling.n_kv, seq_len)?;
+            tiled_attention(q, k, v, tiles)
+        }
+        // FuseMax: single fused sweep with online softmax.
+        DataflowKind::FuseMax => {
+            let tiles = TileSizes::new(tiling.n_q, tiling.n_kv, seq_len)?;
+            fused_online_attention(q, k, v, tiles)
+        }
+    }
+}
+
+/// Runs the golden-data check for one method: executes it numerically and
+/// compares against the unfused reference.
+///
+/// # Errors
+///
+/// Returns a [`mas_tensor::TensorError`] if shapes are inconsistent.
+pub fn golden_check_method(
+    kind: DataflowKind,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    tiling: &Tiling,
+) -> Result<GoldenReport> {
+    let golden = reference_attention(q, k, v)?;
+    let candidate = execute_numeric(kind, q, k, v, tiling)?;
+    golden_check(&candidate, &golden, Tolerance::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::AttentionWorkload;
+    use mas_tensor::init::random_qkv;
+
+    fn setup() -> (Tensor, Tensor, Tensor, Tiling) {
+        let w = AttentionWorkload::new("toy", 1, 2, 48, 16);
+        let (q, k, v) = random_qkv(w.batch, w.heads, w.seq_len, w.embed, 7);
+        let tiling = Tiling::new(1, 1, 16, 24, &w);
+        (q, k, v, tiling)
+    }
+
+    #[test]
+    fn every_method_passes_the_golden_check() {
+        let (q, k, v, tiling) = setup();
+        for kind in DataflowKind::all() {
+            let report = golden_check_method(kind, &q, &k, &v, &tiling).unwrap();
+            assert!(
+                report.passed,
+                "{kind} failed the golden data check: {} mismatches, max abs diff {}",
+                report.mismatches, report.max_abs_diff
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_tilings_also_pass() {
+        let w = AttentionWorkload::new("ragged", 1, 1, 37, 8);
+        let (q, k, v) = random_qkv(w.batch, w.heads, w.seq_len, w.embed, 21);
+        let tiling = Tiling::new(1, 1, 5, 11, &w);
+        for kind in [
+            DataflowKind::Flat,
+            DataflowKind::MasAttention,
+            DataflowKind::FuseMax,
+        ] {
+            let report = golden_check_method(kind, &q, &k, &v, &tiling).unwrap();
+            assert!(report.passed, "{kind} failed on a ragged tiling");
+        }
+    }
+
+    #[test]
+    fn methods_agree_with_each_other() {
+        let (q, k, v, tiling) = setup();
+        let flat = execute_numeric(DataflowKind::Flat, &q, &k, &v, &tiling).unwrap();
+        let mas = execute_numeric(DataflowKind::MasAttention, &q, &k, &v, &tiling).unwrap();
+        let fusemax = execute_numeric(DataflowKind::FuseMax, &q, &k, &v, &tiling).unwrap();
+        assert!(flat.max_abs_diff(&mas).unwrap() < 1e-6);
+        assert!(flat.max_abs_diff(&fusemax).unwrap() < 1e-4);
+    }
+}

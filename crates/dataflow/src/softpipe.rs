@@ -1,0 +1,198 @@
+//! Soft-Pipe — pipelined `QKᵀ`/softmax with an off-chip `P`.
+//!
+//! The paper's second baseline (§5.1): rows of `Q` are streamed on-chip, the
+//! first MatMul and the softmax are fused and *pipelined* — while the VEC
+//! unit computes `P_i = softmax(C_i)`, the MAC unit may already produce
+//! `C_{i+1}` — but the probability matrix `P` is written back to DRAM, and
+//! the final `O = PV` MatMul runs sequentially afterwards, re-reading `P`.
+
+use mas_sim::task::TaskId;
+use mas_sim::HardwareConfig;
+
+use crate::kind::DataflowKind;
+use crate::schedule::{kv_can_stay_resident, plan_chunks, BuildStats, Emitter, Schedule};
+use crate::tiling::Tiling;
+use crate::workload::AttentionWorkload;
+
+/// Builds the Soft-Pipe schedule.
+pub(crate) fn build(
+    workload: &AttentionWorkload,
+    tiling: &Tiling,
+    hw: &HardwareConfig,
+) -> Schedule {
+    let eb = hw.element_bytes;
+    let mut em = Emitter::new();
+    let plans = plan_chunks(workload, tiling, hw);
+    let kv_resident = kv_can_stay_resident(DataflowKind::SoftPipe, workload, tiling, hw);
+    let embed = workload.embed;
+    let mut rounds_total = 0usize;
+
+    // ---- Stage A: pipelined C = Q K^T and P = softmax(C), P -> DRAM --------
+    let mut stage_a_last: Vec<TaskId> = Vec::new();
+    for plan in &plans {
+        let core = plan.core;
+        let chunk = plan.index;
+        let k_resident = if kv_resident {
+            let bytes = plan.slices * workload.seq_len * embed * eb;
+            Some(em.load(format!("c{chunk}: load K"), bytes, &[]))
+        } else {
+            None
+        };
+        for i in 0..plan.query_blocks {
+            rounds_total += 1;
+            let q_rows = plan.q_rows(workload, tiling, i);
+            let rows = q_rows * plan.slices;
+            let q_bytes = plan.slices * q_rows * embed * eb;
+            let load_q = em.load(format!("c{chunk} r{i}: load Q_{i}"), q_bytes, &[]);
+            let mut qk = Vec::new();
+            for j in 0..plan.kv_tiles {
+                let kv_cols = plan.kv_cols(workload, tiling, j);
+                let mut deps = vec![load_q];
+                if let Some(k) = k_resident {
+                    deps.push(k);
+                } else {
+                    let bytes = plan.slices * kv_cols * embed * eb;
+                    deps.push(em.load(format!("c{chunk} r{i}: load K_{j}"), bytes, &[]));
+                }
+                // No dependency on the previous round's softmax: the MAC runs
+                // ahead, which is the pipelining Soft-Pipe introduces.
+                qk.push(em.matmul(
+                    format!("c{chunk} r{i}: C_{i},{j} = Q_{i} K_{j}^T"),
+                    core,
+                    rows,
+                    embed,
+                    kv_cols,
+                    &deps,
+                ));
+            }
+            let sm = em.softmax(
+                format!("c{chunk} r{i}: P_{i} = softmax(C_{i})"),
+                core,
+                rows,
+                workload.seq_len,
+                &qk,
+            );
+            let p_bytes = plan.slices * q_rows * workload.seq_len * eb;
+            stage_a_last.push(em.store(format!("c{chunk} r{i}: store P_{i}"), p_bytes, &[sm]));
+        }
+    }
+    let stage_a_done = em.barrier("stage boundary: P complete", 0, &stage_a_last);
+
+    // ---- Stage B: O = P V, sequential ---------------------------------------
+    for plan in &plans {
+        let core = plan.core;
+        let chunk = plan.index;
+        let v_resident = if kv_resident {
+            let bytes = plan.slices * workload.seq_len * embed * eb;
+            Some(em.load(format!("c{chunk}: load V"), bytes, &[stage_a_done]))
+        } else {
+            None
+        };
+        for i in 0..plan.query_blocks {
+            let q_rows = plan.q_rows(workload, tiling, i);
+            let rows = q_rows * plan.slices;
+            let p_bytes = plan.slices * q_rows * workload.seq_len * eb;
+            let load_p = em.load(
+                format!("c{chunk} r{i}: load P_{i}"),
+                p_bytes,
+                &[stage_a_done],
+            );
+            let mut pv = Vec::new();
+            for j in 0..plan.kv_tiles {
+                let kv_cols = plan.kv_cols(workload, tiling, j);
+                let mut deps = vec![load_p];
+                if let Some(v) = v_resident {
+                    deps.push(v);
+                } else {
+                    let bytes = plan.slices * kv_cols * embed * eb;
+                    deps.push(em.load(
+                        format!("c{chunk} r{i}: load V_{j}"),
+                        bytes,
+                        &[stage_a_done],
+                    ));
+                }
+                pv.push(em.matmul(
+                    format!("c{chunk} r{i}: O_{i} += P_{i},{j} V_{j}"),
+                    core,
+                    rows,
+                    kv_cols,
+                    embed,
+                    &deps,
+                ));
+            }
+            let o_bytes = plan.slices * q_rows * embed * eb;
+            em.store(format!("c{chunk} r{i}: store O_{i}"), o_bytes, &pv);
+        }
+    }
+
+    let stats = BuildStats {
+        kind: DataflowKind::SoftPipe,
+        tiling: *tiling,
+        rounds: rounds_total,
+        overwrite_events: 0,
+        reload_bytes: 0,
+        redo_mac_ops: 0,
+        kv_resident,
+        l1_high_water_bytes: crate::footprint::footprint(
+            DataflowKind::SoftPipe,
+            workload,
+            tiling,
+            eb,
+        )
+        .total_bytes(),
+    };
+    Schedule::new(em.into_graph(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mas_sim::{EnergyModel, Executor};
+
+    fn toy() -> (AttentionWorkload, HardwareConfig, Tiling) {
+        let w = AttentionWorkload::new("toy", 1, 2, 128, 64);
+        let hw = HardwareConfig::edge_default();
+        let t = Tiling::new(1, 1, 32, 64, &w);
+        (w, hw, t)
+    }
+
+    #[test]
+    fn p_round_trips_dram_but_c_does_not() {
+        let (w, hw, t) = toy();
+        let s = build(&w, &t, &hw);
+        s.graph().validate().unwrap();
+        let eb = hw.element_bytes;
+        // Writes: P and O, but not C.
+        assert_eq!(
+            s.graph().dram_write_bytes(),
+            w.intermediate_bytes(eb) + w.operand_bytes(eb)
+        );
+    }
+
+    #[test]
+    fn softpipe_is_between_layerwise_and_flat() {
+        let (w, hw, t) = toy();
+        let exec = Executor::new(hw.clone(), EnergyModel::edge_16nm());
+        let lw = exec
+            .run(crate::layerwise::build(&w, &t, &hw).graph())
+            .unwrap()
+            .total_cycles;
+        let sp = exec.run(build(&w, &t, &hw).graph()).unwrap().total_cycles;
+        let flat = exec
+            .run(crate::flat::build(&w, &t, &hw).graph())
+            .unwrap()
+            .total_cycles;
+        assert!(sp < lw, "Soft-Pipe ({sp}) must beat Layer-Wise ({lw})");
+        assert!(sp > flat, "Soft-Pipe ({sp}) must trail FLAT ({flat})");
+    }
+
+    #[test]
+    fn mac_vec_overlap_exists_in_stage_a() {
+        let (w, hw, t) = toy();
+        let s = build(&w, &t, &hw);
+        let report = Executor::new(hw, EnergyModel::edge_16nm())
+            .run(s.graph())
+            .unwrap();
+        assert!(report.mac_vec_overlap_cycles > 0);
+    }
+}

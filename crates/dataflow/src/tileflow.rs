@@ -1,0 +1,247 @@
+//! TileFlow-style fused, stage-synchronous pipeline.
+//!
+//! TileFlow (Zheng et al., 2023) models fusion dataflows as tiling trees and
+//! pipelines producer/consumer operators at tile granularity. Following the
+//! paper's re-implementation (§5.1), we model it as a **stage-synchronous
+//! software pipeline**: in pipeline step `s` the device concurrently computes
+//! `C_s = Q_s Kᵀ`, `P_{s-1} = softmax(C_{s-1})` and `O_{s-2} = P_{s-2} V`,
+//! and a barrier at the end of every step synchronizes all three stages
+//! before the next step may begin.
+//!
+//! Two structural properties distinguish it from MAS-Attention:
+//!
+//! 1. the per-step barrier prevents the MAC stream from running ahead across
+//!    rounds (slack cannot be borrowed between steps), and also holds back
+//!    the next step's DMA prefetches, and
+//! 2. three `C`/`P` row blocks are live simultaneously (see
+//!    [`crate::footprint`]), so under L1 pressure the tiling search must
+//!    choose smaller tiles than MAS-Attention, paying more per-tile overhead.
+
+use mas_sim::task::TaskId;
+use mas_sim::HardwareConfig;
+
+use crate::kind::DataflowKind;
+use crate::schedule::{kv_can_stay_resident, plan_chunks, BuildStats, Emitter, Schedule};
+use crate::tiling::Tiling;
+use crate::workload::AttentionWorkload;
+
+/// Builds the TileFlow-style schedule.
+pub(crate) fn build(
+    workload: &AttentionWorkload,
+    tiling: &Tiling,
+    hw: &HardwareConfig,
+) -> Schedule {
+    let eb = hw.element_bytes;
+    let mut em = Emitter::new();
+    let plans = plan_chunks(workload, tiling, hw);
+    let kv_resident = kv_can_stay_resident(DataflowKind::TileFlow, workload, tiling, hw);
+    let embed = workload.embed;
+    let mut rounds_total = 0usize;
+
+    let resident = crate::schedule::preload_resident_kv(&mut em, &plans, workload, hw, kv_resident);
+
+    // The stage-synchronous pipeline is one pipeline per core: the steps of a
+    // chunk start only after the previous chunk's last stage barrier on the
+    // same core.
+    let mut core_barrier: Vec<Option<TaskId>> = vec![None; hw.cores];
+
+    for plan in &plans {
+        let core = plan.core;
+        let chunk = plan.index;
+        let qb = plan.query_blocks;
+        rounds_total += qb;
+        let (k_resident, v_resident) = resident[plan.index];
+
+        let mut qk_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); qb];
+        let mut sm_tasks: Vec<Option<TaskId>> = vec![None; qb];
+        let mut barrier: Option<TaskId> = core_barrier[core];
+
+        // Pipeline steps: step s runs C_s, softmax_{s-1} and PV_{s-2}.
+        for s in 0..qb + 2 {
+            let mut step_tasks: Vec<TaskId> = Vec::new();
+
+            // Stage 1: C_s = Q_s K^T.
+            if s < qb {
+                let q_rows = plan.q_rows(workload, tiling, s);
+                let rows = q_rows * plan.slices;
+                let q_bytes = plan.slices * q_rows * embed * eb;
+                // Stage-synchronous: even the DMA prefetch for step s waits
+                // for the previous barrier.
+                let load_deps: Vec<TaskId> = barrier.into_iter().collect();
+                let load_q = em.load(format!("c{chunk} s{s}: load Q_{s}"), q_bytes, &load_deps);
+                for j in 0..plan.kv_tiles {
+                    let kv_cols = plan.kv_cols(workload, tiling, j);
+                    let mut deps = vec![load_q];
+                    if let Some(k) = k_resident {
+                        deps.push(k);
+                    } else {
+                        let bytes = plan.slices * kv_cols * embed * eb;
+                        deps.push(em.load(
+                            format!("c{chunk} s{s}: load K_{j}"),
+                            bytes,
+                            &load_deps,
+                        ));
+                    }
+                    if let Some(b) = barrier {
+                        deps.push(b);
+                    }
+                    let id = em.matmul(
+                        format!("c{chunk} s{s}: C_{s},{j} = Q_{s} K_{j}^T"),
+                        core,
+                        rows,
+                        embed,
+                        kv_cols,
+                        &deps,
+                    );
+                    qk_tasks[s].push(id);
+                    step_tasks.push(id);
+                }
+            }
+
+            // Stage 2: P_{s-1} = softmax(C_{s-1}).
+            if s >= 1 && s - 1 < qb {
+                let i = s - 1;
+                let q_rows = plan.q_rows(workload, tiling, i);
+                let rows = q_rows * plan.slices;
+                let mut deps = qk_tasks[i].clone();
+                if let Some(b) = barrier {
+                    deps.push(b);
+                }
+                let sm = em.softmax(
+                    format!("c{chunk} s{s}: P_{i} = softmax(C_{i})"),
+                    core,
+                    rows,
+                    workload.seq_len,
+                    &deps,
+                );
+                sm_tasks[i] = Some(sm);
+                step_tasks.push(sm);
+            }
+
+            // Stage 3: O_{s-2} = P_{s-2} V.
+            if s >= 2 && s - 2 < qb {
+                let i = s - 2;
+                let q_rows = plan.q_rows(workload, tiling, i);
+                let rows = q_rows * plan.slices;
+                let mut pv = Vec::with_capacity(plan.kv_tiles);
+                for j in 0..plan.kv_tiles {
+                    let kv_cols = plan.kv_cols(workload, tiling, j);
+                    let mut deps = Vec::new();
+                    if let Some(sm) = sm_tasks[i] {
+                        deps.push(sm);
+                    }
+                    if let Some(v) = v_resident {
+                        deps.push(v);
+                    } else {
+                        let bytes = plan.slices * kv_cols * embed * eb;
+                        let load_deps: Vec<TaskId> = barrier.into_iter().collect();
+                        deps.push(em.load(
+                            format!("c{chunk} s{s}: load V_{j}"),
+                            bytes,
+                            &load_deps,
+                        ));
+                    }
+                    if let Some(b) = barrier {
+                        deps.push(b);
+                    }
+                    let id = em.matmul(
+                        format!("c{chunk} s{s}: O_{i} += P_{i},{j} V_{j}"),
+                        core,
+                        rows,
+                        kv_cols,
+                        embed,
+                        &deps,
+                    );
+                    pv.push(id);
+                    step_tasks.push(id);
+                }
+                let o_bytes = plan.slices * q_rows * embed * eb;
+                em.store(format!("c{chunk} s{s}: store O_{i}"), o_bytes, &pv);
+            }
+
+            // Stage barrier: every stage of this step must finish before the
+            // next step starts.
+            if !step_tasks.is_empty() {
+                barrier = Some(em.barrier(format!("c{chunk} s{s}: stage barrier"), core, &step_tasks));
+            }
+        }
+        core_barrier[core] = barrier;
+    }
+
+    let stats = BuildStats {
+        kind: DataflowKind::TileFlow,
+        tiling: *tiling,
+        rounds: rounds_total,
+        overwrite_events: 0,
+        reload_bytes: 0,
+        redo_mac_ops: 0,
+        kv_resident,
+        l1_high_water_bytes: crate::footprint::footprint(
+            DataflowKind::TileFlow,
+            workload,
+            tiling,
+            eb,
+        )
+        .total_bytes(),
+    };
+    Schedule::new(em.into_graph(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mas_sim::{EnergyModel, Executor};
+
+    fn toy() -> (AttentionWorkload, HardwareConfig, Tiling) {
+        let w = AttentionWorkload::new("toy", 1, 2, 128, 64);
+        let hw = HardwareConfig::edge_default();
+        let t = Tiling::new(1, 1, 32, 64, &w);
+        (w, hw, t)
+    }
+
+    #[test]
+    fn graph_is_valid_and_covers_all_work() {
+        let (w, hw, t) = toy();
+        let s = build(&w, &t, &hw);
+        s.graph().validate().unwrap();
+        assert_eq!(s.graph().total_mac_ops(), w.total_mac_ops());
+        assert_eq!(
+            s.graph().dram_write_bytes(),
+            w.operand_bytes(hw.element_bytes)
+        );
+    }
+
+    #[test]
+    fn tileflow_is_at_least_as_fast_as_flat_but_not_faster_than_mas() {
+        let (w, hw, t) = toy();
+        let exec = Executor::new(hw.clone(), EnergyModel::edge_16nm());
+        let tf = exec.run(build(&w, &t, &hw).graph()).unwrap().total_cycles;
+        let flat = exec
+            .run(crate::flat::build(&w, &t, &hw).graph())
+            .unwrap()
+            .total_cycles;
+        let mas = exec
+            .run(crate::mas::build(&w, &t, &hw).graph())
+            .unwrap()
+            .total_cycles;
+        assert!(tf <= flat, "TileFlow ({tf}) should not trail FLAT ({flat})");
+        assert!(mas <= tf, "MAS ({mas}) should not trail TileFlow ({tf})");
+    }
+
+    #[test]
+    fn barrier_overhead_grows_with_round_count() {
+        // With more (smaller) query blocks TileFlow pays more stage barriers,
+        // so its gap to MAS should not shrink.
+        let w = AttentionWorkload::new("toy", 1, 2, 256, 64);
+        let hw = HardwareConfig::edge_default();
+        let exec = Executor::new(hw.clone(), EnergyModel::edge_16nm());
+        let coarse = Tiling::new(1, 1, 64, 64, &w);
+        let fine = Tiling::new(1, 1, 8, 64, &w);
+        let tf_coarse = exec
+            .run(build(&w, &coarse, &hw).graph())
+            .unwrap()
+            .total_cycles;
+        let tf_fine = exec.run(build(&w, &fine, &hw).graph()).unwrap().total_cycles;
+        assert!(tf_fine > tf_coarse, "finer tiling must cost TileFlow more");
+    }
+}

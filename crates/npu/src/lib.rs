@@ -1,0 +1,36 @@
+//! # mas-npu
+//!
+//! A DaVinci-like edge NPU model standing in for the Huawei MatePad Pro
+//! 13.2 (Kirin 990 5G) used in the paper's real-hardware experiments
+//! (Figure 5 and §5.2.2).
+//!
+//! The real device exposes three NPU cores — two Ascend Lite cores and one
+//! Ascend Tiny core — each with a cube (matrix) unit, a vector unit and
+//! dedicated on-chip memory. No public cycle-accurate simulator of the
+//! DaVinci architecture exists, so this crate models the device analytically:
+//!
+//! * [`device::NpuDevice`] describes the cores (cube throughput, vector
+//!   throughput, unified-buffer capacity, clock),
+//! * [`model::NpuModel`] estimates per-method attention latency by
+//!   partitioning heads across the heterogeneous cores and applying the same
+//!   structural differences between methods as `mas-dataflow` (serialized
+//!   MAC/VEC for Layer-Wise/FLAT, off-chip `P` for Soft-Pipe, overlapped
+//!   streams for MAS-Attention), with tile sizes chosen by grid search over
+//!   each core's buffer (the paper uses grid search on this device), and
+//! * [`e2e`] assembles the reduced Stable Diffusion 1.5 UNet end-to-end
+//!   estimate of §5.2.2.
+//!
+//! Absolute milliseconds are not meaningful (the real device's kernel launch
+//! and DMA engines are proprietary); the *normalized* execution times of
+//! Figure 5 — which method is faster and by roughly what factor — are what
+//! this model reproduces.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod device;
+pub mod e2e;
+pub mod model;
+
+pub use device::{NpuCore, NpuDevice};
+pub use model::{NpuLatency, NpuModel};

@@ -1,0 +1,214 @@
+//! Simulator-backed cost evaluation of candidate tilings.
+//!
+//! Each candidate tiling is lowered to the method's task graph
+//! (`mas-dataflow`) and simulated (`mas-sim`), exactly as the paper evaluates
+//! each MCTS/GA candidate with Timeloop/Accelergy. Evaluations are cached so
+//! the search algorithms can revisit points for free, and invalid tilings
+//! (working set exceeding L1) are rejected up front.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use mas_dataflow::footprint::tiling_fits;
+use mas_dataflow::{build_dataflow, AttentionWorkload, DataflowKind, Tiling};
+use mas_sim::{EnergyModel, Executor, HardwareConfig};
+
+/// Optimization objective of the search.
+///
+/// The paper's search minimizes latency ("our objective in the search
+/// framework was to minimize latency rather than energy", §5.3); the other
+/// objectives are provided for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Objective {
+    /// Minimize execution cycles.
+    #[default]
+    Latency,
+    /// Minimize total energy.
+    Energy,
+    /// Minimize the energy-delay product.
+    EnergyDelay,
+}
+
+/// Cost of one evaluated tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cost {
+    /// Simulated execution cycles.
+    pub cycles: u64,
+    /// Simulated total energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl Cost {
+    /// Scalar value of this cost under the given objective (lower is better).
+    #[must_use]
+    pub fn scalar(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Latency => self.cycles as f64,
+            Objective::Energy => self.energy_pj,
+            Objective::EnergyDelay => self.energy_pj * self.cycles as f64,
+        }
+    }
+}
+
+/// Evaluates tilings for one `(method, workload, hardware)` triple.
+#[derive(Debug)]
+pub struct CostModel {
+    kind: DataflowKind,
+    workload: AttentionWorkload,
+    hw: HardwareConfig,
+    executor: Executor,
+    objective: Objective,
+    cache: HashMap<Tiling, Option<Cost>>,
+    evaluations: usize,
+}
+
+impl CostModel {
+    /// Creates a cost model with the default energy model.
+    #[must_use]
+    pub fn new(
+        kind: DataflowKind,
+        workload: AttentionWorkload,
+        hw: HardwareConfig,
+        objective: Objective,
+    ) -> Self {
+        let executor = Executor::new(hw.clone(), EnergyModel::edge_16nm()).without_trace();
+        Self {
+            kind,
+            workload,
+            hw,
+            executor,
+            objective,
+            cache: HashMap::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// The method being tuned.
+    #[must_use]
+    pub fn kind(&self) -> DataflowKind {
+        self.kind
+    }
+
+    /// The workload being tuned.
+    #[must_use]
+    pub fn workload(&self) -> &AttentionWorkload {
+        &self.workload
+    }
+
+    /// The hardware configuration used for evaluation.
+    #[must_use]
+    pub fn hardware(&self) -> &HardwareConfig {
+        &self.hw
+    }
+
+    /// The optimization objective.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Number of *simulated* (non-cached) evaluations so far.
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Whether a tiling's working set fits the device L1 for this method.
+    #[must_use]
+    pub fn is_valid(&self, tiling: &Tiling) -> bool {
+        tiling_fits(self.kind, &self.workload, tiling, &self.hw)
+    }
+
+    /// Evaluates a tiling, returning `None` for invalid (L1-overflowing)
+    /// candidates. Results are cached.
+    pub fn evaluate(&mut self, tiling: &Tiling) -> Option<Cost> {
+        if let Some(cached) = self.cache.get(tiling) {
+            return *cached;
+        }
+        let result = if self.is_valid(tiling) {
+            let schedule = build_dataflow(self.kind, &self.workload, tiling, &self.hw).ok()?;
+            let report = self.executor.run(schedule.graph()).ok()?;
+            self.evaluations += 1;
+            Some(Cost {
+                cycles: report.total_cycles,
+                energy_pj: report.total_energy_pj(),
+            })
+        } else {
+            None
+        };
+        self.cache.insert(*tiling, result);
+        result
+    }
+
+    /// Evaluates a tiling and reduces it to the scalar objective value
+    /// (`f64::INFINITY` for invalid candidates).
+    pub fn objective_value(&mut self, tiling: &Tiling) -> f64 {
+        self.evaluate(tiling)
+            .map_or(f64::INFINITY, |c| c.scalar(self.objective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(
+            DataflowKind::MasAttention,
+            AttentionWorkload::new("toy", 1, 2, 128, 64),
+            HardwareConfig::edge_default(),
+            Objective::Latency,
+        )
+    }
+
+    #[test]
+    fn evaluation_is_cached() {
+        let mut m = model();
+        let w = m.workload().clone();
+        let t = Tiling::new(1, 1, 32, 64, &w);
+        let a = m.evaluate(&t).unwrap();
+        let evals = m.evaluations();
+        let b = m.evaluate(&t).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(m.evaluations(), evals, "second evaluation must hit the cache");
+    }
+
+    #[test]
+    fn invalid_tilings_return_none_and_infinite_objective() {
+        let mut m = CostModel::new(
+            DataflowKind::TileFlow,
+            AttentionWorkload::new("long", 1, 1, 65536, 64),
+            HardwareConfig::edge_default(),
+            Objective::Latency,
+        );
+        let w = m.workload().clone();
+        // A full-sequence row block of a 64k-token sequence cannot fit 5 MB.
+        let t = Tiling::new(1, 1, 1024, 1024, &w);
+        assert!(!m.is_valid(&t));
+        assert!(m.evaluate(&t).is_none());
+        assert!(m.objective_value(&t).is_infinite());
+    }
+
+    #[test]
+    fn objectives_order_candidates_differently() {
+        let c = Cost {
+            cycles: 100,
+            energy_pj: 5.0,
+        };
+        assert_eq!(c.scalar(Objective::Latency), 100.0);
+        assert_eq!(c.scalar(Objective::Energy), 5.0);
+        assert_eq!(c.scalar(Objective::EnergyDelay), 500.0);
+    }
+
+    #[test]
+    fn better_tilings_have_lower_latency_than_naive() {
+        let mut m = model();
+        let w = m.workload().clone();
+        let naive = Tiling::naive(&w);
+        let good = Tiling::new(1, 1, 64, 128, &w);
+        let naive_cost = m.objective_value(&naive);
+        let good_cost = m.objective_value(&good);
+        assert!(good_cost < naive_cost, "row-at-a-time tiling must be slower");
+    }
+}

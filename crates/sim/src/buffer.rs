@@ -1,0 +1,309 @@
+//! Shared L1 scratchpad occupancy tracking.
+//!
+//! The dataflow builders use [`L1Buffer`] while *constructing* a schedule to
+//! decide whether the tiles required by a computation round fit on-chip. It
+//! is the mechanism behind the paper's proactive buffer-overwrite strategy
+//! (§4.3): when allocating the softmax output `P_i` would overflow the
+//! scratchpad, the builder asks the buffer which victim allocation (the
+//! on-chip `K` or `V` tile) to overwrite, frees it, and schedules the
+//! corresponding DRAM reload + MatMul redo.
+//!
+//! Allocations are tracked by name with byte sizes; the tracker also records
+//! the high-water mark and every overwrite event so that tests and reports
+//! can audit the strategy.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::error::{Result, SimError};
+
+/// A record of one proactive overwrite event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverwriteEvent {
+    /// Name of the allocation that was overwritten (victim).
+    pub victim: String,
+    /// Name of the allocation that needed the space.
+    pub requester: String,
+    /// Bytes freed by evicting the victim.
+    pub bytes_freed: usize,
+}
+
+/// Tracks named allocations within the shared L1 scratchpad.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct L1Buffer {
+    capacity: usize,
+    allocations: BTreeMap<String, usize>,
+    high_water_mark: usize,
+    overwrites: Vec<OverwriteEvent>,
+}
+
+impl L1Buffer {
+    /// Creates a tracker for a scratchpad of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            allocations: BTreeMap::new(),
+            high_water_mark: 0,
+            overwrites: Vec::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.allocations.values().sum()
+    }
+
+    /// Bytes currently free.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    /// Largest occupancy seen since construction (bytes).
+    #[must_use]
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water_mark
+    }
+
+    /// The overwrite events recorded so far, in order.
+    #[must_use]
+    pub fn overwrites(&self) -> &[OverwriteEvent] {
+        &self.overwrites
+    }
+
+    /// Size of the named allocation, if present.
+    #[must_use]
+    pub fn size_of(&self, name: &str) -> Option<usize> {
+        self.allocations.get(name).copied()
+    }
+
+    /// Whether the named allocation currently resides in L1.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.allocations.contains_key(name)
+    }
+
+    /// Whether an allocation of `bytes` more would fit right now.
+    #[must_use]
+    pub fn fits(&self, bytes: usize) -> bool {
+        self.free() >= bytes
+    }
+
+    /// Allocates `bytes` under `name`. Re-allocating an existing name
+    /// replaces its size (the tile is simply refilled in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BufferOverflow`] if the allocation does not fit.
+    pub fn allocate(&mut self, name: impl Into<String>, bytes: usize) -> Result<()> {
+        let name = name.into();
+        let existing = self.allocations.get(&name).copied().unwrap_or(0);
+        let needed_free = bytes.saturating_sub(existing);
+        if needed_free > self.free() {
+            return Err(SimError::BufferOverflow {
+                allocation: name,
+                requested: bytes,
+                available: self.free() + existing,
+                capacity: self.capacity,
+            });
+        }
+        self.allocations.insert(name, bytes);
+        self.high_water_mark = self.high_water_mark.max(self.used());
+        Ok(())
+    }
+
+    /// Frees the named allocation, returning the bytes released.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownAllocation`] if the name is not allocated.
+    pub fn free_allocation(&mut self, name: &str) -> Result<usize> {
+        self.allocations
+            .remove(name)
+            .ok_or_else(|| SimError::UnknownAllocation {
+                allocation: name.to_string(),
+            })
+    }
+
+    /// Proactively overwrites `victim` to make room for `requester`,
+    /// recording the event (paper §4.3, Figures 2–3). The victim's space is
+    /// freed; the caller is responsible for scheduling the DRAM reload of
+    /// the victim and the redo of any interrupted MatMul.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownAllocation`] if the victim is not resident.
+    pub fn overwrite(&mut self, victim: &str, requester: impl Into<String>) -> Result<usize> {
+        let bytes = self.free_allocation(victim)?;
+        self.overwrites.push(OverwriteEvent {
+            victim: victim.to_string(),
+            requester: requester.into(),
+            bytes_freed: bytes,
+        });
+        Ok(bytes)
+    }
+
+    /// Allocates `bytes` under `name`, evicting victims from
+    /// `victim_priority` (in order) until the allocation fits. Returns the
+    /// list of victims actually evicted.
+    ///
+    /// This is the complete §4.3 policy: the softmax output `P_i` must be
+    /// kept on-chip at all costs (it cannot be refetched), so resident `V`
+    /// or `K` tiles — which *can* be reloaded from DRAM — are sacrificed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BufferOverflow`] if the allocation still does not
+    /// fit after every candidate victim has been evicted.
+    pub fn allocate_with_eviction(
+        &mut self,
+        name: impl Into<String>,
+        bytes: usize,
+        victim_priority: &[&str],
+    ) -> Result<Vec<String>> {
+        let name = name.into();
+        let mut evicted = Vec::new();
+        if self.allocate(name.clone(), bytes).is_ok() {
+            return Ok(evicted);
+        }
+        for victim in victim_priority {
+            if !self.contains(victim) {
+                continue;
+            }
+            self.overwrite(victim, name.clone())?;
+            evicted.push((*victim).to_string());
+            if self.fits(bytes.saturating_sub(self.size_of(&name).unwrap_or(0))) {
+                break;
+            }
+        }
+        self.allocate(name, bytes)?;
+        Ok(evicted)
+    }
+
+    /// Removes every allocation (end of a computation round / workload).
+    pub fn clear(&mut self) {
+        self.allocations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_track_usage() {
+        let mut b = L1Buffer::new(1000);
+        b.allocate("Q_i", 400).unwrap();
+        b.allocate("K_j", 300).unwrap();
+        assert_eq!(b.used(), 700);
+        assert_eq!(b.free(), 300);
+        assert_eq!(b.high_water_mark(), 700);
+        assert_eq!(b.free_allocation("Q_i").unwrap(), 400);
+        assert_eq!(b.used(), 300);
+        // High-water mark does not decrease.
+        assert_eq!(b.high_water_mark(), 700);
+    }
+
+    #[test]
+    fn reallocation_replaces_size() {
+        let mut b = L1Buffer::new(1000);
+        b.allocate("C_i", 600).unwrap();
+        b.allocate("C_i", 200).unwrap();
+        assert_eq!(b.used(), 200);
+        assert_eq!(b.size_of("C_i"), Some(200));
+    }
+
+    #[test]
+    fn overflow_is_reported_with_details() {
+        let mut b = L1Buffer::new(512);
+        b.allocate("V_j", 512).unwrap();
+        let err = b.allocate("P_i", 1).unwrap_err();
+        match err {
+            SimError::BufferOverflow {
+                allocation,
+                requested,
+                available,
+                capacity,
+            } => {
+                assert_eq!(allocation, "P_i");
+                assert_eq!(requested, 1);
+                assert_eq!(available, 0);
+                assert_eq!(capacity, 512);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_allocation_errors() {
+        let mut b = L1Buffer::new(100);
+        assert!(matches!(
+            b.free_allocation("missing"),
+            Err(SimError::UnknownAllocation { .. })
+        ));
+        assert!(b.overwrite("missing", "P_i").is_err());
+    }
+
+    #[test]
+    fn overwrite_records_event() {
+        let mut b = L1Buffer::new(1000);
+        b.allocate("V", 600).unwrap();
+        let freed = b.overwrite("V", "P_i").unwrap();
+        assert_eq!(freed, 600);
+        assert_eq!(b.overwrites().len(), 1);
+        assert_eq!(b.overwrites()[0].victim, "V");
+        assert_eq!(b.overwrites()[0].requester, "P_i");
+        assert!(!b.contains("V"));
+    }
+
+    #[test]
+    fn allocate_with_eviction_prefers_earlier_victims() {
+        let mut b = L1Buffer::new(1000);
+        b.allocate("K", 400).unwrap();
+        b.allocate("V", 400).unwrap();
+        // 300 bytes needed, only 200 free: evict V first (priority order).
+        let evicted = b
+            .allocate_with_eviction("P_i", 300, &["V", "K"])
+            .unwrap();
+        assert_eq!(evicted, vec!["V".to_string()]);
+        assert!(b.contains("K"));
+        assert!(b.contains("P_i"));
+    }
+
+    #[test]
+    fn allocate_with_eviction_fails_when_nothing_helps() {
+        let mut b = L1Buffer::new(100);
+        b.allocate("K", 50).unwrap();
+        let err = b.allocate_with_eviction("P_i", 400, &["K"]).unwrap_err();
+        assert!(matches!(err, SimError::BufferOverflow { .. }));
+    }
+
+    #[test]
+    fn allocate_with_eviction_without_pressure_evicts_nothing() {
+        let mut b = L1Buffer::new(1000);
+        b.allocate("K", 100).unwrap();
+        let evicted = b.allocate_with_eviction("P_i", 100, &["K"]).unwrap();
+        assert!(evicted.is_empty());
+        assert!(b.contains("K"));
+    }
+
+    #[test]
+    fn clear_resets_allocations_but_not_history() {
+        let mut b = L1Buffer::new(1000);
+        b.allocate("K", 100).unwrap();
+        b.overwrite("K", "P").unwrap();
+        b.allocate("V", 100).unwrap();
+        b.clear();
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.overwrites().len(), 1);
+        assert_eq!(b.high_water_mark(), 100);
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types for the accelerator simulator.
+
+use std::fmt;
+
+use crate::task::{Resource, TaskId};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors produced by graph construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A task depends on a task id that has not been added to the graph.
+    UnknownDependency {
+        /// The task whose dependency is unknown.
+        task: TaskId,
+        /// The missing dependency id.
+        dependency: TaskId,
+    },
+    /// The task graph contains a cycle and cannot be scheduled.
+    CyclicGraph {
+        /// Number of tasks that could not be scheduled when progress stopped.
+        unscheduled: usize,
+    },
+    /// A task references a resource that does not exist on the configured
+    /// hardware (e.g. core index out of range).
+    UnknownResource {
+        /// The offending resource.
+        resource: Resource,
+        /// Number of cores on the configured device.
+        cores: usize,
+    },
+    /// A hardware configuration parameter is invalid (zero cores, zero
+    /// bandwidth, ...).
+    InvalidConfig {
+        /// Description of the invalid parameter.
+        reason: String,
+    },
+    /// An on-chip buffer request exceeded the total L1 capacity.
+    BufferOverflow {
+        /// Name of the allocation that failed.
+        allocation: String,
+        /// Requested size in bytes.
+        requested: usize,
+        /// Free bytes at the time of the request.
+        available: usize,
+        /// Total L1 capacity in bytes.
+        capacity: usize,
+    },
+    /// An operation referenced a buffer allocation that does not exist.
+    UnknownAllocation {
+        /// Name of the missing allocation.
+        allocation: String,
+    },
+    /// The simulation produced an empty schedule (no tasks).
+    EmptyGraph,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownDependency { task, dependency } => write!(
+                f,
+                "task {task} depends on unknown task {dependency}"
+            ),
+            SimError::CyclicGraph { unscheduled } => write!(
+                f,
+                "task graph contains a dependency cycle ({unscheduled} tasks left unscheduled)"
+            ),
+            SimError::UnknownResource { resource, cores } => write!(
+                f,
+                "task requires resource {resource} but the device has only {cores} cores"
+            ),
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid hardware configuration: {reason}")
+            }
+            SimError::BufferOverflow {
+                allocation,
+                requested,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "on-chip buffer overflow allocating `{allocation}`: requested {requested} B, {available} B free of {capacity} B"
+            ),
+            SimError::UnknownAllocation { allocation } => {
+                write!(f, "unknown on-chip allocation `{allocation}`")
+            }
+            SimError::EmptyGraph => write!(f, "task graph is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::BufferOverflow {
+            allocation: "P_i".to_string(),
+            requested: 4096,
+            available: 1024,
+            capacity: 8192,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("P_i"));
+        assert!(msg.contains("4096"));
+        assert!(msg.contains("1024"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

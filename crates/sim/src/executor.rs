@@ -1,0 +1,475 @@
+//! Event-driven list-scheduling executor.
+//!
+//! The executor assigns each task of a [`TaskGraph`] to its required
+//! [`Resource`] as soon as (a) every dependency has finished and (b) the
+//! resource is idle, breaking ties by program order (insertion order). This
+//! mirrors how the paper's dataflows are issued on the device: each compute
+//! unit processes its stream of tiled tasks in order, and the semi-synchronous
+//! dependencies between the MAC and VEC streams are expressed as edges in the
+//! graph.
+//!
+//! The result is a [`SimReport`] containing the makespan, energy breakdown,
+//! DRAM traffic, per-resource busy time and MAC/VEC overlap.
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+
+use crate::config::HardwareConfig;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::error::{Result, SimError};
+use crate::graph::TaskGraph;
+use crate::report::SimReport;
+use crate::task::{Resource, TaskId};
+use crate::timing::TimingModel;
+use crate::trace::{Trace, TraceEntry};
+
+/// Simulates task graphs on a configured device.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    timing: TimingModel,
+    energy: EnergyModel,
+    record_trace: bool,
+}
+
+impl Executor {
+    /// Creates an executor for the given hardware and energy model.
+    #[must_use]
+    pub fn new(hw: HardwareConfig, energy: EnergyModel) -> Self {
+        Self {
+            timing: TimingModel::new(hw),
+            energy,
+            record_trace: true,
+        }
+    }
+
+    /// Creates an executor with the default edge device and energy model.
+    #[must_use]
+    pub fn edge_default() -> Self {
+        Self::new(HardwareConfig::edge_default(), EnergyModel::edge_16nm())
+    }
+
+    /// Disables trace recording (saves memory for very large sweeps).
+    #[must_use]
+    pub fn without_trace(mut self) -> Self {
+        self.record_trace = false;
+        self
+    }
+
+    /// The hardware configuration used by this executor.
+    #[must_use]
+    pub fn hardware(&self) -> &HardwareConfig {
+        self.timing.hardware()
+    }
+
+    /// The timing model used by this executor.
+    #[must_use]
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Runs a task graph to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyGraph`] for an empty graph, graph validation
+    /// errors ([`SimError::UnknownDependency`], [`SimError::CyclicGraph`]),
+    /// [`SimError::UnknownResource`] if a task names a core the device does
+    /// not have, or [`SimError::InvalidConfig`] for a bad configuration.
+    pub fn run(&self, graph: &TaskGraph) -> Result<SimReport> {
+        let hw = self.timing.hardware();
+        hw.validate()?;
+        if graph.is_empty() {
+            return Err(SimError::EmptyGraph);
+        }
+        graph.validate()?;
+        for task in graph.iter() {
+            if let Some(core) = task.resource.core() {
+                if core >= hw.cores {
+                    return Err(SimError::UnknownResource {
+                        resource: task.resource,
+                        cores: hw.cores,
+                    });
+                }
+            }
+        }
+
+        let n = graph.len();
+        let mut remaining_deps = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for task in graph.iter() {
+            remaining_deps[task.id.index()] = task.deps.len();
+            for dep in &task.deps {
+                dependents[dep.index()].push(task.id.index());
+            }
+        }
+
+        // Scheduling priority. Compute units issue their stream in program
+        // order (the order the dataflow intends). DMA channels are
+        // demand-driven: transfers whose consumer comes earliest in program
+        // order are served first, which models double-buffered prefetching
+        // that follows the compute streams instead of blindly following the
+        // order requests were queued.
+        let mut priority = vec![0usize; n];
+        for task in graph.iter() {
+            let i = task.id.index();
+            priority[i] = match task.resource {
+                Resource::DmaIn | Resource::DmaOut => dependents[i]
+                    .iter()
+                    .copied()
+                    .min()
+                    .unwrap_or(usize::MAX - n + i),
+                _ => i,
+            };
+        }
+
+        // Ready queues per resource, ordered by (priority, program order).
+        let mut ready: HashMap<Resource, VecDeque<usize>> = HashMap::new();
+        for task in graph.iter() {
+            ready.entry(task.resource).or_default();
+        }
+        let enqueue = |queue: &mut VecDeque<usize>, priority: &[usize], index: usize| {
+            let key = (priority[index], index);
+            let pos = queue
+                .iter()
+                .position(|&other| (priority[other], other) > key)
+                .unwrap_or(queue.len());
+            queue.insert(pos, index);
+        };
+        // Seed initially-ready tasks.
+        for task in graph.iter() {
+            if remaining_deps[task.id.index()] == 0 {
+                let queue = ready
+                    .get_mut(&task.resource)
+                    .expect("queue exists for every resource");
+                enqueue(queue, &priority, task.id.index());
+            }
+        }
+
+        // Min-heap of running tasks by end cycle (reverse ordering on a max-heap).
+        #[derive(PartialEq, Eq)]
+        struct Running {
+            end: u64,
+            index: usize,
+        }
+        impl Ord for Running {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .end
+                    .cmp(&self.end)
+                    .then(other.index.cmp(&self.index))
+            }
+        }
+        impl PartialOrd for Running {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut running: BinaryHeap<Running> = BinaryHeap::new();
+        let mut resource_busy_until: HashMap<Resource, u64> = HashMap::new();
+        let mut busy_cycles: BTreeMap<String, u64> = BTreeMap::new();
+        let mut trace = Trace::new();
+        let mut energy = EnergyBreakdown::zero();
+        let mut completed = 0usize;
+        let mut now: u64 = 0;
+        let mut mac_intervals: Vec<(u64, u64)> = Vec::new();
+        let mut vec_intervals: Vec<(u64, u64)> = Vec::new();
+
+        while completed < n {
+            // Start every task that can start at the current time.
+            let mut started_any = true;
+            while started_any {
+                started_any = false;
+                // Iterate resources deterministically (sorted by display name).
+                let mut resources: Vec<Resource> = ready.keys().copied().collect();
+                resources.sort_by_key(|r| r.to_string());
+                for resource in resources {
+                    let busy_until = resource_busy_until.get(&resource).copied().unwrap_or(0);
+                    if busy_until > now {
+                        continue;
+                    }
+                    let queue = ready.get_mut(&resource).expect("resource queue exists");
+                    if let Some(&index) = queue.front() {
+                        queue.pop_front();
+                        let task = graph.get(TaskId(index)).expect("task exists");
+                        let duration = self.timing.task_cycles(&task.kind);
+                        let start = now;
+                        let end = start + duration;
+                        resource_busy_until.insert(resource, end);
+                        running.push(Running { end, index });
+                        *busy_cycles.entry(resource.to_string()).or_insert(0) += duration;
+                        energy.accumulate(&self.energy.task_energy(
+                            &task.kind,
+                            hw.element_bytes,
+                            hw.softmax_ops_per_element,
+                        ));
+                        if duration > 0 {
+                            match resource {
+                                Resource::Mac { .. } => mac_intervals.push((start, end)),
+                                Resource::Vec { .. } => vec_intervals.push((start, end)),
+                                _ => {}
+                            }
+                        }
+                        if self.record_trace {
+                            trace.push(TraceEntry {
+                                task: task.id,
+                                label: task.label.clone(),
+                                resource,
+                                start_cycle: start,
+                                end_cycle: end,
+                            });
+                        }
+                        started_any = true;
+                    }
+                }
+            }
+
+            // Advance time to the next completion.
+            match running.pop() {
+                Some(first) => {
+                    now = now.max(first.end);
+                    let mut finished = vec![first.index];
+                    while let Some(next) = running.peek() {
+                        if next.end <= now {
+                            finished.push(running.pop().expect("peeked element exists").index);
+                        } else {
+                            break;
+                        }
+                    }
+                    for index in finished {
+                        completed += 1;
+                        for &dep_index in &dependents[index] {
+                            remaining_deps[dep_index] -= 1;
+                            if remaining_deps[dep_index] == 0 {
+                                let task = graph.get(TaskId(dep_index)).expect("task exists");
+                                let queue = ready
+                                    .get_mut(&task.resource)
+                                    .expect("resource queue exists");
+                                enqueue(queue, &priority, dep_index);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // No running tasks and nothing could start: the graph was
+                    // validated acyclic, so this indicates an internal error.
+                    return Err(SimError::CyclicGraph {
+                        unscheduled: n - completed,
+                    });
+                }
+            }
+        }
+
+        let total_cycles = resource_busy_until.values().copied().max().unwrap_or(0);
+        let overlap = interval_overlap(&mut mac_intervals, &mut vec_intervals);
+
+        Ok(SimReport {
+            total_cycles,
+            total_seconds: hw.cycles_to_seconds(total_cycles),
+            energy,
+            dram_read_bytes: graph.dram_read_bytes(),
+            dram_write_bytes: graph.dram_write_bytes(),
+            mac_ops: graph.total_mac_ops(),
+            vec_ops: graph.total_vec_ops(hw.softmax_ops_per_element),
+            busy_cycles,
+            tasks_executed: n,
+            mac_vec_overlap_cycles: overlap,
+            trace: if self.record_trace { Some(trace) } else { None },
+        })
+    }
+}
+
+/// Computes the number of cycles covered by both interval sets (union of set A
+/// intersected with union of set B).
+fn interval_overlap(a: &mut Vec<(u64, u64)>, b: &mut Vec<(u64, u64)>) -> u64 {
+    let merged_a = merge_intervals(a);
+    let merged_b = merge_intervals(b);
+    let mut i = 0;
+    let mut j = 0;
+    let mut total = 0u64;
+    while i < merged_a.len() && j < merged_b.len() {
+        let (sa, ea) = merged_a[i];
+        let (sb, eb) = merged_b[j];
+        let start = sa.max(sb);
+        let end = ea.min(eb);
+        if end > start {
+            total += end - start;
+        }
+        if ea < eb {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+fn merge_intervals(v: &mut Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+    for &(s, e) in v.iter() {
+        if let Some(last) = out.last_mut() {
+            if s <= last.1 {
+                last.1 = last.1.max(e);
+                continue;
+            }
+        }
+        out.push((s, e));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+
+    fn executor() -> Executor {
+        Executor::new(HardwareConfig::edge_default(), EnergyModel::edge_16nm())
+    }
+
+    #[test]
+    fn empty_graph_is_an_error() {
+        let g = TaskGraph::new();
+        assert!(matches!(executor().run(&g), Err(SimError::EmptyGraph)));
+    }
+
+    #[test]
+    fn single_task_makespan_matches_timing_model() {
+        let mut g = TaskGraph::new();
+        let kind = TaskKind::MatMul { m: 64, k: 64, n: 64 };
+        g.add_task("mm", Resource::Mac { core: 0 }, kind, &[]);
+        let exec = executor();
+        let report = exec.run(&g).unwrap();
+        assert_eq!(report.total_cycles, exec.timing().task_cycles(&kind));
+        assert_eq!(report.tasks_executed, 1);
+        assert!(report.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_different_resources_overlap() {
+        let mut g = TaskGraph::new();
+        let mm = TaskKind::MatMul { m: 64, k: 512, n: 64 };
+        let sm = TaskKind::Softmax { rows: 64, cols: 512 };
+        g.add_task("mm", Resource::Mac { core: 0 }, mm, &[]);
+        g.add_task("sm", Resource::Vec { core: 0 }, sm, &[]);
+        let exec = executor();
+        let report = exec.run(&g).unwrap();
+        let mm_cycles = exec.timing().task_cycles(&mm);
+        let sm_cycles = exec.timing().task_cycles(&sm);
+        assert_eq!(report.total_cycles, mm_cycles.max(sm_cycles));
+        assert_eq!(report.mac_vec_overlap_cycles, mm_cycles.min(sm_cycles));
+    }
+
+    #[test]
+    fn dependent_tasks_serialize() {
+        let mut g = TaskGraph::new();
+        let mm = TaskKind::MatMul { m: 64, k: 512, n: 64 };
+        let sm = TaskKind::Softmax { rows: 64, cols: 512 };
+        let a = g.add_task("mm", Resource::Mac { core: 0 }, mm, &[]);
+        g.add_task("sm", Resource::Vec { core: 0 }, sm, &[a]);
+        let exec = executor();
+        let report = exec.run(&g).unwrap();
+        let expected = exec.timing().task_cycles(&mm) + exec.timing().task_cycles(&sm);
+        assert_eq!(report.total_cycles, expected);
+        assert_eq!(report.mac_vec_overlap_cycles, 0);
+    }
+
+    #[test]
+    fn same_resource_tasks_serialize_even_without_deps() {
+        let mut g = TaskGraph::new();
+        let mm = TaskKind::MatMul { m: 64, k: 64, n: 64 };
+        g.add_task("a", Resource::Mac { core: 0 }, mm, &[]);
+        g.add_task("b", Resource::Mac { core: 0 }, mm, &[]);
+        let exec = executor();
+        let report = exec.run(&g).unwrap();
+        assert_eq!(report.total_cycles, 2 * exec.timing().task_cycles(&mm));
+    }
+
+    #[test]
+    fn two_cores_double_throughput() {
+        let mm = TaskKind::MatMul { m: 64, k: 64, n: 64 };
+        let mut one_core = TaskGraph::new();
+        one_core.add_task("a", Resource::Mac { core: 0 }, mm, &[]);
+        one_core.add_task("b", Resource::Mac { core: 0 }, mm, &[]);
+        let mut two_cores = TaskGraph::new();
+        two_cores.add_task("a", Resource::Mac { core: 0 }, mm, &[]);
+        two_cores.add_task("b", Resource::Mac { core: 1 }, mm, &[]);
+        let exec = executor();
+        let serial = exec.run(&one_core).unwrap();
+        let parallel = exec.run(&two_cores).unwrap();
+        assert_eq!(serial.total_cycles, 2 * parallel.total_cycles);
+    }
+
+    #[test]
+    fn unknown_core_is_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            "mm",
+            Resource::Mac { core: 9 },
+            TaskKind::MatMul { m: 1, k: 1, n: 1 },
+            &[],
+        );
+        assert!(matches!(
+            executor().run(&g),
+            Err(SimError::UnknownResource { .. })
+        ));
+    }
+
+    #[test]
+    fn dram_traffic_and_energy_are_reported() {
+        let mut g = TaskGraph::new();
+        let ld = g.add_task("ld", Resource::DmaIn, TaskKind::DramLoad { bytes: 4096 }, &[]);
+        let mm = g.add_task(
+            "mm",
+            Resource::Mac { core: 0 },
+            TaskKind::MatMul { m: 16, k: 16, n: 16 },
+            &[ld],
+        );
+        g.add_task("st", Resource::DmaOut, TaskKind::DramStore { bytes: 512 }, &[mm]);
+        let report = executor().run(&g).unwrap();
+        assert_eq!(report.dram_read_bytes, 4096);
+        assert_eq!(report.dram_write_bytes, 512);
+        assert!(report.energy.dram_pj > 0.0);
+        assert!(report.energy.mac_pe_pj > 0.0);
+        assert_eq!(report.mac_ops, 16 * 16 * 16);
+    }
+
+    #[test]
+    fn trace_can_be_disabled() {
+        let mut g = TaskGraph::new();
+        g.add_task(
+            "mm",
+            Resource::Mac { core: 0 },
+            TaskKind::MatMul { m: 4, k: 4, n: 4 },
+            &[],
+        );
+        let with = executor().run(&g).unwrap();
+        let without = executor().without_trace().run(&g).unwrap();
+        assert!(with.trace.is_some());
+        assert!(without.trace.is_none());
+        assert_eq!(with.total_cycles, without.total_cycles);
+    }
+
+    #[test]
+    fn program_order_breaks_ties_on_a_resource() {
+        let mut g = TaskGraph::new();
+        let mm = TaskKind::MatMul { m: 16, k: 16, n: 16 };
+        g.add_task("first", Resource::Mac { core: 0 }, mm, &[]);
+        g.add_task("second", Resource::Mac { core: 0 }, mm, &[]);
+        let report = executor().run(&g).unwrap();
+        let trace = report.trace.unwrap();
+        let entries = trace.on_resource(Resource::Mac { core: 0 });
+        assert_eq!(entries[0].label, "first");
+        assert_eq!(entries[1].label, "second");
+    }
+
+    #[test]
+    fn interval_overlap_helper() {
+        let mut a = vec![(0u64, 10u64), (20, 30)];
+        let mut b = vec![(5u64, 25u64)];
+        assert_eq!(interval_overlap(&mut a, &mut b), 10);
+        let mut c = vec![(0u64, 5u64), (3, 8)];
+        let mut d = vec![(0u64, 8u64)];
+        assert_eq!(interval_overlap(&mut c, &mut d), 8);
+    }
+}

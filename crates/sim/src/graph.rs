@@ -1,0 +1,261 @@
+//! Dependency graphs of tasks.
+//!
+//! A [`TaskGraph`] is an append-only DAG: tasks are added in program order
+//! with explicit dependency edges, the way the dataflow builders in
+//! `mas-dataflow` lower Algorithm 1's rounds into MAC-stream and VEC-stream
+//! work items. The executor schedules a graph without mutating it, so one
+//! graph can be simulated under several hardware configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SimError};
+use crate::task::{Resource, Task, TaskId, TaskKind};
+
+/// An append-only directed acyclic graph of [`Task`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task and returns its id.
+    ///
+    /// Dependencies on ids not yet in the graph are allowed at insertion time
+    /// (they are validated by [`TaskGraph::validate`] and by the executor),
+    /// but by construction the dataflow builders only reference earlier
+    /// tasks, which also guarantees acyclicity.
+    pub fn add_task(
+        &mut self,
+        label: impl Into<String>,
+        resource: Resource,
+        kind: TaskKind,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            id,
+            label: label.into(),
+            resource,
+            kind,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Number of tasks in the graph.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over tasks in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// Returns the task with the given id, if present.
+    #[must_use]
+    pub fn get(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(id.0)
+    }
+
+    /// Total bytes read from DRAM across all tasks.
+    #[must_use]
+    pub fn dram_read_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.kind.dram_read_bytes()).sum()
+    }
+
+    /// Total bytes written to DRAM across all tasks.
+    #[must_use]
+    pub fn dram_write_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.kind.dram_write_bytes()).sum()
+    }
+
+    /// Total multiply-accumulate operations across all tasks.
+    #[must_use]
+    pub fn total_mac_ops(&self) -> u64 {
+        self.tasks.iter().map(|t| t.kind.mac_ops()).sum()
+    }
+
+    /// Total VEC-lane operations across all tasks for a given softmax cost.
+    #[must_use]
+    pub fn total_vec_ops(&self, softmax_ops_per_element: usize) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| t.kind.vec_ops(softmax_ops_per_element))
+            .sum()
+    }
+
+    /// Validates that every dependency refers to an existing task and that
+    /// the graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownDependency`] or [`SimError::CyclicGraph`].
+    pub fn validate(&self) -> Result<()> {
+        for task in &self.tasks {
+            for dep in &task.deps {
+                if dep.0 >= self.tasks.len() {
+                    return Err(SimError::UnknownDependency {
+                        task: task.id,
+                        dependency: *dep,
+                    });
+                }
+            }
+        }
+        // Kahn's algorithm to detect cycles.
+        let n = self.tasks.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for task in &self.tasks {
+            for dep in &task.deps {
+                indegree[task.id.0] += 1;
+                dependents[dep.0].push(task.id.0);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for &d in &dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if visited != n {
+            return Err(SimError::CyclicGraph {
+                unscheduled: n - visited,
+            });
+        }
+        Ok(())
+    }
+
+    /// The length (in tasks) of the longest dependency chain. Barrier tasks
+    /// count like any other node; this is a structural measure used by tests,
+    /// not a timing quantity.
+    #[must_use]
+    pub fn critical_path_len(&self) -> usize {
+        let n = self.tasks.len();
+        let mut depth = vec![0usize; n];
+        for task in &self.tasks {
+            let d = task
+                .deps
+                .iter()
+                .filter_map(|dep| depth.get(dep.0))
+                .copied()
+                .max()
+                .unwrap_or(0);
+            depth[task.id.0] = d + 1;
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskGraph {
+    type Item = &'a Task;
+    type IntoIter = std::slice::Iter<'a, Task>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm(m: usize) -> TaskKind {
+        TaskKind::MatMul { m, k: 4, n: 4 }
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.critical_path_len(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn add_and_lookup_tasks() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", Resource::Mac { core: 0 }, mm(4), &[]);
+        let b = g.add_task("b", Resource::Vec { core: 0 }, TaskKind::Barrier, &[a]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(a).unwrap().label, "a");
+        assert_eq!(g.get(b).unwrap().deps, vec![a]);
+        assert!(g.get(TaskId(5)).is_none());
+    }
+
+    #[test]
+    fn traffic_and_op_totals() {
+        let mut g = TaskGraph::new();
+        g.add_task("ld", Resource::DmaIn, TaskKind::DramLoad { bytes: 100 }, &[]);
+        g.add_task("st", Resource::DmaOut, TaskKind::DramStore { bytes: 40 }, &[]);
+        g.add_task("mm", Resource::Mac { core: 0 }, mm(2), &[]);
+        g.add_task(
+            "sm",
+            Resource::Vec { core: 0 },
+            TaskKind::Softmax { rows: 2, cols: 4 },
+            &[],
+        );
+        assert_eq!(g.dram_read_bytes(), 100);
+        assert_eq!(g.dram_write_bytes(), 40);
+        assert_eq!(g.total_mac_ops(), 2 * 4 * 4);
+        assert_eq!(g.total_vec_ops(10), 80);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_dependency() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", Resource::Mac { core: 0 }, mm(1), &[TaskId(7)]);
+        assert!(matches!(
+            g.validate(),
+            Err(SimError::UnknownDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_cycles() {
+        // Construct a cycle by hand: task 0 depends on task 1, task 1 on task 0.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", Resource::Mac { core: 0 }, mm(1), &[TaskId(1)]);
+        let _b = g.add_task("b", Resource::Mac { core: 0 }, mm(1), &[a]);
+        assert!(matches!(g.validate(), Err(SimError::CyclicGraph { .. })));
+    }
+
+    #[test]
+    fn critical_path_counts_longest_chain() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", Resource::Mac { core: 0 }, mm(1), &[]);
+        let b = g.add_task("b", Resource::Mac { core: 0 }, mm(1), &[a]);
+        let _c = g.add_task("c", Resource::Mac { core: 0 }, mm(1), &[b]);
+        let _d = g.add_task("d", Resource::Vec { core: 0 }, TaskKind::Barrier, &[a]);
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut g = TaskGraph::new();
+        for i in 0..5 {
+            g.add_task(format!("t{i}"), Resource::Mac { core: 0 }, mm(1), &[]);
+        }
+        let labels: Vec<_> = g.iter().map(|t| t.label.clone()).collect();
+        assert_eq!(labels, vec!["t0", "t1", "t2", "t3", "t4"]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Tasks: the unit of work scheduled by the simulator.
+//!
+//! A task occupies exactly one [`Resource`] (a core's MAC unit, a core's VEC
+//! unit, or a DMA channel) for a duration determined by the timing model, and
+//! contributes energy determined by the energy model. Dataflow builders in
+//! `mas-dataflow` translate Algorithms 1–4 of the paper (and each baseline's
+//! schedule) into streams of tasks with dependencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task within a [`crate::graph::TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// The task's index in insertion order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A hardware resource that executes tasks serially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// The MAC (matrix multiply-accumulate) unit of one core.
+    Mac {
+        /// Core index, `0..cores`.
+        core: usize,
+    },
+    /// The VEC (element-wise / vector) unit of one core.
+    Vec {
+        /// Core index, `0..cores`.
+        core: usize,
+    },
+    /// The inbound DMA channel (DRAM → L1).
+    DmaIn,
+    /// The outbound DMA channel (L1 → DRAM).
+    DmaOut,
+}
+
+impl Resource {
+    /// Whether this resource is a compute unit (MAC or VEC) rather than a DMA
+    /// channel.
+    #[must_use]
+    pub fn is_compute(&self) -> bool {
+        matches!(self, Resource::Mac { .. } | Resource::Vec { .. })
+    }
+
+    /// The core index for compute resources, `None` for DMA channels.
+    #[must_use]
+    pub fn core(&self) -> Option<usize> {
+        match self {
+            Resource::Mac { core } | Resource::Vec { core } => Some(*core),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Mac { core } => write!(f, "MAC{core}"),
+            Resource::Vec { core } => write!(f, "VEC{core}"),
+            Resource::DmaIn => write!(f, "DMA-in"),
+            Resource::DmaOut => write!(f, "DMA-out"),
+        }
+    }
+}
+
+/// The kind of work a task performs; drives both timing and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A tiled matrix multiplication `[m × k] · [k × n]` executed on a MAC
+    /// unit (`m·k·n` multiply-accumulates).
+    MatMul {
+        /// Output rows.
+        m: usize,
+        /// Contracted dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// Row-wise softmax over a `rows × cols` tile executed on a VEC unit.
+    Softmax {
+        /// Number of rows.
+        rows: usize,
+        /// Row length.
+        cols: usize,
+    },
+    /// A generic element-wise pass over `elements` values, `passes` times
+    /// (used for FuseMax's extra online-softmax correction passes and other
+    /// vector workloads such as rescaling).
+    VecOp {
+        /// Number of elements touched per pass.
+        elements: usize,
+        /// Number of passes over the elements.
+        passes: usize,
+    },
+    /// DRAM → L1 transfer of `bytes` bytes on the inbound DMA channel.
+    DramLoad {
+        /// Transfer size in bytes.
+        bytes: usize,
+    },
+    /// L1 → DRAM transfer of `bytes` bytes on the outbound DMA channel.
+    DramStore {
+        /// Transfer size in bytes.
+        bytes: usize,
+    },
+    /// A zero-duration synchronization point (used to express the
+    /// semi-synchronous round barriers of Algorithm 1).
+    Barrier,
+}
+
+impl TaskKind {
+    /// Multiply-accumulate operations performed by this task.
+    #[must_use]
+    pub fn mac_ops(&self) -> u64 {
+        match self {
+            TaskKind::MatMul { m, k, n } => (*m as u64) * (*k as u64) * (*n as u64),
+            _ => 0,
+        }
+    }
+
+    /// VEC-lane operations performed by this task, given the configured
+    /// per-element softmax cost.
+    #[must_use]
+    pub fn vec_ops(&self, softmax_ops_per_element: usize) -> u64 {
+        match self {
+            TaskKind::Softmax { rows, cols } => {
+                (*rows as u64) * (*cols as u64) * softmax_ops_per_element as u64
+            }
+            TaskKind::VecOp { elements, passes } => (*elements as u64) * (*passes as u64),
+            _ => 0,
+        }
+    }
+
+    /// Bytes read from DRAM by this task.
+    #[must_use]
+    pub fn dram_read_bytes(&self) -> u64 {
+        match self {
+            TaskKind::DramLoad { bytes } => *bytes as u64,
+            _ => 0,
+        }
+    }
+
+    /// Bytes written to DRAM by this task.
+    #[must_use]
+    pub fn dram_write_bytes(&self) -> u64 {
+        match self {
+            TaskKind::DramStore { bytes } => *bytes as u64,
+            _ => 0,
+        }
+    }
+
+    /// Whether this is a compute kind (must run on a MAC or VEC resource).
+    #[must_use]
+    pub fn is_compute(&self) -> bool {
+        matches!(
+            self,
+            TaskKind::MatMul { .. } | TaskKind::Softmax { .. } | TaskKind::VecOp { .. }
+        )
+    }
+}
+
+/// A node of the task graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    /// Identifier (index in insertion order).
+    pub id: TaskId,
+    /// Human-readable label, e.g. `"C_3 = Q_3 K^T (round 3)"`.
+    pub label: String,
+    /// The resource this task occupies.
+    pub resource: Resource,
+    /// What the task does.
+    pub kind: TaskKind,
+    /// Tasks that must complete before this one starts.
+    pub deps: Vec<TaskId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_op_counts() {
+        let k = TaskKind::MatMul { m: 4, k: 8, n: 2 };
+        assert_eq!(k.mac_ops(), 64);
+        assert_eq!(k.vec_ops(64), 0);
+        assert_eq!(k.dram_read_bytes(), 0);
+        assert!(k.is_compute());
+    }
+
+    #[test]
+    fn softmax_op_counts_scale_with_configured_cost() {
+        let k = TaskKind::Softmax { rows: 2, cols: 8 };
+        assert_eq!(k.vec_ops(10), 160);
+        assert_eq!(k.vec_ops(64), 1024);
+        assert_eq!(k.mac_ops(), 0);
+    }
+
+    #[test]
+    fn vecop_counts_passes() {
+        let k = TaskKind::VecOp {
+            elements: 100,
+            passes: 3,
+        };
+        assert_eq!(k.vec_ops(64), 300);
+    }
+
+    #[test]
+    fn dma_kinds_report_traffic() {
+        assert_eq!(TaskKind::DramLoad { bytes: 123 }.dram_read_bytes(), 123);
+        assert_eq!(TaskKind::DramStore { bytes: 77 }.dram_write_bytes(), 77);
+        assert!(!TaskKind::DramLoad { bytes: 1 }.is_compute());
+        assert_eq!(TaskKind::Barrier.mac_ops(), 0);
+    }
+
+    #[test]
+    fn resource_properties() {
+        assert!(Resource::Mac { core: 0 }.is_compute());
+        assert!(Resource::Vec { core: 1 }.is_compute());
+        assert!(!Resource::DmaIn.is_compute());
+        assert_eq!(Resource::Mac { core: 1 }.core(), Some(1));
+        assert_eq!(Resource::DmaOut.core(), None);
+        assert_eq!(format!("{}", Resource::Mac { core: 0 }), "MAC0");
+        assert_eq!(format!("{}", Resource::DmaIn), "DMA-in");
+    }
+
+    #[test]
+    fn task_id_display_and_index() {
+        let id = TaskId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "#42");
+    }
+}

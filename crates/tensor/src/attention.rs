@@ -1,0 +1,154 @@
+//! Reference (unfused) exact attention.
+//!
+//! This is the "Layer-Wise" computation of the paper's Eq. 1–3 with the whole
+//! intermediate matrices materialized:
+//!
+//! ```text
+//! C = Q Kᵀ          (B × H × N × N)
+//! P = softmax(C)    (row-wise)
+//! O = P V           (B × H × N × E)
+//! ```
+//!
+//! Every tiled dataflow in [`crate::tiled`] is checked against this function —
+//! the "golden data check" of §5.1.
+
+use crate::error::{Result, TensorError};
+use crate::matmul::{matmul_nn, matmul_nt, scale};
+use crate::softmax::softmax_rows;
+use crate::tensor::Tensor;
+
+/// Computes exact attention output `O = softmax(Q Kᵀ) · V`.
+///
+/// `q`, `k`, `v` must all have the same `B × H × N × E` shape. No logit
+/// scaling is applied (the paper's formulation, Eq. 1–3, omits the
+/// `1/sqrt(E)` factor; use [`reference_attention_scaled`] when a scaled
+/// variant is wanted).
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if the operand shapes are inconsistent.
+pub fn reference_attention(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
+    check_same_shape(q, k, "reference_attention(q, k)")?;
+    check_same_shape(k, v, "reference_attention(k, v)")?;
+    let c = matmul_nt(q, k)?;
+    let p = softmax_rows(&c);
+    matmul_nn(&p, v)
+}
+
+/// Computes scaled-dot-product attention `O = softmax(Q Kᵀ / sqrt(E)) · V`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if the operand shapes are inconsistent.
+pub fn reference_attention_scaled(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
+    check_same_shape(q, k, "reference_attention_scaled(q, k)")?;
+    check_same_shape(k, v, "reference_attention_scaled(k, v)")?;
+    let e = q.shape().cols() as f32;
+    let c = matmul_nt(q, k)?;
+    let c = scale(&c, 1.0 / e.sqrt());
+    let p = softmax_rows(&c);
+    matmul_nn(&p, v)
+}
+
+/// Returns the intermediate attention matrices `(C, P, O)` for inspection.
+///
+/// Useful in tests that need to compare tiled intermediates (e.g. the on-chip
+/// `C_i`/`P_i` blocks of Algorithms 2–3) and not only the final output.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if the operand shapes are inconsistent.
+pub fn reference_attention_intermediates(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    check_same_shape(q, k, "reference_attention_intermediates(q, k)")?;
+    check_same_shape(k, v, "reference_attention_intermediates(k, v)")?;
+    let c = matmul_nt(q, k)?;
+    let p = softmax_rows(&c);
+    let o = matmul_nn(&p, v)?;
+    Ok((c, p, o))
+}
+
+fn check_same_shape(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: *a.shape(),
+            right: *b.shape(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_qkv;
+    use crate::shape::Shape;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let (q, k, v) = random_qkv(2, 3, 8, 4, 7);
+        let o = reference_attention(&q, &k, &v).unwrap();
+        assert_eq!(o.shape(), q.shape());
+    }
+
+    #[test]
+    fn attention_with_uniform_scores_averages_values() {
+        // If Q is all zeros, every logit is 0, softmax is uniform, and the
+        // output is the mean of the value rows.
+        let shape = Shape::new(1, 1, 4, 2).unwrap();
+        let q = Tensor::zeros(shape);
+        let k = Tensor::zeros(shape);
+        let v = Tensor::from_fn(shape, |_, _, r, c| (r * 2 + c) as f32);
+        let o = reference_attention(&q, &k, &v).unwrap();
+        // Mean over rows of v: column 0 -> (0+2+4+6)/4 = 3, column 1 -> 4.
+        for r in 0..4 {
+            assert!((o.get(0, 0, r, 0).unwrap() - 3.0).abs() < 1e-5);
+            assert!((o.get(0, 0, r, 1).unwrap() - 4.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn one_hot_attention_selects_a_value_row() {
+        // Make one key hugely aligned with every query so softmax is ~one-hot.
+        let shape = Shape::new(1, 1, 3, 2).unwrap();
+        let q = Tensor::full(shape, 10.0);
+        let k = Tensor::from_fn(shape, |_, _, r, _| if r == 1 { 10.0 } else { -10.0 });
+        let v = Tensor::from_fn(shape, |_, _, r, c| (r * 10 + c) as f32);
+        let o = reference_attention(&q, &k, &v).unwrap();
+        for r in 0..3 {
+            assert!((o.get(0, 0, r, 0).unwrap() - 10.0).abs() < 1e-3);
+            assert!((o.get(0, 0, r, 1).unwrap() - 11.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scaled_and_unscaled_differ_but_are_both_valid() {
+        let (q, k, v) = random_qkv(1, 2, 8, 16, 3);
+        let o1 = reference_attention(&q, &k, &v).unwrap();
+        let o2 = reference_attention_scaled(&q, &k, &v).unwrap();
+        assert!(o1.max_abs_diff(&o2).unwrap() > 0.0);
+        assert!(o1.data().iter().all(|v| v.is_finite()));
+        assert!(o2.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn intermediates_are_consistent() {
+        let (q, k, v) = random_qkv(1, 1, 6, 4, 5);
+        let (c, p, o) = reference_attention_intermediates(&q, &k, &v).unwrap();
+        assert_eq!(c.shape().dims(), [1, 1, 6, 6]);
+        assert_eq!(p.shape().dims(), [1, 1, 6, 6]);
+        let direct = reference_attention(&q, &k, &v).unwrap();
+        assert!(o.max_abs_diff(&direct).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let (q, k, _) = random_qkv(1, 1, 4, 4, 1);
+        let v_bad = Tensor::zeros(Shape::new(1, 1, 4, 8).unwrap());
+        assert!(reference_attention(&q, &k, &v_bad).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Element data types used for footprint and bandwidth accounting.
+//!
+//! The simulator and the dataflow footprint analyses (paper §5.6) only need
+//! the *size* of an element; arithmetic in this crate is always performed in
+//! `f32`. `F16`/`BF16` are storage formats emulated by [`crate::half`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric element type of a tensor as stored on-device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// IEEE-754 half precision (2 bytes). The paper's edge experiments and the
+    /// §5.6 maximum-sequence-length analysis use FP16.
+    #[default]
+    F16,
+    /// bfloat16 (2 bytes).
+    BF16,
+    /// IEEE-754 single precision (4 bytes).
+    F32,
+    /// 8-bit integer (quantized activations; 1 byte).
+    I8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// use mas_tensor::DType;
+    /// assert_eq!(DType::F16.size_bytes(), 2);
+    /// assert_eq!(DType::F32.size_bytes(), 4);
+    /// ```
+    #[must_use]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::F16 | DType::BF16 => 2,
+            DType::F32 => 4,
+            DType::I8 => 1,
+        }
+    }
+
+    /// Size of one element in bits.
+    #[must_use]
+    pub const fn size_bits(self) -> usize {
+        self.size_bytes() * 8
+    }
+
+    /// All supported data types, useful for sweeps.
+    #[must_use]
+    pub const fn all() -> [DType; 4] {
+        [DType::F16, DType::BF16, DType::F32, DType::I8]
+    }
+
+    /// Short lowercase name (`"f16"`, `"bf16"`, `"f32"`, `"i8"`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::F32 => "f32",
+            DType::I8 => "i8",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_consistent() {
+        for dt in DType::all() {
+            assert_eq!(dt.size_bits(), dt.size_bytes() * 8);
+        }
+    }
+
+    #[test]
+    fn default_is_f16() {
+        assert_eq!(DType::default(), DType::F16);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for dt in DType::all() {
+            assert_eq!(format!("{dt}"), dt.name());
+        }
+    }
+
+    #[test]
+    fn all_lists_each_variant_once() {
+        let all = DType::all();
+        assert_eq!(all.len(), 4);
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the shape volume.
+    DataLengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Shape,
+        /// Shape of the right-hand operand.
+        right: Shape,
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+    /// Inner dimensions of a matrix multiplication do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows (contracted dimension) of the right operand.
+        right_rows: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index, as `(b, h, n, e)`.
+        index: [usize; 4],
+        /// The tensor shape.
+        shape: Shape,
+    },
+    /// A block/tile request exceeded the tensor bounds.
+    BlockOutOfBounds {
+        /// Start offsets of the requested block.
+        start: [usize; 4],
+        /// Lengths of the requested block.
+        len: [usize; 4],
+        /// The tensor shape.
+        shape: Shape,
+    },
+    /// A dimension that must be non-zero was zero.
+    ZeroDimension {
+        /// Name of the zero dimension.
+        dim: &'static str,
+    },
+    /// A tiling parameter was invalid for the given extent.
+    InvalidTile {
+        /// Name of the dimension being tiled.
+        dim: &'static str,
+        /// Requested tile size.
+        tile: usize,
+        /// Extent of the dimension.
+        extent: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLengthMismatch { expected, actual } => write!(
+                f,
+                "data length mismatch: shape requires {expected} elements, got {actual}"
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left} vs {right}")
+            }
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimension mismatch: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index {index:?} out of bounds for tensor of shape {shape}"
+            ),
+            TensorError::BlockOutOfBounds { start, len, shape } => write!(
+                f,
+                "block starting at {start:?} with lengths {len:?} exceeds tensor of shape {shape}"
+            ),
+            TensorError::ZeroDimension { dim } => {
+                write!(f, "dimension `{dim}` must be non-zero")
+            }
+            TensorError::InvalidTile { dim, tile, extent } => write!(
+                f,
+                "invalid tile size {tile} for dimension `{dim}` of extent {extent}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = vec![
+            TensorError::DataLengthMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            TensorError::MatmulDimMismatch {
+                left_cols: 3,
+                right_rows: 5,
+            },
+            TensorError::ZeroDimension { dim: "heads" },
+            TensorError::InvalidTile {
+                dim: "n_q",
+                tile: 0,
+                extent: 8,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase(), "error message should start lowercase: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,205 @@
+//! IEEE-754 binary16 (half precision) storage emulation.
+//!
+//! The paper's edge deployments store activations in FP16 (§5.6 analyses the
+//! maximum sequence length "in half precision (FP16)"). This module provides
+//! a software f32↔f16 round-trip so the reproduction can (a) account for FP16
+//! footprints and (b) quantify the numerical effect of storing intermediates
+//! in half precision, without pulling in an external `half` crate.
+//!
+//! The conversion implements round-to-nearest-even, gradual underflow to
+//! subnormals, and saturation to ±infinity, which is what edge NPUs implement
+//! in hardware.
+
+use crate::tensor::Tensor;
+
+/// Converts an `f32` to its nearest IEEE-754 binary16 bit pattern
+/// (round-to-nearest-even).
+#[must_use]
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // NaN or infinity.
+        if mant != 0 {
+            return sign | 0x7e00; // quiet NaN
+        }
+        return sign | 0x7c00; // infinity
+    }
+
+    // Re-bias exponent from 127 (f32) to 15 (f16).
+    let unbiased = exp - 127;
+    let new_exp = unbiased + 15;
+
+    if new_exp >= 0x1f {
+        // Overflow: saturate to infinity.
+        return sign | 0x7c00;
+    }
+
+    if new_exp <= 0 {
+        // Subnormal or zero in f16.
+        if new_exp < -10 {
+            // Too small: flush to signed zero.
+            return sign;
+        }
+        // Build the subnormal mantissa: implicit leading 1 plus stored bits,
+        // shifted right by the deficit.
+        let mant_with_hidden = mant | 0x0080_0000;
+        let shift = (14 - new_exp) as u32;
+        let half_mant = mant_with_hidden >> shift;
+        // Round to nearest even.
+        let round_bit = 1u32 << (shift - 1);
+        let remainder = mant_with_hidden & ((1u32 << shift) - 1);
+        let mut result = half_mant as u16;
+        if remainder > round_bit || (remainder == round_bit && (half_mant & 1) == 1) {
+            result += 1;
+        }
+        return sign | result;
+    }
+
+    // Normalized result. Round mantissa from 23 to 10 bits, nearest even.
+    let mut half_exp = new_exp as u16;
+    let mut half_mant = (mant >> 13) as u16;
+    let remainder = mant & 0x1fff;
+    if remainder > 0x1000 || (remainder == 0x1000 && (half_mant & 1) == 1) {
+        half_mant += 1;
+        if half_mant == 0x400 {
+            // Mantissa overflowed into the exponent.
+            half_mant = 0;
+            half_exp += 1;
+            if half_exp >= 0x1f {
+                return sign | 0x7c00;
+            }
+        }
+    }
+    sign | (half_exp << 10) | half_mant
+}
+
+/// Converts an IEEE-754 binary16 bit pattern back to `f32`.
+#[must_use]
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits & 0x8000) << 16;
+    let exp = (bits >> 10) & 0x1f;
+    let mant = u32::from(bits & 0x03ff);
+
+    let out_bits = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: normalize it.
+            let mut e = 0i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03ff;
+            let new_exp = (127 - 15 + e + 1) as u32;
+            sign | (new_exp << 23) | (m << 13)
+        }
+    } else if exp == 0x1f {
+        if mant == 0 {
+            sign | 0x7f80_0000
+        } else {
+            sign | 0x7fc0_0000
+        }
+    } else {
+        let new_exp = u32::from(exp) + 127 - 15;
+        sign | (new_exp << 23) | (mant << 13)
+    };
+    f32::from_bits(out_bits)
+}
+
+/// Rounds an `f32` value through binary16 precision and back.
+#[must_use]
+pub fn round_to_f16(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// Rounds every element of a tensor through binary16 precision, simulating
+/// FP16 on-chip storage of intermediates.
+#[must_use]
+pub fn quantize_tensor_f16(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    for v in out.data_mut() {
+        *v = round_to_f16(*v);
+    }
+    out
+}
+
+/// Maximum finite value representable in binary16 (65504.0).
+pub const F16_MAX: f32 = 65504.0;
+
+/// Smallest positive normal binary16 value (2⁻¹⁴).
+pub const F16_MIN_POSITIVE: f32 = 6.103_515_6e-5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_tensor;
+    use crate::shape::Shape;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for v in [-8.0f32, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 3.0, 100.0, 2048.0] {
+            assert_eq!(round_to_f16(v), v, "value {v} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff);
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(1e6)).is_infinite());
+        assert!(f16_bits_to_f32(f32_to_f16_bits(-1e6)).is_infinite());
+    }
+
+    #[test]
+    fn tiny_values_flush_or_become_subnormal() {
+        let tiny = 1e-9f32;
+        let rt = round_to_f16(tiny);
+        assert!(rt == 0.0 || rt.abs() < F16_MIN_POSITIVE);
+        // A representable subnormal survives approximately.
+        let sub = 3.0e-6f32;
+        let rt = round_to_f16(sub);
+        assert!(rt > 0.0);
+        assert!((rt - sub).abs() / sub < 0.2);
+    }
+
+    #[test]
+    fn nan_round_trips_as_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn relative_error_is_bounded_for_normal_range() {
+        // binary16 has 11 significand bits: relative error <= 2^-11.
+        let t = random_tensor(Shape::new(1, 1, 32, 32).unwrap(), 100.0, 13);
+        for &v in t.data() {
+            let r = round_to_f16(v);
+            if v.abs() > F16_MIN_POSITIVE {
+                assert!(((r - v) / v).abs() <= 1.0 / 2048.0 + 1e-7, "v={v} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_tensor_preserves_shape_and_is_idempotent() {
+        let t = random_tensor(Shape::new(2, 2, 4, 4).unwrap(), 10.0, 5);
+        let q1 = quantize_tensor_f16(&t);
+        let q2 = quantize_tensor_f16(&q1);
+        assert_eq!(q1.shape(), t.shape());
+        assert_eq!(q1, q2, "f16 quantization must be idempotent");
+    }
+}

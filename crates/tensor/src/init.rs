@@ -1,0 +1,115 @@
+//! Deterministic input generation for attention workloads.
+//!
+//! The paper's workloads are defined entirely by their layer shapes; the
+//! numerical values only matter for the golden-data exactness check (§5.1).
+//! We therefore generate `Q`, `K`, `V` from a seeded RNG so that every
+//! experiment is reproducible bit-for-bit across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Generates a tensor with values drawn uniformly from `[-scale, scale)`.
+///
+/// The generator is [`StdRng`] seeded with `seed`, so results are
+/// reproducible across platforms.
+#[must_use]
+pub fn random_tensor(shape: Shape, scale: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..shape.volume())
+        .map(|_| rng.gen_range(-scale..scale))
+        .collect();
+    Tensor::from_vec(shape, data).expect("generated data length matches shape volume")
+}
+
+/// Generates a `(Q, K, V)` triple for an attention layer of shape
+/// `B × H × N × E`, with values scaled like typical post-layernorm
+/// activations (roughly unit range, further scaled by `1/sqrt(E)` for `Q`
+/// so logits stay in a numerically comfortable range).
+///
+/// Each operand uses a distinct stream derived from `seed` so that `Q`, `K`
+/// and `V` are mutually independent.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero (attention layers always have non-zero
+/// dimensions; synthetic sweeps should filter degenerate shapes earlier).
+#[must_use]
+pub fn random_qkv(
+    batch: usize,
+    heads: usize,
+    seq: usize,
+    embed: usize,
+    seed: u64,
+) -> (Tensor, Tensor, Tensor) {
+    let shape = Shape::new(batch, heads, seq, embed).expect("non-zero attention dimensions");
+    let q_scale = 1.0 / (embed as f32).sqrt();
+    let q = random_tensor(shape, q_scale, seed.wrapping_mul(3).wrapping_add(1));
+    let k = random_tensor(shape, 1.0, seed.wrapping_mul(3).wrapping_add(2));
+    let v = random_tensor(shape, 1.0, seed.wrapping_mul(3).wrapping_add(3));
+    (q, k, v)
+}
+
+/// Generates a tensor whose values form an adversarial pattern for softmax:
+/// alternating large positive/negative magnitudes. Used by tests to exercise
+/// the max-subtraction path of the softmax kernels.
+#[must_use]
+pub fn adversarial_logits(shape: Shape, magnitude: f32) -> Tensor {
+    Tensor::from_fn(shape, |b, h, r, c| {
+        let sign = if (b + h + r + c) % 2 == 0 { 1.0 } else { -1.0 };
+        sign * magnitude * (1.0 + (c as f32) / (shape.cols() as f32))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tensor_is_deterministic() {
+        let s = Shape::new(1, 2, 4, 8).unwrap();
+        let a = random_tensor(s, 1.0, 7);
+        let b = random_tensor(s, 1.0, 7);
+        assert_eq!(a, b);
+        let c = random_tensor(s, 1.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_tensor_respects_scale() {
+        let s = Shape::new(1, 1, 16, 16).unwrap();
+        let t = random_tensor(s, 0.25, 3);
+        assert!(t.max_abs() <= 0.25);
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn qkv_are_independent_and_shaped() {
+        let (q, k, v) = random_qkv(2, 4, 16, 8, 99);
+        assert_eq!(q.shape().dims(), [2, 4, 16, 8]);
+        assert_eq!(k.shape().dims(), [2, 4, 16, 8]);
+        assert_eq!(v.shape().dims(), [2, 4, 16, 8]);
+        assert_ne!(q, k);
+        assert_ne!(k, v);
+    }
+
+    #[test]
+    fn qkv_deterministic_across_calls() {
+        let (q1, k1, v1) = random_qkv(1, 2, 8, 4, 5);
+        let (q2, k2, v2) = random_qkv(1, 2, 8, 4, 5);
+        assert_eq!(q1, q2);
+        assert_eq!(k1, k2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn adversarial_logits_alternate_sign() {
+        let s = Shape::new(1, 1, 2, 4).unwrap();
+        let t = adversarial_logits(s, 50.0);
+        assert!(t.get(0, 0, 0, 0).unwrap() > 0.0);
+        assert!(t.get(0, 0, 0, 1).unwrap() < 0.0);
+        assert!(t.max_abs() >= 50.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # mas-tensor
+//!
+//! Dense tensor substrate for the MAS-Attention reproduction.
+//!
+//! The paper ("MAS-Attention: Memory-Aware Stream Processing for Attention
+//! Acceleration on Resource-Constrained Edge Devices", MLSys 2025) evaluates
+//! *exact* attention dataflows: every method — Layer-Wise, Soft-Pipe, FLAT,
+//! TileFlow, FuseMax and MAS-Attention — must produce the same output as the
+//! unfused reference ("golden data check", §5.1). This crate provides:
+//!
+//! * a small, self-contained 4-D tensor type ([`Tensor`]) laid out as
+//!   `(batch, heads, rows, cols)` — the `B × H × N × E` layout used throughout
+//!   the paper,
+//! * the numerical kernels attention is built from ([`matmul`], [`softmax`]),
+//!   including the *online* (streaming) softmax used by FuseMax-style
+//!   decompositions,
+//! * a reference attention implementation ([`attention::reference_attention`]),
+//! * tiled numerical executors mirroring Algorithms 1–4 of the paper and each
+//!   baseline's blocking structure ([`tiled`]), and
+//! * the golden-data checker ([`golden`]) and deterministic input generation
+//!   ([`init`]).
+//!
+//! The crate is deliberately dependency-light (only `rand` for input
+//! generation) and uses `f32` arithmetic with an `f16` *storage* emulation
+//! ([`half`]) for footprint analyses.
+//!
+//! ## Example
+//!
+//! ```
+//! use mas_tensor::{init::random_qkv, attention::reference_attention};
+//!
+//! // A tiny attention layer: batch 1, 2 heads, 8 tokens, embedding 4.
+//! let (q, k, v) = random_qkv(1, 2, 8, 4, 42);
+//! let o = reference_attention(&q, &k, &v).unwrap();
+//! assert_eq!(o.shape().dims(), [1, 2, 8, 4]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod attention;
+pub mod dtype;
+pub mod error;
+pub mod golden;
+pub mod half;
+pub mod init;
+pub mod matmul;
+pub mod shape;
+pub mod softmax;
+pub mod tensor;
+pub mod tiled;
+
+pub use dtype::DType;
+pub use error::{Result, TensorError};
+pub use shape::Shape;
+pub use tensor::Tensor;

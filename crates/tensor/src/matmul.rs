@@ -1,0 +1,238 @@
+//! Batched matrix multiplication kernels.
+//!
+//! Two entry points are provided:
+//!
+//! * [`matmul_nt`] — `A · Bᵀ`, the form of the first attention MatMul
+//!   `C = Q Kᵀ` (both operands are stored `N × E`).
+//! * [`matmul_nn`] — `A · B`, the form of the second MatMul `O = P V`.
+//!
+//! Both kernels operate per `(batch, head)` slice and accept an accumulation
+//! flag so that tiled executors can accumulate partial products over the
+//! contracted dimension exactly as Algorithm 4 of the paper does
+//! (`O_i = O_i + P_{i,j} V_{i,j}`).
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Computes `out = A · Bᵀ` per `(batch, head)` slice.
+///
+/// `a` has shape `B × H × M × K` and `b` has shape `B × H × N × K`; the result
+/// has shape `B × H × M × N`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the batch/head dimensions differ
+/// and [`TensorError::MatmulDimMismatch`] if the contracted dimensions differ.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ba, ha, m, ka) = dims(a);
+    let (bb, hb, n, kb) = dims(b);
+    check_batch_heads(a, b, ba, ha, bb, hb, "matmul_nt")?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: ka,
+            right_rows: kb,
+        });
+    }
+    let out_shape = Shape::new(ba, ha, m, n)?;
+    let mut out = Tensor::zeros(out_shape);
+    for bi in 0..ba {
+        for hi in 0..ha {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..ka {
+                        let av = a.get(bi, hi, i, p)?;
+                        let bv = b.get(bi, hi, j, p)?;
+                        acc += av * bv;
+                    }
+                    out.set(bi, hi, i, j, acc)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `out = A · B` per `(batch, head)` slice, optionally accumulating
+/// into an existing output.
+///
+/// `a` has shape `B × H × M × K` and `b` has shape `B × H × K × N`; the result
+/// has shape `B × H × M × N`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] / [`TensorError::MatmulDimMismatch`]
+/// on inconsistent operand shapes.
+pub fn matmul_nn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ba, ha, m, _) = dims(a);
+    let (_, _, _, n) = dims(b);
+    let out_shape = Shape::new(ba, ha, m, n)?;
+    let mut out = Tensor::zeros(out_shape);
+    matmul_nn_acc(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// Computes `out += A · B` per `(batch, head)` slice, accumulating into `out`.
+///
+/// This is the primitive used by the tiled executors to accumulate partial
+/// `P_{i,j} V_{i,j}` products (Algorithm 4, line 9).
+///
+/// # Errors
+///
+/// Returns shape errors as in [`matmul_nn`]; `out` must have shape
+/// `B × H × M × N`.
+pub fn matmul_nn_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (ba, ha, m, ka) = dims(a);
+    let (bb, hb, kb, n) = dims(b);
+    check_batch_heads(a, b, ba, ha, bb, hb, "matmul_nn")?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: ka,
+            right_rows: kb,
+        });
+    }
+    let expected = Shape::new(ba, ha, m, n)?;
+    if *out.shape() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: *out.shape(),
+            right: expected,
+            op: "matmul_nn_acc output",
+        });
+    }
+    for bi in 0..ba {
+        for hi in 0..ha {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = out.get(bi, hi, i, j)?;
+                    for p in 0..ka {
+                        acc += a.get(bi, hi, i, p)? * b.get(bi, hi, p, j)?;
+                    }
+                    out.set(bi, hi, i, j, acc)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scales every element of a tensor by `s` (used for the `1/sqrt(E)` logit
+/// scaling applied by some callers before softmax).
+#[must_use]
+pub fn scale(t: &Tensor, s: f32) -> Tensor {
+    let mut out = t.clone();
+    for v in out.data_mut() {
+        *v *= s;
+    }
+    out
+}
+
+fn dims(t: &Tensor) -> (usize, usize, usize, usize) {
+    let [b, h, r, c] = t.shape().dims();
+    (b, h, r, c)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_batch_heads(
+    a: &Tensor,
+    b: &Tensor,
+    ba: usize,
+    ha: usize,
+    bb: usize,
+    hb: usize,
+    op: &'static str,
+) -> Result<()> {
+    if ba != bb || ha != hb {
+        return Err(TensorError::ShapeMismatch {
+            left: *a.shape(),
+            right: *b.shape(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_tensor;
+
+    fn shape(b: usize, h: usize, r: usize, c: usize) -> Shape {
+        Shape::new(b, h, r, c).unwrap()
+    }
+
+    #[test]
+    fn matmul_nt_identity_like() {
+        // A 2x2 identity times itself transposed is the identity.
+        let a = Tensor::from_vec(shape(1, 1, 2, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let out = matmul_nt(&a, &a).unwrap();
+        assert_eq!(out.data(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn matmul_nt_known_values() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]]  =>  A·Bᵀ = [[17,23],[39,53]]
+        let a = Tensor::from_vec(shape(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(shape(1, 1, 2, 2), vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let out = matmul_nt(&a, &b).unwrap();
+        assert_eq!(out.data(), &[17.0, 23.0, 39.0, 53.0]);
+    }
+
+    #[test]
+    fn matmul_nn_known_values() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]]  =>  A·B = [[19,22],[43,50]]
+        let a = Tensor::from_vec(shape(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(shape(1, 1, 2, 2), vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let out = matmul_nn(&a, &b).unwrap();
+        assert_eq!(out.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nn_acc_accumulates() {
+        let a = Tensor::from_vec(shape(1, 1, 1, 2), vec![1.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(shape(1, 1, 2, 1), vec![2.0, 3.0]).unwrap();
+        let mut out = Tensor::full(shape(1, 1, 1, 1), 10.0);
+        matmul_nn_acc(&a, &b, &mut out).unwrap();
+        assert_eq!(out.data(), &[15.0]);
+    }
+
+    #[test]
+    fn nt_equals_nn_with_manual_transpose() {
+        let a = random_tensor(shape(2, 2, 3, 4), 1.0, 1);
+        let b = random_tensor(shape(2, 2, 5, 4), 1.0, 2);
+        // Manually transpose b: B^T has shape (2,2,4,5).
+        let bt = Tensor::from_fn(shape(2, 2, 4, 5), |bi, hi, r, c| {
+            b.get(bi, hi, c, r).unwrap()
+        });
+        let via_nt = matmul_nt(&a, &b).unwrap();
+        let via_nn = matmul_nn(&a, &bt).unwrap();
+        assert!(via_nt.max_abs_diff(&via_nn).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn mismatched_inner_dims_error() {
+        let a = Tensor::zeros(shape(1, 1, 2, 3));
+        let b = Tensor::zeros(shape(1, 1, 2, 4));
+        assert!(matches!(
+            matmul_nt(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_batch_heads_error() {
+        let a = Tensor::zeros(shape(1, 2, 2, 3));
+        let b = Tensor::zeros(shape(1, 3, 2, 3));
+        assert!(matches!(
+            matmul_nt(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scale_multiplies_every_element() {
+        let a = Tensor::from_vec(shape(1, 1, 1, 3), vec![1.0, -2.0, 4.0]).unwrap();
+        let s = scale(&a, 0.5);
+        assert_eq!(s.data(), &[0.5, -1.0, 2.0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Row-wise softmax kernels.
+//!
+//! The paper applies softmax "to every row of `QKᵀ`" (§4, Eq. 2) and stresses
+//! that softmax's row-wise nature drives the row-granularity tiling of `C`
+//! and `P` (Algorithm 3). Two implementations are provided:
+//!
+//! * [`softmax_rows`] — the classic three-pass max/exp-sum/normalize kernel
+//!   applied independently to every row (what the VEC unit executes per tile).
+//! * [`OnlineSoftmax`] — a streaming (single-pass over chunks) softmax with
+//!   running max/denominator correction, the decomposition FuseMax-style
+//!   pipelines use when the row arrives in pieces.
+//!
+//! Both produce identical results up to floating-point rounding; property
+//! tests assert this equivalence.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Applies softmax to every row (`cols` dimension) of every `(batch, head)`
+/// slice of `t`, returning a new tensor of identical shape.
+///
+/// The kernel uses the numerically stable max-subtraction form:
+/// `softmax(x)_j = exp(x_j - max(x)) / Σ_k exp(x_k - max(x))`.
+#[must_use]
+pub fn softmax_rows(t: &Tensor) -> Tensor {
+    let [b_n, h_n, r_n, c_n] = t.shape().dims();
+    let mut out = Tensor::zeros(*t.shape());
+    for b in 0..b_n {
+        for h in 0..h_n {
+            for r in 0..r_n {
+                // Pass 1: maximum.
+                let mut row_max = f32::NEG_INFINITY;
+                for c in 0..c_n {
+                    row_max = row_max.max(t.get(b, h, r, c).expect("index in range"));
+                }
+                // Pass 2: exponentials and their sum.
+                let mut denom = 0.0f32;
+                let mut exps = vec![0.0f32; c_n];
+                for (c, e) in exps.iter_mut().enumerate() {
+                    let x = t.get(b, h, r, c).expect("index in range");
+                    *e = (x - row_max).exp();
+                    denom += *e;
+                }
+                // Pass 3: normalization.
+                for (c, e) in exps.iter().enumerate() {
+                    out.set(b, h, r, c, e / denom).expect("index in range");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Streaming softmax over one logical row delivered in chunks.
+///
+/// This mirrors the "online softmax" decomposition used by FuseMax-style
+/// pipelines: as each chunk of logits arrives, the running maximum `m` and
+/// running denominator `d` are updated, and previously emitted unnormalized
+/// weights are rescaled by `exp(m_old - m_new)`. After all chunks have been
+/// absorbed, [`OnlineSoftmax::finalize`] produces the normalized
+/// probabilities for the whole row.
+///
+/// ```
+/// use mas_tensor::softmax::OnlineSoftmax;
+///
+/// let mut online = OnlineSoftmax::new();
+/// online.absorb(&[1.0, 2.0]);
+/// online.absorb(&[3.0]);
+/// let p = online.finalize();
+/// let total: f32 = p.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineSoftmax {
+    running_max: f32,
+    running_denom: f32,
+    /// Unnormalized weights emitted so far, already referenced to
+    /// `running_max`.
+    weights: Vec<f32>,
+}
+
+impl Default for OnlineSoftmax {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineSoftmax {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            running_max: f32::NEG_INFINITY,
+            running_denom: 0.0,
+            weights: Vec::new(),
+        }
+    }
+
+    /// Absorbs the next chunk of logits for this row.
+    pub fn absorb(&mut self, chunk: &[f32]) {
+        if chunk.is_empty() {
+            return;
+        }
+        let chunk_max = chunk.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let new_max = self.running_max.max(chunk_max);
+        // Rescale history to the new reference maximum.
+        if self.running_max.is_finite() && new_max > self.running_max {
+            let correction = (self.running_max - new_max).exp();
+            self.running_denom *= correction;
+            for w in &mut self.weights {
+                *w *= correction;
+            }
+        }
+        self.running_max = new_max;
+        for &x in chunk {
+            let w = (x - new_max).exp();
+            self.running_denom += w;
+            self.weights.push(w);
+        }
+    }
+
+    /// Number of logits absorbed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether any logits have been absorbed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Current running maximum (`-inf` before any chunk is absorbed).
+    #[must_use]
+    pub fn running_max(&self) -> f32 {
+        self.running_max
+    }
+
+    /// Produces the normalized probabilities for the absorbed row.
+    ///
+    /// Returns an empty vector if nothing was absorbed.
+    #[must_use]
+    pub fn finalize(&self) -> Vec<f32> {
+        if self.weights.is_empty() {
+            return Vec::new();
+        }
+        self.weights
+            .iter()
+            .map(|&w| w / self.running_denom)
+            .collect()
+    }
+}
+
+/// Applies softmax to every row of `t` using the online (chunked) algorithm
+/// with the given chunk width, primarily to validate that the streaming
+/// decomposition is exact.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidTile`] if `chunk` is zero.
+pub fn softmax_rows_online(t: &Tensor, chunk: usize) -> Result<Tensor> {
+    if chunk == 0 {
+        return Err(TensorError::InvalidTile {
+            dim: "softmax chunk",
+            tile: chunk,
+            extent: t.shape().cols(),
+        });
+    }
+    let [b_n, h_n, r_n, c_n] = t.shape().dims();
+    let mut out = Tensor::zeros(*t.shape());
+    for b in 0..b_n {
+        for h in 0..h_n {
+            for r in 0..r_n {
+                let mut online = OnlineSoftmax::new();
+                let mut c0 = 0;
+                while c0 < c_n {
+                    let width = chunk.min(c_n - c0);
+                    let mut buf = Vec::with_capacity(width);
+                    for c in c0..c0 + width {
+                        buf.push(t.get(b, h, r, c)?);
+                    }
+                    online.absorb(&buf);
+                    c0 += width;
+                }
+                for (c, p) in online.finalize().into_iter().enumerate() {
+                    out.set(b, h, r, c, p)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{adversarial_logits, random_tensor};
+    use crate::shape::Shape;
+
+    fn shape(b: usize, h: usize, r: usize, c: usize) -> Shape {
+        Shape::new(b, h, r, c).unwrap()
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let t = random_tensor(shape(2, 3, 8, 16), 4.0, 11);
+        let p = softmax_rows(&t);
+        let [bn, hn, rn, cn] = p.shape().dims();
+        for b in 0..bn {
+            for h in 0..hn {
+                for r in 0..rn {
+                    let sum: f32 = (0..cn).map(|c| p.get(b, h, r, c).unwrap()).sum();
+                    assert!((sum - 1.0).abs() < 1e-5, "row sum {sum}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probabilities() {
+        let t = Tensor::full(shape(1, 1, 2, 4), 3.0);
+        let p = softmax_rows(&t);
+        for c in 0..4 {
+            assert!((p.get(0, 0, 0, c).unwrap() - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_magnitude_logits_are_stable() {
+        let t = adversarial_logits(shape(1, 2, 4, 8), 2000.0);
+        let p = softmax_rows(&t);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        assert!(p.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn online_matches_naive_for_various_chunks() {
+        let t = random_tensor(shape(1, 2, 5, 17), 3.0, 21);
+        let reference = softmax_rows(&t);
+        for chunk in [1, 2, 3, 5, 16, 17, 64] {
+            let online = softmax_rows_online(&t, chunk).unwrap();
+            assert!(
+                reference.max_abs_diff(&online).unwrap() < 1e-5,
+                "chunk {chunk} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn online_zero_chunk_rejected() {
+        let t = random_tensor(shape(1, 1, 2, 4), 1.0, 1);
+        assert!(softmax_rows_online(&t, 0).is_err());
+    }
+
+    #[test]
+    fn online_accumulator_tracks_length_and_max() {
+        let mut o = OnlineSoftmax::new();
+        assert!(o.is_empty());
+        o.absorb(&[1.0, 5.0]);
+        o.absorb(&[]);
+        o.absorb(&[-2.0]);
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.running_max(), 5.0);
+        let p = o.finalize();
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        // The largest logit gets the largest probability.
+        assert!(p[1] > p[0] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn empty_online_finalizes_to_empty() {
+        let o = OnlineSoftmax::new();
+        assert!(o.finalize().is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Synthetic workload generation for stress and property tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use mas_dataflow::AttentionWorkload;
+
+/// Bounds for the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct GeneratorConfig {
+    /// Inclusive range of batch sizes.
+    pub batch: (usize, usize),
+    /// Inclusive range of head counts.
+    pub heads: (usize, usize),
+    /// Inclusive range of sequence lengths.
+    pub seq_len: (usize, usize),
+    /// Candidate per-head embedding sizes.
+    pub embeds: &'static [usize],
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            batch: (1, 2),
+            heads: (1, 32),
+            seq_len: (16, 2048),
+            embeds: &[32, 64, 80, 128],
+        }
+    }
+}
+
+/// Generates `count` random attention workloads from a seeded RNG.
+#[must_use]
+pub fn random_workloads(config: &GeneratorConfig, count: usize, seed: u64) -> Vec<AttentionWorkload> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let batch = rng.gen_range(config.batch.0..=config.batch.1);
+            let heads = rng.gen_range(config.heads.0..=config.heads.1);
+            let seq = rng.gen_range(config.seq_len.0..=config.seq_len.1);
+            let embed = config.embeds[rng.gen_range(0..config.embeds.len())];
+            AttentionWorkload::new(format!("synthetic-{i}"), batch, heads, seq, embed)
+        })
+        .collect()
+}
+
+/// Generates a sweep of sequence lengths for a fixed head/embedding shape
+/// (used by the long-context experiments and the §5.6 analysis).
+#[must_use]
+pub fn seq_len_sweep(heads: usize, embed: usize, seq_lens: &[usize]) -> Vec<AttentionWorkload> {
+    seq_lens
+        .iter()
+        .map(|&n| AttentionWorkload::new(format!("sweep-N{n}"), 1, heads, n, embed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::default();
+        let a = random_workloads(&cfg, 10, 3);
+        let b = random_workloads(&cfg, 10, 3);
+        assert_eq!(a, b);
+        let c = random_workloads(&cfg, 10, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_workloads_respect_bounds() {
+        let cfg = GeneratorConfig::default();
+        for w in random_workloads(&cfg, 50, 7) {
+            assert!(w.batch >= cfg.batch.0 && w.batch <= cfg.batch.1);
+            assert!(w.heads >= cfg.heads.0 && w.heads <= cfg.heads.1);
+            assert!(w.seq_len >= cfg.seq_len.0 && w.seq_len <= cfg.seq_len.1);
+            assert!(cfg.embeds.contains(&w.embed));
+        }
+    }
+
+    #[test]
+    fn seq_len_sweep_produces_one_workload_per_length() {
+        let sweep = seq_len_sweep(2, 64, &[128, 1024, 8192]);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[1].seq_len, 1024);
+        assert!(sweep.iter().all(|w| w.heads == 2 && w.embed == 64));
+    }
+}

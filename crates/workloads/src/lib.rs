@@ -1,0 +1,32 @@
+//! # mas-workloads
+//!
+//! Attention-layer workload definitions used by the MAS-Attention paper's
+//! evaluation:
+//!
+//! * [`networks`] — the twelve transformer configurations of Table 1
+//!   (BERT, T5, Llama3-8B, ViT and XLM variants),
+//! * [`sdunet`] — the reduced Stable Diffusion 1.5 UNet used for the
+//!   end-to-end on-device experiment (§5.2.2), and
+//! * [`generator`] — a seeded synthetic workload generator for stress tests
+//!   and property-based testing.
+//!
+//! ## Example
+//!
+//! ```
+//! use mas_workloads::networks::Network;
+//!
+//! let w = Network::BertBase.attention_workload(1);
+//! assert_eq!(w.heads, 12);
+//! assert_eq!(w.seq_len, 512);
+//! assert_eq!(w.embed, 64);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod generator;
+pub mod networks;
+pub mod sdunet;
+
+pub use networks::Network;
+pub use sdunet::{sd15_reduced_unet, SdAttentionUnit};

@@ -1,0 +1,32 @@
+//! Auto-tune the MAS-Attention tiling for a workload with the MCTS + GA
+//! pipeline and show the convergence trajectory (the Figure 7 experiment for
+//! a single workload).
+//!
+//! Run with `cargo run --release --example autotune_tiling`.
+
+use mas::api::{Method, Planner};
+use mas::search::tuner::TunerConfig;
+use mas::workloads::Network;
+
+fn main() {
+    let workload = Network::BertSmall.attention_workload(1);
+    let planner = Planner::with_search(TunerConfig::quick());
+    println!("tuning MAS-Attention tiling for {workload} ...");
+
+    let result = planner
+        .autotune(Method::MasAttention, &workload)
+        .expect("the workload fits the device");
+    println!(
+        "best tiling: {} -> {:.3}M cycles ({} simulator evaluations)",
+        result.best_tiling,
+        result.best_cost.cycles as f64 / 1e6,
+        result.evaluations
+    );
+    if let Some(factor) = result.improvement_over_naive() {
+        println!("improvement over the naive row-at-a-time tiling: {factor:.1}x");
+    }
+    println!("convergence trajectory (iteration, best cycles):");
+    for p in result.history.downsample(10) {
+        println!("  iter {:>4}: {:.3}M", p.iteration, p.best_objective / 1e6);
+    }
+}

@@ -1,0 +1,37 @@
+//! Compare all six attention dataflows on one of the paper's Table 1
+//! networks (pass the network name as an argument, default BERT-Base).
+//!
+//! Run with `cargo run --release --example compare_methods -- "ViT-B/16"`.
+
+use mas::api::{Method, Planner};
+use mas::workloads::Network;
+
+fn main() {
+    let wanted = std::env::args().nth(1);
+    let network = Network::all()
+        .into_iter()
+        .find(|n| Some(n.name().to_string()) == wanted)
+        .unwrap_or(Network::BertBase);
+    let workload = network.attention_workload(1);
+    let planner = Planner::edge_default();
+    let report = planner.compare_all(&workload).expect("comparison");
+
+    println!("{workload}");
+    println!("{:<16} {:>12} {:>14} {:>12} {:>12}", "method", "cycles", "energy (GpJ)", "DRAM rd (B)", "DRAM wr (B)");
+    for method in Method::all() {
+        let row = report.row(method).unwrap();
+        println!(
+            "{:<16} {:>12} {:>14.3} {:>12} {:>12}",
+            method.name(),
+            row.cycles,
+            row.energy_pj / 1e9,
+            row.dram_read_bytes,
+            row.dram_write_bytes
+        );
+    }
+    println!(
+        "\nMAS-Attention speedup: {:.2}x vs Layer-Wise, {:.2}x vs FLAT",
+        report.speedup(Method::LayerWise, Method::MasAttention).unwrap(),
+        report.speedup(Method::Flat, Method::MasAttention).unwrap()
+    );
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate one attention layer with FLAT and MAS-Attention on
+//! the paper's edge device and print the speedup.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mas::api::{Method, Planner};
+use mas::workloads::Network;
+
+fn main() {
+    let planner = Planner::edge_default();
+    let workload = Network::BertBase.attention_workload(1);
+    println!("workload: {workload}");
+
+    let flat = planner.run(Method::Flat, &workload).expect("FLAT simulation");
+    let mas = planner
+        .run(Method::MasAttention, &workload)
+        .expect("MAS simulation");
+
+    println!(
+        "FLAT:          {:>10} cycles, {:>8.3} x 10^9 pJ",
+        flat.report.total_cycles,
+        flat.report.total_energy_gpj()
+    );
+    println!(
+        "MAS-Attention: {:>10} cycles, {:>8.3} x 10^9 pJ  (tiling {})",
+        mas.report.total_cycles,
+        mas.report.total_energy_gpj(),
+        mas.tiling
+    );
+    println!(
+        "speedup: {:.2}x, MAC/VEC overlap: {} cycles",
+        flat.report.total_cycles as f64 / mas.report.total_cycles as f64,
+        mas.report.mac_vec_overlap_cycles
+    );
+
+    // Golden-data check: the schedule is exact attention.
+    let golden = planner
+        .verify(Method::MasAttention, &workload, 42)
+        .expect("verification");
+    println!(
+        "golden data check: {} ({} elements, max |diff| {:.2e})",
+        if golden.passed { "PASSED" } else { "FAILED" },
+        golden.elements,
+        golden.max_abs_diff
+    );
+}

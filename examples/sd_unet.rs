@@ -1,0 +1,46 @@
+//! Run the reduced Stable Diffusion 1.5 UNet attention suite (§5.2.2) through
+//! both the edge-device simulator and the DaVinci-like NPU model.
+//!
+//! Run with `cargo run --release --example sd_unet`.
+
+use mas::api::{Method, Planner};
+use mas::dataflow::DataflowKind;
+use mas::npu::e2e::{sd_unet_report, E2eConfig};
+use mas::npu::NpuModel;
+use mas::workloads::sdunet::sd15_reduced_unet;
+
+fn main() {
+    let units = sd15_reduced_unet(1);
+    println!("simulated edge device, per attention unit (cycles):");
+    let planner = Planner::edge_default();
+    let mut total_flat = 0u64;
+    let mut total_mas = 0u64;
+    for unit in &units {
+        let flat = planner.run(Method::Flat, &unit.workload).expect("FLAT");
+        let mas = planner
+            .run(Method::MasAttention, &unit.workload)
+            .expect("MAS");
+        total_flat += flat.report.total_cycles;
+        total_mas += mas.report.total_cycles;
+        println!(
+            "  {:<24} FLAT {:>11}  MAS {:>11}  ({:.2}x)",
+            unit.name,
+            flat.report.total_cycles,
+            mas.report.total_cycles,
+            flat.report.total_cycles as f64 / mas.report.total_cycles as f64
+        );
+    }
+    println!(
+        "  total attention: FLAT {total_flat} vs MAS {total_mas} cycles ({:.2}x)",
+        total_flat as f64 / total_mas as f64
+    );
+
+    println!("\nDaVinci-like NPU end-to-end estimate (vs Layer-Wise):");
+    let model = NpuModel::kirin990();
+    let report = sd_unet_report(&model, &units, DataflowKind::MasAttention, E2eConfig::default());
+    println!(
+        "  largest unit runtime reduction: {:.1}%  |  end-to-end reduction: {:.1}%",
+        report.largest_unit_reduction * 100.0,
+        report.end_to_end_reduction * 100.0
+    );
+}

@@ -1,0 +1,88 @@
+//! Integration test: §5.3.3 and §5.4 invariants — PE energy is
+//! schedule-invariant, DRAM writes are identical for MAS and FLAT, and DRAM
+//! reads never drop below the compulsory Q/K/V traffic.
+
+use mas::api::{Method, Planner};
+use mas::workloads::Network;
+
+#[test]
+fn pe_energy_is_schedule_invariant_across_exact_methods() {
+    let planner = Planner::edge_default();
+    let report = planner
+        .compare_all(&Network::BertSmall.attention_workload(1))
+        .unwrap();
+    // FLAT, TileFlow and MAS perform exactly the same arithmetic, so their
+    // MAC-PE energy must be identical (§5.3.3). FuseMax's online softmax and
+    // Layer-Wise/Soft-Pipe perform the same MACs too.
+    let pe = |m: Method| {
+        let row = report.row(m).unwrap();
+        row.energy_components
+            .iter()
+            .find(|(n, _)| n == "MAC PEs")
+            .unwrap()
+            .1
+    };
+    let reference = pe(Method::Flat);
+    for m in [Method::LayerWise, Method::SoftPipe, Method::TileFlow, Method::FuseMax, Method::MasAttention] {
+        let v = pe(m);
+        assert!(
+            (v - reference).abs() / reference < 0.01,
+            "{m}: MAC PE energy {v} differs from FLAT's {reference}"
+        );
+    }
+}
+
+#[test]
+fn dram_writes_are_identical_for_mas_and_flat() {
+    let planner = Planner::edge_default();
+    for network in Network::all() {
+        let report = planner.compare_all(&network.attention_workload(1)).unwrap();
+        let flat = report.row(Method::Flat).unwrap().dram_write_bytes;
+        let mas = report.row(Method::MasAttention).unwrap().dram_write_bytes;
+        assert_eq!(flat, mas, "{network}: write parity violated (§5.4.1)");
+    }
+}
+
+#[test]
+fn dram_reads_cover_the_compulsory_traffic_and_layerwise_reads_dominate() {
+    let planner = Planner::edge_default();
+    let hw = planner.hardware().clone();
+    for network in [Network::BertBase, Network::VitB16, Network::Xlm] {
+        let w = network.attention_workload(1);
+        let report = planner.compare_all(&w).unwrap();
+        let compulsory = 3 * w.operand_bytes(hw.element_bytes);
+        for method in Method::all() {
+            let reads = report.row(method).unwrap().dram_read_bytes;
+            assert!(
+                reads >= compulsory,
+                "{network}/{method}: reads {reads} below compulsory {compulsory}"
+            );
+        }
+        let lw = report.row(Method::LayerWise).unwrap().dram_read_bytes;
+        let mas = report.row(Method::MasAttention).unwrap().dram_read_bytes;
+        assert!(lw > mas, "{network}: Layer-Wise must re-read intermediates");
+    }
+}
+
+#[test]
+fn mas_reads_exceed_flat_only_when_overwrites_happen() {
+    let planner = Planner::edge_default();
+    for network in Network::all() {
+        let report = planner.compare_all(&network.attention_workload(1)).unwrap();
+        let flat = report.row(Method::Flat).unwrap();
+        let mas = report.row(Method::MasAttention).unwrap();
+        if mas.overwrite_events == 0 {
+            assert_eq!(
+                flat.dram_read_bytes, mas.dram_read_bytes,
+                "{network}: reads should match FLAT when no overwrite happens"
+            );
+        } else {
+            assert!(mas.dram_read_bytes > flat.dram_read_bytes);
+            assert_eq!(
+                mas.dram_read_bytes - flat.dram_read_bytes,
+                mas.reload_bytes,
+                "{network}: extra reads must equal the reloaded bytes"
+            );
+        }
+    }
+}

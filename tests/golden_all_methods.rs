@@ -1,0 +1,45 @@
+//! Integration test: every dataflow passes the golden-data check (§5.1) on a
+//! variety of shapes, including ragged tilings and every Table 1 network
+//! (scaled down by the verifier).
+
+use mas::api::{Method, Planner};
+use mas::dataflow::numeric::golden_check_method;
+use mas::dataflow::{AttentionWorkload, Tiling};
+use mas::tensor::init::random_qkv;
+use mas::workloads::Network;
+
+#[test]
+fn all_methods_are_exact_on_small_shapes() {
+    let shapes = [(1usize, 2usize, 40usize, 16usize), (2, 1, 33, 8), (1, 3, 64, 32)];
+    for (b, h, n, e) in shapes {
+        let w = AttentionWorkload::new("case", b, h, n, e);
+        let (q, k, v) = random_qkv(b, h, n, e, 1234);
+        for nq in [1usize, 7, 16] {
+            for nkv in [5usize, 16, 64] {
+                let tiling = Tiling::new(1, 1, nq, nkv, &w);
+                for method in Method::all() {
+                    let report = golden_check_method(method, &q, &k, &v, &tiling)
+                        .expect("shapes are consistent");
+                    assert!(
+                        report.passed,
+                        "{method} failed on B{b} H{h} N{n} E{e} tiling {tiling}: \
+                         {} mismatches, max abs diff {}",
+                        report.mismatches, report.max_abs_diff
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_table1_network_passes_the_planner_verification() {
+    let planner = Planner::edge_default();
+    for network in Network::all() {
+        let w = network.attention_workload(1);
+        for method in [Method::Flat, Method::FuseMax, Method::MasAttention] {
+            let report = planner.verify(method, &w, 99).expect("verification runs");
+            assert!(report.passed, "{method} failed the golden check on {network}");
+        }
+    }
+}

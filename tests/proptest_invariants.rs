@@ -1,0 +1,88 @@
+//! Property-based integration tests over the core invariants:
+//! numerical exactness of the tiled executors for arbitrary tilings, schedule
+//! validity and conservation of work for arbitrary workload shapes, and
+//! simulator sanity (makespan bounds).
+
+use proptest::prelude::*;
+
+use mas::api::Method;
+use mas::dataflow::{build_dataflow, AttentionWorkload, Tiling};
+use mas::sim::{EnergyModel, Executor, HardwareConfig};
+use mas::tensor::attention::reference_attention;
+use mas::tensor::init::random_qkv;
+use mas::tensor::tiled::{fused_online_attention, tiled_attention, TileSizes};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiled_attention_is_exact_for_arbitrary_tilings(
+        n in 4usize..40,
+        e in 2usize..24,
+        nq in 1usize..40,
+        nkv in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let (q, k, v) = random_qkv(1, 2, n, e, seed);
+        let tiles = TileSizes::new(nq, nkv, n).unwrap();
+        let reference = reference_attention(&q, &k, &v).unwrap();
+        let tiled = tiled_attention(&q, &k, &v, tiles).unwrap();
+        let fused = fused_online_attention(&q, &k, &v, tiles).unwrap();
+        prop_assert!(reference.max_abs_diff(&tiled).unwrap() < 1e-4);
+        prop_assert!(reference.max_abs_diff(&fused).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn schedules_conserve_work_and_validate(
+        heads in 1usize..5,
+        seq in 16usize..129,
+        embed_pow in 3u32..7,
+        nq in 8usize..65,
+        nkv in 16usize..129,
+    ) {
+        let embed = 1usize << embed_pow;
+        let w = AttentionWorkload::new("prop", 1, heads, seq, embed);
+        let hw = HardwareConfig::edge_default();
+        let t = Tiling::new(1, 1, nq, nkv, &w);
+        for method in Method::all() {
+            let s = build_dataflow(method, &w, &t, &hw).unwrap();
+            s.graph().validate().unwrap();
+            // Every method performs at least the workload's MAC operations
+            // (more only when the overwrite strategy redoes sub-tiles).
+            prop_assert!(s.graph().total_mac_ops() >= w.total_mac_ops(), "{method}");
+            prop_assert!(
+                s.graph().total_mac_ops() <= w.total_mac_ops() + s.stats().redo_mac_ops,
+                "{method}"
+            );
+            // Output is written exactly once.
+            prop_assert_eq!(
+                s.graph().dram_write_bytes() >= w.operand_bytes(hw.element_bytes),
+                true
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_is_bounded_by_serial_time_and_mas_never_loses_to_flat(
+        heads in 1usize..4,
+        seq in 32usize..129,
+    ) {
+        let w = AttentionWorkload::new("prop", 1, heads, seq, 64);
+        let hw = HardwareConfig::edge_default();
+        let t = Tiling::heuristic(&w, &hw);
+        let exec = Executor::new(hw.clone(), EnergyModel::edge_16nm()).without_trace();
+
+        let mut cycles = std::collections::BTreeMap::new();
+        for method in [Method::Flat, Method::MasAttention] {
+            let s = build_dataflow(method, &w, &t, &hw).unwrap();
+            let report = exec.run(s.graph()).unwrap();
+            // Makespan can never exceed the sum of all task durations and
+            // never be zero.
+            prop_assert!(report.total_cycles > 0);
+            let serial: u64 = report.busy_cycles.values().sum();
+            prop_assert!(report.total_cycles <= serial + 1);
+            cycles.insert(method, report.total_cycles);
+        }
+        prop_assert!(cycles[&Method::MasAttention] <= cycles[&Method::Flat]);
+    }
+}
