@@ -14,9 +14,11 @@ fn bench_method_comparison(c: &mut Criterion) {
     let mut g = c.benchmark_group("planner_run_bert_small");
     g.sample_size(15);
     for method in Method::all() {
-        g.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &m| {
-            b.iter(|| planner.run(m, &w).unwrap().report.total_cycles)
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &m| b.iter(|| planner.run(m, &w).unwrap().report.total_cycles),
+        );
     }
     g.finish();
 }
@@ -27,13 +29,23 @@ fn bench_schedule_construction(c: &mut Criterion) {
     let t = Tiling::heuristic(&w, &hw);
     let mut g = c.benchmark_group("build_schedule_bert_base");
     g.sample_size(20);
-    for kind in [DataflowKind::Flat, DataflowKind::MasAttention, DataflowKind::TileFlow] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| build_dataflow(kind, &w, &t, &hw).unwrap().graph().len())
-        });
+    for kind in [
+        DataflowKind::Flat,
+        DataflowKind::MasAttention,
+        DataflowKind::TileFlow,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| build_dataflow(kind, &w, &t, &hw).unwrap().graph().len()),
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_method_comparison, bench_schedule_construction);
+criterion_group!(
+    benches,
+    bench_method_comparison,
+    bench_schedule_construction
+);
 criterion_main!(benches);

@@ -25,8 +25,13 @@ fn bench_sd_unet(c: &mut Criterion) {
     let units = sd15_reduced_unet(1);
     c.bench_function("npu_sd_unet_e2e", |b| {
         b.iter(|| {
-            sd_unet_report(&model, &units, DataflowKind::MasAttention, E2eConfig::default())
-                .end_to_end_reduction
+            sd_unet_report(
+                &model,
+                &units,
+                DataflowKind::MasAttention,
+                E2eConfig::default(),
+            )
+            .end_to_end_reduction
         })
     });
 }

@@ -24,19 +24,34 @@ fn bench_search_algorithms(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("grid", |b| {
         b.iter(|| {
-            let mut m = CostModel::new(DataflowKind::MasAttention, w.clone(), hw.clone(), Objective::Latency);
+            let mut m = CostModel::new(
+                DataflowKind::MasAttention,
+                w.clone(),
+                hw.clone(),
+                Objective::Latency,
+            );
             GridSearch::with_cap(30).run(&space, &mut m).best_objective
         })
     });
     g.bench_function("random", |b| {
         b.iter(|| {
-            let mut m = CostModel::new(DataflowKind::MasAttention, w.clone(), hw.clone(), Objective::Latency);
+            let mut m = CostModel::new(
+                DataflowKind::MasAttention,
+                w.clone(),
+                hw.clone(),
+                Objective::Latency,
+            );
             RandomSearch::new(30, 1).run(&space, &mut m).best_objective
         })
     });
     g.bench_function("mcts", |b| {
         b.iter(|| {
-            let mut m = CostModel::new(DataflowKind::MasAttention, w.clone(), hw.clone(), Objective::Latency);
+            let mut m = CostModel::new(
+                DataflowKind::MasAttention,
+                w.clone(),
+                hw.clone(),
+                Objective::Latency,
+            );
             MctsSearch::new(30, 1).run(&space, &mut m).best_objective
         })
     });
@@ -49,7 +64,10 @@ fn bench_autotune(c: &mut Criterion) {
     let mut g = c.benchmark_group("autotune_quick");
     g.sample_size(10);
     for objective in [Objective::Latency, Objective::Energy] {
-        let cfg = TunerConfig { objective, ..TunerConfig::quick() };
+        let cfg = TunerConfig {
+            objective,
+            ..TunerConfig::quick()
+        };
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{objective:?}")),
             &cfg,
@@ -67,5 +85,36 @@ fn bench_autotune(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_search_algorithms, bench_autotune);
+/// Wall-clock comparison of the rayon-parallel candidate-batch evaluation
+/// against the serial path, on the `quick()` tuner budget. Both paths run
+/// the identical search (bit-identical results); only the batch execution
+/// strategy differs, so the ratio isolates the parallel speedup.
+fn bench_autotune_parallel_vs_serial(c: &mut Criterion) {
+    let hw = HardwareConfig::edge_default();
+    let w = workload();
+    let mut g = c.benchmark_group("autotune_quick_batching");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("parallel", TunerConfig::quick()),
+        ("serial", TunerConfig::quick().serial()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                AutoTuner::new(*cfg, 3)
+                    .tune(DataflowKind::MasAttention, &w, &hw)
+                    .unwrap()
+                    .best_cost
+                    .cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_algorithms,
+    bench_autotune,
+    bench_autotune_parallel_vs_serial
+);
 criterion_main!(benches);

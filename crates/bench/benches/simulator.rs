@@ -13,13 +13,21 @@ fn bench_build_and_simulate(c: &mut Criterion) {
     let t = Tiling::heuristic(&w, &hw);
     let mut g = c.benchmark_group("simulate_bert_base");
     g.sample_size(20);
-    for kind in [DataflowKind::Flat, DataflowKind::MasAttention, DataflowKind::LayerWise] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let s = build_dataflow(kind, &w, &t, &hw).unwrap();
-                exec.run(s.graph()).unwrap().total_cycles
-            })
-        });
+    for kind in [
+        DataflowKind::Flat,
+        DataflowKind::MasAttention,
+        DataflowKind::LayerWise,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let s = build_dataflow(kind, &w, &t, &hw).unwrap();
+                    exec.run(s.graph()).unwrap().total_cycles
+                })
+            },
+        );
     }
     g.finish();
 }

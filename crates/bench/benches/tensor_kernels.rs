@@ -45,5 +45,10 @@ fn bench_matmul_sizes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_softmax, bench_attention_executors, bench_matmul_sizes);
+criterion_group!(
+    benches,
+    bench_softmax,
+    bench_attention_executors,
+    bench_matmul_sizes
+);
 criterion_main!(benches);

@@ -11,7 +11,14 @@ fn main() {
     println!("Section 5.4: DRAM accesses, MAS-Attention vs FLAT");
     println!(
         "{:<28} {:>14} {:>14} {:>10} {:>14} {:>14} {:>10} {:>12}",
-        "Network", "FLAT reads", "MAS reads", "ratio", "FLAT writes", "MAS writes", "ratio", "overwrites"
+        "Network",
+        "FLAT reads",
+        "MAS reads",
+        "ratio",
+        "FLAT writes",
+        "MAS writes",
+        "ratio",
+        "overwrites"
     );
     for (net, report) in compare_all_networks(&planner) {
         let flat = report.row(Method::Flat).unwrap();

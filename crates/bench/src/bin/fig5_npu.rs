@@ -24,8 +24,14 @@ fn main() {
         let mas = get(DataflowKind::MasAttention);
         println!(
             "{:<28} {:>11.3} {:>11.3} {:>11.3} {:>11.3} | {:>8.2}x {:>8.2}x {:>8.2}x",
-            net.name(), lw.2, sp.2, flat.2, mas.2,
-            lw.1 / mas.1, sp.1 / mas.1, flat.1 / mas.1
+            net.name(),
+            lw.2,
+            sp.2,
+            flat.2,
+            mas.2,
+            lw.1 / mas.1,
+            sp.1 / mas.1,
+            flat.1 / mas.1
         );
         speedups.push((lw.1 / mas.1, sp.1 / mas.1, flat.1 / mas.1));
     }
@@ -34,7 +40,11 @@ fn main() {
     let flat: Vec<f64> = speedups.iter().map(|s| s.2).collect();
     println!(
         "{:<28} {:>11} {:>11} {:>11} {:>11} | {:>8.2}x {:>8.2}x {:>8.2}x",
-        "Geometric Mean", "-", "-", "-", "-",
+        "Geometric Mean",
+        "-",
+        "-",
+        "-",
+        "-",
         geometric_mean(&lw).unwrap(),
         geometric_mean(&sp).unwrap(),
         geometric_mean(&flat).unwrap()

@@ -9,18 +9,29 @@ use mas_workloads::Network;
 
 fn main() {
     let search_mode = std::env::args().any(|a| a == "--full");
-    let budget = if search_mode { TunerConfig::full() } else { TunerConfig::quick() };
+    let budget = if search_mode {
+        TunerConfig::full()
+    } else {
+        TunerConfig::quick()
+    };
     let hw = HardwareConfig::edge_default();
     // The paper highlights BERT-Base, BERT-Large, BERT-Small, the ViT family
     // and XLM in §5.5; sweep a representative subset.
-    let networks = [Network::BertBase, Network::BertSmall, Network::VitB16, Network::Xlm];
+    let networks = [
+        Network::BertBase,
+        Network::BertSmall,
+        Network::VitB16,
+        Network::Xlm,
+    ];
 
     println!("Figure 7: search convergence (best-so-far cycles vs. iterations)");
     for net in networks {
         let w = net.attention_workload(1);
         for kind in [DataflowKind::Flat, DataflowKind::MasAttention] {
             let mut tuner = AutoTuner::new(budget, 7);
-            let Some(result) = tuner.tune(kind, &w, &hw) else { continue };
+            let Some(result) = tuner.tune(kind, &w, &hw) else {
+                continue;
+            };
             let naive = result.naive_cost.map(|c| c.cycles).unwrap_or(0);
             println!(
                 "\n{} / {}: naive {:.2}M -> tuned {:.3}M cycles ({:.1}x improvement, {} evaluations)",

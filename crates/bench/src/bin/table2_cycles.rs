@@ -4,7 +4,9 @@
 
 use mas_attention::report::geomean_speedup;
 use mas_attention::Method;
-use mas_bench::{baseline_columns, compare_all_networks, fmt_mcycles, fmt_ratio, Options};
+use mas_bench::{
+    baseline_columns, compare_all_networks, fmt_mcycles, fmt_ratio, report_json, Options,
+};
 
 fn main() {
     let opts = Options::from_args();
@@ -14,8 +16,18 @@ fn main() {
     println!("Table 2: cycles (10^6) and speedup of MAS-Attention vs. baselines");
     println!(
         "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "Network", "LayerWise", "SoftPipe", "FLAT", "TileFlow", "FuseMax", "MAS",
-        "vs LW", "vs SP", "vs FLAT", "vs TF", "vs FM"
+        "Network",
+        "LayerWise",
+        "SoftPipe",
+        "FLAT",
+        "TileFlow",
+        "FuseMax",
+        "MAS",
+        "vs LW",
+        "vs SP",
+        "vs FLAT",
+        "vs TF",
+        "vs FM"
     );
     for (net, report) in &results {
         let mas = report.cycles(Method::MasAttention).unwrap();
@@ -29,8 +41,18 @@ fn main() {
             .collect();
         println!(
             "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8} {:>8}",
-            net.name(), cols[0], cols[1], cols[2], cols[3], cols[4], fmt_mcycles(mas),
-            speedups[0], speedups[1], speedups[2], speedups[3], speedups[4]
+            net.name(),
+            cols[0],
+            cols[1],
+            cols[2],
+            cols[3],
+            cols[4],
+            fmt_mcycles(mas),
+            speedups[0],
+            speedups[1],
+            speedups[2],
+            speedups[3],
+            speedups[4]
         );
     }
     let reports: Vec<_> = results.iter().map(|(_, r)| r.clone()).collect();
@@ -44,7 +66,7 @@ fn main() {
     );
     if opts.json {
         for (net, report) in &results {
-            println!("{}", serde_json::json!({"network": net.name(), "report": report}));
+            println!("{}", report_json(net.name(), report));
         }
     }
 }

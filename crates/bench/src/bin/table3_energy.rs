@@ -4,7 +4,7 @@
 
 use mas_attention::report::geomean_energy_saving;
 use mas_attention::Method;
-use mas_bench::{baseline_columns, compare_all_networks, fmt_gpj, fmt_pct, Options};
+use mas_bench::{baseline_columns, compare_all_networks, fmt_gpj, fmt_pct, report_json, Options};
 
 fn main() {
     let opts = Options::from_args();
@@ -14,8 +14,18 @@ fn main() {
     println!("Table 3: energy (10^9 pJ) and savings of MAS-Attention vs. baselines");
     println!(
         "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "Network", "LayerWise", "SoftPipe", "FLAT", "TileFlow", "FuseMax", "MAS",
-        "vs LW", "vs SP", "vs FLAT", "vs TF", "vs FM"
+        "Network",
+        "LayerWise",
+        "SoftPipe",
+        "FLAT",
+        "TileFlow",
+        "FuseMax",
+        "MAS",
+        "vs LW",
+        "vs SP",
+        "vs FLAT",
+        "vs TF",
+        "vs FM"
     );
     for (net, report) in &results {
         let cols: Vec<String> = baseline_columns()
@@ -28,9 +38,18 @@ fn main() {
             .collect();
         println!(
             "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9} {:>9} {:>9}",
-            net.name(), cols[0], cols[1], cols[2], cols[3], cols[4],
+            net.name(),
+            cols[0],
+            cols[1],
+            cols[2],
+            cols[3],
+            cols[4],
             fmt_gpj(report.energy_pj(Method::MasAttention).unwrap()),
-            savings[0], savings[1], savings[2], savings[3], savings[4]
+            savings[0],
+            savings[1],
+            savings[2],
+            savings[3],
+            savings[4]
         );
     }
     let reports: Vec<_> = results.iter().map(|(_, r)| r.clone()).collect();
@@ -44,7 +63,7 @@ fn main() {
     );
     if opts.json {
         for (net, report) in &results {
-            println!("{}", serde_json::json!({"network": net.name(), "report": report}));
+            println!("{}", report_json(net.name(), report));
         }
     }
 }

@@ -108,6 +108,45 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
     println!("| {} |", row.join(" | "));
 }
 
+/// Escapes a string for use inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats one network's comparison report as a single-line JSON record
+/// (hand-rolled: the offline build vendors a marker-only serde shim, so
+/// machine-readable output is emitted directly from the typed report).
+#[must_use]
+pub fn report_json(network: &str, report: &ComparisonReport) -> String {
+    let mut cycles = Vec::new();
+    let mut energy = Vec::new();
+    for method in report.methods() {
+        if let (Some(c), Some(e)) = (report.cycles(method), report.energy_pj(method)) {
+            let name = json_escape(&method.to_string());
+            cycles.push(format!("\"{name}\":{c}"));
+            energy.push(format!("\"{name}\":{e:.3}"));
+        }
+    }
+    format!(
+        "{{\"network\":\"{}\",\"cycles\":{{{}}},\"energy_pj\":{{{}}}}}",
+        json_escape(network),
+        cycles.join(","),
+        energy.join(",")
+    )
+}
+
 /// The baseline methods in the column order of Tables 2 and 3.
 #[must_use]
 pub fn baseline_columns() -> [Method; 5] {
@@ -130,6 +169,14 @@ mod tests {
         assert_eq!(fmt_gpj(2.5e9), "2.500");
         assert_eq!(fmt_ratio(1.7), "1.70x");
         assert_eq!(fmt_pct(0.25), "25.00%");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

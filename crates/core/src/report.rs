@@ -212,6 +212,8 @@ mod tests {
         let w = AttentionWorkload::new("toy", 1, 1, 64, 32);
         let r = planner.compare(&w, &[DataflowKind::Flat]).unwrap();
         assert!(r.cycles(DataflowKind::MasAttention).is_none());
-        assert!(r.speedup(DataflowKind::Flat, DataflowKind::MasAttention).is_none());
+        assert!(r
+            .speedup(DataflowKind::Flat, DataflowKind::MasAttention)
+            .is_none());
     }
 }

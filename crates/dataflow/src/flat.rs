@@ -120,13 +120,8 @@ pub(crate) fn build(
         reload_bytes: 0,
         redo_mac_ops: 0,
         kv_resident,
-        l1_high_water_bytes: crate::footprint::footprint(
-            DataflowKind::Flat,
-            workload,
-            tiling,
-            eb,
-        )
-        .total_bytes(),
+        l1_high_water_bytes: crate::footprint::footprint(DataflowKind::Flat, workload, tiling, eb)
+            .total_bytes(),
     };
     Schedule::new(em.into_graph(), stats)
 }
@@ -153,7 +148,10 @@ mod tests {
         assert_eq!(s.stats().rounds, t.rounds(&w));
         assert!(s.stats().kv_resident);
         // Only the attention output is written to DRAM.
-        assert_eq!(s.graph().dram_write_bytes(), w.operand_bytes(hw.element_bytes));
+        assert_eq!(
+            s.graph().dram_write_bytes(),
+            w.operand_bytes(hw.element_bytes)
+        );
     }
 
     #[test]
@@ -166,11 +164,12 @@ mod tests {
         // FLAT serializes MAC and VEC: overlap is negligible (only across
         // chunks that run on different cores, which do not share units).
         let trace = report.trace.as_ref().unwrap();
-        let same_core_overlap = trace.overlap_cycles(
-            Resource::Mac { core: 0 },
-            Resource::Vec { core: 0 },
+        let same_core_overlap =
+            trace.overlap_cycles(Resource::Mac { core: 0 }, Resource::Vec { core: 0 });
+        assert_eq!(
+            same_core_overlap, 0,
+            "FLAT must not overlap MAC and VEC on a core"
         );
-        assert_eq!(same_core_overlap, 0, "FLAT must not overlap MAC and VEC on a core");
     }
 
     #[test]

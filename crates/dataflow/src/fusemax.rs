@@ -203,9 +203,7 @@ mod tests {
         let (w, hw, t) = toy();
         let exec = Executor::new(hw.clone(), EnergyModel::edge_16nm());
         let fm = exec.run(build(&w, &t, &hw).graph()).unwrap();
-        let mas = exec
-            .run(crate::mas::build(&w, &t, &hw).graph())
-            .unwrap();
+        let mas = exec.run(crate::mas::build(&w, &t, &hw).graph()).unwrap();
         assert!(fm.mac_vec_overlap_cycles > 0);
         assert!(
             mas.total_cycles <= fm.total_cycles,

@@ -123,11 +123,7 @@ pub(crate) fn build(
                     deps.push(v);
                 } else {
                     let bytes = plan.slices * kv_cols * embed * eb;
-                    deps.push(em.load(
-                        format!("c{chunk} r{i}: load V_{j}"),
-                        bytes,
-                        &[phase2_done],
-                    ));
+                    deps.push(em.load(format!("c{chunk} r{i}: load V_{j}"), bytes, &[phase2_done]));
                 }
                 pv.push(em.matmul(
                     format!("c{chunk} r{i}: O_{i} += P_{i},{j} V_{j}"),

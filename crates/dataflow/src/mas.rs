@@ -178,7 +178,12 @@ impl ChunkBuilder<'_> {
     }
 
     /// Emits the Algorithm-2 sweep producing `C_i`.
-    fn emit_qk(&mut self, i: usize, k_resident: Option<TaskId>, gate: Option<TaskId>) -> Vec<TaskId> {
+    fn emit_qk(
+        &mut self,
+        i: usize,
+        k_resident: Option<TaskId>,
+        gate: Option<TaskId>,
+    ) -> Vec<TaskId> {
         let chunk = self.plan.index;
         let core = self.plan.core;
         let q_rows = self.plan.q_rows(self.workload, self.tiling, i);
@@ -298,7 +303,10 @@ impl ChunkBuilder<'_> {
         let bytes = self.plan.slices * kv_cols * self.embed * self.eb;
         let deps: Vec<TaskId> = sm.into_iter().collect();
         let reload = self.em.load(
-            format!("c{chunk} r{i}: reload {} tile after overwrite", victim.name()),
+            format!(
+                "c{chunk} r{i}: reload {} tile after overwrite",
+                victim.name()
+            ),
             bytes,
             &deps,
         );
@@ -359,8 +367,7 @@ mod tests {
             .run(s.graph())
             .unwrap();
         let trace = report.trace.as_ref().unwrap();
-        let overlap =
-            trace.overlap_cycles(Resource::Mac { core: 0 }, Resource::Vec { core: 0 });
+        let overlap = trace.overlap_cycles(Resource::Mac { core: 0 }, Resource::Vec { core: 0 });
         assert!(overlap > 0, "MAS must overlap MAC and VEC on the same core");
     }
 
@@ -410,7 +417,10 @@ mod tests {
         // The schedule reads more from DRAM than the minimal Q+K+V.
         assert!(s.graph().dram_read_bytes() > 3 * w.operand_bytes(hw.element_bytes));
         // Writes stay equal to the output size (§5.4.1).
-        assert_eq!(s.graph().dram_write_bytes(), w.operand_bytes(hw.element_bytes));
+        assert_eq!(
+            s.graph().dram_write_bytes(),
+            w.operand_bytes(hw.element_bytes)
+        );
         // Total MAC work = workload + redone sub-tiles.
         assert_eq!(
             s.graph().total_mac_ops(),

@@ -47,7 +47,12 @@ pub fn min_footprint_bytes(
 /// Finds the largest sequence length `kind` can execute on `hw` with
 /// embedding size `embed`, by binary search over `N` up to `limit`.
 #[must_use]
-pub fn max_seq_len(kind: DataflowKind, embed: usize, hw: &HardwareConfig, limit: usize) -> MaxSeqLen {
+pub fn max_seq_len(
+    kind: DataflowKind,
+    embed: usize,
+    hw: &HardwareConfig,
+    limit: usize,
+) -> MaxSeqLen {
     let fits = |n: usize| min_footprint_bytes(kind, n, embed, hw) <= hw.l1_bytes;
     if !fits(1) {
         return MaxSeqLen {
@@ -124,7 +129,10 @@ mod tests {
     fn fusemax_is_not_limited_by_sequence_length() {
         let hw = HardwareConfig::edge_default();
         let fm = max_seq_len(DataflowKind::FuseMax, 64, &hw, LIMIT);
-        assert_eq!(fm.max_seq_len, LIMIT, "online softmax has no N-wide row buffer");
+        assert_eq!(
+            fm.max_seq_len, LIMIT,
+            "online softmax has no N-wide row buffer"
+        );
     }
 
     #[test]

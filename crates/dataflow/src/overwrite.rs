@@ -100,7 +100,7 @@ pub fn residency_plan(
 /// round parity.
 #[must_use]
 pub fn victim_for_round(round: usize) -> OverwriteVictim {
-    if round % 2 == 0 {
+    if round.is_multiple_of(2) {
         OverwriteVictim::V
     } else {
         OverwriteVictim::K
@@ -156,7 +156,9 @@ mod tests {
             sizes_seen.push(residency_plan(&w, &t, &hw));
         }
         // Once resident at some size, larger sizes must stay resident.
-        let first_resident = sizes_seen.iter().position(|p| *p == ResidencyPlan::Resident);
+        let first_resident = sizes_seen
+            .iter()
+            .position(|p| *p == ResidencyPlan::Resident);
         if let Some(idx) = first_resident {
             assert!(sizes_seen[idx..]
                 .iter()

@@ -116,13 +116,23 @@ impl Emitter {
     }
 
     /// DRAM → L1 load on the inbound DMA channel.
-    pub(crate) fn load(&mut self, label: impl Into<String>, bytes: usize, deps: &[TaskId]) -> TaskId {
+    pub(crate) fn load(
+        &mut self,
+        label: impl Into<String>,
+        bytes: usize,
+        deps: &[TaskId],
+    ) -> TaskId {
         self.graph
             .add_task(label, Resource::DmaIn, TaskKind::DramLoad { bytes }, deps)
     }
 
     /// L1 → DRAM store on the outbound DMA channel.
-    pub(crate) fn store(&mut self, label: impl Into<String>, bytes: usize, deps: &[TaskId]) -> TaskId {
+    pub(crate) fn store(
+        &mut self,
+        label: impl Into<String>,
+        bytes: usize,
+        deps: &[TaskId],
+    ) -> TaskId {
         self.graph
             .add_task(label, Resource::DmaOut, TaskKind::DramStore { bytes }, deps)
     }
@@ -180,7 +190,12 @@ impl Emitter {
     }
 
     /// Zero-duration synchronization point on a core's MAC unit.
-    pub(crate) fn barrier(&mut self, label: impl Into<String>, core: usize, deps: &[TaskId]) -> TaskId {
+    pub(crate) fn barrier(
+        &mut self,
+        label: impl Into<String>,
+        core: usize,
+        deps: &[TaskId],
+    ) -> TaskId {
         self.graph
             .add_task(label, Resource::Mac { core }, TaskKind::Barrier, deps)
     }
@@ -205,16 +220,8 @@ pub(crate) fn preload_resident_kv(
         .iter()
         .map(|plan| {
             let bytes = plan.slices * workload.seq_len * workload.embed * eb;
-            let k = em.load(
-                format!("c{}: load K (resident)", plan.index),
-                bytes,
-                &[],
-            );
-            let v = em.load(
-                format!("c{}: load V (resident)", plan.index),
-                bytes,
-                &[],
-            );
+            let k = em.load(format!("c{}: load K (resident)", plan.index), bytes, &[]);
+            let v = em.load(format!("c{}: load V (resident)", plan.index), bytes, &[]);
             (Some(k), Some(v))
         })
         .collect()
@@ -342,7 +349,12 @@ mod tests {
         let w = bert();
         let t = Tiling::new(1, 1, 64, 128, &w);
         let hw = HardwareConfig::edge_default();
-        assert!(kv_can_stay_resident(DataflowKind::MasAttention, &w, &t, &hw));
+        assert!(kv_can_stay_resident(
+            DataflowKind::MasAttention,
+            &w,
+            &t,
+            &hw
+        ));
         let mut small = hw.clone();
         small.l1_bytes = 64 * 1024;
         assert!(!kv_can_stay_resident(

@@ -76,11 +76,7 @@ pub(crate) fn build(
                         deps.push(k);
                     } else {
                         let bytes = plan.slices * kv_cols * embed * eb;
-                        deps.push(em.load(
-                            format!("c{chunk} s{s}: load K_{j}"),
-                            bytes,
-                            &load_deps,
-                        ));
+                        deps.push(em.load(format!("c{chunk} s{s}: load K_{j}"), bytes, &load_deps));
                     }
                     if let Some(b) = barrier {
                         deps.push(b);
@@ -135,11 +131,7 @@ pub(crate) fn build(
                     } else {
                         let bytes = plan.slices * kv_cols * embed * eb;
                         let load_deps: Vec<TaskId> = barrier.into_iter().collect();
-                        deps.push(em.load(
-                            format!("c{chunk} s{s}: load V_{j}"),
-                            bytes,
-                            &load_deps,
-                        ));
+                        deps.push(em.load(format!("c{chunk} s{s}: load V_{j}"), bytes, &load_deps));
                     }
                     if let Some(b) = barrier {
                         deps.push(b);
@@ -162,7 +154,8 @@ pub(crate) fn build(
             // Stage barrier: every stage of this step must finish before the
             // next step starts.
             if !step_tasks.is_empty() {
-                barrier = Some(em.barrier(format!("c{chunk} s{s}: stage barrier"), core, &step_tasks));
+                barrier =
+                    Some(em.barrier(format!("c{chunk} s{s}: stage barrier"), core, &step_tasks));
             }
         }
         core_barrier[core] = barrier;
@@ -241,7 +234,10 @@ mod tests {
             .run(build(&w, &coarse, &hw).graph())
             .unwrap()
             .total_cycles;
-        let tf_fine = exec.run(build(&w, &fine, &hw).graph()).unwrap().total_cycles;
+        let tf_fine = exec
+            .run(build(&w, &fine, &hw).graph())
+            .unwrap()
+            .total_cycles;
         assert!(tf_fine > tf_coarse, "finer tiling must cost TileFlow more");
     }
 }

@@ -38,7 +38,13 @@ impl Tiling {
     ///
     /// Panics if any factor is zero.
     #[must_use]
-    pub fn new(b_b: usize, h_h: usize, n_q: usize, n_kv: usize, workload: &AttentionWorkload) -> Self {
+    pub fn new(
+        b_b: usize,
+        h_h: usize,
+        n_q: usize,
+        n_kv: usize,
+        workload: &AttentionWorkload,
+    ) -> Self {
         assert!(
             b_b > 0 && h_h > 0 && n_q > 0 && n_kv > 0,
             "tiling factors must be non-zero"
@@ -71,8 +77,7 @@ impl Tiling {
         // Keep a K sub-tile at or below ~1/16 of L1.
         let budget = hw.l1_bytes / 16;
         let bytes_per_kv_row = workload.embed * hw.element_bytes;
-        let n_kv = (budget / bytes_per_kv_row.max(1))
-            .clamp(hw.mac_array_cols, workload.seq_len);
+        let n_kv = (budget / bytes_per_kv_row.max(1)).clamp(hw.mac_array_cols, workload.seq_len);
         Self::new(1, 1, n_q, n_kv, workload)
     }
 
@@ -138,10 +143,10 @@ impl Tiling {
     /// Whether every factor divides its dimension exactly (no ragged tiles).
     #[must_use]
     pub fn is_exact(&self, workload: &AttentionWorkload) -> bool {
-        workload.batch % self.b_b == 0
-            && workload.heads % self.h_h == 0
-            && workload.seq_len % self.n_q == 0
-            && workload.seq_len % self.n_kv == 0
+        workload.batch.is_multiple_of(self.b_b)
+            && workload.heads.is_multiple_of(self.h_h)
+            && workload.seq_len.is_multiple_of(self.n_q)
+            && workload.seq_len.is_multiple_of(self.n_kv)
     }
 }
 

@@ -31,7 +31,13 @@ impl AttentionWorkload {
     /// Panics if any dimension is zero; workloads come from network tables or
     /// generators that never produce degenerate shapes.
     #[must_use]
-    pub fn new(name: impl Into<String>, batch: usize, heads: usize, seq_len: usize, embed: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        batch: usize,
+        heads: usize,
+        seq_len: usize,
+        embed: usize,
+    ) -> Self {
         assert!(
             batch > 0 && heads > 0 && seq_len > 0 && embed > 0,
             "attention workload dimensions must be non-zero"

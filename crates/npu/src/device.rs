@@ -97,8 +97,7 @@ impl NpuDevice {
         let mut remaining = heads;
         // Ideal share, floored; remainder goes to the fastest cores.
         for (i, core) in self.cores.iter().enumerate() {
-            let share =
-                ((heads as f64) * core.peak_macs_per_second() / total).floor() as usize;
+            let share = ((heads as f64) * core.peak_macs_per_second() / total).floor() as usize;
             let share = share.min(remaining);
             assigned[i] = share;
             remaining -= share;

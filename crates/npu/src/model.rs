@@ -139,9 +139,7 @@ impl NpuModel {
                     qk_time.max(vec_time) + pv_time + 2.0 * launch + rounds * launch * 0.1
                 }
                 DataflowKind::Flat => mac_time + vec_time + rounds * launch * 0.2 + launch,
-                DataflowKind::TileFlow => {
-                    mac_time.max(vec_time) + rounds * launch * 0.3 + launch
-                }
+                DataflowKind::TileFlow => mac_time.max(vec_time) + rounds * launch * 0.3 + launch,
                 DataflowKind::FuseMax => {
                     mac_time.max(vec_time * 1.4) + rounds * launch * 0.2 + launch
                 }

@@ -38,7 +38,7 @@ impl ConvergenceHistory {
         let improved = self
             .points
             .last()
-            .map_or(true, |last| best_objective < last.best_objective);
+            .is_none_or(|last| best_objective < last.best_objective);
         if improved {
             self.points.push(ConvergencePoint {
                 iteration,
@@ -173,10 +173,7 @@ mod tests {
         let d = h.downsample(10);
         assert!(d.len() <= 11);
         assert_eq!(d.first().unwrap().best_objective, 1000.0);
-        assert_eq!(
-            d.last().unwrap().best_objective,
-            h.final_best().unwrap()
-        );
+        assert_eq!(d.last().unwrap().best_objective, h.final_best().unwrap());
         // Empty and small histories pass through unchanged.
         assert_eq!(ConvergenceHistory::new().downsample(5).len(), 0);
     }

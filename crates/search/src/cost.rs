@@ -5,9 +5,16 @@
 //! each MCTS/GA candidate with Timeloop/Accelergy. Evaluations are cached so
 //! the search algorithms can revisit points for free, and invalid tilings
 //! (working set exceeding L1) are rejected up front.
+//!
+//! Simulating one candidate is a pure function of `(method, workload,
+//! hardware, tiling)`, so a batch of uncached candidates — a GA generation, a
+//! grid-sweep chunk, an MCTS rollout batch — fans out across threads through
+//! [`CostModel::evaluate_batch`] before the results are merged into the
+//! cache. Parallel and serial batch evaluation produce bit-identical results.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use mas_dataflow::footprint::tiling_fits;
@@ -61,6 +68,7 @@ pub struct CostModel {
     objective: Objective,
     cache: HashMap<Tiling, Option<Cost>>,
     evaluations: usize,
+    parallel: bool,
 }
 
 impl CostModel {
@@ -81,7 +89,21 @@ impl CostModel {
             objective,
             cache: HashMap::new(),
             evaluations: 0,
+            parallel: true,
         }
+    }
+
+    /// Enables or disables thread-parallel batch evaluation (enabled by
+    /// default). Parallel and serial evaluation are bit-identical; the serial
+    /// path exists for baseline benchmarking and determinism tests.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Whether batch evaluation fans out across threads.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
     }
 
     /// The method being tuned.
@@ -120,25 +142,72 @@ impl CostModel {
         tiling_fits(self.kind, &self.workload, tiling, &self.hw)
     }
 
+    /// Simulates one tiling without touching the cache or counters: the pure
+    /// function each batch fans out over.
+    fn simulate(&self, tiling: &Tiling) -> Option<Cost> {
+        if !self.is_valid(tiling) {
+            return None;
+        }
+        let schedule = build_dataflow(self.kind, &self.workload, tiling, &self.hw).ok()?;
+        let report = self.executor.run(schedule.graph()).ok()?;
+        Some(Cost {
+            cycles: report.total_cycles,
+            energy_pj: report.total_energy_pj(),
+        })
+    }
+
     /// Evaluates a tiling, returning `None` for invalid (L1-overflowing)
     /// candidates. Results are cached.
     pub fn evaluate(&mut self, tiling: &Tiling) -> Option<Cost> {
         if let Some(cached) = self.cache.get(tiling) {
             return *cached;
         }
-        let result = if self.is_valid(tiling) {
-            let schedule = build_dataflow(self.kind, &self.workload, tiling, &self.hw).ok()?;
-            let report = self.executor.run(schedule.graph()).ok()?;
+        let result = self.simulate(tiling);
+        if result.is_some() {
             self.evaluations += 1;
-            Some(Cost {
-                cycles: report.total_cycles,
-                energy_pj: report.total_energy_pj(),
-            })
-        } else {
-            None
-        };
+        }
         self.cache.insert(*tiling, result);
         result
+    }
+
+    /// Evaluates a whole candidate batch, returning one cost per input
+    /// tiling in order.
+    ///
+    /// Cached candidates are answered from the cache; the unique uncached
+    /// remainder is simulated — in parallel when [`CostModel::is_parallel`]
+    /// — and merged into the cache afterwards. Because each simulation is a
+    /// pure function of the tiling, the returned costs (and every subsequent
+    /// query) are identical whichever path ran.
+    pub fn evaluate_batch(&mut self, tilings: &[Tiling]) -> Vec<Option<Cost>> {
+        let mut pending: Vec<Tiling> = Vec::new();
+        let mut seen: HashSet<Tiling> = HashSet::new();
+        for t in tilings {
+            if !self.cache.contains_key(t) && seen.insert(*t) {
+                pending.push(*t);
+            }
+        }
+        let fresh: Vec<(Tiling, Option<Cost>)> = if self.parallel && pending.len() > 1 {
+            let model = &*self;
+            pending
+                .into_par_iter()
+                .map(|t| (t, model.simulate(&t)))
+                .collect()
+        } else {
+            pending
+                .into_iter()
+                .map(|t| (t, self.simulate(&t)))
+                .collect()
+        };
+        for (t, cost) in fresh {
+            if cost.is_some() {
+                self.evaluations += 1;
+            }
+            self.cache.insert(t, cost);
+        }
+        tilings
+            .iter()
+            .map(|t| *self.cache.get(t).expect("batch candidates are cached"))
+            .collect()
     }
 
     /// Evaluates a tiling and reduces it to the scalar objective value
@@ -146,6 +215,16 @@ impl CostModel {
     pub fn objective_value(&mut self, tiling: &Tiling) -> f64 {
         self.evaluate(tiling)
             .map_or(f64::INFINITY, |c| c.scalar(self.objective))
+    }
+
+    /// Batch counterpart of [`CostModel::objective_value`]: one scalar per
+    /// input tiling, evaluated through [`CostModel::evaluate_batch`].
+    pub fn objective_batch(&mut self, tilings: &[Tiling]) -> Vec<f64> {
+        let objective = self.objective;
+        self.evaluate_batch(tilings)
+            .into_iter()
+            .map(|cost| cost.map_or(f64::INFINITY, |c| c.scalar(objective)))
+            .collect()
     }
 }
 
@@ -171,7 +250,11 @@ mod tests {
         let evals = m.evaluations();
         let b = m.evaluate(&t).unwrap();
         assert_eq!(a, b);
-        assert_eq!(m.evaluations(), evals, "second evaluation must hit the cache");
+        assert_eq!(
+            m.evaluations(),
+            evals,
+            "second evaluation must hit the cache"
+        );
     }
 
     #[test]
@@ -188,6 +271,74 @@ mod tests {
         assert!(!m.is_valid(&t));
         assert!(m.evaluate(&t).is_none());
         assert!(m.objective_value(&t).is_infinite());
+    }
+
+    #[test]
+    fn evaluate_batch_matches_serial_evaluation_exactly() {
+        let mut serial = model();
+        let mut parallel = model();
+        parallel.set_parallel(true);
+        serial.set_parallel(false);
+        let w = serial.workload().clone();
+        // Mix of valid, invalid and duplicate candidates.
+        let batch: Vec<Tiling> = vec![
+            Tiling::new(1, 1, 32, 64, &w),
+            Tiling::new(1, 2, 64, 128, &w),
+            Tiling::new(1, 1, 32, 64, &w),
+            Tiling::new(1, 1, 128, 128, &w),
+            Tiling::naive(&w),
+        ];
+        let a = parallel.evaluate_batch(&batch);
+        let b = serial.evaluate_batch(&batch);
+        assert_eq!(a, b, "parallel and serial batches must be bit-identical");
+        assert_eq!(parallel.evaluations(), serial.evaluations());
+        // Element-wise agreement with the one-at-a-time path.
+        let mut single = model();
+        for (t, &batched) in batch.iter().zip(&a) {
+            assert_eq!(single.evaluate(t), batched);
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_merges_into_the_cache() {
+        let mut m = model();
+        let w = m.workload().clone();
+        let batch = vec![Tiling::new(1, 1, 32, 64, &w), Tiling::new(1, 2, 64, 64, &w)];
+        let first = m.evaluate_batch(&batch);
+        let evals = m.evaluations();
+        assert!(evals > 0);
+        // Re-evaluating (batched or single) must hit the cache.
+        let second = m.evaluate_batch(&batch);
+        assert_eq!(first, second);
+        assert_eq!(m.evaluations(), evals);
+        assert_eq!(m.evaluate(&batch[0]), first[0]);
+        assert_eq!(m.evaluations(), evals);
+    }
+
+    #[test]
+    fn duplicate_candidates_are_simulated_once() {
+        let mut m = model();
+        let w = m.workload().clone();
+        let t = Tiling::new(1, 1, 32, 64, &w);
+        let results = m.evaluate_batch(&vec![t; 8]);
+        assert_eq!(m.evaluations(), 1);
+        assert!(results.iter().all(|r| *r == results[0]));
+    }
+
+    #[test]
+    fn objective_batch_matches_objective_value() {
+        let mut m = model();
+        let w = m.workload().clone();
+        let batch = vec![
+            Tiling::new(1, 1, 32, 64, &w),
+            Tiling::new(1, 2, 64, 128, &w),
+            Tiling::naive(&w),
+        ];
+        let batched = m.objective_batch(&batch);
+        let mut fresh = model();
+        for (t, &v) in batch.iter().zip(&batched) {
+            assert_eq!(fresh.objective_value(t), v);
+        }
     }
 
     #[test]
@@ -209,6 +360,9 @@ mod tests {
         let good = Tiling::new(1, 1, 64, 128, &w);
         let naive_cost = m.objective_value(&naive);
         let good_cost = m.objective_value(&good);
-        assert!(good_cost < naive_cost, "row-at-a-time tiling must be slower");
+        assert!(
+            good_cost < naive_cost,
+            "row-at-a-time tiling must be slower"
+        );
     }
 }

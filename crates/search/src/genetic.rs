@@ -8,7 +8,9 @@
 //! described by the tiling vector (the compute ordering is fixed by each
 //! dataflow builder), so the GA refines the tiling: individuals are tilings,
 //! crossover mixes dimensions from two parents, and mutation moves one
-//! dimension to a neighbouring candidate value.
+//! dimension to a neighbouring candidate value. Every generation is scored
+//! through [`CostModel::objective_batch`], which simulates the uncached
+//! individuals in parallel.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -75,15 +77,15 @@ impl GeneticSearch {
         let mut candidates = 0usize;
 
         for generation in 0..self.generations.max(1) {
-            // Evaluate.
-            let mut scored: Vec<(Tiling, f64)> = population
-                .iter()
-                .map(|t| {
-                    candidates += 1;
-                    (*t, model.objective_value(t))
-                })
-                .collect();
-            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective values are comparable"));
+            // Evaluate the whole generation as one batch: uncached
+            // individuals are simulated in parallel before scoring.
+            candidates += population.len();
+            let values = model.objective_batch(&population);
+            let mut scored: Vec<(Tiling, f64)> = population.iter().copied().zip(values).collect();
+            scored.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("objective values are comparable")
+            });
             if scored[0].1 < best_objective {
                 best_objective = scored[0].1;
                 best = Some(scored[0].0);

@@ -5,6 +5,10 @@
 //! candidate space there is small enough to sweep completely. The same
 //! implementation doubles as the exhaustive oracle against which the
 //! heuristic searches are validated in tests.
+//!
+//! The sweep is evaluated in chunks through [`CostModel::evaluate_batch`], so
+//! uncached candidates simulate in parallel while the best-so-far fold (and
+//! therefore the convergence history) still walks the space in order.
 
 use mas_dataflow::Tiling;
 
@@ -53,6 +57,13 @@ impl GridSearch {
         Self { max_candidates }
     }
 
+    /// Candidates evaluated per [`CostModel::evaluate_batch`] call: enough to
+    /// keep every worker thread busy without delaying the best-so-far fold.
+    /// Convergence-history evaluation counts quantize to these boundaries —
+    /// a parallel batch spends all its simulator evaluations before any
+    /// best-so-far within the batch is known.
+    const BATCH: usize = 64;
+
     /// Runs the sweep.
     pub fn run(&self, space: &SearchSpace, model: &mut CostModel) -> SearchOutcome {
         let workload = model.workload().clone();
@@ -60,18 +71,18 @@ impl GridSearch {
         let mut best_objective = f64::INFINITY;
         let mut history = ConvergenceHistory::new();
         let mut candidates = 0usize;
-        for (i, tiling) in space.iter(&workload).enumerate() {
-            if i >= self.max_candidates {
-                break;
-            }
-            candidates += 1;
-            let value = model.objective_value(&tiling);
-            if value < best_objective {
-                best_objective = value;
-                best = Some(tiling);
-            }
-            if best_objective.is_finite() {
-                history.record(i + 1, model.evaluations(), best_objective);
+        let sweep: Vec<Tiling> = space.iter(&workload).take(self.max_candidates).collect();
+        for chunk in sweep.chunks(Self::BATCH) {
+            let values = model.objective_batch(chunk);
+            for (tiling, value) in chunk.iter().zip(values) {
+                candidates += 1;
+                if value < best_objective {
+                    best_objective = value;
+                    best = Some(*tiling);
+                }
+                if best_objective.is_finite() {
+                    history.record(candidates, model.evaluations(), best_objective);
+                }
             }
         }
         SearchOutcome {

@@ -10,7 +10,11 @@
 //!
 //! * [`space::SearchSpace`] — enumerates the candidate factors per dimension,
 //! * [`cost::CostModel`] — builds the dataflow for a candidate tiling and
-//!   simulates it, returning cycles and energy (with caching),
+//!   simulates it, returning cycles and energy (with caching); whole
+//!   candidate batches — a GA generation, a grid-sweep chunk, an MCTS
+//!   rollout batch — evaluate in parallel through
+//!   [`cost::CostModel::evaluate_batch`] with bit-identical results to the
+//!   serial path,
 //! * [`grid::GridSearch`], [`random::RandomSearch`] — exhaustive/sampling
 //!   baselines,
 //! * [`mcts::MctsSearch`] — UCB-guided tree search over the per-dimension

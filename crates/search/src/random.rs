@@ -28,22 +28,39 @@ impl RandomSearch {
         Self { samples, seed }
     }
 
+    /// Samples evaluated per [`CostModel::evaluate_batch`] call. Convergence
+    /// history evaluation counts quantize to these boundaries: a parallel
+    /// batch spends all its simulator evaluations before any best-so-far
+    /// within the batch is known.
+    const BATCH: usize = 64;
+
     /// Runs the search.
+    ///
+    /// All samples are drawn up front (the RNG stream is identical to the
+    /// one-at-a-time formulation) and evaluated in batches through
+    /// [`CostModel::evaluate_batch`], so uncached candidates simulate in
+    /// parallel while the best-so-far fold still follows sample order.
     pub fn run(&self, space: &SearchSpace, model: &mut CostModel) -> SearchOutcome {
         let workload = model.workload().clone();
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let samples: Vec<_> = (0..self.samples)
+            .map(|_| space.sample(&mut rng, &workload))
+            .collect();
         let mut best = None;
         let mut best_objective = f64::INFINITY;
         let mut history = ConvergenceHistory::new();
-        for i in 0..self.samples {
-            let tiling = space.sample(&mut rng, &workload);
-            let value = model.objective_value(&tiling);
-            if value < best_objective {
-                best_objective = value;
-                best = Some(tiling);
-            }
-            if best_objective.is_finite() {
-                history.record(i + 1, model.evaluations(), best_objective);
+        let mut i = 0usize;
+        for chunk in samples.chunks(Self::BATCH) {
+            let values = model.objective_batch(chunk);
+            for (tiling, value) in chunk.iter().zip(values) {
+                i += 1;
+                if value < best_objective {
+                    best_objective = value;
+                    best = Some(*tiling);
+                }
+                if best_objective.is_finite() {
+                    history.record(i, model.evaluations(), best_objective);
+                }
             }
         }
         SearchOutcome {

@@ -30,7 +30,7 @@ pub struct SearchSpace {
 fn divisors(n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     for d in 1..=n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             out.push(d);
         }
     }
@@ -135,9 +135,7 @@ impl SearchSpace {
             .unwrap_or(values.len() - 1);
         let new_pos = if pos == 0 {
             1.min(values.len() - 1)
-        } else if pos + 1 >= values.len() {
-            pos - 1
-        } else if rng.gen_bool(0.5) {
+        } else if pos + 1 >= values.len() || rng.gen_bool(0.5) {
             pos - 1
         } else {
             pos + 1
@@ -181,7 +179,10 @@ mod tests {
         assert_eq!(s.h_h, vec![1, 2, 3, 4, 6, 12]);
         assert!(s.n_q.contains(&64));
         assert!(s.n_kv.contains(&512));
-        assert_eq!(s.len(), s.b_b.len() * s.h_h.len() * s.n_q.len() * s.n_kv.len());
+        assert_eq!(
+            s.len(),
+            s.b_b.len() * s.h_h.len() * s.n_q.len() * s.n_kv.len()
+        );
         assert!(!s.is_empty());
     }
 
@@ -241,7 +242,10 @@ mod tests {
         let w = AttentionWorkload::new("ViT-B/14", 1, 12, 196, 64);
         let hw = HardwareConfig::edge_default();
         let s = SearchSpace::for_workload(&w, &hw);
-        assert!(s.n_q.contains(&196), "the full sequence must be a candidate");
+        assert!(
+            s.n_q.contains(&196),
+            "the full sequence must be a candidate"
+        );
         assert!(s.n_kv.contains(&196));
     }
 }

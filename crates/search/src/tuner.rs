@@ -22,12 +22,19 @@ use crate::space::SearchSpace;
 pub struct TunerConfig {
     /// MCTS playouts.
     pub mcts_iterations: usize,
+    /// Rollouts completed (and evaluated as one parallel batch) per MCTS
+    /// playout; 1 reproduces the classic sequential playout.
+    pub mcts_rollout_batch: usize,
     /// GA population size.
     pub ga_population: usize,
     /// GA generations.
     pub ga_generations: usize,
     /// Optimization objective.
     pub objective: Objective,
+    /// Whether candidate batches simulate across threads
+    /// ([`CostModel::set_parallel`]); the serial path exists for baseline
+    /// benchmarking and produces bit-identical results.
+    pub parallel: bool,
 }
 
 impl TunerConfig {
@@ -36,9 +43,11 @@ impl TunerConfig {
     pub fn quick() -> Self {
         Self {
             mcts_iterations: 40,
+            mcts_rollout_batch: 4,
             ga_population: 8,
             ga_generations: 4,
             objective: Objective::Latency,
+            parallel: true,
         }
     }
 
@@ -49,10 +58,19 @@ impl TunerConfig {
     pub fn full() -> Self {
         Self {
             mcts_iterations: 200,
+            mcts_rollout_batch: 8,
             ga_population: 16,
             ga_generations: 10,
             objective: Objective::Latency,
+            parallel: true,
         }
+    }
+
+    /// The same budget with the serial evaluation path (benchmark baseline).
+    #[must_use]
+    pub fn serial(mut self) -> Self {
+        self.parallel = false;
+        self
     }
 }
 
@@ -121,12 +139,16 @@ impl AutoTuner {
     ) -> Option<TuningResult> {
         let space = SearchSpace::for_workload(workload, hw);
         let mut model = CostModel::new(kind, workload.clone(), hw.clone(), self.config.objective);
+        model.set_parallel(self.config.parallel);
 
         // Record the naive starting point (§5.5 improvement factors).
         let naive_cost = model.evaluate(&Tiling::naive(workload));
 
-        // Phase 1: MCTS over the tiling decisions.
-        let mcts = MctsSearch::new(self.config.mcts_iterations, self.seed).run(&space, &mut model);
+        // Phase 1: MCTS over the tiling decisions, with rollout batches
+        // evaluated through the parallel cost model.
+        let mcts = MctsSearch::new(self.config.mcts_iterations, self.seed)
+            .with_rollout_batch(self.config.mcts_rollout_batch)
+            .run(&space, &mut model);
 
         // Phase 2: GA refinement seeded with the MCTS best (and the
         // heuristic tiling, so the GA never starts from nothing).
@@ -197,7 +219,9 @@ mod tests {
         let result = tuner
             .tune(DataflowKind::MasAttention, &w, &hw)
             .expect("tuning succeeds");
-        let improvement = result.improvement_over_naive().expect("naive tiling is valid");
+        let improvement = result
+            .improvement_over_naive()
+            .expect("naive tiling is valid");
         assert!(
             improvement >= 1.0,
             "tuned tiling must not be slower than the naive one (factor {improvement})"
@@ -215,6 +239,20 @@ mod tests {
             .unwrap();
         assert_eq!(a.best_tiling, b.best_tiling);
         assert_eq!(a.best_cost.cycles, b.best_cost.cycles);
+    }
+
+    #[test]
+    fn parallel_and_serial_tuning_agree_exactly() {
+        let (w, hw) = toy();
+        let parallel = AutoTuner::new(TunerConfig::quick(), 11)
+            .tune(DataflowKind::MasAttention, &w, &hw)
+            .unwrap();
+        let serial = AutoTuner::new(TunerConfig::quick().serial(), 11)
+            .tune(DataflowKind::MasAttention, &w, &hw)
+            .unwrap();
+        assert_eq!(parallel.best_tiling, serial.best_tiling);
+        assert_eq!(parallel.best_cost.cycles, serial.best_cost.cycles);
+        assert_eq!(parallel.evaluations, serial.evaluations);
     }
 
     #[test]

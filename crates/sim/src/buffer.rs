@@ -270,9 +270,7 @@ mod tests {
         b.allocate("K", 400).unwrap();
         b.allocate("V", 400).unwrap();
         // 300 bytes needed, only 200 free: evict V first (priority order).
-        let evicted = b
-            .allocate_with_eviction("P_i", 300, &["V", "K"])
-            .unwrap();
+        let evicted = b.allocate_with_eviction("P_i", 300, &["V", "K"]).unwrap();
         assert_eq!(evicted, vec!["V".to_string()]);
         assert!(b.contains("K"));
         assert!(b.contains("P_i"));

@@ -78,8 +78,7 @@ impl EnergyModel {
                 // reads of stationary tiles.
                 let operand_elems = (*m as f64) * (*k as f64) + (*k as f64) * (*n as f64);
                 let output_elems = (*m as f64) * (*n as f64);
-                let bytes = (operand_elems * self.l1_bytes_per_mac_operand_element
-                    + output_elems)
+                let bytes = (operand_elems * self.l1_bytes_per_mac_operand_element + output_elems)
                     * element_bytes as f64;
                 e.l1_pj = bytes * self.l1_pj_per_byte;
             }
@@ -216,8 +215,24 @@ mod tests {
     #[test]
     fn matmul_energy_is_dominated_by_pe_and_scales_with_ops() {
         let m = EnergyModel::edge_16nm();
-        let small = m.task_energy(&TaskKind::MatMul { m: 16, k: 16, n: 16 }, 2, 64);
-        let big = m.task_energy(&TaskKind::MatMul { m: 32, k: 16, n: 16 }, 2, 64);
+        let small = m.task_energy(
+            &TaskKind::MatMul {
+                m: 16,
+                k: 16,
+                n: 16,
+            },
+            2,
+            64,
+        );
+        let big = m.task_energy(
+            &TaskKind::MatMul {
+                m: 32,
+                k: 16,
+                n: 16,
+            },
+            2,
+            64,
+        );
         assert!(big.mac_pe_pj > small.mac_pe_pj);
         assert!((big.mac_pe_pj / small.mac_pe_pj - 2.0).abs() < 1e-9);
         assert_eq!(small.dram_pj, 0.0);

@@ -152,10 +152,7 @@ impl Executor {
         }
         impl Ord for Running {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                other
-                    .end
-                    .cmp(&self.end)
-                    .then(other.index.cmp(&self.index))
+                other.end.cmp(&self.end).then(other.index.cmp(&self.index))
             }
         }
         impl PartialOrd for Running {
@@ -280,7 +277,7 @@ impl Executor {
 
 /// Computes the number of cycles covered by both interval sets (union of set A
 /// intersected with union of set B).
-fn interval_overlap(a: &mut Vec<(u64, u64)>, b: &mut Vec<(u64, u64)>) -> u64 {
+fn interval_overlap(a: &mut [(u64, u64)], b: &mut [(u64, u64)]) -> u64 {
     let merged_a = merge_intervals(a);
     let merged_b = merge_intervals(b);
     let mut i = 0;
@@ -303,7 +300,7 @@ fn interval_overlap(a: &mut Vec<(u64, u64)>, b: &mut Vec<(u64, u64)>) -> u64 {
     total
 }
 
-fn merge_intervals(v: &mut Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+fn merge_intervals(v: &mut [(u64, u64)]) -> Vec<(u64, u64)> {
     v.sort_unstable();
     let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
     for &(s, e) in v.iter() {
@@ -336,7 +333,11 @@ mod tests {
     #[test]
     fn single_task_makespan_matches_timing_model() {
         let mut g = TaskGraph::new();
-        let kind = TaskKind::MatMul { m: 64, k: 64, n: 64 };
+        let kind = TaskKind::MatMul {
+            m: 64,
+            k: 64,
+            n: 64,
+        };
         g.add_task("mm", Resource::Mac { core: 0 }, kind, &[]);
         let exec = executor();
         let report = exec.run(&g).unwrap();
@@ -348,8 +349,15 @@ mod tests {
     #[test]
     fn independent_tasks_on_different_resources_overlap() {
         let mut g = TaskGraph::new();
-        let mm = TaskKind::MatMul { m: 64, k: 512, n: 64 };
-        let sm = TaskKind::Softmax { rows: 64, cols: 512 };
+        let mm = TaskKind::MatMul {
+            m: 64,
+            k: 512,
+            n: 64,
+        };
+        let sm = TaskKind::Softmax {
+            rows: 64,
+            cols: 512,
+        };
         g.add_task("mm", Resource::Mac { core: 0 }, mm, &[]);
         g.add_task("sm", Resource::Vec { core: 0 }, sm, &[]);
         let exec = executor();
@@ -363,8 +371,15 @@ mod tests {
     #[test]
     fn dependent_tasks_serialize() {
         let mut g = TaskGraph::new();
-        let mm = TaskKind::MatMul { m: 64, k: 512, n: 64 };
-        let sm = TaskKind::Softmax { rows: 64, cols: 512 };
+        let mm = TaskKind::MatMul {
+            m: 64,
+            k: 512,
+            n: 64,
+        };
+        let sm = TaskKind::Softmax {
+            rows: 64,
+            cols: 512,
+        };
         let a = g.add_task("mm", Resource::Mac { core: 0 }, mm, &[]);
         g.add_task("sm", Resource::Vec { core: 0 }, sm, &[a]);
         let exec = executor();
@@ -377,7 +392,11 @@ mod tests {
     #[test]
     fn same_resource_tasks_serialize_even_without_deps() {
         let mut g = TaskGraph::new();
-        let mm = TaskKind::MatMul { m: 64, k: 64, n: 64 };
+        let mm = TaskKind::MatMul {
+            m: 64,
+            k: 64,
+            n: 64,
+        };
         g.add_task("a", Resource::Mac { core: 0 }, mm, &[]);
         g.add_task("b", Resource::Mac { core: 0 }, mm, &[]);
         let exec = executor();
@@ -387,7 +406,11 @@ mod tests {
 
     #[test]
     fn two_cores_double_throughput() {
-        let mm = TaskKind::MatMul { m: 64, k: 64, n: 64 };
+        let mm = TaskKind::MatMul {
+            m: 64,
+            k: 64,
+            n: 64,
+        };
         let mut one_core = TaskGraph::new();
         one_core.add_task("a", Resource::Mac { core: 0 }, mm, &[]);
         one_core.add_task("b", Resource::Mac { core: 0 }, mm, &[]);
@@ -418,14 +441,28 @@ mod tests {
     #[test]
     fn dram_traffic_and_energy_are_reported() {
         let mut g = TaskGraph::new();
-        let ld = g.add_task("ld", Resource::DmaIn, TaskKind::DramLoad { bytes: 4096 }, &[]);
+        let ld = g.add_task(
+            "ld",
+            Resource::DmaIn,
+            TaskKind::DramLoad { bytes: 4096 },
+            &[],
+        );
         let mm = g.add_task(
             "mm",
             Resource::Mac { core: 0 },
-            TaskKind::MatMul { m: 16, k: 16, n: 16 },
+            TaskKind::MatMul {
+                m: 16,
+                k: 16,
+                n: 16,
+            },
             &[ld],
         );
-        g.add_task("st", Resource::DmaOut, TaskKind::DramStore { bytes: 512 }, &[mm]);
+        g.add_task(
+            "st",
+            Resource::DmaOut,
+            TaskKind::DramStore { bytes: 512 },
+            &[mm],
+        );
         let report = executor().run(&g).unwrap();
         assert_eq!(report.dram_read_bytes, 4096);
         assert_eq!(report.dram_write_bytes, 512);
@@ -453,7 +490,11 @@ mod tests {
     #[test]
     fn program_order_breaks_ties_on_a_resource() {
         let mut g = TaskGraph::new();
-        let mm = TaskKind::MatMul { m: 16, k: 16, n: 16 };
+        let mm = TaskKind::MatMul {
+            m: 16,
+            k: 16,
+            n: 16,
+        };
         g.add_task("first", Resource::Mac { core: 0 }, mm, &[]);
         g.add_task("second", Resource::Mac { core: 0 }, mm, &[]);
         let report = executor().run(&g).unwrap();

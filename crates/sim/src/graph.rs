@@ -205,8 +205,18 @@ mod tests {
     #[test]
     fn traffic_and_op_totals() {
         let mut g = TaskGraph::new();
-        g.add_task("ld", Resource::DmaIn, TaskKind::DramLoad { bytes: 100 }, &[]);
-        g.add_task("st", Resource::DmaOut, TaskKind::DramStore { bytes: 40 }, &[]);
+        g.add_task(
+            "ld",
+            Resource::DmaIn,
+            TaskKind::DramLoad { bytes: 100 },
+            &[],
+        );
+        g.add_task(
+            "st",
+            Resource::DmaOut,
+            TaskKind::DramStore { bytes: 40 },
+            &[],
+        );
         g.add_task("mm", Resource::Mac { core: 0 }, mm(2), &[]);
         g.add_task(
             "sm",

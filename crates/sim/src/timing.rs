@@ -89,9 +89,7 @@ impl TimingModel {
             TaskKind::MatMul { m, k, n } => self.matmul_cycles(*m, *k, *n),
             TaskKind::Softmax { rows, cols } => self.softmax_cycles(*rows, *cols),
             TaskKind::VecOp { elements, passes } => self.vec_op_cycles(*elements, *passes),
-            TaskKind::DramLoad { bytes } | TaskKind::DramStore { bytes } => {
-                self.dma_cycles(*bytes)
-            }
+            TaskKind::DramLoad { bytes } | TaskKind::DramStore { bytes } => self.dma_cycles(*bytes),
             TaskKind::Barrier => 0,
         };
         if kind.is_compute() && base > 0 {
@@ -117,8 +115,7 @@ impl TimingModel {
     ) -> u64 {
         let slices = (batch * heads) as u64;
         let mac_ops = 2 * slices * (seq as u64) * (seq as u64) * (embed as u64);
-        let vec_ops =
-            slices * (seq as u64) * (seq as u64) * self.hw.softmax_ops_per_element as u64;
+        let vec_ops = slices * (seq as u64) * (seq as u64) * self.hw.softmax_ops_per_element as u64;
         let mac_cycles = mac_ops.div_ceil(self.hw.macs_per_cycle_total() as u64);
         let vec_cycles = vec_ops.div_ceil(self.hw.vec_ops_per_cycle_total() as u64);
         mac_cycles.max(vec_cycles)
@@ -146,8 +143,8 @@ mod tests {
     fn matmul_cycles_pad_to_array_size() {
         let t = model();
         // 17 rows needs two row-tiles on a 16-row array.
-        assert_eq!(t.matmul_cycles(17, 8, 16), 2 * 1 * 8 + 32);
-        assert_eq!(t.matmul_cycles(16, 8, 17), 1 * 2 * 8 + 32);
+        assert_eq!(t.matmul_cycles(17, 8, 16), 2 * 8 + 32);
+        assert_eq!(t.matmul_cycles(16, 8, 17), 2 * 8 + 32);
     }
 
     #[test]
@@ -174,7 +171,11 @@ mod tests {
     #[test]
     fn task_cycles_add_issue_overhead_only_for_compute() {
         let t = model();
-        let mm = TaskKind::MatMul { m: 16, k: 16, n: 16 };
+        let mm = TaskKind::MatMul {
+            m: 16,
+            k: 16,
+            n: 16,
+        };
         assert_eq!(t.task_cycles(&mm), t.matmul_cycles(16, 16, 16) + 16);
         let ld = TaskKind::DramLoad { bytes: 800 };
         assert_eq!(t.task_cycles(&ld), 100);
@@ -187,7 +188,10 @@ mod tests {
         // BERT-Base attention: H=12, N=512, E=64.
         let roof = t.attention_roofline_cycles(1, 12, 512, 64);
         let mac = 2u64 * 12 * 512 * 512 * 64 / 512;
-        assert_eq!(roof, mac, "with the default calibration the MAC stream dominates");
+        assert_eq!(
+            roof, mac,
+            "with the default calibration the MAC stream dominates"
+        );
         // The roofline is monotone in every dimension.
         assert!(t.attention_roofline_cycles(1, 12, 512, 128) > roof);
         assert!(t.attention_roofline_cycles(2, 12, 512, 64) > roof);

@@ -118,7 +118,10 @@ impl Trace {
         use std::collections::BTreeMap;
         let mut per_resource: BTreeMap<String, Vec<&TraceEntry>> = BTreeMap::new();
         for e in &self.entries {
-            per_resource.entry(e.resource.to_string()).or_default().push(e);
+            per_resource
+                .entry(e.resource.to_string())
+                .or_default()
+                .push(e);
         }
         let mut out = String::new();
         for (res, mut entries) in per_resource {
@@ -126,7 +129,10 @@ impl Trace {
             out.push_str(&res);
             out.push_str(": ");
             for e in entries {
-                out.push_str(&format!("[{}..{} {}] ", e.start_cycle, e.end_cycle, e.label));
+                out.push_str(&format!(
+                    "[{}..{} {}] ",
+                    e.start_cycle, e.end_cycle, e.label
+                ));
             }
             out.push('\n');
         }

@@ -13,7 +13,7 @@
 //! the "golden data check" of §5.1.
 
 use crate::error::{Result, TensorError};
-use crate::matmul::{matmul_nn, matmul_nt, scale};
+use crate::matmul::{matmul_nn, matmul_nt, scale_in_place};
 use crate::softmax::softmax_rows;
 use crate::tensor::Tensor;
 
@@ -44,8 +44,8 @@ pub fn reference_attention_scaled(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<
     check_same_shape(q, k, "reference_attention_scaled(q, k)")?;
     check_same_shape(k, v, "reference_attention_scaled(k, v)")?;
     let e = q.shape().cols() as f32;
-    let c = matmul_nt(q, k)?;
-    let c = scale(&c, 1.0 / e.sqrt());
+    let mut c = matmul_nt(q, k)?;
+    scale_in_place(&mut c, 1.0 / e.sqrt());
     let p = softmax_rows(&c);
     matmul_nn(&p, v)
 }

@@ -129,7 +129,10 @@ mod tests {
             let s = e.to_string();
             assert!(!s.is_empty());
             let first = s.chars().next().unwrap();
-            assert!(first.is_lowercase(), "error message should start lowercase: {s}");
+            assert!(
+                first.is_lowercase(),
+                "error message should start lowercase: {s}"
+            );
         }
     }
 

@@ -110,30 +110,40 @@ pub fn golden_check(candidate: &Tensor, golden: &Tensor, tol: Tolerance) -> Resu
     // Reuse the shape check from max_abs_diff.
     candidate.max_abs_diff(golden)?;
 
-    let [b_n, h_n, r_n, c_n] = golden.shape().dims();
+    // Single pass over the contiguous storage; the 4-D index of the worst
+    // mismatch is reconstructed from its flat offset afterwards.
+    let [_, h_n, r_n, c_n] = golden.shape().dims();
     let mut report = GoldenReport::empty();
     report.elements = golden.shape().volume();
     let mut worst_abs = -1.0f32;
-    for b in 0..b_n {
-        for h in 0..h_n {
-            for r in 0..r_n {
-                for c in 0..c_n {
-                    let g = golden.get(b, h, r, c)?;
-                    let x = candidate.get(b, h, r, c)?;
-                    let abs = (x - g).abs();
-                    let rel = if g != 0.0 { abs / g.abs() } else { 0.0 };
-                    report.max_abs_diff = report.max_abs_diff.max(abs);
-                    report.max_rel_diff = report.max_rel_diff.max(rel);
-                    if !tol.matches(x, g) {
-                        report.mismatches += 1;
-                        if abs > worst_abs {
-                            worst_abs = abs;
-                            report.worst_index = Some([b, h, r, c]);
-                        }
-                    }
-                }
+    let mut worst_flat = 0usize;
+    for (i, (&x, &g)) in candidate
+        .data()
+        .iter()
+        .zip(golden.data().iter())
+        .enumerate()
+    {
+        let abs = (x - g).abs();
+        let rel = if g != 0.0 { abs / g.abs() } else { 0.0 };
+        report.max_abs_diff = report.max_abs_diff.max(abs);
+        report.max_rel_diff = report.max_rel_diff.max(rel);
+        if !tol.matches(x, g) {
+            report.mismatches += 1;
+            // A NaN difference (either side NaN) is the most severe defect:
+            // rank it above every finite mismatch when picking the worst.
+            let severity = if abs.is_nan() { f32::INFINITY } else { abs };
+            if severity > worst_abs {
+                worst_abs = severity;
+                worst_flat = i;
             }
         }
+    }
+    if report.mismatches > 0 {
+        let c = worst_flat % c_n;
+        let r = (worst_flat / c_n) % r_n;
+        let h = (worst_flat / (c_n * r_n)) % h_n;
+        let b = worst_flat / (c_n * r_n * h_n);
+        report.worst_index = Some([b, h, r, c]);
     }
     report.passed = report.mismatches == 0;
     Ok(report)
@@ -191,6 +201,26 @@ mod tests {
         c.set(0, 0, 0, 0, f32::NAN).unwrap();
         let report = golden_check(&c, &t, Tolerance::default()).unwrap();
         assert!(!report.passed);
+    }
+
+    #[test]
+    fn nan_mismatch_is_ranked_worst() {
+        // A NaN mismatch must win the worst-index slot over a larger-looking
+        // finite mismatch, wherever it appears.
+        let golden = Tensor::full(shape(1, 1, 1, 4), 1.0);
+        let mut c = golden.clone();
+        c.set(0, 0, 0, 1, 5.0).unwrap();
+        c.set(0, 0, 0, 2, f32::NAN).unwrap();
+        let report = golden_check(&c, &golden, Tolerance::default()).unwrap();
+        assert_eq!(report.mismatches, 2);
+        assert_eq!(report.worst_index, Some([0, 0, 0, 2]));
+
+        // NaN on the golden side is located too.
+        let mut g2 = golden.clone();
+        g2.set(0, 0, 0, 3, f32::NAN).unwrap();
+        let report = golden_check(&golden, &g2, Tolerance::default()).unwrap();
+        assert_eq!(report.mismatches, 1);
+        assert_eq!(report.worst_index, Some([0, 0, 0, 3]));
     }
 
     #[test]

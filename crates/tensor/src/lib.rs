@@ -20,9 +20,34 @@
 //! * the golden-data checker ([`golden`]) and deterministic input generation
 //!   ([`init`]).
 //!
-//! The crate is deliberately dependency-light (only `rand` for input
-//! generation) and uses `f32` arithmetic with an `f16` *storage* emulation
-//! ([`half`]) for footprint analyses.
+//! The crate is deliberately dependency-light (`rand` for input generation,
+//! `rayon` for the per-`(batch, head)` kernel fan-out) and uses `f32`
+//! arithmetic with an `f16` *storage* emulation ([`half`]) for footprint
+//! analyses.
+//!
+//! ## Slice-view invariants
+//!
+//! All kernels are built on contiguous views of the row-major
+//! `(B, H, rows, cols)` storage, and rely on these invariants:
+//!
+//! 1. **Rows are contiguous.** `Tensor::row(b, h, r)` is exactly
+//!    `data[offset(b, h, r, 0) .. offset(b, h, r, 0) + cols]`; element
+//!    `(b, h, r, c)` is `row(b, h, r)[c]`. There is no stride or padding.
+//! 2. **`(batch, head)` matrices are contiguous.** `Tensor::slice(b, h)` is
+//!    the `rows × cols` row-major matrix of that slice, and the full storage
+//!    is the concatenation of the `B · H` matrices in `(b, h)` order — which
+//!    is what lets kernels partition `data_mut()` into disjoint
+//!    `rows * cols` chunks and process them in parallel.
+//! 3. **Kernels never index per element on the hot path.** Inner loops are
+//!    dot products ([`matmul::dot`]), AXPY updates ([`matmul::axpy`]) and
+//!    single-row softmax passes ([`softmax::softmax_row`]) over `&[f32]`,
+//!    which bounds-check once per row and autovectorize. The scalar
+//!    element accessors (`get`/`set`) remain for tests and one-off edits.
+//! 4. **Accumulation order is fixed but not left-to-right.** [`matmul::dot`]
+//!    uses a fixed number of independent accumulator lanes, so results are
+//!    deterministic run-to-run yet may differ from a scalar sum by `f32`
+//!    rounding; golden checks compare against [`golden::Tolerance`], never
+//!    bit equality.
 //!
 //! ## Example
 //!

@@ -10,15 +10,108 @@
 //! flag so that tiled executors can accumulate partial products over the
 //! contracted dimension exactly as Algorithm 4 of the paper does
 //! (`O_i = O_i + P_{i,j} V_{i,j}`).
+//!
+//! ## Kernel structure
+//!
+//! The inner loops run on contiguous row slices (see [`Tensor::row`]): the NT
+//! form reduces to row·row dot products ([`dot`]) and the NN form to
+//! rank-1 AXPY updates ([`axpy`]) in `ikj` order, both of which LLVM
+//! autovectorizes. The `(batch, head)` slices are independent and fan out
+//! across threads with rayon. The pre-slice scalar implementations are
+//! retained under `#[cfg(test)]` as oracles (see `naive` in the test module)
+//! and the equivalence tests in this file pin the kernels to them.
+
+use rayon::prelude::*;
 
 use crate::error::{Result, TensorError};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
+/// Number of parallel accumulator lanes in [`dot`]. Eight `f32` lanes fill a
+/// 256-bit vector register; narrower targets split them into two 128-bit ops.
+const DOT_LANES: usize = 8;
+
+/// Dot product of two equal-length slices using [`DOT_LANES`] independent
+/// accumulators so the compiler can vectorize the reduction.
+///
+/// The accumulation order differs from a strict left-to-right sum, so results
+/// may differ from a scalar loop by normal `f32` rounding (well inside the
+/// golden-check tolerances).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot operands must have equal length");
+    let split = x.len() - x.len() % DOT_LANES;
+    let mut lanes = [0.0f32; DOT_LANES];
+    for (xv, yv) in x[..split]
+        .chunks_exact(DOT_LANES)
+        .zip(y[..split].chunks_exact(DOT_LANES))
+    {
+        for l in 0..DOT_LANES {
+            lanes[l] += xv[l] * yv[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (a, b) in x[split..].iter().zip(&y[split..]) {
+        tail += a * b;
+    }
+    lanes.iter().sum::<f32>() + tail
+}
+
+/// `out += a * x` over equal-length slices (the AXPY update of the `ikj`
+/// matmul order); the inner loop is a pure elementwise FMA that vectorizes.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "axpy operands must have equal length");
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+/// Slice-level NT kernel: `c[m × n] = a[m × k] · b[n × k]ᵀ`, row-major.
+#[inline]
+pub(crate) fn matmul_nt_slice(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            *cv = dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Slice-level NN kernel in `ikj` order: `c[m × n] += a[m × k] · b[k × n]`.
+#[inline]
+pub(crate) fn matmul_nn_slice_acc(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            axpy(av, &b[p * n..(p + 1) * n], c_row);
+        }
+    }
+}
+
 /// Computes `out = A · Bᵀ` per `(batch, head)` slice.
 ///
 /// `a` has shape `B × H × M × K` and `b` has shape `B × H × N × K`; the result
-/// has shape `B × H × M × N`.
+/// has shape `B × H × M × N`. The `(batch, head)` slices are evaluated in
+/// parallel.
 ///
 /// # Errors
 ///
@@ -36,21 +129,13 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let out_shape = Shape::new(ba, ha, m, n)?;
     let mut out = Tensor::zeros(out_shape);
-    for bi in 0..ba {
-        for hi in 0..ha {
-            for i in 0..m {
-                for j in 0..n {
-                    let mut acc = 0.0f32;
-                    for p in 0..ka {
-                        let av = a.get(bi, hi, i, p)?;
-                        let bv = b.get(bi, hi, j, p)?;
-                        acc += av * bv;
-                    }
-                    out.set(bi, hi, i, j, acc)?;
-                }
-            }
-        }
-    }
+    out.data_mut()
+        .par_chunks_mut(m * n)
+        .enumerate()
+        .for_each(|(s, c_mat)| {
+            let (bi, hi) = (s / ha, s % ha);
+            matmul_nt_slice(a.slice(bi, hi), b.slice(bi, hi), c_mat, m, n, ka);
+        });
     Ok(out)
 }
 
@@ -76,7 +161,8 @@ pub fn matmul_nn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Computes `out += A · B` per `(batch, head)` slice, accumulating into `out`.
 ///
 /// This is the primitive used by the tiled executors to accumulate partial
-/// `P_{i,j} V_{i,j}` products (Algorithm 4, line 9).
+/// `P_{i,j} V_{i,j}` products (Algorithm 4, line 9). The `(batch, head)`
+/// slices are evaluated in parallel.
 ///
 /// # Errors
 ///
@@ -100,19 +186,13 @@ pub fn matmul_nn_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
             op: "matmul_nn_acc output",
         });
     }
-    for bi in 0..ba {
-        for hi in 0..ha {
-            for i in 0..m {
-                for j in 0..n {
-                    let mut acc = out.get(bi, hi, i, j)?;
-                    for p in 0..ka {
-                        acc += a.get(bi, hi, i, p)? * b.get(bi, hi, p, j)?;
-                    }
-                    out.set(bi, hi, i, j, acc)?;
-                }
-            }
-        }
-    }
+    out.data_mut()
+        .par_chunks_mut(m * n)
+        .enumerate()
+        .for_each(|(s, c_mat)| {
+            let (bi, hi) = (s / ha, s % ha);
+            matmul_nn_slice_acc(a.slice(bi, hi), b.slice(bi, hi), c_mat, m, ka, n);
+        });
     Ok(())
 }
 
@@ -121,10 +201,15 @@ pub fn matmul_nn_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
 #[must_use]
 pub fn scale(t: &Tensor, s: f32) -> Tensor {
     let mut out = t.clone();
-    for v in out.data_mut() {
+    scale_in_place(&mut out, s);
+    out
+}
+
+/// Scales every element of `t` by `s` in place.
+pub fn scale_in_place(t: &mut Tensor, s: f32) {
+    for v in t.data_mut() {
         *v *= s;
     }
-    out
 }
 
 fn dims(t: &Tensor) -> (usize, usize, usize, usize) {
@@ -150,6 +235,55 @@ fn check_batch_heads(
         });
     }
     Ok(())
+}
+
+/// The pre-slice scalar kernels, retained verbatim as oracles for the
+/// equivalence tests of the vectorizable kernels.
+#[cfg(test)]
+pub(crate) mod naive {
+    use super::*;
+
+    /// Scalar per-element `A · Bᵀ` (the seed implementation).
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (ba, ha, m, ka) = dims(a);
+        let (_, _, n, _) = dims(b);
+        let out_shape = Shape::new(ba, ha, m, n)?;
+        let mut out = Tensor::zeros(out_shape);
+        for bi in 0..ba {
+            for hi in 0..ha {
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut acc = 0.0f32;
+                        for p in 0..ka {
+                            acc += a.get(bi, hi, i, p)? * b.get(bi, hi, j, p)?;
+                        }
+                        out.set(bi, hi, i, j, acc)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scalar per-element `out += A · B` (the seed implementation).
+    pub fn matmul_nn_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (ba, ha, m, ka) = dims(a);
+        let (_, _, _, n) = dims(b);
+        for bi in 0..ba {
+            for hi in 0..ha {
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut acc = out.get(bi, hi, i, j)?;
+                        for p in 0..ka {
+                            acc += a.get(bi, hi, i, p)? * b.get(bi, hi, p, j)?;
+                        }
+                        out.set(bi, hi, i, j, acc)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +344,55 @@ mod tests {
     }
 
     #[test]
+    fn slice_nt_matches_naive_oracle() {
+        // Dimensions straddle the DOT_LANES boundary (tail handling).
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (8, 8, 8), (13, 9, 17), (16, 32, 64)] {
+            let a = random_tensor(shape(2, 3, m, k), 1.0, 11);
+            let b = random_tensor(shape(2, 3, n, k), 1.0, 12);
+            let fast = matmul_nt(&a, &b).unwrap();
+            let slow = naive::matmul_nt(&a, &b).unwrap();
+            let tol = 1e-4 * slow.max_abs().max(1.0);
+            assert!(
+                fast.max_abs_diff(&slow).unwrap() <= tol,
+                "matmul_nt ({m},{n},{k}) diverged from the oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_nn_acc_matches_naive_oracle() {
+        for (m, k, n) in [(1, 1, 1), (3, 7, 5), (8, 8, 8), (13, 17, 9)] {
+            let a = random_tensor(shape(1, 2, m, k), 1.0, 21);
+            let b = random_tensor(shape(1, 2, k, n), 1.0, 22);
+            let mut fast = random_tensor(shape(1, 2, m, n), 1.0, 23);
+            let mut slow = fast.clone();
+            matmul_nn_acc(&a, &b, &mut fast).unwrap();
+            naive::matmul_nn_acc(&a, &b, &mut slow).unwrap();
+            let tol = 1e-4 * slow.max_abs().max(1.0);
+            assert!(
+                fast.max_abs_diff(&slow).unwrap() <= tol,
+                "matmul_nn_acc ({m},{k},{n}) diverged from the oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_and_axpy_handle_lane_tails() {
+        for len in [0, 1, 7, 8, 9, 16, 31] {
+            let x: Vec<f32> = (0..len).map(|i| i as f32 * 0.5).collect();
+            let y: Vec<f32> = (0..len).map(|i| 1.0 - i as f32 * 0.25).collect();
+            let expected: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!((dot(&x, &y) - expected).abs() <= 1e-4 * expected.abs().max(1.0));
+
+            let mut out = vec![1.0f32; len];
+            axpy(2.0, &x, &mut out);
+            for (i, &o) in out.iter().enumerate() {
+                assert!((o - (1.0 + 2.0 * x[i])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
     fn mismatched_inner_dims_error() {
         let a = Tensor::zeros(shape(1, 1, 2, 3));
         let b = Tensor::zeros(shape(1, 1, 2, 4));
@@ -234,5 +417,8 @@ mod tests {
         let a = Tensor::from_vec(shape(1, 1, 1, 3), vec![1.0, -2.0, 4.0]).unwrap();
         let s = scale(&a, 0.5);
         assert_eq!(s.data(), &[0.5, -1.0, 2.0]);
+        let mut b = a.clone();
+        scale_in_place(&mut b, 0.5);
+        assert_eq!(b.data(), s.data());
     }
 }

@@ -4,8 +4,10 @@
 //! that softmax's row-wise nature drives the row-granularity tiling of `C`
 //! and `P` (Algorithm 3). Two implementations are provided:
 //!
-//! * [`softmax_rows`] — the classic three-pass max/exp-sum/normalize kernel
-//!   applied independently to every row (what the VEC unit executes per tile).
+//! * [`softmax_rows`] — the classic max/exp-sum/normalize kernel applied
+//!   independently to every row (what the VEC unit executes per tile). Each
+//!   pass runs over the contiguous row slice ([`softmax_row`]), and the
+//!   `(batch, head)` slices fan out across threads.
 //! * [`OnlineSoftmax`] — a streaming (single-pass over chunks) softmax with
 //!   running max/denominator correction, the decomposition FuseMax-style
 //!   pipelines use when the row arrives in pieces.
@@ -13,41 +15,76 @@
 //! Both produce identical results up to floating-point rounding; property
 //! tests assert this equivalence.
 
+use rayon::prelude::*;
+
 use crate::error::{Result, TensorError};
 use crate::tensor::Tensor;
+
+/// Maximum value of a slice (`-inf` when empty); the fold vectorizes.
+#[must_use]
+#[inline]
+pub fn slice_max(x: &[f32]) -> f32 {
+    x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+}
+
+/// Numerically stable softmax of one row: `dst[j] = exp(src[j] - max(src)) /
+/// Σ exp(src - max(src))`. `src` and `dst` may not alias; use
+/// [`softmax_row_in_place`] to normalize a row in its own storage.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn softmax_row(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "softmax row length mismatch");
+    let row_max = slice_max(src);
+    let mut denom = 0.0f32;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        let e = (x - row_max).exp();
+        *d = e;
+        denom += e;
+    }
+    let inv = 1.0 / denom;
+    for d in dst.iter_mut() {
+        *d *= inv;
+    }
+}
+
+/// In-place variant of [`softmax_row`].
+#[inline]
+pub fn softmax_row_in_place(row: &mut [f32]) {
+    let row_max = slice_max(row);
+    let mut denom = 0.0f32;
+    for v in row.iter_mut() {
+        let e = (*v - row_max).exp();
+        *v = e;
+        denom += e;
+    }
+    let inv = 1.0 / denom;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
 
 /// Applies softmax to every row (`cols` dimension) of every `(batch, head)`
 /// slice of `t`, returning a new tensor of identical shape.
 ///
 /// The kernel uses the numerically stable max-subtraction form:
-/// `softmax(x)_j = exp(x_j - max(x)) / Σ_k exp(x_k - max(x))`.
+/// `softmax(x)_j = exp(x_j - max(x)) / Σ_k exp(x_k - max(x))`, computed per
+/// contiguous row slice; `(batch, head)` slices are processed in parallel.
 #[must_use]
 pub fn softmax_rows(t: &Tensor) -> Tensor {
-    let [b_n, h_n, r_n, c_n] = t.shape().dims();
+    let [_, h_n, r_n, c_n] = t.shape().dims();
     let mut out = Tensor::zeros(*t.shape());
-    for b in 0..b_n {
-        for h in 0..h_n {
-            for r in 0..r_n {
-                // Pass 1: maximum.
-                let mut row_max = f32::NEG_INFINITY;
-                for c in 0..c_n {
-                    row_max = row_max.max(t.get(b, h, r, c).expect("index in range"));
-                }
-                // Pass 2: exponentials and their sum.
-                let mut denom = 0.0f32;
-                let mut exps = vec![0.0f32; c_n];
-                for (c, e) in exps.iter_mut().enumerate() {
-                    let x = t.get(b, h, r, c).expect("index in range");
-                    *e = (x - row_max).exp();
-                    denom += *e;
-                }
-                // Pass 3: normalization.
-                for (c, e) in exps.iter().enumerate() {
-                    out.set(b, h, r, c, e / denom).expect("index in range");
-                }
+    out.data_mut()
+        .par_chunks_mut(r_n * c_n)
+        .enumerate()
+        .for_each(|(s, dst_mat)| {
+            let (bi, hi) = (s / h_n, s % h_n);
+            for (r, dst_row) in dst_mat.chunks_exact_mut(c_n).enumerate() {
+                softmax_row(t.row(bi, hi, r), dst_row);
             }
-        }
-    }
+        });
     out
 }
 
@@ -58,7 +95,8 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
 /// running denominator `d` are updated, and previously emitted unnormalized
 /// weights are rescaled by `exp(m_old - m_new)`. After all chunks have been
 /// absorbed, [`OnlineSoftmax::finalize`] produces the normalized
-/// probabilities for the whole row.
+/// probabilities for the whole row. Every pass (chunk max, history rescale,
+/// weight emission) runs over contiguous slices.
 ///
 /// ```
 /// use mas_tensor::softmax::OnlineSoftmax;
@@ -101,9 +139,9 @@ impl OnlineSoftmax {
         if chunk.is_empty() {
             return;
         }
-        let chunk_max = chunk.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let chunk_max = slice_max(chunk);
         let new_max = self.running_max.max(chunk_max);
-        // Rescale history to the new reference maximum.
+        // Rescale history to the new reference maximum (one slice pass).
         if self.running_max.is_finite() && new_max > self.running_max {
             let correction = (self.running_max - new_max).exp();
             self.running_denom *= correction;
@@ -112,11 +150,11 @@ impl OnlineSoftmax {
             }
         }
         self.running_max = new_max;
-        for &x in chunk {
-            let w = (x - new_max).exp();
-            self.running_denom += w;
-            self.weights.push(w);
-        }
+        // Emit the chunk's weights (one slice pass over the new tail).
+        let start = self.weights.len();
+        self.weights
+            .extend(chunk.iter().map(|&x| (x - new_max).exp()));
+        self.running_denom += self.weights[start..].iter().sum::<f32>();
     }
 
     /// Number of logits absorbed so far.
@@ -145,16 +183,15 @@ impl OnlineSoftmax {
         if self.weights.is_empty() {
             return Vec::new();
         }
-        self.weights
-            .iter()
-            .map(|&w| w / self.running_denom)
-            .collect()
+        let inv = 1.0 / self.running_denom;
+        self.weights.iter().map(|&w| w * inv).collect()
     }
 }
 
 /// Applies softmax to every row of `t` using the online (chunked) algorithm
 /// with the given chunk width, primarily to validate that the streaming
-/// decomposition is exact.
+/// decomposition is exact. Chunks are borrowed directly from the contiguous
+/// row slices — no per-element staging buffer.
 ///
 /// # Errors
 ///
@@ -167,29 +204,56 @@ pub fn softmax_rows_online(t: &Tensor, chunk: usize) -> Result<Tensor> {
             extent: t.shape().cols(),
         });
     }
-    let [b_n, h_n, r_n, c_n] = t.shape().dims();
+    let [_, h_n, r_n, c_n] = t.shape().dims();
     let mut out = Tensor::zeros(*t.shape());
-    for b in 0..b_n {
-        for h in 0..h_n {
-            for r in 0..r_n {
+    out.data_mut()
+        .par_chunks_mut(r_n * c_n)
+        .enumerate()
+        .for_each(|(s, dst_mat)| {
+            let (bi, hi) = (s / h_n, s % h_n);
+            for (r, dst_row) in dst_mat.chunks_exact_mut(c_n).enumerate() {
                 let mut online = OnlineSoftmax::new();
-                let mut c0 = 0;
-                while c0 < c_n {
-                    let width = chunk.min(c_n - c0);
-                    let mut buf = Vec::with_capacity(width);
-                    for c in c0..c0 + width {
-                        buf.push(t.get(b, h, r, c)?);
-                    }
-                    online.absorb(&buf);
-                    c0 += width;
+                for piece in t.row(bi, hi, r).chunks(chunk) {
+                    online.absorb(piece);
                 }
-                for (c, p) in online.finalize().into_iter().enumerate() {
-                    out.set(b, h, r, c, p)?;
+                dst_row.copy_from_slice(&online.finalize());
+            }
+        });
+    Ok(out)
+}
+
+/// The pre-slice scalar softmax, retained verbatim as the oracle for the
+/// equivalence tests of the slice kernels.
+#[cfg(test)]
+pub(crate) mod naive {
+    use super::*;
+
+    /// Scalar per-element three-pass softmax (the seed implementation).
+    pub fn softmax_rows(t: &Tensor) -> Tensor {
+        let [b_n, h_n, r_n, c_n] = t.shape().dims();
+        let mut out = Tensor::zeros(*t.shape());
+        for b in 0..b_n {
+            for h in 0..h_n {
+                for r in 0..r_n {
+                    let mut row_max = f32::NEG_INFINITY;
+                    for c in 0..c_n {
+                        row_max = row_max.max(t.get(b, h, r, c).expect("index in range"));
+                    }
+                    let mut denom = 0.0f32;
+                    let mut exps = vec![0.0f32; c_n];
+                    for (c, e) in exps.iter_mut().enumerate() {
+                        let x = t.get(b, h, r, c).expect("index in range");
+                        *e = (x - row_max).exp();
+                        denom += *e;
+                    }
+                    for (c, e) in exps.iter().enumerate() {
+                        out.set(b, h, r, c, e / denom).expect("index in range");
+                    }
                 }
             }
         }
+        out
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -214,6 +278,32 @@ mod tests {
                     assert!((sum - 1.0).abs() < 1e-5, "row sum {sum}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn slice_softmax_matches_naive_oracle() {
+        for (r, c) in [(1, 1), (3, 5), (8, 16), (5, 33)] {
+            let t = random_tensor(shape(2, 2, r, c), 6.0, 31);
+            let fast = softmax_rows(&t);
+            let slow = naive::softmax_rows(&t);
+            assert!(
+                fast.max_abs_diff(&slow).unwrap() < 1e-6,
+                "softmax ({r},{c}) diverged from the oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_row_matches_out_of_place() {
+        let t = random_tensor(shape(1, 1, 1, 37), 5.0, 17);
+        let src = t.data().to_vec();
+        let mut dst = vec![0.0f32; src.len()];
+        softmax_row(&src, &mut dst);
+        let mut inplace = src.clone();
+        softmax_row_in_place(&mut inplace);
+        for (a, b) in dst.iter().zip(&inplace) {
+            assert!((a - b).abs() < 1e-7);
         }
     }
 

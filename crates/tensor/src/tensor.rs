@@ -90,6 +90,83 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Borrows one contiguous row `(b, h, r, ..)` as a `cols`-long slice.
+    ///
+    /// This is the primitive the slice-based kernels are built on: a row is
+    /// always contiguous in the row-major `(B, H, N, E)` layout, so per-row
+    /// kernels (dot products, softmax passes, AXPY accumulations) can run on
+    /// `&[f32]` without any per-element offset computation or bounds check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(b, h, r)` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn row(&self, b: usize, h: usize, r: usize) -> &[f32] {
+        let [bn, hn, rn, cn] = self.shape.dims();
+        assert!(
+            b < bn && h < hn && r < rn,
+            "row ({b}, {h}, {r}) out of range for {}",
+            self.shape
+        );
+        let start = self.shape.offset_unchecked(b, h, r, 0);
+        &self.data[start..start + cn]
+    }
+
+    /// Mutably borrows one contiguous row `(b, h, r, ..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(b, h, r)` is out of range.
+    #[inline]
+    pub fn row_mut(&mut self, b: usize, h: usize, r: usize) -> &mut [f32] {
+        let [bn, hn, rn, cn] = self.shape.dims();
+        assert!(
+            b < bn && h < hn && r < rn,
+            "row ({b}, {h}, {r}) out of range for {}",
+            self.shape
+        );
+        let start = self.shape.offset_unchecked(b, h, r, 0);
+        &mut self.data[start..start + cn]
+    }
+
+    /// Borrows one `(batch, head)` matrix as a contiguous `rows × cols`
+    /// row-major slice (the borrowing counterpart of [`Tensor::matrix`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(b, h)` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn slice(&self, b: usize, h: usize) -> &[f32] {
+        let [bn, hn, rn, cn] = self.shape.dims();
+        assert!(
+            b < bn && h < hn,
+            "slice ({b}, {h}) out of range for {}",
+            self.shape
+        );
+        let start = self.shape.offset_unchecked(b, h, 0, 0);
+        &self.data[start..start + rn * cn]
+    }
+
+    /// Mutably borrows one `(batch, head)` matrix as a contiguous
+    /// `rows × cols` row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(b, h)` is out of range.
+    #[inline]
+    pub fn slice_mut(&mut self, b: usize, h: usize) -> &mut [f32] {
+        let [bn, hn, rn, cn] = self.shape.dims();
+        assert!(
+            b < bn && h < hn,
+            "slice ({b}, {h}) out of range for {}",
+            self.shape
+        );
+        let start = self.shape.offset_unchecked(b, h, 0, 0);
+        &mut self.data[start..start + rn * cn]
+    }
+
     /// Reads the element at `(b, h, r, c)`.
     ///
     /// # Errors
@@ -135,11 +212,9 @@ impl Tensor {
         for b in 0..bl {
             for h in 0..hl {
                 for r in 0..rl {
-                    for c in 0..cl {
-                        let src = self.shape.offset_unchecked(b0 + b, h0 + h, r0 + r, c0 + c);
-                        let dst = out_shape.offset_unchecked(b, h, r, c);
-                        out.data[dst] = self.data[src];
-                    }
+                    let src = self.shape.offset_unchecked(b0 + b, h0 + h, r0 + r, c0);
+                    let dst = out_shape.offset_unchecked(b, h, r, 0);
+                    out.data[dst..dst + cl].copy_from_slice(&self.data[src..src + cl]);
                 }
             }
         }
@@ -166,11 +241,9 @@ impl Tensor {
         for b in 0..bl {
             for h in 0..hl {
                 for r in 0..rl {
-                    for c in 0..cl {
-                        let dst = self.shape.offset_unchecked(b0 + b, h0 + h, r0 + r, c0 + c);
-                        let src = block.shape.offset_unchecked(b, h, r, c);
-                        self.data[dst] = block.data[src];
-                    }
+                    let dst = self.shape.offset_unchecked(b0 + b, h0 + h, r0 + r, c0);
+                    let src = block.shape.offset_unchecked(b, h, r, 0);
+                    self.data[dst..dst + cl].copy_from_slice(&block.data[src..src + cl]);
                 }
             }
         }
@@ -178,21 +251,20 @@ impl Tensor {
     }
 
     /// Returns one `(batch, head)` matrix slice as a row-major `rows × cols`
-    /// vector of values.
+    /// vector of values (the owning counterpart of [`Tensor::slice`]).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::IndexOutOfBounds`] if `b` or `h` is out of range.
     pub fn matrix(&self, b: usize, h: usize) -> Result<Vec<f32>> {
-        let [bn, hn, rn, cn] = self.shape.dims();
+        let [bn, hn, ..] = self.shape.dims();
         if b >= bn || h >= hn {
             return Err(TensorError::IndexOutOfBounds {
                 index: [b, h, 0, 0],
                 shape: self.shape,
             });
         }
-        let start = self.shape.offset_unchecked(b, h, 0, 0);
-        Ok(self.data[start..start + rn * cn].to_vec())
+        Ok(self.slice(b, h).to_vec())
     }
 
     /// Maximum absolute element value (0.0 for an all-zero tensor).
@@ -299,8 +371,55 @@ mod tests {
     }
 
     #[test]
+    fn row_views_match_element_accessors() {
+        let t = Tensor::from_fn(shape(2, 3, 4, 5), |b, h, r, c| {
+            (b * 1000 + h * 100 + r * 10 + c) as f32
+        });
+        for b in 0..2 {
+            for h in 0..3 {
+                for r in 0..4 {
+                    let row = t.row(b, h, r);
+                    assert_eq!(row.len(), 5);
+                    for (c, &v) in row.iter().enumerate() {
+                        assert_eq!(v, t.get(b, h, r, c).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut t = Tensor::zeros(shape(1, 2, 3, 4));
+        t.row_mut(0, 1, 2).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.get(0, 1, 2, 3).unwrap(), 4.0);
+        assert_eq!(t.get(0, 1, 1, 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn slice_views_cover_one_matrix() {
+        let t = Tensor::from_fn(shape(1, 3, 2, 2), |_, h, r, c| {
+            (h * 100 + r * 10 + c) as f32
+        });
+        assert_eq!(t.slice(0, 1), &[100.0, 101.0, 110.0, 111.0]);
+        let mut u = t.clone();
+        u.slice_mut(0, 2).fill(7.0);
+        assert_eq!(u.get(0, 2, 1, 1).unwrap(), 7.0);
+        assert_eq!(u.get(0, 1, 1, 1).unwrap(), 111.0, "other slices untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_view_out_of_range_panics() {
+        let t = Tensor::zeros(shape(1, 1, 2, 2));
+        let _ = t.row(0, 0, 2);
+    }
+
+    #[test]
     fn matrix_slice_is_contiguous() {
-        let t = Tensor::from_fn(shape(1, 3, 2, 2), |_, h, r, c| (h * 100 + r * 10 + c) as f32);
+        let t = Tensor::from_fn(shape(1, 3, 2, 2), |_, h, r, c| {
+            (h * 100 + r * 10 + c) as f32
+        });
         let m = t.matrix(0, 1).unwrap();
         assert_eq!(m, vec![100.0, 101.0, 110.0, 111.0]);
         assert!(t.matrix(0, 3).is_err());

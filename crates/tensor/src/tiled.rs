@@ -16,12 +16,19 @@
 //! All executors accept a [`TileSizes`] describing the row-granularity query
 //! block `n_q` and the sub-matrix key/value block `n_kv` — the same
 //! `N_Q`/`N_{K,V}` parameters that the tiling search optimizes.
+//!
+//! The inner loops work exclusively on contiguous row slices: tile logits are
+//! row·row [`dot`](crate::matmul::dot) products, probability×value
+//! accumulation is an [`axpy`](crate::matmul::axpy) over the output row, and
+//! softmax runs in place on the on-chip `C_i` rows. Independent
+//! `(batch, head)` slices are processed in parallel.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
-use crate::shape::Shape;
-use crate::softmax::softmax_rows;
+use crate::matmul::{axpy, dot};
+use crate::softmax::{slice_max, softmax_row_in_place};
 use crate::tensor::Tensor;
 
 /// Tiling factors for the numerical executors.
@@ -84,14 +91,14 @@ impl TileSizes {
 /// Computes exact attention with the FLAT / TileFlow / MAS-Attention blocking
 /// structure (two sweeps over the key/value sub-tiles per query row-block).
 ///
-/// For each `(batch, head)` slice and each query row-block `Q_i`
-/// (`tiles.n_q` rows):
+/// For each `(batch, head)` slice (processed in parallel) and each query
+/// row-block `Q_i` (`tiles.n_q` rows):
 ///
 /// 1. **Algorithm 2** — for each key sub-tile `K_{i,j}` (`tiles.n_kv` rows),
 ///    compute `C_{i,j} = Q_i K_{i,j}ᵀ` and place it into the on-chip `C_i`.
-/// 2. **Algorithm 3** — softmax each row of `C_i` producing `P_i`.
+/// 2. **Algorithm 3** — softmax each row of `C_i` in place, producing `P_i`.
 /// 3. **Algorithm 4** — for each value sub-tile `V_{i,j}`, accumulate
-///    `O_i += P_{i,j} V_{i,j}`, then write `O_i` back.
+///    `O_i += P_{i,j} V_{i,j}` directly into the output rows.
 ///
 /// # Errors
 ///
@@ -99,62 +106,79 @@ impl TileSizes {
 pub fn tiled_attention(q: &Tensor, k: &Tensor, v: &Tensor, tiles: TileSizes) -> Result<Tensor> {
     check_same_shape(q, k, "tiled_attention(q, k)")?;
     check_same_shape(k, v, "tiled_attention(k, v)")?;
-    let [b_n, h_n, n, e] = q.shape().dims();
+    let [_, h_n, n, e] = q.shape().dims();
     let mut o = Tensor::zeros(*q.shape());
 
-    for b in 0..b_n {
-        for h in 0..h_n {
-            let mut qi_start = 0;
-            while qi_start < n {
-                let qi_len = tiles.n_q.min(n - qi_start);
-                // Algorithm 2: C_i = Q_i K^T assembled from K sub-tiles.
-                let mut c_i = vec![0.0f32; qi_len * n];
-                let mut kj_start = 0;
-                while kj_start < n {
-                    let kj_len = tiles.n_kv.min(n - kj_start);
-                    for r in 0..qi_len {
-                        for c in 0..kj_len {
-                            let mut acc = 0.0f32;
-                            for p in 0..e {
-                                acc += q.get(b, h, qi_start + r, p)?
-                                    * k.get(b, h, kj_start + c, p)?;
-                            }
-                            c_i[r * n + kj_start + c] = acc;
-                        }
-                    }
-                    kj_start += kj_len;
-                }
-                // Algorithm 3: row-wise softmax of C_i -> P_i.
-                let c_tensor =
-                    Tensor::from_vec(Shape::new(1, 1, qi_len, n)?, c_i)?;
-                let p_i = softmax_rows(&c_tensor);
-                // Algorithm 4: O_i = sum_j P_{i,j} V_{i,j}.
-                let mut o_i = vec![0.0f32; qi_len * e];
-                let mut vj_start = 0;
-                while vj_start < n {
-                    let vj_len = tiles.n_kv.min(n - vj_start);
-                    for r in 0..qi_len {
-                        for c in 0..e {
-                            let mut acc = 0.0f32;
-                            for p in 0..vj_len {
-                                acc += p_i.get(0, 0, r, vj_start + p)?
-                                    * v.get(b, h, vj_start + p, c)?;
-                            }
-                            o_i[r * e + c] += acc;
-                        }
-                    }
-                    vj_start += vj_len;
-                }
-                for r in 0..qi_len {
-                    for c in 0..e {
-                        o.set(b, h, qi_start + r, c, o_i[r * e + c])?;
-                    }
-                }
-                qi_start += qi_len;
-            }
-        }
-    }
+    o.data_mut()
+        .par_chunks_mut(n * e)
+        .enumerate()
+        .for_each(|(s, o_mat)| {
+            let (bi, hi) = (s / h_n, s % h_n);
+            tiled_attention_slice(
+                q.slice(bi, hi),
+                k.slice(bi, hi),
+                v.slice(bi, hi),
+                o_mat,
+                n,
+                e,
+                tiles,
+            );
+        });
     Ok(o)
+}
+
+/// One `(batch, head)` slice of [`tiled_attention`]; all operands are
+/// row-major `n × e` matrices.
+fn tiled_attention_slice(
+    q_mat: &[f32],
+    k_mat: &[f32],
+    v_mat: &[f32],
+    o_mat: &mut [f32],
+    n: usize,
+    e: usize,
+    tiles: TileSizes,
+) {
+    // On-chip C_i buffer, reused across query blocks.
+    let mut c_i = vec![0.0f32; tiles.n_q.min(n) * n];
+    let mut qi_start = 0;
+    while qi_start < n {
+        let qi_len = tiles.n_q.min(n - qi_start);
+        let c_block = &mut c_i[..qi_len * n];
+        // Algorithm 2: C_i = Q_i K^T assembled from K sub-tiles.
+        let mut kj_start = 0;
+        while kj_start < n {
+            let kj_len = tiles.n_kv.min(n - kj_start);
+            for r in 0..qi_len {
+                let q_row = &q_mat[(qi_start + r) * e..(qi_start + r + 1) * e];
+                let c_row = &mut c_block[r * n + kj_start..r * n + kj_start + kj_len];
+                for (c, cv) in c_row.iter_mut().enumerate() {
+                    let k_row = &k_mat[(kj_start + c) * e..(kj_start + c + 1) * e];
+                    *cv = dot(q_row, k_row);
+                }
+            }
+            kj_start += kj_len;
+        }
+        // Algorithm 3: row-wise softmax of C_i in place -> P_i.
+        for p_row in c_block.chunks_exact_mut(n) {
+            softmax_row_in_place(p_row);
+        }
+        // Algorithm 4: O_i = sum_j P_{i,j} V_{i,j}, accumulated per sub-tile
+        // directly into the output rows (already zero-initialized).
+        let mut vj_start = 0;
+        while vj_start < n {
+            let vj_len = tiles.n_kv.min(n - vj_start);
+            for r in 0..qi_len {
+                let p_row = &c_block[r * n + vj_start..r * n + vj_start + vj_len];
+                let o_row = &mut o_mat[(qi_start + r) * e..(qi_start + r + 1) * e];
+                for (p, &w) in p_row.iter().enumerate() {
+                    let v_row = &v_mat[(vj_start + p) * e..(vj_start + p + 1) * e];
+                    axpy(w, v_row, o_row);
+                }
+            }
+            vj_start += vj_len;
+        }
+        qi_start += qi_len;
+    }
 }
 
 /// Computes exact attention with a single fused sweep over key/value sub-tiles
@@ -164,7 +188,7 @@ pub fn tiled_attention(q: &Tensor, k: &Tensor, v: &Tensor, tiles: TileSizes) -> 
 /// For each query row-block, the accumulator state per row is
 /// `(m, d, o_acc[E])`; absorbing sub-tile `j` rescales the accumulator by
 /// `exp(m_old − m_new)` and adds the new contributions. The final output is
-/// `o_acc / d`.
+/// `o_acc / d`. `(batch, head)` slices are processed in parallel.
 ///
 /// # Errors
 ///
@@ -177,65 +201,86 @@ pub fn fused_online_attention(
 ) -> Result<Tensor> {
     check_same_shape(q, k, "fused_online_attention(q, k)")?;
     check_same_shape(k, v, "fused_online_attention(k, v)")?;
-    let [b_n, h_n, n, e] = q.shape().dims();
+    let [_, h_n, n, e] = q.shape().dims();
     let mut o = Tensor::zeros(*q.shape());
 
-    for b in 0..b_n {
-        for h in 0..h_n {
-            let mut qi_start = 0;
-            while qi_start < n {
-                let qi_len = tiles.n_q.min(n - qi_start);
-                let mut row_max = vec![f32::NEG_INFINITY; qi_len];
-                let mut row_denom = vec![0.0f32; qi_len];
-                let mut o_acc = vec![0.0f32; qi_len * e];
+    o.data_mut()
+        .par_chunks_mut(n * e)
+        .enumerate()
+        .for_each(|(s, o_mat)| {
+            let (bi, hi) = (s / h_n, s % h_n);
+            fused_online_attention_slice(
+                q.slice(bi, hi),
+                k.slice(bi, hi),
+                v.slice(bi, hi),
+                o_mat,
+                n,
+                e,
+                tiles,
+            );
+        });
+    Ok(o)
+}
 
-                let mut kj_start = 0;
-                while kj_start < n {
-                    let kj_len = tiles.n_kv.min(n - kj_start);
-                    for r in 0..qi_len {
-                        // Scores of this sub-tile for row r.
-                        let mut scores = vec![0.0f32; kj_len];
-                        let mut tile_max = f32::NEG_INFINITY;
-                        for (c, s) in scores.iter_mut().enumerate() {
-                            let mut acc = 0.0f32;
-                            for p in 0..e {
-                                acc += q.get(b, h, qi_start + r, p)?
-                                    * k.get(b, h, kj_start + c, p)?;
-                            }
-                            *s = acc;
-                            tile_max = tile_max.max(acc);
-                        }
-                        let new_max = row_max[r].max(tile_max);
-                        let correction = if row_max[r].is_finite() {
-                            (row_max[r] - new_max).exp()
-                        } else {
-                            0.0
-                        };
-                        row_denom[r] *= correction;
-                        for c in 0..e {
-                            o_acc[r * e + c] *= correction;
-                        }
-                        row_max[r] = new_max;
-                        for (c, &s) in scores.iter().enumerate() {
-                            let w = (s - new_max).exp();
-                            row_denom[r] += w;
-                            for d in 0..e {
-                                o_acc[r * e + d] += w * v.get(b, h, kj_start + c, d)?;
-                            }
-                        }
-                    }
-                    kj_start += kj_len;
+/// One `(batch, head)` slice of [`fused_online_attention`].
+fn fused_online_attention_slice(
+    q_mat: &[f32],
+    k_mat: &[f32],
+    v_mat: &[f32],
+    o_mat: &mut [f32],
+    n: usize,
+    e: usize,
+    tiles: TileSizes,
+) {
+    let mut scores = vec![0.0f32; tiles.n_kv.min(n)];
+    let mut qi_start = 0;
+    while qi_start < n {
+        let qi_len = tiles.n_q.min(n - qi_start);
+        let mut row_max = vec![f32::NEG_INFINITY; qi_len];
+        let mut row_denom = vec![0.0f32; qi_len];
+        // The output rows double as the running o_acc (zero-initialized).
+        let mut kj_start = 0;
+        while kj_start < n {
+            let kj_len = tiles.n_kv.min(n - kj_start);
+            for r in 0..qi_len {
+                let q_row = &q_mat[(qi_start + r) * e..(qi_start + r + 1) * e];
+                let o_row = &mut o_mat[(qi_start + r) * e..(qi_start + r + 1) * e];
+                // Scores of this sub-tile for row r (slice of dot products).
+                let tile_scores = &mut scores[..kj_len];
+                for (c, sv) in tile_scores.iter_mut().enumerate() {
+                    let k_row = &k_mat[(kj_start + c) * e..(kj_start + c + 1) * e];
+                    *sv = dot(q_row, k_row);
                 }
-                for r in 0..qi_len {
-                    for c in 0..e {
-                        o.set(b, h, qi_start + r, c, o_acc[r * e + c] / row_denom[r])?;
-                    }
+                let tile_max = slice_max(tile_scores);
+                let new_max = row_max[r].max(tile_max);
+                let correction = if row_max[r].is_finite() {
+                    (row_max[r] - new_max).exp()
+                } else {
+                    0.0
+                };
+                row_denom[r] *= correction;
+                for ov in o_row.iter_mut() {
+                    *ov *= correction;
                 }
-                qi_start += qi_len;
+                row_max[r] = new_max;
+                for (c, &sv) in tile_scores.iter().enumerate() {
+                    let w = (sv - new_max).exp();
+                    row_denom[r] += w;
+                    let v_row = &v_mat[(kj_start + c) * e..(kj_start + c + 1) * e];
+                    axpy(w, v_row, o_row);
+                }
+            }
+            kj_start += kj_len;
+        }
+        for r in 0..qi_len {
+            let inv = 1.0 / row_denom[r];
+            let o_row = &mut o_mat[(qi_start + r) * e..(qi_start + r + 1) * e];
+            for ov in o_row.iter_mut() {
+                *ov *= inv;
             }
         }
+        qi_start += qi_len;
     }
-    Ok(o)
 }
 
 fn check_same_shape(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {

@@ -32,7 +32,11 @@ impl Default for GeneratorConfig {
 
 /// Generates `count` random attention workloads from a seeded RNG.
 #[must_use]
-pub fn random_workloads(config: &GeneratorConfig, count: usize, seed: u64) -> Vec<AttentionWorkload> {
+pub fn random_workloads(
+    config: &GeneratorConfig,
+    count: usize,
+    seed: u64,
+) -> Vec<AttentionWorkload> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|i| {

@@ -206,18 +206,27 @@ mod tests {
     #[test]
     fn headline_configurations_match_the_paper() {
         let bert = Network::BertBase.config();
-        assert_eq!((bert.heads, bert.seq_len, bert.hidden, bert.embed), (12, 512, 768, 64));
+        assert_eq!(
+            (bert.heads, bert.seq_len, bert.hidden, bert.embed),
+            (12, 512, 768, 64)
+        );
         let llama = Network::Llama3_8B.config();
         assert_eq!(
             (llama.heads, llama.seq_len, llama.hidden, llama.embed),
             (32, 512, 4096, 128)
         );
         let t5 = Network::T5Mini.config();
-        assert_eq!((t5.heads, t5.seq_len, t5.hidden, t5.embed), (8, 512, 256, 32));
+        assert_eq!(
+            (t5.heads, t5.seq_len, t5.hidden, t5.embed),
+            (8, 512, 256, 32)
+        );
         let vit = Network::VitH16.config();
         assert_eq!((vit.heads, vit.seq_len, vit.embed), (16, 256, 80));
         let xlm = Network::Xlm.config();
-        assert_eq!((xlm.heads, xlm.seq_len, xlm.hidden, xlm.embed), (8, 512, 1024, 128));
+        assert_eq!(
+            (xlm.heads, xlm.seq_len, xlm.hidden, xlm.embed),
+            (8, 512, 1024, 128)
+        );
     }
 
     #[test]
@@ -234,7 +243,12 @@ mod tests {
         // Most text models satisfy hidden = heads * embed; the exceptions in
         // Table 1 (Llama3-8B uses grouped projections, ViT-H uses a wider
         // MLP) are carried verbatim from the paper.
-        for n in [Network::BertBase, Network::BertLarge, Network::BertSmall, Network::T5Mini] {
+        for n in [
+            Network::BertBase,
+            Network::BertLarge,
+            Network::BertSmall,
+            Network::T5Mini,
+        ] {
             let c = n.config();
             assert_eq!(c.hidden, c.heads * c.embed, "{}", c.name);
         }

@@ -17,7 +17,10 @@ fn main() {
     let report = planner.compare_all(&workload).expect("comparison");
 
     println!("{workload}");
-    println!("{:<16} {:>12} {:>14} {:>12} {:>12}", "method", "cycles", "energy (GpJ)", "DRAM rd (B)", "DRAM wr (B)");
+    println!(
+        "{:<16} {:>12} {:>14} {:>12} {:>12}",
+        "method", "cycles", "energy (GpJ)", "DRAM rd (B)", "DRAM wr (B)"
+    );
     for method in Method::all() {
         let row = report.row(method).unwrap();
         println!(
@@ -31,7 +34,9 @@ fn main() {
     }
     println!(
         "\nMAS-Attention speedup: {:.2}x vs Layer-Wise, {:.2}x vs FLAT",
-        report.speedup(Method::LayerWise, Method::MasAttention).unwrap(),
+        report
+            .speedup(Method::LayerWise, Method::MasAttention)
+            .unwrap(),
         report.speedup(Method::Flat, Method::MasAttention).unwrap()
     );
 }

@@ -11,7 +11,9 @@ fn main() {
     let workload = Network::BertBase.attention_workload(1);
     println!("workload: {workload}");
 
-    let flat = planner.run(Method::Flat, &workload).expect("FLAT simulation");
+    let flat = planner
+        .run(Method::Flat, &workload)
+        .expect("FLAT simulation");
     let mas = planner
         .run(Method::MasAttention, &workload)
         .expect("MAS simulation");

@@ -37,7 +37,12 @@ fn main() {
 
     println!("\nDaVinci-like NPU end-to-end estimate (vs Layer-Wise):");
     let model = NpuModel::kirin990();
-    let report = sd_unet_report(&model, &units, DataflowKind::MasAttention, E2eConfig::default());
+    let report = sd_unet_report(
+        &model,
+        &units,
+        DataflowKind::MasAttention,
+        E2eConfig::default(),
+    );
     println!(
         "  largest unit runtime reduction: {:.1}%  |  end-to-end reduction: {:.1}%",
         report.largest_unit_reduction * 100.0,

@@ -23,7 +23,13 @@ fn pe_energy_is_schedule_invariant_across_exact_methods() {
             .1
     };
     let reference = pe(Method::Flat);
-    for m in [Method::LayerWise, Method::SoftPipe, Method::TileFlow, Method::FuseMax, Method::MasAttention] {
+    for m in [
+        Method::LayerWise,
+        Method::SoftPipe,
+        Method::TileFlow,
+        Method::FuseMax,
+        Method::MasAttention,
+    ] {
         let v = pe(m);
         assert!(
             (v - reference).abs() / reference < 0.01,

@@ -10,7 +10,11 @@ use mas::workloads::Network;
 
 #[test]
 fn all_methods_are_exact_on_small_shapes() {
-    let shapes = [(1usize, 2usize, 40usize, 16usize), (2, 1, 33, 8), (1, 3, 64, 32)];
+    let shapes = [
+        (1usize, 2usize, 40usize, 16usize),
+        (2, 1, 33, 8),
+        (1, 3, 64, 32),
+    ];
     for (b, h, n, e) in shapes {
         let w = AttentionWorkload::new("case", b, h, n, e);
         let (q, k, v) = random_qkv(b, h, n, e, 1234);
@@ -39,7 +43,10 @@ fn every_table1_network_passes_the_planner_verification() {
         let w = network.attention_workload(1);
         for method in [Method::Flat, Method::FuseMax, Method::MasAttention] {
             let report = planner.verify(method, &w, 99).expect("verification runs");
-            assert!(report.passed, "{method} failed the golden check on {network}");
+            assert!(
+                report.passed,
+                "{method} failed the golden check on {network}"
+            );
         }
     }
 }

@@ -34,7 +34,12 @@ fn search_result_is_close_to_exhaustive_grid() {
     let hw = HardwareConfig::edge_default();
     let w = AttentionWorkload::new("toy", 1, 2, 128, 64);
     let space = SearchSpace::for_workload(&w, &hw);
-    let mut model = CostModel::new(DataflowKind::MasAttention, w.clone(), hw.clone(), Objective::Latency);
+    let mut model = CostModel::new(
+        DataflowKind::MasAttention,
+        w.clone(),
+        hw.clone(),
+        Objective::Latency,
+    );
     let grid = GridSearch::new().run(&space, &mut model);
     let mut tuner = AutoTuner::new(TunerConfig::quick(), 23);
     let tuned = tuner.tune(DataflowKind::MasAttention, &w, &hw).unwrap();
@@ -52,10 +57,16 @@ fn max_sequence_length_limitation_matches_section_5_6() {
     let limit = 1 << 23;
     let mas = max_seq_len(DataflowKind::MasAttention, 64, &hw, limit);
     let flat = max_seq_len(DataflowKind::Flat, 64, &hw, limit);
-    assert!(mas.max_seq_len >= 700_000, "MAS supports ~1M tokens at FP16");
+    assert!(
+        mas.max_seq_len >= 700_000,
+        "MAS supports ~1M tokens at FP16"
+    );
     assert!(flat.max_seq_len > mas.max_seq_len);
     let ratio = flat.max_seq_len as f64 / mas.max_seq_len as f64;
-    assert!((1.6..=2.4).contains(&ratio), "FLAT/MAS ratio {ratio} should be ~2");
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "FLAT/MAS ratio {ratio} should be ~2"
+    );
 }
 
 #[test]

@@ -25,7 +25,9 @@ fn mas_attention_wins_on_every_table1_network() {
             flat_speedup >= 1.2,
             "{network}: FLAT speedup {flat_speedup} below the expected band"
         );
-        let lw_speedup = report.speedup(Method::LayerWise, Method::MasAttention).unwrap();
+        let lw_speedup = report
+            .speedup(Method::LayerWise, Method::MasAttention)
+            .unwrap();
         assert!(
             lw_speedup > flat_speedup,
             "{network}: Layer-Wise must be slower than FLAT"
@@ -36,20 +38,29 @@ fn mas_attention_wins_on_every_table1_network() {
 #[test]
 fn energy_orderings_match_table3() {
     let planner = Planner::edge_default();
-    for network in [Network::BertBase, Network::T5Mini, Network::Llama3_8B, Network::VitB16] {
+    for network in [
+        Network::BertBase,
+        Network::T5Mini,
+        Network::Llama3_8B,
+        Network::VitB16,
+    ] {
         let report = planner
             .compare_all(&network.attention_workload(1))
             .expect("simulation succeeds");
         // MAS saves energy versus the unfused baselines.
         for baseline in [Method::LayerWise, Method::SoftPipe] {
-            let saving = report.energy_saving(baseline, Method::MasAttention).unwrap();
+            let saving = report
+                .energy_saving(baseline, Method::MasAttention)
+                .unwrap();
             assert!(
                 saving > 0.2,
                 "{network}: expected >20% energy saving vs {baseline}, got {saving}"
             );
         }
         // MAS is close to FLAT in energy (within ±20%), as in the paper.
-        let vs_flat = report.energy_saving(Method::Flat, Method::MasAttention).unwrap();
+        let vs_flat = report
+            .energy_saving(Method::Flat, Method::MasAttention)
+            .unwrap();
         assert!(
             vs_flat.abs() < 0.2,
             "{network}: MAS vs FLAT energy saving {vs_flat} out of band"
@@ -72,6 +83,12 @@ fn speedup_grows_as_embedding_shrinks() {
     let e32 = speedup_for(Network::T5Mini);
     let e64 = speedup_for(Network::BertBase);
     let e128 = speedup_for(Network::Xlm);
-    assert!(e32 > e128, "E=32 speedup {e32} should exceed E=128 speedup {e128}");
-    assert!(e64 > e128, "E=64 speedup {e64} should exceed E=128 speedup {e128}");
+    assert!(
+        e32 > e128,
+        "E=32 speedup {e32} should exceed E=128 speedup {e128}"
+    );
+    assert!(
+        e64 > e128,
+        "E=64 speedup {e64} should exceed E=128 speedup {e128}"
+    );
 }

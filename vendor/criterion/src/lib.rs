@@ -1,0 +1,287 @@
+//! In-tree shim for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! self-contained wall-clock benchmark harness exposing the criterion API
+//! subset the workspace's benches use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark is warmed up for a fixed wall-clock budget, then measured
+//! over a sample of timed batches; the harness reports the per-iteration
+//! mean, minimum and maximum. Results print as
+//! `bench <group>/<name> ... mean <t> (min <t>, max <t>, N iters)` so they
+//! can be diffed across commits. Statistical analysis (outlier detection,
+//! regression reports) of real criterion is out of scope.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (forwards to [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter value, e.g. `64` → `"64"`.
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    #[must_use]
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Runs the closure under timing and accumulates per-iteration samples.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Self {
+            warmup,
+            measure,
+            samples: Vec::new(),
+            iters: 0,
+        }
+    }
+
+    /// Times repeated executions of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also estimates the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Measurement: single-iteration samples until the budget is spent.
+        let batch =
+            1u64.max((Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)) as u64);
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+            self.iters += batch;
+        }
+    }
+
+    fn report(&self) -> Option<(Duration, Duration, Duration, u64)> {
+        let n = self.samples.len();
+        if n == 0 {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / n as u32;
+        let min = *self.samples.iter().min().expect("non-empty samples");
+        let max = *self.samples.iter().max().expect("non-empty samples");
+        Some((mean, min, max, self.iters))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, warmup: Duration, measure: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(warmup, measure);
+    f(&mut bencher);
+    match bencher.report() {
+        Some((mean, min, max, iters)) => println!(
+            "bench {label:<48} mean {:>10} (min {}, max {}, {iters} iters)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+        ),
+        None => println!("bench {label:<48} (no samples — closure never called iter)"),
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(120),
+            measure: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, for API parity.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, warmup: Duration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, measure: Duration) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.warmup, self.measure, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            warmup: self.warmup,
+            measure: self.measure,
+            _criterion: self,
+        }
+    }
+
+    /// Prints the final summary (no-op in the shim; results print inline).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warmup: Duration,
+    measure: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts (and ignores) the statistical sample count, for API parity.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, measure: Duration) -> &mut Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.warmup, self.measure, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: Display, P, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.warmup, self.measure, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_samples() {
+        let mut b = Bencher::new(Duration::from_millis(5), Duration::from_millis(20));
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(black_box(1));
+        });
+        let (mean, min, max, iters) = b.report().expect("samples were collected");
+        assert!(iters > 0);
+        assert!(min <= mean && mean <= max);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -1,0 +1,165 @@
+//! In-tree shim for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small proptest API subset the workspace's property tests use: the
+//! [`proptest!`] macro over `name in range` argument strategies,
+//! `ProptestConfig::with_cases`, and the `prop_assert!` family.
+//!
+//! Cases are sampled from integer-range strategies with a deterministic RNG
+//! seeded from the test name, so failures reproduce across runs. Shrinking
+//! (minimal counterexamples) of real proptest is out of scope — a failing
+//! case panics with the sampled arguments via the standard assert message.
+
+pub mod test_runner {
+    //! Runner configuration, mirroring `proptest::test_runner`.
+
+    /// Subset of `proptest::test_runner::ProptestConfig`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Builds a configuration running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value strategies, mirroring (a sliver of) `proptest::strategy`.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::ops::Range;
+
+    /// Something that can produce a random value from an RNG.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8);
+
+    /// Builds the deterministic RNG for one property test.
+    #[must_use]
+    pub fn rng_for_test(name: &str) -> StdRng {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+pub mod prelude {
+    //! The items a test file needs in scope, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a standard `#[test]` running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::strategy::rng_for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::{rng_for_test, Strategy};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sampled_values_stay_in_range(
+            n in 4usize..40,
+            seed in 0u64..1000,
+        ) {
+            prop_assert!((4..40).contains(&n));
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_test_name() {
+        let mut a = rng_for_test("x");
+        let mut b = rng_for_test("x");
+        let range = 0usize..1000;
+        for _ in 0..32 {
+            prop_assert_eq!(range.sample(&mut a), range.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! In-tree shim for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the rayon API subset the workspace uses on top of `std::thread::scope`:
+//!
+//! * [`join`] — run two closures, potentially in parallel,
+//! * `par_iter()` / `into_par_iter()` / `par_chunks_mut()` via the traits in
+//!   [`prelude`], with `map` / `enumerate` / `for_each` / `collect`,
+//! * [`current_num_threads`].
+//!
+//! Unlike real rayon there is no work-stealing pool: each parallel call
+//! splits its items into `current_num_threads()` contiguous chunks and runs
+//! them on scoped threads, which matches the coarse-grained fan-out patterns
+//! used here (per-`(batch, head)` kernel slices, per-candidate simulator
+//! runs). On a single-CPU host everything degrades to inline execution with
+//! no thread overhead. Ordering guarantees match rayon: `map`/`collect`
+//! preserve item order, `for_each` runs each item exactly once.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call may use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, in parallel when more than one thread is available,
+/// and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: join closure panicked"))
+    })
+}
+
+/// Core engine: maps `f` over `items` with order-preserving chunked threads.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let take = chunk_len.min(items.len());
+        let rest = items.split_off(take);
+        chunks.push(items);
+        items = rest;
+    }
+    let f = &f;
+    let mut results: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(results.iter().map(Vec::len).sum());
+    for part in &mut results {
+        out.append(part);
+    }
+    out
+}
+
+/// An eager "parallel iterator": holds the realized item list and executes
+/// each adapter with the chunked thread engine.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index (order-preserving).
+    #[must_use]
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    #[must_use]
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_map_vec(self.items, f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map_vec(self.items, f);
+    }
+
+    /// Collects the items (already computed in order) into a container.
+    #[must_use]
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Conversion into an owning parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iteration (`rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Returns a [`ParIter`] over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel mutable chunk iteration (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into non-overlapping mutable chunks of `chunk_size`
+    /// (the last chunk may be shorter) as a [`ParIter`].
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn enumerate_indices_match_positions() {
+        let data = vec![10, 20, 30, 40];
+        let v: Vec<(usize, i32)> = data
+            .clone()
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| (i, x))
+            .collect();
+        assert_eq!(v, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_the_slice_disjointly() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        assert!(data.iter().all(|&v| v >= 1));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1.0f32, 2.0, 3.0];
+        let doubled: Vec<f32> = data.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+        assert_eq!(data.len(), 3);
+    }
+}

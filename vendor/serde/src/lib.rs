@@ -1,0 +1,21 @@
+//! In-tree shim for `serde`.
+//!
+//! The build environment has no access to crates.io. This crate provides the
+//! `Serialize` / `Deserialize` traits as *markers* (no methods) together with
+//! no-op derive macros, so that the workspace's `#[derive(Serialize,
+//! Deserialize)]` annotations compile unchanged and can be swapped for the
+//! real serde without touching call sites once a registry is available.
+//! Nothing in the workspace performs actual serialization through these
+//! traits; machine-readable output is hand-formatted (see `mas-bench`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

@@ -1,0 +1,45 @@
+//! In-tree shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro crate
+//! provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` that emit empty
+//! marker-trait impls (the shim `serde` crate defines `Serialize` and
+//! `Deserialize` as marker traits). `#[serde(...)]` helper attributes are
+//! accepted and ignored. Only non-generic types are supported, which covers
+//! every derived type in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the type identifier following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("serde shim: expected type name, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim: no struct/enum keyword in derive input");
+}
