@@ -1,0 +1,79 @@
+//! Benchmarks of the `mas-serve` streaming runtime.
+//!
+//! The headline measurement backs the schedule-cache acceptance criterion:
+//! on a replayed 200-request trace over three Table 1 networks, steady-state
+//! request handling with a warm [`ScheduleCache`] must be ≥ 10× faster than
+//! planning every batch from scratch (a cache hit replays the memoized
+//! tiling + simulation instead of re-planning). `cold_plan_every_batch`
+//! clears the cache each iteration; `warm_cache_replay` reuses it.
+//!
+//! [`ScheduleCache`]: mas_serve::ScheduleCache
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mas_dataflow::DataflowKind;
+use mas_serve::{ScheduleCache, ServeConfig, ServeRequest, ServeRuntime};
+use mas_workloads::{request_trace, Network, TraceConfig};
+
+fn trace_200() -> Vec<ServeRequest> {
+    let trace = request_trace(&TraceConfig::poisson(
+        vec![Network::BertSmall, Network::VitB16, Network::T5Mini],
+        200,
+        2000.0,
+        42,
+    ));
+    ServeRequest::stream_from_trace(&trace, DataflowKind::MasAttention, Some(0.05))
+}
+
+fn bench_serve_trace(c: &mut Criterion) {
+    let requests = trace_200();
+    let mut g = c.benchmark_group("serve_200req_3nets");
+    g.sample_size(10);
+
+    // Cold: every iteration starts with an empty cache, so every batch key
+    // plans (tiling + simulation) from scratch.
+    g.bench_function("cold_plan_every_batch", |b| {
+        b.iter(|| {
+            let mut rt = ServeRuntime::new(ServeConfig::default());
+            rt.run_trace(&requests).unwrap()
+        })
+    });
+
+    // Warm: one runtime keeps its cache across iterations; after the first,
+    // every batch key is a hit and replay skips planning entirely.
+    let mut warm_rt = ServeRuntime::new(ServeConfig::default());
+    warm_rt.run_trace(&requests).unwrap(); // prime
+    g.bench_function("warm_cache_replay", |b| {
+        b.iter(|| warm_rt.run_trace(&requests).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    // Build a realistic cache once (all six methods × three networks).
+    let mut rt = ServeRuntime::new(ServeConfig::default());
+    for method in DataflowKind::all() {
+        let trace = request_trace(&TraceConfig::poisson(
+            vec![Network::BertSmall, Network::VitB16, Network::T5Mini],
+            30,
+            2000.0,
+            7,
+        ));
+        let stream = ServeRequest::stream_from_trace(&trace, method, None);
+        rt.run_trace(&stream).unwrap();
+    }
+    let cache = rt.into_cache();
+    let text = cache.to_text();
+
+    let mut g = c.benchmark_group("schedule_cache");
+    g.bench_function("serialize", |b| b.iter(|| cache.to_text()));
+    g.bench_function("parse", |b| {
+        b.iter(|| ScheduleCache::from_text(&text).unwrap())
+    });
+    g.bench_function("merge_self", |b| {
+        b.iter(|| ScheduleCache::merged(cache.clone(), &cache))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve_trace, bench_cache_ops);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Replays a generated request trace through the `mas-serve` streaming
+//! runtime and reports per-network and aggregate serving metrics.
+//!
+//! ```text
+//! serve_trace [--requests N] [--rate RPS] [--seed S] [--burst LEN]
+//!             [--deadline-ms MS] [--devices N] [--search] [--serial]
+//!             [--load-cache PATH]... [--save-cache PATH] [--json]
+//! ```
+//!
+//! `--load-cache` may repeat: the caches merge (commutatively) before the
+//! replay, which is how sharded tuning sweeps combine. `--save-cache`
+//! persists the post-replay cache for the next shard or process.
+
+use mas_attention::planner::{PlannerConfig, TilingStrategy};
+use mas_dataflow::DataflowKind;
+use mas_search::tuner::TunerConfig;
+use mas_serve::{ScheduleCache, ServeConfig, ServeReport, ServeRequest, ServeRuntime};
+use mas_workloads::{request_trace, Network, TraceConfig};
+
+struct Args {
+    requests: usize,
+    rate_rps: f64,
+    seed: u64,
+    burst: Option<usize>,
+    deadline_ms: Option<f64>,
+    devices: usize,
+    search: bool,
+    serial: bool,
+    load_caches: Vec<String>,
+    save_cache: Option<String>,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let value = |flag: &str| -> Option<String> {
+        argv.iter().position(|a| a == flag).map(|i| {
+            argv.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+                .clone()
+        })
+    };
+    // A present-but-unparseable value is an error, never a silent default:
+    // this binary's output is recorded as experiment evidence.
+    fn parsed<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Option<T> {
+        v.map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag}: cannot parse {v:?}"))
+        })
+    }
+    let values = |flag: &str| -> Vec<String> {
+        argv.iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_str() == flag)
+            .map(|(i, _)| {
+                argv.get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .clone()
+            })
+            .collect()
+    };
+    Args {
+        requests: parsed("--requests", value("--requests")).unwrap_or(200),
+        rate_rps: parsed("--rate", value("--rate")).unwrap_or(2000.0),
+        seed: parsed("--seed", value("--seed")).unwrap_or(42),
+        burst: parsed("--burst", value("--burst")),
+        deadline_ms: parsed("--deadline-ms", value("--deadline-ms")),
+        devices: parsed("--devices", value("--devices")).unwrap_or(1),
+        search: argv.iter().any(|a| a == "--search"),
+        serial: argv.iter().any(|a| a == "--serial"),
+        load_caches: values("--load-cache"),
+        save_cache: value("--save-cache"),
+        json: argv.iter().any(|a| a == "--json"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let networks = vec![Network::BertSmall, Network::VitB16, Network::T5Mini];
+    let trace_cfg = match args.burst {
+        Some(len) => TraceConfig::bursty(networks, args.requests, args.rate_rps, len, args.seed),
+        None => TraceConfig::poisson(networks, args.requests, args.rate_rps, args.seed),
+    };
+    let trace = request_trace(&trace_cfg);
+    let stream = ServeRequest::stream_from_trace(
+        &trace,
+        DataflowKind::MasAttention,
+        args.deadline_ms.map(|ms| ms / 1e3),
+    );
+
+    let mut config = ServeConfig {
+        devices: args.devices,
+        parallel_planning: !args.serial,
+        ..ServeConfig::default()
+    };
+    if args.search {
+        config.planner = PlannerConfig {
+            tiling: TilingStrategy::Search,
+            tuner: TunerConfig::quick(),
+            ..PlannerConfig::default()
+        };
+    }
+
+    let mut cache = ScheduleCache::new();
+    for path in &args.load_caches {
+        let shard =
+            ScheduleCache::load(path).unwrap_or_else(|e| panic!("loading cache {path}: {e}"));
+        println!("loaded cache {path}: {} entries", shard.len());
+        cache.merge(&shard);
+    }
+    let warm_entries = cache.len();
+
+    let mut runtime = ServeRuntime::with_cache(config, cache);
+    let wall_start = std::time::Instant::now();
+    let report = runtime
+        .run_trace(&stream)
+        .unwrap_or_else(|e| panic!("replaying the trace failed: {e}"));
+    let wall = wall_start.elapsed();
+
+    print_report(
+        &args,
+        &trace_cfg,
+        &report,
+        warm_entries,
+        runtime.cache().len(),
+    );
+    println!(
+        "host planning wall-clock: {:.1} ms for {} requests ({:.1} req/s offered)",
+        wall.as_secs_f64() * 1e3,
+        args.requests,
+        args.rate_rps
+    );
+
+    if args.json {
+        println!("{}", report_json(&report));
+    }
+    if let Some(path) = &args.save_cache {
+        runtime
+            .cache()
+            .save(path)
+            .unwrap_or_else(|e| panic!("saving cache {path}: {e}"));
+        println!("saved cache to {path} ({} entries)", runtime.cache().len());
+    }
+}
+
+fn print_report(
+    args: &Args,
+    trace_cfg: &TraceConfig,
+    report: &ServeReport,
+    warm_entries: usize,
+    final_entries: usize,
+) {
+    println!("# mas-serve trace replay");
+    println!(
+        "trace: {} requests, {:?}, seed {}",
+        args.requests, trace_cfg.arrivals, args.seed
+    );
+    println!(
+        "runtime: {} device(s), {} planning, {} tiling, cache warm entries {} -> final {}",
+        args.devices.max(1),
+        if args.serial { "serial" } else { "pooled" },
+        if args.search { "search" } else { "heuristic" },
+        warm_entries,
+        final_entries,
+    );
+    println!("{}", report.summary());
+
+    // Per-network rollup.
+    let mut names: Vec<&str> = report
+        .outcomes
+        .iter()
+        .map(|o| o.workload.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    println!(
+        "| {:<24} | {:>5} | {:>10} | {:>10} | {:>7} |",
+        "network", "reqs", "p50 ms", "max ms", "misses"
+    );
+    for name in names {
+        let latencies: Vec<f64> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.workload == name)
+            .map(|o| o.latency_s())
+            .collect();
+        let missed = report
+            .outcomes
+            .iter()
+            .filter(|o| o.workload == name && !o.deadline_met)
+            .count();
+        println!(
+            "| {:<24} | {:>5} | {:>10.3} | {:>10.3} | {:>7} |",
+            name,
+            latencies.len(),
+            mas_serve::percentile(&latencies, 50.0).expect("non-empty group") * 1e3,
+            mas_serve::percentile(&latencies, 100.0).expect("non-empty group") * 1e3,
+            missed,
+        );
+    }
+}
+
+fn report_json(report: &ServeReport) -> String {
+    format!(
+        "{{\"completed\":{},\"rejected\":{},\"batches\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"throughput_rps\":{:.3},\"p50_ms\":{:.6},\"p99_ms\":{:.6},\"deadline_missed\":{},\
+         \"makespan_s\":{:.9},\"total_energy_pj\":{:.3}}}",
+        report.completed(),
+        report.rejected.len(),
+        report.batches,
+        report.cache_hits,
+        report.cache_misses,
+        report.throughput_rps(),
+        report.p50_latency_s().unwrap_or(0.0) * 1e3,
+        report.p99_latency_s().unwrap_or(0.0) * 1e3,
+        report.deadline_missed(),
+        report.makespan_s,
+        report.total_energy_pj,
+    )
+}

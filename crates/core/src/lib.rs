@@ -38,6 +38,6 @@ pub mod report;
 pub mod verify;
 
 pub use mas_dataflow::DataflowKind as Method;
-pub use planner::{Planner, PlannerConfig, RunResult};
+pub use planner::{PlannedRun, Planner, PlannerConfig, RunResult, TilingCache};
 pub use report::{ComparisonReport, MethodRow};
 pub use verify::verify_method;

@@ -16,7 +16,11 @@
 //!   structural differences between methods as `mas-dataflow` (serialized
 //!   MAC/VEC for Layer-Wise/FLAT, off-chip `P` for Soft-Pipe, overlapped
 //!   streams for MAS-Attention), with tile sizes chosen by grid search over
-//!   each core's buffer (the paper uses grid search on this device), and
+//!   each core's buffer (the paper uses grid search on this device),
+//! * [`numeric`] gives the model a numeric golden check: attention computed
+//!   with the modelled core partition and row-block structure on the
+//!   `mas-tensor` slice kernels (`dot` / `softmax_row` / `axpy`), compared
+//!   against the unfused reference with `golden_check` (§5.1), and
 //! * [`e2e`] assembles the reduced Stable Diffusion 1.5 UNet end-to-end
 //!   estimate of §5.2.2.
 //!
@@ -31,6 +35,7 @@
 pub mod device;
 pub mod e2e;
 pub mod model;
+pub mod numeric;
 
 pub use device::{NpuCore, NpuDevice};
 pub use model::{NpuLatency, NpuModel};

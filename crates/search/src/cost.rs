@@ -142,6 +142,40 @@ impl CostModel {
         tiling_fits(self.kind, &self.workload, tiling, &self.hw)
     }
 
+    /// Exports the evaluation cache as a deterministically ordered list of
+    /// `(tiling, cost)` pairs (`None` = invalid candidate), so whole tuning
+    /// jobs can be sharded across processes and their result caches merged
+    /// (the Figure 7-style sweep scale-out). This is the *candidate-level*
+    /// cache of one `(method, workload, hardware)` tuning job — the
+    /// complement of `mas-serve`'s `ScheduleCache`, which memoizes only the
+    /// final best plan per key.
+    #[must_use]
+    pub fn export_cache(&self) -> Vec<(Tiling, Option<Cost>)> {
+        let mut entries: Vec<(Tiling, Option<Cost>)> =
+            self.cache.iter().map(|(t, c)| (*t, *c)).collect();
+        entries.sort_by_key(|(t, _)| (t.b_b, t.h_h, t.n_q, t.n_kv));
+        entries
+    }
+
+    /// Pre-seeds the evaluation cache with previously exported entries.
+    ///
+    /// Because each cost is a pure function of `(method, workload, hardware,
+    /// tiling)`, importing entries produced by *the same* triple changes
+    /// nothing but the number of simulations spent: a warm-started search
+    /// follows the identical trajectory while answering repeated candidates
+    /// from the cache. Imported entries do not count as evaluations.
+    pub fn import_cache(&mut self, entries: impl IntoIterator<Item = (Tiling, Option<Cost>)>) {
+        for (tiling, cost) in entries {
+            self.cache.entry(tiling).or_insert(cost);
+        }
+    }
+
+    /// Number of cached `(tiling, cost)` entries (evaluated or imported).
+    #[must_use]
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Simulates one tiling without touching the cache or counters: the pure
     /// function each batch fans out over.
     fn simulate(&self, tiling: &Tiling) -> Option<Cost> {

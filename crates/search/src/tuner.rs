@@ -140,7 +140,43 @@ impl AutoTuner {
         let space = SearchSpace::for_workload(workload, hw);
         let mut model = CostModel::new(kind, workload.clone(), hw.clone(), self.config.objective);
         model.set_parallel(self.config.parallel);
+        self.tune_model(kind, workload, hw, &space, &mut model)
+    }
 
+    /// Tunes like [`AutoTuner::tune`], but pre-seeds the cost model with a
+    /// previously exported evaluation cache and returns the (extended) cache
+    /// alongside the result.
+    ///
+    /// This is the shard-merge entry point: split a Figure 7-style sweep
+    /// across processes, export each shard's evaluations, and warm-start
+    /// follow-up jobs (or a serving runtime) with the merged entries. Warm
+    /// entries from the same `(method, workload, hardware)` triple never
+    /// change the search trajectory — costs are pure functions of the tiling
+    /// — they only remove duplicate simulator work.
+    pub fn tune_with_cache(
+        &mut self,
+        kind: DataflowKind,
+        workload: &AttentionWorkload,
+        hw: &HardwareConfig,
+        warm: &[(Tiling, Option<Cost>)],
+    ) -> (Option<TuningResult>, Vec<(Tiling, Option<Cost>)>) {
+        let space = SearchSpace::for_workload(workload, hw);
+        let mut model = CostModel::new(kind, workload.clone(), hw.clone(), self.config.objective);
+        model.set_parallel(self.config.parallel);
+        model.import_cache(warm.iter().copied());
+        let result = self.tune_model(kind, workload, hw, &space, &mut model);
+        let cache = model.export_cache();
+        (result, cache)
+    }
+
+    fn tune_model(
+        &mut self,
+        kind: DataflowKind,
+        workload: &AttentionWorkload,
+        hw: &HardwareConfig,
+        space: &SearchSpace,
+        model: &mut CostModel,
+    ) -> Option<TuningResult> {
         // Record the naive starting point (§5.5 improvement factors).
         let naive_cost = model.evaluate(&Tiling::naive(workload));
 
@@ -148,7 +184,7 @@ impl AutoTuner {
         // evaluated through the parallel cost model.
         let mcts = MctsSearch::new(self.config.mcts_iterations, self.seed)
             .with_rollout_batch(self.config.mcts_rollout_batch)
-            .run(&space, &mut model);
+            .run(space, model);
 
         // Phase 2: GA refinement seeded with the MCTS best (and the
         // heuristic tiling, so the GA never starts from nothing).
@@ -163,7 +199,7 @@ impl AutoTuner {
             self.seed.wrapping_add(1),
         )
         .with_seeds(seeds)
-        .run(&space, &mut model);
+        .run(space, model);
 
         // Combine results and histories.
         let (best_tiling, best_objective) = if ga.best_objective <= mcts.best_objective {
@@ -253,6 +289,59 @@ mod tests {
         assert_eq!(parallel.best_tiling, serial.best_tiling);
         assert_eq!(parallel.best_cost.cycles, serial.best_cost.cycles);
         assert_eq!(parallel.evaluations, serial.evaluations);
+    }
+
+    #[test]
+    fn warm_cache_reproduces_the_cold_result_with_fewer_simulations() {
+        let (w, hw) = toy();
+        let (cold, cache) = AutoTuner::new(TunerConfig::quick(), 17).tune_with_cache(
+            DataflowKind::MasAttention,
+            &w,
+            &hw,
+            &[],
+        );
+        let cold = cold.unwrap();
+        assert!(!cache.is_empty());
+
+        let (warm, warm_cache) = AutoTuner::new(TunerConfig::quick(), 17).tune_with_cache(
+            DataflowKind::MasAttention,
+            &w,
+            &hw,
+            &cache,
+        );
+        let warm = warm.unwrap();
+        assert_eq!(warm.best_tiling, cold.best_tiling);
+        assert_eq!(warm.best_cost.cycles, cold.best_cost.cycles);
+        assert_eq!(
+            warm.evaluations, 0,
+            "a fully warmed cache must answer every candidate"
+        );
+        assert_eq!(warm_cache, cache, "warm tuning adds no new entries");
+    }
+
+    #[test]
+    fn exported_cache_order_is_deterministic() {
+        let (w, hw) = toy();
+        let (_, a) = AutoTuner::new(TunerConfig::quick(), 5).tune_with_cache(
+            DataflowKind::Flat,
+            &w,
+            &hw,
+            &[],
+        );
+        let (_, b) = AutoTuner::new(TunerConfig::quick(), 5).tune_with_cache(
+            DataflowKind::Flat,
+            &w,
+            &hw,
+            &[],
+        );
+        assert_eq!(a, b);
+        let keys: Vec<_> = a
+            .iter()
+            .map(|(t, _)| (t.b_b, t.h_h, t.n_q, t.n_kv))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "export order is sorted by tiling factors");
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! # mas-serve
+//!
+//! A streaming attention-serving runtime on top of the MAS-Attention
+//! reproduction: the paper's memory-aware stream processing overlaps tile
+//! compute with DMA inside one kernel; this crate sustains a *request
+//! stream* across kernels, turning the one-shot `Planner::run` pipeline
+//! into a serving system with admission control, micro-batching and a
+//! shared, persistable schedule cache.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//!        ┌────────┐   ┌─────────┐   ┌──────────────┐   ┌──────────┐   ┌────────┐
+//! req ──▶│ admit  │──▶│  batch  │──▶│ plan / cache │──▶│ simulate │──▶│ report │
+//!        └────────┘   └─────────┘   └──────────────┘   └──────────┘   └────────┘
+//!         shed load    coalesce +     tune once,         mas-sim        per-request
+//!         (queue.rs)   micro-batch    replay forever     executor       latency/energy/
+//!                      (batcher.rs)   (cache.rs)         (runtime.rs)   deadline (metrics.rs)
+//! ```
+//!
+//! 1. **Admit** ([`queue`]) — each arrival is screened: infeasible
+//!    workloads (operands over DRAM, no valid tiling) and deadlines below
+//!    the device's physical service-time lower bound are rejected up front;
+//!    load is shed at a batcher depth bound and — the bound that engages
+//!    under sustained overload — at an estimated launch-queue delay bound.
+//! 2. **Batch** ([`batcher`]) — admitted requests coalesce by `(method,
+//!    heads, seq_len, embed)` key: identical requests merge outright and
+//!    compatible shapes micro-batch into one merged workload (summed batch
+//!    dimension), dispatched when full, when the batching window expires,
+//!    or when growing further would outrun the device's memory (per-request
+//!    feasibility is preserved under merging).
+//! 3. **Plan / cache** ([`cache`]) — each batch key is looked up in the
+//!    shared [`ScheduleCache`]; misses run the planner (heuristic tiling or
+//!    MCTS + GA search) plus one simulation and are memoized. Distinct
+//!    misses plan concurrently on the persistent worker pool. Caches
+//!    serialize to a versioned text format and merge commutatively and
+//!    associatively, so sharded tuning sweeps combine into one cache equal
+//!    to the jointly built one.
+//! 4. **Simulate** ([`runtime`]) — batches launch in ready order across
+//!    virtual devices; the deterministic timeline yields per-request start,
+//!    completion and queueing delay.
+//! 5. **Report** ([`metrics`]) — a [`ServeReport`] with per-request
+//!    latency, energy share and deadline verdicts, plus aggregate
+//!    throughput, p50/p99 latency, deadline-miss rate and cache hit rate.
+//!
+//! Reports are a pure function of the trace and the configuration: pooled
+//! and serial planning produce bit-identical [`ServeReport`]s (pinned by
+//! test), and a warm cache changes wall-clock planning cost only, never
+//! results.
+//!
+//! ## Example
+//!
+//! ```
+//! use mas_dataflow::DataflowKind;
+//! use mas_serve::{ServeConfig, ServeRequest, ServeRuntime};
+//! use mas_workloads::{request_trace, Network, TraceConfig};
+//!
+//! let trace = request_trace(&TraceConfig::poisson(
+//!     vec![Network::BertSmall, Network::VitB16],
+//!     16,   // requests
+//!     500.0, // arrival rate (req/s)
+//!     42,   // seed
+//! ));
+//! let stream = ServeRequest::stream_from_trace(&trace, DataflowKind::MasAttention, Some(0.05));
+//! let mut runtime = ServeRuntime::new(ServeConfig::default());
+//! let report = runtime.run_trace(&stream).unwrap();
+//! assert_eq!(report.completed() + report.rejected.len(), 16);
+//! assert!(report.throughput_rps() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod batcher;
+pub mod cache;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod runtime;
+
+pub use batcher::{Batch, BatchKey, BatchPolicy};
+pub use cache::{
+    hardware_fingerprint, planning_fingerprint, CacheError, CacheKey, CachedPlan, ScheduleCache,
+};
+pub use metrics::{percentile, RejectedRequest, RequestOutcome, ServeReport};
+pub use queue::{AdmissionPolicy, RejectReason};
+pub use request::ServeRequest;
+pub use runtime::{ServeConfig, ServeRuntime};

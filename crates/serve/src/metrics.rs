@@ -1,0 +1,283 @@
+//! Per-request outcomes and aggregate serving metrics.
+
+use serde::Serialize;
+
+use mas_dataflow::DataflowKind;
+
+use crate::queue::RejectReason;
+
+/// Nearest-rank percentile of a set of values: the smallest value whose rank
+/// is at least `⌈p/100 · n⌉`. `None` for an empty set. The single percentile
+/// definition used by every latency figure in this crate (aggregate and
+/// per-network rollups alike).
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile values are finite"));
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+/// The fate of one completed (admitted and executed) request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RequestOutcome {
+    /// The request id.
+    pub id: u64,
+    /// Name of the requested workload (for reporting; not part of any key).
+    pub workload: String,
+    /// The dataflow method that ran.
+    pub method: DataflowKind,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+    /// Virtual time the request's batch started on its device.
+    pub start_s: f64,
+    /// Virtual time the request's batch completed.
+    pub completion_s: f64,
+    /// Simulated service time of the batch that carried this request.
+    pub service_s: f64,
+    /// The request's relative deadline, if any.
+    pub deadline_s: Option<f64>,
+    /// Whether the end-to-end latency met the deadline (`true` when no
+    /// deadline was set).
+    pub deadline_met: bool,
+    /// Energy attributed to this request (its share of the batch's energy,
+    /// proportional to its batch dimension).
+    pub energy_pj: f64,
+    /// Whether the batch's plan came from the schedule cache.
+    pub cache_hit: bool,
+    /// Id of the batch that carried this request.
+    pub batch_id: u64,
+    /// Virtual device the batch ran on.
+    pub device: usize,
+}
+
+impl RequestOutcome {
+    /// End-to-end latency: completion minus arrival (queueing + batching +
+    /// service).
+    #[must_use]
+    pub fn latency_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+}
+
+/// A request refused at admission.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RejectedRequest {
+    /// The request id.
+    pub id: u64,
+    /// Name of the requested workload.
+    pub workload: String,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+}
+
+/// Aggregate result of replaying one request trace.
+///
+/// Every field is a deterministic function of the trace and the runtime
+/// configuration — pooled and serial planning produce bit-identical reports
+/// (pinned by test) — so reports can be compared exactly across runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ServeReport {
+    /// Completed requests in device launch order (batch order, members in
+    /// arrival order).
+    pub outcomes: Vec<RequestOutcome>,
+    /// Rejected requests in arrival order.
+    pub rejected: Vec<RejectedRequest>,
+    /// Number of micro-batches launched.
+    pub batches: usize,
+    /// Batches whose plan was answered from the schedule cache.
+    pub cache_hits: usize,
+    /// Batches that had to be planned (and were then memoized).
+    pub cache_misses: usize,
+    /// Virtual time at which the last batch completed.
+    pub makespan_s: f64,
+    /// Total energy across all completed requests, in picojoules.
+    pub total_energy_pj: f64,
+}
+
+impl ServeReport {
+    /// Number of completed requests.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Sustained throughput: completed requests per second of makespan.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / self.makespan_s
+    }
+
+    /// Latency at percentile `p` in `[0, 100]` (nearest-rank), or `None`
+    /// with no completed requests.
+    #[must_use]
+    pub fn latency_percentile_s(&self, p: f64) -> Option<f64> {
+        let latencies: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(RequestOutcome::latency_s)
+            .collect();
+        percentile(&latencies, p)
+    }
+
+    /// Median end-to-end latency.
+    #[must_use]
+    pub fn p50_latency_s(&self) -> Option<f64> {
+        self.latency_percentile_s(50.0)
+    }
+
+    /// 99th-percentile end-to-end latency.
+    #[must_use]
+    pub fn p99_latency_s(&self) -> Option<f64> {
+        self.latency_percentile_s(99.0)
+    }
+
+    /// Mean end-to-end latency.
+    #[must_use]
+    pub fn mean_latency_s(&self) -> Option<f64> {
+        if self.outcomes.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.outcomes.iter().map(RequestOutcome::latency_s).sum();
+        Some(sum / self.outcomes.len() as f64)
+    }
+
+    /// Completed requests that met their deadline (requests without a
+    /// deadline count as met).
+    #[must_use]
+    pub fn deadline_met(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.deadline_met).count()
+    }
+
+    /// Completed requests that missed their deadline.
+    #[must_use]
+    pub fn deadline_missed(&self) -> usize {
+        self.completed() - self.deadline_met()
+    }
+
+    /// Fraction of completed requests that missed their deadline.
+    #[must_use]
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.deadline_missed() as f64 / self.completed() as f64
+    }
+
+    /// Fraction of batches answered from the schedule cache.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// A compact human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let fmt_ms =
+            |s: Option<f64>| s.map_or_else(|| "-".to_string(), |v| format!("{:.3} ms", v * 1e3));
+        format!(
+            "completed {} / rejected {} in {} batches | throughput {:.1} req/s | \
+             latency p50 {} p99 {} | deadline misses {} ({:.1}%) | \
+             cache {}/{} hits ({:.0}%) | energy {:.3e} pJ",
+            self.completed(),
+            self.rejected.len(),
+            self.batches,
+            self.throughput_rps(),
+            fmt_ms(self.p50_latency_s()),
+            fmt_ms(self.p99_latency_s()),
+            self.deadline_missed(),
+            self.deadline_miss_rate() * 100.0,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.total_energy_pj,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, arrival_s: f64, completion_s: f64, deadline_met: bool) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            workload: format!("w{id}"),
+            method: DataflowKind::MasAttention,
+            arrival_s,
+            start_s: arrival_s,
+            completion_s,
+            service_s: completion_s - arrival_s,
+            deadline_s: Some(1.0),
+            deadline_met,
+            energy_pj: 10.0,
+            cache_hit: false,
+            batch_id: id,
+            device: 0,
+        }
+    }
+
+    fn report(latencies: &[f64]) -> ServeReport {
+        ServeReport {
+            outcomes: latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| outcome(i as u64, 0.0, l, true))
+                .collect(),
+            makespan_s: latencies.iter().copied().fold(0.0, f64::max),
+            ..ServeReport::default()
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let r = report(&[0.4, 0.1, 0.3, 0.2]);
+        assert!((r.p50_latency_s().unwrap() - 0.2).abs() < 1e-12);
+        assert!((r.p99_latency_s().unwrap() - 0.4).abs() < 1e-12);
+        assert!((r.latency_percentile_s(0.0).unwrap() - 0.1).abs() < 1e-12);
+        assert!((r.latency_percentile_s(100.0).unwrap() - 0.4).abs() < 1e-12);
+        assert!(report(&[]).p50_latency_s().is_none());
+    }
+
+    #[test]
+    fn throughput_and_deadline_accounting() {
+        let mut r = report(&[0.1, 0.2]);
+        r.outcomes.push(outcome(9, 0.0, 0.5, false));
+        r.makespan_s = 0.5;
+        assert_eq!(r.completed(), 3);
+        assert_eq!(r.deadline_met(), 2);
+        assert_eq!(r.deadline_missed(), 1);
+        assert!((r.deadline_miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.throughput_rps() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_empty() {
+        let mut r = ServeReport::default();
+        assert_eq!(r.cache_hit_rate(), 0.0);
+        r.cache_hits = 3;
+        r.cache_misses = 1;
+        assert!((r.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let r = report(&[0.1, 0.2]);
+        let s = r.summary();
+        assert!(s.contains("completed 2"));
+        assert!(s.contains("p50"));
+    }
+}

@@ -1,0 +1,428 @@
+//! The serving runtime: admission → batching → plan/cache → simulate →
+//! report.
+//!
+//! [`ServeRuntime::run_trace`] replays a timestamped request stream:
+//!
+//! 1. **Admit + batch.** The stream is screened by the
+//!    [`AdmissionPolicy`](crate::queue::AdmissionPolicy) and coalesced into
+//!    micro-batches by [`coalesce`](crate::batcher::coalesce).
+//! 2. **Plan (cached).** Each batch maps to a [`CacheKey`]; keys missing
+//!    from the shared [`ScheduleCache`] are planned — tiling selection via
+//!    `mas-attention`'s plan-only entry point, then one `mas-sim` execution
+//!    — and memoized. Distinct keys plan concurrently on the persistent
+//!    worker pool; results are merged in deterministic key order, so pooled
+//!    and serial planning produce bit-identical reports.
+//! 3. **Replay.** Batches launch in `(ready, id)` order on the earliest-free
+//!    virtual device; per-request latency, energy share and deadline
+//!    verdicts fall out of the deterministic timeline.
+//!
+//! Virtual (simulated) time and host time are decoupled: the report's
+//! latencies are simulated-device quantities, while the wall-clock cost of
+//! `run_trace` itself is dominated by planning — which the cache
+//! amortizes away for every repeated key.
+
+use rayon::prelude::*;
+
+use mas_attention::planner::TilingStrategy;
+use mas_attention::{Planner, PlannerConfig};
+use mas_dataflow::{AttentionWorkload, DataflowKind};
+use mas_sim::Result;
+
+use crate::batcher::{coalesce, BatchPolicy};
+use crate::cache::{CacheKey, CachedPlan, ScheduleCache};
+use crate::metrics::{RejectedRequest, RequestOutcome, ServeReport};
+use crate::queue::AdmissionPolicy;
+use crate::request::ServeRequest;
+
+/// Configuration of the serving runtime.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Planner (hardware, energy model, tiling strategy, tuning budget).
+    pub planner: PlannerConfig,
+    /// Admission control policy.
+    pub admission: AdmissionPolicy,
+    /// Micro-batching policy.
+    pub batching: BatchPolicy,
+    /// Number of virtual devices batches are scheduled across.
+    pub devices: usize,
+    /// Whether uncached batch plans are computed concurrently on the worker
+    /// pool. The serial path exists for determinism baselines and produces
+    /// bit-identical reports.
+    pub parallel_planning: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            planner: PlannerConfig::default(),
+            admission: AdmissionPolicy::default(),
+            batching: BatchPolicy::default(),
+            devices: 1,
+            parallel_planning: true,
+        }
+    }
+}
+
+/// The streaming serving runtime. Owns the shared schedule cache, which
+/// persists across traces (and, via [`ScheduleCache::save`] /
+/// [`ScheduleCache::load`] / [`ScheduleCache::merge`], across processes).
+#[derive(Debug, Clone)]
+pub struct ServeRuntime {
+    config: ServeConfig,
+    planner: Planner,
+    cache: ScheduleCache,
+}
+
+impl ServeRuntime {
+    /// Creates a runtime with an empty schedule cache.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        Self::with_cache(config, ScheduleCache::new())
+    }
+
+    /// Creates a runtime warm-started with an existing cache.
+    #[must_use]
+    pub fn with_cache(config: ServeConfig, cache: ScheduleCache) -> Self {
+        let planner = Planner::new(config.planner.clone());
+        Self {
+            config,
+            planner,
+            cache,
+        }
+    }
+
+    /// The runtime's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared schedule cache.
+    #[must_use]
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// Mutable access to the shared schedule cache (e.g. to merge a shard).
+    pub fn cache_mut(&mut self) -> &mut ScheduleCache {
+        &mut self.cache
+    }
+
+    /// Consumes the runtime, returning its cache (for persistence).
+    #[must_use]
+    pub fn into_cache(self) -> ScheduleCache {
+        self.cache
+    }
+
+    /// Replays a request trace and returns the aggregate report.
+    ///
+    /// The report is a pure function of the requests, the configuration and
+    /// the cache contents (the cache changes *wall-clock* planning cost,
+    /// never results).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mas_sim::SimError`] if a batch that passed admission
+    /// fails to build or simulate (this indicates an infeasibility the
+    /// admission check cannot see; rejected requests never reach planning).
+    pub fn run_trace(&mut self, requests: &[ServeRequest]) -> Result<ServeReport> {
+        let hw = self.planner.hardware().clone();
+        let coalesced = coalesce(
+            requests,
+            self.config.batching,
+            &self.config.admission,
+            &hw,
+            self.config.devices,
+        );
+
+        // Batch → (key, merged workload); collect the unique uncached keys.
+        let mut batch_keys: Vec<CacheKey> = Vec::with_capacity(coalesced.batches.len());
+        let mut missing: std::collections::BTreeMap<CacheKey, AttentionWorkload> =
+            std::collections::BTreeMap::new();
+        for batch in &coalesced.batches {
+            let merged = batch.merged_workload();
+            let key = CacheKey::of(batch.key.method, &merged, &self.config.planner);
+            if !self.cache.contains(&key) {
+                missing.entry(key).or_insert(merged);
+            }
+            batch_keys.push(key);
+        }
+        let keys_cached_before: std::collections::BTreeSet<CacheKey> = batch_keys
+            .iter()
+            .filter(|k| self.cache.contains(k))
+            .copied()
+            .collect();
+
+        // Plan the unique misses — concurrently when configured — and merge
+        // into the cache in deterministic (sorted-key) order.
+        let missing: Vec<(CacheKey, AttentionWorkload)> = missing.into_iter().collect();
+        let tuned = self.config.planner.tiling == TilingStrategy::Search;
+        let planner = &self.planner;
+        let planned: Vec<(CacheKey, Result<CachedPlan>)> =
+            if self.config.parallel_planning && missing.len() > 1 {
+                missing
+                    .par_iter()
+                    .map(|(key, workload)| (*key, plan_one(planner, key.method, workload, tuned)))
+                    .collect()
+            } else {
+                missing
+                    .iter()
+                    .map(|(key, workload)| (*key, plan_one(planner, key.method, workload, tuned)))
+                    .collect()
+            };
+        for (key, plan) in planned {
+            self.cache.insert(key, plan?);
+        }
+
+        // Deterministic replay: batches in (ready, id) order, each on the
+        // earliest-free virtual device.
+        let mut free_at = vec![0.0f64; self.config.devices.max(1)];
+        let mut report = ServeReport {
+            batches: coalesced.batches.len(),
+            ..ServeReport::default()
+        };
+        let mut keys_planned_this_run: std::collections::BTreeSet<CacheKey> =
+            std::collections::BTreeSet::new();
+        for (batch, key) in coalesced.batches.iter().zip(&batch_keys) {
+            let plan = *self
+                .cache
+                .lookup(key)
+                .expect("every launched batch was planned above");
+            let hit = keys_cached_before.contains(key) || keys_planned_this_run.contains(key);
+            if hit {
+                report.cache_hits += 1;
+            } else {
+                report.cache_misses += 1;
+                keys_planned_this_run.insert(*key);
+            }
+
+            let device = free_at
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("times are finite"))
+                .map(|(i, _)| i)
+                .expect("at least one device");
+            let start_s = free_at[device].max(batch.ready_s);
+            let completion_s = start_s + plan.seconds;
+            free_at[device] = completion_s;
+            report.makespan_s = report.makespan_s.max(completion_s);
+
+            let total_batch = batch.total_batch() as f64;
+            for request in &batch.requests {
+                let latency_s = completion_s - request.arrival_s;
+                let deadline_met = request.deadline_s.is_none_or(|d| latency_s <= d);
+                let energy_pj = plan.energy_pj * request.workload.batch as f64 / total_batch;
+                report.total_energy_pj += energy_pj;
+                report.outcomes.push(RequestOutcome {
+                    id: request.id,
+                    workload: request.workload.name.clone(),
+                    method: request.method,
+                    arrival_s: request.arrival_s,
+                    start_s,
+                    completion_s,
+                    service_s: plan.seconds,
+                    deadline_s: request.deadline_s,
+                    deadline_met,
+                    energy_pj,
+                    cache_hit: hit,
+                    batch_id: batch.id,
+                    device,
+                });
+            }
+        }
+        report.rejected = coalesced
+            .rejected
+            .into_iter()
+            .map(|(request, reason)| RejectedRequest {
+                id: request.id,
+                workload: request.workload.name,
+                arrival_s: request.arrival_s,
+                reason,
+            })
+            .collect();
+        Ok(report)
+    }
+}
+
+/// Plans one uncached key: tiling via the plan-only entry point, then one
+/// simulated execution. Pure function of its arguments.
+fn plan_one(
+    planner: &Planner,
+    method: DataflowKind,
+    workload: &AttentionWorkload,
+    tuned: bool,
+) -> Result<CachedPlan> {
+    let planned = planner.plan(method, workload);
+    let run = planner.execute(&planned, workload)?;
+    Ok(CachedPlan {
+        tiling: planned.tiling,
+        cycles: run.report.total_cycles,
+        seconds: run.report.total_seconds,
+        energy_pj: run.report.total_energy_pj(),
+        dram_read_bytes: run.report.dram_read_bytes,
+        dram_write_bytes: run.report.dram_write_bytes,
+        tuned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mas_dataflow::DataflowKind;
+
+    fn small_config() -> ServeConfig {
+        ServeConfig::default()
+    }
+
+    fn reqs(n: usize, gap_s: f64) -> Vec<ServeRequest> {
+        (0..n)
+            .map(|i| {
+                ServeRequest::new(
+                    i as u64,
+                    i as f64 * gap_s,
+                    DataflowKind::MasAttention,
+                    AttentionWorkload::new("toy", 1, 2, 128, 64),
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_requests_share_one_plan() {
+        let mut rt = ServeRuntime::new(small_config());
+        let report = rt.run_trace(&reqs(6, 1e-5)).unwrap();
+        assert_eq!(report.completed(), 6);
+        assert_eq!(report.cache_misses, 1, "one shape → one planning run");
+        assert_eq!(rt.cache().len(), 1);
+        assert!(report.makespan_s > 0.0);
+        assert!(report.total_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn a_second_replay_is_all_hits_and_identical() {
+        let mut rt = ServeRuntime::new(small_config());
+        let stream = reqs(5, 1e-4);
+        let cold = rt.run_trace(&stream).unwrap();
+        let warm = rt.run_trace(&stream).unwrap();
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, warm.batches);
+        // The cache changes planning cost (and the hit flags), never results.
+        let strip = |r: &ServeReport| -> Vec<RequestOutcome> {
+            r.outcomes
+                .iter()
+                .cloned()
+                .map(|mut o| {
+                    o.cache_hit = false;
+                    o
+                })
+                .collect()
+        };
+        assert_eq!(strip(&warm), strip(&cold));
+        assert_eq!(warm.makespan_s, cold.makespan_s);
+        assert_eq!(warm.total_energy_pj, cold.total_energy_pj);
+    }
+
+    #[test]
+    fn queueing_latency_grows_under_a_burst() {
+        let mut config = small_config();
+        config.batching.window_s = 0.0; // no coalescing: requests serialize
+        let mut rt = ServeRuntime::new(config);
+        let burst: Vec<ServeRequest> = (0..4)
+            .map(|i| {
+                ServeRequest::new(
+                    i,
+                    0.0,
+                    DataflowKind::Flat,
+                    AttentionWorkload::new("toy", 1, 2, 128, 64),
+                    None,
+                )
+            })
+            .collect();
+        let report = rt.run_trace(&burst).unwrap();
+        assert_eq!(report.batches, 4);
+        let mut latencies: Vec<f64> = report
+            .outcomes
+            .iter()
+            .map(RequestOutcome::latency_s)
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Head-of-line service vs. tail: 4 serialized identical services.
+        let service = report.outcomes[0].service_s;
+        assert!((latencies[0] - service).abs() < 1e-9);
+        assert!((latencies[3] - 4.0 * service).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_devices_cut_the_makespan() {
+        let mk = |devices: usize| {
+            let mut config = small_config();
+            config.batching.window_s = 0.0;
+            config.devices = devices;
+            let mut rt = ServeRuntime::new(config);
+            rt.run_trace(&reqs(4, 0.0)).unwrap().makespan_s
+        };
+        let one = mk(1);
+        let two = mk(2);
+        assert!(
+            two < one,
+            "two devices ({two} s) must beat one ({one} s) on a 4-burst"
+        );
+    }
+
+    #[test]
+    fn sustained_overload_sheds_load_at_the_estimated_backlog_bound() {
+        // Offered load far above device capacity: a tight estimated-backlog
+        // bound must start rejecting once the launch queue falls behind,
+        // instead of growing latency without bound.
+        let mut config = small_config();
+        config.batching.window_s = 0.0; // no coalescing: pure queueing
+        config.admission.max_est_queue_s = Some(2e-4);
+        let mut rt = ServeRuntime::new(config);
+        // 50 simultaneous BERT-Small requests; each takes ~100 µs+, so the
+        // estimated queue blows through 200 µs after a handful of launches.
+        let burst: Vec<ServeRequest> = (0..50)
+            .map(|i| {
+                ServeRequest::new(
+                    i,
+                    0.0,
+                    DataflowKind::MasAttention,
+                    AttentionWorkload::new("BERT-Small", 1, 8, 512, 64),
+                    None,
+                )
+            })
+            .collect();
+        let report = rt.run_trace(&burst).unwrap();
+        assert!(
+            !report.rejected.is_empty(),
+            "overload must shed load: {}",
+            report.summary()
+        );
+        assert!(report.completed() > 0, "head of the queue is still served");
+        assert!(report
+            .rejected
+            .iter()
+            .all(|r| r.reason == crate::queue::RejectReason::QueueFull));
+        // The head of the line was admitted, the tail shed.
+        let max_completed_id = report.outcomes.iter().map(|o| o.id).max().unwrap();
+        let min_rejected_id = report.rejected.iter().map(|r| r.id).min().unwrap();
+        assert!(min_rejected_id > 0);
+        assert_eq!(
+            max_completed_id + u64::try_from(report.rejected.len()).unwrap(),
+            49
+        );
+    }
+
+    #[test]
+    fn rejected_requests_never_reach_planning() {
+        let mut config = small_config();
+        config.admission.max_queue_depth = Some(1);
+        config.batching.window_s = 1.0;
+        config.batching.max_batch = 100;
+        let mut rt = ServeRuntime::new(config);
+        let report = rt.run_trace(&reqs(3, 0.0)).unwrap();
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.rejected.len(), 2);
+        assert_eq!(report.completed() + report.rejected.len(), 3);
+    }
+}

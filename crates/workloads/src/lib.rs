@@ -8,7 +8,9 @@
 //! * [`sdunet`] — the reduced Stable Diffusion 1.5 UNet used for the
 //!   end-to-end on-device experiment (§5.2.2), and
 //! * [`generator`] — a seeded synthetic workload generator for stress tests
-//!   and property-based testing.
+//!   and property-based testing, and
+//! * [`traffic`] — deterministic Poisson/burst request-trace generation for
+//!   the `mas-serve` streaming runtime.
 //!
 //! ## Example
 //!
@@ -27,6 +29,8 @@
 pub mod generator;
 pub mod networks;
 pub mod sdunet;
+pub mod traffic;
 
 pub use networks::Network;
 pub use sdunet::{sd15_reduced_unet, SdAttentionUnit};
+pub use traffic::{request_trace, ArrivalProcess, TraceConfig, TraceEvent};

@@ -1,0 +1,241 @@
+//! Request-trace generation for the streaming serving runtime.
+//!
+//! The serving experiments replay a timestamped stream of attention requests
+//! against `mas-serve`. This module generates those streams deterministically
+//! from a seed: each event carries an arrival time (seconds) and an attention
+//! workload drawn from the paper's Table 1 networks.
+//!
+//! Three arrival processes are provided:
+//!
+//! * [`ArrivalProcess::Poisson`] — independent exponential inter-arrivals at
+//!   a given rate, the standard open-loop serving model,
+//! * [`ArrivalProcess::Bursty`] — groups of back-to-back arrivals separated
+//!   by idle gaps, with the same long-run rate as the Poisson process (the
+//!   hard case for admission control and batching),
+//! * [`ArrivalProcess::Uniform`] — a fixed inter-arrival gap (closed-loop
+//!   replay, useful for deterministic latency baselines).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mas_dataflow::AttentionWorkload;
+
+use crate::networks::Network;
+
+/// How request arrival times are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson process: exponential inter-arrival times at `rate_rps`
+    /// requests per second.
+    Poisson {
+        /// Long-run arrival rate in requests per second.
+        rate_rps: f64,
+    },
+    /// Bursts of `burst_len` simultaneous arrivals, with gaps sized so the
+    /// long-run rate is `rate_rps`.
+    Bursty {
+        /// Long-run arrival rate in requests per second.
+        rate_rps: f64,
+        /// Number of requests arriving together in each burst.
+        burst_len: usize,
+    },
+    /// A fixed gap of `gap_s` seconds between consecutive requests.
+    Uniform {
+        /// Inter-arrival gap in seconds.
+        gap_s: f64,
+    },
+}
+
+/// Configuration of one generated trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Arrival process shaping the request timestamps.
+    pub arrivals: ArrivalProcess,
+    /// Number of requests to generate.
+    pub count: usize,
+    /// Networks to draw workloads from (uniformly at random). Must be
+    /// non-empty.
+    pub networks: Vec<Network>,
+    /// Batch size of each generated request's workload.
+    pub batch: usize,
+    /// RNG seed; traces are a pure function of the whole config.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A Poisson trace over the given networks at `rate_rps`.
+    #[must_use]
+    pub fn poisson(networks: Vec<Network>, count: usize, rate_rps: f64, seed: u64) -> Self {
+        Self {
+            arrivals: ArrivalProcess::Poisson { rate_rps },
+            count,
+            networks,
+            batch: 1,
+            seed,
+        }
+    }
+
+    /// A bursty trace with the same long-run rate as [`TraceConfig::poisson`].
+    #[must_use]
+    pub fn bursty(
+        networks: Vec<Network>,
+        count: usize,
+        rate_rps: f64,
+        burst_len: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            arrivals: ArrivalProcess::Bursty {
+                rate_rps,
+                burst_len: burst_len.max(1),
+            },
+            count,
+            networks,
+            batch: 1,
+            seed,
+        }
+    }
+}
+
+/// One timestamped request of a generated trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Arrival time in seconds from the start of the trace (non-decreasing).
+    pub arrival_s: f64,
+    /// The attention workload requested.
+    pub workload: AttentionWorkload,
+    /// The Table 1 network the workload was drawn from.
+    pub network: Network,
+}
+
+/// Generates a request trace from the config.
+///
+/// Events are returned in non-decreasing arrival order. The trace is a pure
+/// function of `config` (bit-identical across runs and platforms).
+///
+/// # Panics
+///
+/// Panics if `config.networks` is empty, a rate is non-positive, or the
+/// uniform gap is negative.
+#[must_use]
+pub fn request_trace(config: &TraceConfig) -> Vec<TraceEvent> {
+    assert!(
+        !config.networks.is_empty(),
+        "trace generation needs at least one network"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut events = Vec::with_capacity(config.count);
+    let mut now_s = 0.0f64;
+    for i in 0..config.count {
+        now_s += match config.arrivals {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(rate_rps > 0.0, "Poisson rate must be positive");
+                // Inverse-CDF sample of Exp(rate); u is in [0, 1) so the
+                // argument of ln stays in (0, 1].
+                let u: f64 = rng.gen_range(0.0..1.0);
+                -(1.0 - u).ln() / rate_rps
+            }
+            ArrivalProcess::Bursty {
+                rate_rps,
+                burst_len,
+            } => {
+                assert!(rate_rps > 0.0, "burst rate must be positive");
+                if i == 0 || !i.is_multiple_of(burst_len.max(1)) {
+                    0.0 // within a burst: simultaneous arrival
+                } else {
+                    burst_len.max(1) as f64 / rate_rps
+                }
+            }
+            ArrivalProcess::Uniform { gap_s } => {
+                assert!(gap_s >= 0.0, "uniform gap must be non-negative");
+                if i == 0 {
+                    0.0
+                } else {
+                    gap_s
+                }
+            }
+        };
+        let network = config.networks[rng.gen_range(0..config.networks.len())];
+        events.push(TraceEvent {
+            arrival_s: now_s,
+            workload: network.attention_workload(config.batch),
+            network,
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nets() -> Vec<Network> {
+        vec![Network::BertBase, Network::VitB16, Network::Xlm]
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let cfg = TraceConfig::poisson(nets(), 50, 100.0, 7);
+        assert_eq!(request_trace(&cfg), request_trace(&cfg));
+        let other = TraceConfig::poisson(nets(), 50, 100.0, 8);
+        assert_ne!(request_trace(&cfg), request_trace(&other));
+    }
+
+    #[test]
+    fn arrivals_are_non_decreasing_and_rate_is_respected() {
+        let cfg = TraceConfig::poisson(nets(), 400, 200.0, 3);
+        let trace = request_trace(&cfg);
+        assert_eq!(trace.len(), 400);
+        for pair in trace.windows(2) {
+            assert!(pair[1].arrival_s >= pair[0].arrival_s);
+        }
+        // 400 arrivals at 200 rps span ~2 s; allow generous sampling slack.
+        let span = trace.last().unwrap().arrival_s;
+        assert!((1.0..4.0).contains(&span), "span {span} s");
+    }
+
+    #[test]
+    fn bursts_arrive_together() {
+        let cfg = TraceConfig::bursty(nets(), 12, 100.0, 4, 11);
+        let trace = request_trace(&cfg);
+        // Requests 0..4 share one timestamp, 4..8 the next, 8..12 the last.
+        for chunk in trace.chunks(4) {
+            assert!(chunk
+                .iter()
+                .all(|e| (e.arrival_s - chunk[0].arrival_s).abs() < 1e-12));
+        }
+        assert!(trace[4].arrival_s > trace[3].arrival_s);
+        assert!((trace[4].arrival_s - trace[0].arrival_s - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_gap_spacing() {
+        let cfg = TraceConfig {
+            arrivals: ArrivalProcess::Uniform { gap_s: 0.5 },
+            count: 4,
+            networks: nets(),
+            batch: 2,
+            seed: 1,
+        };
+        let trace = request_trace(&cfg);
+        assert_eq!(trace[0].arrival_s, 0.0);
+        assert!((trace[3].arrival_s - 1.5).abs() < 1e-12);
+        assert!(trace.iter().all(|e| e.workload.batch == 2));
+    }
+
+    #[test]
+    fn workloads_match_their_network() {
+        let cfg = TraceConfig::poisson(nets(), 30, 50.0, 21);
+        for e in request_trace(&cfg) {
+            assert_eq!(e.workload, e.network.attention_workload(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one network")]
+    fn empty_network_list_panics() {
+        let cfg = TraceConfig::poisson(vec![], 1, 1.0, 0);
+        let _ = request_trace(&cfg);
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`search`] — tiling-factor search (grid, random, MCTS, genetic),
 //! * [`workloads`] — Table 1 networks and the Stable Diffusion UNet suite,
 //! * [`npu`] — the DaVinci-like NPU model,
-//! * [`api`] — the high-level planner/comparison API from `mas-attention`.
+//! * [`api`] — the high-level planner/comparison API from `mas-attention`,
+//! * [`serve`] — the streaming serving runtime (admission, micro-batching,
+//!   shared schedule cache).
 //!
 //! ## Quickstart
 //!
@@ -28,6 +30,7 @@ pub use mas_attention as api;
 pub use mas_dataflow as dataflow;
 pub use mas_npu as npu;
 pub use mas_search as search;
+pub use mas_serve as serve;
 pub use mas_sim as sim;
 pub use mas_tensor as tensor;
 pub use mas_workloads as workloads;

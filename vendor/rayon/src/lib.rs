@@ -1,29 +1,71 @@
 //! In-tree shim for `rayon`.
 //!
 //! The build environment has no access to crates.io, so this crate implements
-//! the rayon API subset the workspace uses on top of `std::thread::scope`:
+//! the rayon API subset the workspace uses on top of a **persistent worker
+//! pool**:
 //!
 //! * [`join`] — run two closures, potentially in parallel,
 //! * `par_iter()` / `into_par_iter()` / `par_chunks_mut()` via the traits in
 //!   [`prelude`], with `map` / `enumerate` / `for_each` / `collect`,
 //! * [`current_num_threads`].
 //!
-//! Unlike real rayon there is no work-stealing pool: each parallel call
-//! splits its items into `current_num_threads()` contiguous chunks and runs
-//! them on scoped threads, which matches the coarse-grained fan-out patterns
-//! used here (per-`(batch, head)` kernel slices, per-candidate simulator
-//! runs). On a single-CPU host everything degrades to inline execution with
-//! no thread overhead. Ordering guarantees match rayon: `map`/`collect`
-//! preserve item order, `for_each` runs each item exactly once.
+//! Unlike real rayon there is no work stealing: each parallel call splits its
+//! items into `current_num_threads()` contiguous chunks and enqueues all of
+//! them on a process-wide pool of long-lived workers; the calling thread
+//! helps drain the queue while it waits, so it typically executes a share of
+//! the chunks itself. This matches the coarse-grained fan-out patterns used
+//! here (per-`(batch, head)` kernel slices, per-candidate simulator runs,
+//! per-batch serve planning).
+//! Workers are spawned once, on the first parallel call, and reused for the
+//! life of the process, so steady-state fan-out pays a queue push + wakeup
+//! instead of a `thread::spawn` per chunk.
+//!
+//! Threads that wait for submitted work *help drain the shared queue* while
+//! waiting, so nested parallel calls issued from inside a worker (e.g. a
+//! parallel candidate batch whose simulations parallelize their kernels)
+//! cannot deadlock: every blocked thread is itself a consumer.
+//!
+//! On a single-CPU host everything degrades to inline execution with no
+//! thread or queue overhead. The pool width can be pinned with the
+//! `MAS_RAYON_THREADS` environment variable (read once, at first use).
+//! Ordering guarantees match rayon: `map`/`collect` preserve item order,
+//! `for_each` runs each item exactly once.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of worker threads a parallel call may use.
+mod pool;
+
+use pool::WorkerPool;
+
+/// Number of worker threads a parallel call may use (the caller plus the
+/// persistent pool workers). Honours the `MAS_RAYON_THREADS` override.
 #[must_use]
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Some(n) = std::env::var("MAS_RAYON_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The process-wide persistent pool: `current_num_threads() - 1` workers
+/// (the calling thread is the remaining lane). `None` on single-threaded
+/// hosts, where every parallel call runs inline.
+fn global_pool() -> Option<&'static WorkerPool> {
+    static POOL: OnceLock<Option<std::sync::Arc<WorkerPool>>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = current_num_threads().saturating_sub(1);
+        (workers > 0).then(|| WorkerPool::new(workers))
+    })
+    .as_deref()
 }
 
 /// Runs both closures, in parallel when more than one thread is available,
@@ -35,17 +77,14 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        return (a(), b());
+    match global_pool() {
+        None => (a(), b()),
+        Some(pool) => pool.join(a, b),
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon shim: join closure panicked"))
-    })
 }
 
-/// Core engine: maps `f` over `items` with order-preserving chunked threads.
+/// Core engine: maps `f` over `items` with order-preserving chunked
+/// execution on the persistent pool.
 fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -53,7 +92,8 @@ where
     F: Fn(T) -> R + Sync,
 {
     let threads = current_num_threads().min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
+    let pool = global_pool();
+    if threads <= 1 || items.len() <= 1 || pool.is_none() {
         return items.into_iter().map(f).collect();
     }
     let chunk_len = items.len().div_ceil(threads);
@@ -65,26 +105,31 @@ where
         chunks.push(items);
         items = rest;
     }
-    let f = &f;
-    let mut results: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+    let pool = pool.expect("checked above");
+    let mut results: Vec<Option<Vec<R>>> = (0..chunks.len()).map(|_| None).collect();
+    {
+        let f = &f;
+        let jobs: Vec<pool::Job<'_>> = results
+            .iter_mut()
+            .zip(chunks)
+            .map(|(slot, chunk)| {
+                let job: pool::Job<'_> = Box::new(move || {
+                    *slot = Some(chunk.into_iter().map(f).collect::<Vec<R>>());
+                });
+                job
+            })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon shim: worker panicked"))
-            .collect()
-    });
-    let mut out = Vec::with_capacity(results.iter().map(Vec::len).sum());
+        pool.scope_execute(jobs);
+    }
+    let mut out = Vec::with_capacity(results.iter().flatten().map(Vec::len).sum());
     for part in &mut results {
-        out.append(part);
+        out.append(part.as_mut().expect("pool completed every chunk"));
     }
     out
 }
 
 /// An eager "parallel iterator": holds the realized item list and executes
-/// each adapter with the chunked thread engine.
+/// each adapter with the pooled chunk engine.
 pub struct ParIter<T> {
     items: Vec<T>,
 }
@@ -258,5 +303,16 @@ mod tests {
         let doubled: Vec<f32> = data.par_iter().map(|&x| x * 2.0).collect();
         assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
         assert_eq!(data.len(), 3);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_engine() {
+        // Many successive fan-outs must not accumulate state; on multi-core
+        // hosts they all reuse the same persistent workers.
+        for round in 0..200 {
+            let v: Vec<usize> = (0..32).into_par_iter().map(|i| i + round).collect();
+            assert_eq!(v[0], round);
+            assert_eq!(v[31], 31 + round);
+        }
     }
 }

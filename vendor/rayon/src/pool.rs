@@ -1,0 +1,369 @@
+//! The persistent worker pool behind the shim's parallel calls.
+//!
+//! Design:
+//!
+//! * **Workers are spawned once** ([`WorkerPool::new`]) and live for the
+//!   process lifetime, blocking on a shared FIFO of type-erased jobs. A
+//!   parallel call pays a mutex push + condvar wakeup per chunk instead of a
+//!   `thread::spawn`.
+//! * **Scoped execution over a `'static` pool.** Submitted closures borrow
+//!   the caller's stack (items, the mapped function, result slots), so their
+//!   lifetime is erased when enqueued. Soundness is restored by the latch
+//!   protocol: [`WorkerPool::scope_execute`] / [`WorkerPool::join`] do not
+//!   return (or unwind) before every submitted job has finished running, so
+//!   the borrows outlive all uses.
+//! * **Waiters help.** A thread waiting on a latch drains the shared queue
+//!   while it waits. Nested parallel calls issued from inside a worker
+//!   therefore make progress even when every worker is blocked on a latch of
+//!   its own — each blocked thread keeps executing queued jobs, including
+//!   jobs submitted by other threads.
+//! * **Panics propagate.** A panicking job is caught on the executing
+//!   thread, recorded in the latch, and re-thrown on the submitting thread
+//!   after all sibling jobs have completed (mirroring rayon, which also
+//!   completes the scope before propagating).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of work borrowed from a submitting stack frame.
+pub(crate) type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// A job whose borrow lifetime has been erased for queueing. Only created by
+/// [`WorkerPool::submit`], which guarantees via its latch that the job runs
+/// before the borrowed frame can unwind.
+struct ErasedJob {
+    call: Box<dyn FnOnce() + Send + 'static>,
+    latch: Arc<Latch>,
+}
+
+impl ErasedJob {
+    fn run(self) {
+        let result = catch_unwind(AssertUnwindSafe(self.call));
+        self.latch.complete_one(result.err());
+    }
+}
+
+/// Completion tracker for one batch of submitted jobs.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        if st.panic.is_none() {
+            st.panic = panic;
+        } else {
+            drop(panic);
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("latch poisoned").remaining == 0
+    }
+
+    /// Takes the recorded panic payload, if any. Call only after completion.
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().expect("latch poisoned").panic.take()
+    }
+}
+
+/// A fixed-width pool of persistent worker threads.
+pub(crate) struct WorkerPool {
+    queue: Mutex<VecDeque<ErasedJob>>,
+    work_available: Condvar,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` detached worker threads blocking on the shared queue.
+    pub(crate) fn new(workers: usize) -> Arc<Self> {
+        assert!(workers > 0, "a worker pool needs at least one worker");
+        let pool = Arc::new(Self {
+            queue: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name(format!("mas-rayon-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("spawning pool worker");
+        }
+        pool
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = self.work_available.wait(q).expect("pool queue poisoned");
+                }
+            };
+            job.run();
+        }
+    }
+
+    fn try_pop(&self) -> Option<ErasedJob> {
+        self.queue.lock().expect("pool queue poisoned").pop_front()
+    }
+
+    /// Enqueues a batch of borrowed jobs and returns its latch.
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// The caller must wait on the returned latch before letting the borrowed
+    /// frame unwind; [`WorkerPool::scope_execute`] and [`WorkerPool::join`]
+    /// are the only callers and both uphold this.
+    fn submit<'a>(&self, jobs: Vec<Job<'a>>) -> Arc<Latch> {
+        let latch = Arc::new(Latch::new(jobs.len()));
+        {
+            let mut q = self.queue.lock().expect("pool queue poisoned");
+            for job in jobs {
+                // SAFETY: the job only borrows data from the submitting
+                // frame, and `wait_on` blocks that frame until the job has
+                // run to completion (latch protocol above), so the erased
+                // borrows never dangle while the job is live.
+                let call: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+                q.push_back(ErasedJob {
+                    call,
+                    latch: Arc::clone(&latch),
+                });
+            }
+        }
+        self.work_available.notify_all();
+        latch
+    }
+
+    /// Blocks until `latch` completes, executing queued jobs while waiting
+    /// (the deadlock-freedom guarantee for nested parallelism).
+    fn wait_on(&self, latch: &Latch) {
+        loop {
+            if latch.is_done() {
+                return;
+            }
+            match self.try_pop() {
+                Some(job) => job.run(),
+                None => {
+                    // Nothing to help with: block until this latch advances.
+                    // The short timeout re-checks the queue in the unlikely
+                    // window where new helpable work arrived between the
+                    // `try_pop` and this wait.
+                    let st = self.state_wait(latch);
+                    if st {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Waits briefly on the latch condvar; returns whether the latch is done.
+    fn state_wait(&self, latch: &Latch) -> bool {
+        let st = latch.state.lock().expect("latch poisoned");
+        if st.remaining == 0 {
+            return true;
+        }
+        let (st, _timeout) = latch
+            .done
+            .wait_timeout(st, Duration::from_micros(200))
+            .expect("latch poisoned");
+        st.remaining == 0
+    }
+
+    /// Runs every job to completion, in parallel with the calling thread,
+    /// then re-throws the first recorded panic (if any).
+    pub(crate) fn scope_execute<'a>(&self, jobs: Vec<Job<'a>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let latch = self.submit(jobs);
+        self.wait_on(&latch);
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `a` on the calling thread while `b` is eligible to run on a
+    /// worker (or is reclaimed by the waiting caller), returning both
+    /// results.
+    pub(crate) fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb: Option<RB> = None;
+        let latch = {
+            let slot = &mut rb;
+            let job: Job<'_> = Box::new(move || {
+                *slot = Some(b());
+            });
+            self.submit(vec![job])
+        };
+        // `a` must not unwind past the latch wait while `b` may still be
+        // running against borrowed state, so catch and re-throw after the
+        // wait.
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        self.wait_on(&latch);
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
+        }
+        match ra {
+            Ok(ra) => (ra, rb.expect("join closure completed")),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool() -> Arc<WorkerPool> {
+        WorkerPool::new(3)
+    }
+
+    #[test]
+    fn scope_execute_runs_every_job_exactly_once() {
+        let p = pool();
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            let jobs: Vec<Job<'_>> = (0..16)
+                .map(|_| {
+                    let job: Job<'_> = Box::new(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                    job
+                })
+                .collect();
+            p.scope_execute(jobs);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50 * 16);
+    }
+
+    #[test]
+    fn jobs_write_into_borrowed_slots() {
+        let p = pool();
+        let mut slots = [0usize; 24];
+        {
+            let jobs: Vec<Job<'_>> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let job: Job<'_> = Box::new(move || *slot = i * 3);
+                    job
+                })
+                .collect();
+            p.scope_execute(jobs);
+        }
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // Saturate a 3-worker pool with jobs that each submit their own
+        // nested batch; helping-while-waiting must drain everything.
+        let p = pool();
+        let counter = AtomicUsize::new(0);
+        let outer: Vec<Job<'_>> = (0..8)
+            .map(|_| {
+                let p = &p;
+                let counter = &counter;
+                let job: Job<'_> = Box::new(move || {
+                    let inner: Vec<Job<'_>> = (0..8)
+                        .map(|_| {
+                            let job: Job<'_> = Box::new(|| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                            job
+                        })
+                        .collect();
+                    p.scope_execute(inner);
+                });
+                job
+            })
+            .collect();
+        p.scope_execute(outer);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let p = pool();
+        let (a, b) = p.join(|| 21 * 2, || "pool".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "pool");
+    }
+
+    #[test]
+    fn panics_propagate_after_the_scope_completes() {
+        let p = pool();
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Job<'_>> = (0..6)
+                .map(|i| {
+                    let completed = &completed;
+                    let job: Job<'_> = Box::new(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    });
+                    job
+                })
+                .collect();
+            p.scope_execute(jobs);
+        }));
+        assert!(result.is_err(), "the panic must surface on the submitter");
+        // All sibling jobs ran before the panic was re-thrown.
+        assert_eq!(completed.load(Ordering::SeqCst), 5);
+        // The pool survives and keeps serving work.
+        let (x, y) = p.join(|| 1, || 2);
+        assert_eq!((x, y), (1, 2));
+    }
+
+    #[test]
+    fn join_panic_in_caller_side_waits_for_the_other_side() {
+        let p = pool();
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.join(
+                || panic!("caller side"),
+                || {
+                    finished.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+}
