@@ -1,10 +1,14 @@
-//! Golden-data verification entry point (paper §5.1).
+//! Golden-data verification entry point (paper §5.1), extended to the
+//! decode path: KV-cached autoregressive steps are checked differentially
+//! against the prefill oracle.
 
 use mas_dataflow::numeric::golden_check_method;
-use mas_dataflow::{AttentionWorkload, DataflowKind, Tiling};
-use mas_tensor::golden::GoldenReport;
+use mas_dataflow::{AttentionWorkload, DataflowKind, DecodeStep, Tiling};
+use mas_tensor::decode::{decode_attention, KvCache};
+use mas_tensor::golden::{golden_check, GoldenReport, Tolerance};
 use mas_tensor::init::random_qkv;
-use mas_tensor::Result;
+use mas_tensor::tiled::{fused_online_attention, TileSizes};
+use mas_tensor::{Result, Tensor};
 
 /// Runs the golden-data check for one method on a seeded random instance of
 /// the workload: the method's tiled numerical executor must match the
@@ -39,6 +43,64 @@ pub fn verify_method(
     golden_check_method(method, &q, &k, &v, &scaled_tiling)
 }
 
+/// Differential golden check of the KV-cached decode path: runs the full
+/// autoregressive loop (append the step's `K`/`V` rows to a [`KvCache`],
+/// then [`decode_attention`] for the step's query) over a seeded random
+/// sequence, and compares every step's output against the prefill oracle —
+/// [`fused_online_attention`] over the step's context prefix, whose last row
+/// computes the same attention the decode step does.
+///
+/// Like [`verify_method`], huge workloads are scaled down (context capped at
+/// 128 tokens, heads at 4) — the check validates the incremental algorithm,
+/// which is context-length independent. The decode batch dimension is
+/// verified per session (batch 1): a batched decode launch is numerically
+/// the per-session kernels side by side.
+///
+/// # Errors
+///
+/// Returns a [`mas_tensor::TensorError`] if tensor shapes are inconsistent.
+pub fn verify_decode(step: &DecodeStep, seed: u64) -> Result<GoldenReport> {
+    let t = step.context_len.min(128);
+    let heads = step.heads.min(4);
+    let embed = step.embed;
+    let (q, k, v) = random_qkv(1, heads, t, embed, seed);
+
+    let mut cache = KvCache::new(heads, embed);
+    let mut decoded = Tensor::zeros(*q.shape());
+    let mut step_in = vec![0.0f32; heads * embed];
+    let mut step_out = vec![0.0f32; heads * embed];
+    let mut golden = Tensor::zeros(*q.shape());
+    for i in 0..t {
+        let gather = |src: &Tensor, dst: &mut [f32]| {
+            for h in 0..heads {
+                dst[h * embed..(h + 1) * embed].copy_from_slice(src.row(0, h, i));
+            }
+        };
+        gather(&k, &mut step_in);
+        let mut v_in = vec![0.0f32; heads * embed];
+        gather(&v, &mut v_in);
+        cache.append(&step_in, &v_in)?;
+        gather(&q, &mut step_in);
+        decode_attention(&cache, &step_in, &mut step_out)?;
+        for h in 0..heads {
+            decoded
+                .row_mut(0, h, i)
+                .copy_from_slice(&step_out[h * embed..(h + 1) * embed]);
+        }
+
+        // Oracle: prefill over the (i+1)-token prefix; its last query row
+        // attends exactly the keys the decode step attended.
+        let prefix = i + 1;
+        let sub = |src: &Tensor| src.block([0, 0, 0, 0], [1, heads, prefix, embed]);
+        let tiles = TileSizes::new(prefix, prefix.min(32), prefix)?;
+        let oracle = fused_online_attention(&sub(&q)?, &sub(&k)?, &sub(&v)?, tiles)?;
+        for h in 0..heads {
+            golden.row_mut(0, h, i).copy_from_slice(oracle.row(0, h, i));
+        }
+    }
+    golden_check(&decoded, &golden, Tolerance::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +129,26 @@ mod tests {
         // 8192 tokens would be 8192² elements per head; the scaled check is
         // bounded by 256² per head.
         assert!(report.elements <= 2 * 256 * 64);
+    }
+
+    #[test]
+    fn decode_matches_the_prefill_oracle_step_by_step() {
+        let step = DecodeStep::new("decode-verify", 1, 3, 40, 16);
+        let report = verify_decode(&step, 29).unwrap();
+        assert!(
+            report.passed,
+            "{} mismatches (max abs diff {})",
+            report.mismatches, report.max_abs_diff
+        );
+        assert_eq!(report.elements, 3 * 40 * 16);
+    }
+
+    #[test]
+    fn decode_verification_scales_down_long_contexts() {
+        let step = DecodeStep::new("long-decode", 1, 8, 4096, 32);
+        let report = verify_decode(&step, 5).unwrap();
+        assert!(report.passed);
+        // Context capped at 128 and heads at 4.
+        assert_eq!(report.elements, 4 * 128 * 32);
     }
 }

@@ -1,0 +1,304 @@
+//! Autoregressive decode-step workloads and their cost/footprint math.
+//!
+//! The paper's workloads ([`AttentionWorkload`]) are fixed-shape *prefill*
+//! layers: `N` queries against `N` keys, `O(N²)` work. Real LLM serving is
+//! dominated by *decode* traffic: one new token per step whose single query
+//! row attends over the `t` rows already in the session's KV cache. A
+//! [`DecodeStep`] describes one such step, and its cost model differs from
+//! prefill in two structural ways:
+//!
+//! 1. **Work is linear in the context.** One query row means `2·B·H·t·E`
+//!    MACs and `B·H·t` softmax elements per step — versus the quadratic
+//!    `2·B·H·t²·E` of re-running prefill over the whole sequence.
+//! 2. **Only the new token's operands hit DRAM as fresh traffic.** The
+//!    cached `K`/`V` rows are *read* (streamed through L1 once), but the
+//!    only new operands are the step's `q`/`k`/`v` rows in and `o` row out —
+//!    `4·B·H·E` elements, independent of `t`. Prefill re-reads and re-writes
+//!    full `N×E` operands every time.
+//!
+//! [`decode_footprint`] gives the L1 working set of the streaming decode
+//! kernel (FuseMax-like: score strip + running statistics, no `N×N`
+//! intermediate), used by the serving layer to screen steps against the
+//! device, and [`DecodeStep::prefill_equivalent`] produces the
+//! [`AttentionWorkload`] a recompute-per-step baseline would run — the same
+//! conversion the differential decode-vs-prefill tests exploit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use mas_sim::HardwareConfig;
+
+use crate::footprint::Footprint;
+use crate::workload::AttentionWorkload;
+
+/// One autoregressive decode step: a single new token per sequence, whose
+/// query row attends over `context_len` cached tokens (the new token's own
+/// `K`/`V` rows included).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodeStep {
+    /// Human-readable name, e.g. `"llama3-decode"`.
+    pub name: String,
+    /// Number of sequences decoded together (batched sessions).
+    pub batch: usize,
+    /// Number of attention heads `H`.
+    pub heads: usize,
+    /// Tokens attended this step: the KV-cache residency *after* appending
+    /// the new token (`t`).
+    pub context_len: usize,
+    /// Per-head embedding size `E`.
+    pub embed: usize,
+}
+
+impl DecodeStep {
+    /// Creates a decode-step description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        batch: usize,
+        heads: usize,
+        context_len: usize,
+        embed: usize,
+    ) -> Self {
+        assert!(
+            batch > 0 && heads > 0 && context_len > 0 && embed > 0,
+            "decode step dimensions must be non-zero"
+        );
+        Self {
+            name: name.into(),
+            batch,
+            heads,
+            context_len,
+            embed,
+        }
+    }
+
+    /// Number of independent `(batch, head)` decode slices.
+    #[must_use]
+    pub fn slices(&self) -> usize {
+        self.batch * self.heads
+    }
+
+    /// Multiply-accumulate operations of one step: the single query row's
+    /// `q·Kᵀ` scores plus the `p·V` accumulation — `2 · B · H · t · E`,
+    /// linear in the context.
+    #[must_use]
+    pub fn mac_ops(&self) -> u64 {
+        2 * self.slices() as u64 * self.context_len as u64 * self.embed as u64
+    }
+
+    /// Softmax elements of one step (`B · H · t`).
+    #[must_use]
+    pub fn softmax_elements(&self) -> u64 {
+        self.slices() as u64 * self.context_len as u64
+    }
+
+    /// Bytes of one *new-token* operand row set (`q`, `k`, `v` or `o`):
+    /// `B · H · E` elements — independent of the context length.
+    #[must_use]
+    pub fn new_token_bytes(&self, element_bytes: usize) -> u64 {
+        self.slices() as u64 * self.embed as u64 * element_bytes as u64
+    }
+
+    /// Bytes of the resident KV cache attended this step
+    /// (`2 · B · H · t · E` elements) — what a serving layer charges against
+    /// the device memory budget for session residency.
+    #[must_use]
+    pub fn kv_cache_bytes(&self, element_bytes: usize) -> u64 {
+        2 * self.slices() as u64
+            * self.context_len as u64
+            * self.embed as u64
+            * element_bytes as u64
+    }
+
+    /// Minimum DRAM traffic of one KV-cached step: stream the cached `K`/`V`
+    /// rows in once, read the new `q`/`k`/`v` rows and write the appended
+    /// `k`/`v` rows and the output row. Only the new-token operands appear
+    /// beyond the unavoidable cache streaming — contrast
+    /// [`DecodeStep::recompute_dram_traffic_bytes`].
+    #[must_use]
+    pub fn min_dram_traffic_bytes(&self, element_bytes: usize) -> u64 {
+        // Reads: cached K/V (includes the just-appended rows) + q row.
+        // Writes: appended k/v rows + o row.
+        self.kv_cache_bytes(element_bytes) + 4 * self.new_token_bytes(element_bytes)
+    }
+
+    /// Minimum DRAM traffic of the recompute-per-step baseline: re-running
+    /// full prefill over the `t`-token sequence (read `Q`, `K`, `V`, write
+    /// `O` — all `t × E` per head), which is what a runtime without a KV
+    /// cache pays every step.
+    #[must_use]
+    pub fn recompute_dram_traffic_bytes(&self, element_bytes: usize) -> u64 {
+        self.prefill_equivalent()
+            .min_dram_traffic_bytes(element_bytes)
+    }
+
+    /// The prefill workload whose final query row computes the same
+    /// attention as this step: `t` queries over `t` keys. This is both the
+    /// recompute-per-step baseline's workload and the oracle shape of the
+    /// differential decode-vs-prefill tests.
+    #[must_use]
+    pub fn prefill_equivalent(&self) -> AttentionWorkload {
+        AttentionWorkload::new(
+            format!("{}@prefill", self.name),
+            self.batch,
+            self.heads,
+            self.context_len,
+            self.embed,
+        )
+    }
+
+    /// Returns a copy at a different context length (used by per-step sweeps
+    /// as the cache grows).
+    #[must_use]
+    pub fn with_context(&self, context_len: usize) -> Self {
+        Self {
+            name: format!("{}@t{context_len}", self.name),
+            context_len,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for DecodeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (B={}, H={}, t={}, E={})",
+            self.name, self.batch, self.heads, self.context_len, self.embed
+        )
+    }
+}
+
+/// L1 working set of the streaming decode kernel for one `(batch, head)`
+/// slice processed at a time, with the cached `K`/`V` rows streamed through
+/// in `kv_tile_rows`-row sub-tiles (double buffered): the query row, two
+/// `K`/`V` sub-tiles, the score strip of the current sub-tile, the running
+/// online-softmax statistics and the output accumulator row. Like FuseMax's
+/// footprint, it is independent of the context length — decode streams, it
+/// never materializes a `t`-wide intermediate.
+#[must_use]
+pub fn decode_footprint(step: &DecodeStep, kv_tile_rows: usize, element_bytes: usize) -> Footprint {
+    let kv_tile_rows = kv_tile_rows.clamp(1, step.context_len);
+    let row = step.embed * element_bytes;
+    Footprint {
+        q_bytes: row,
+        kv_bytes: 2 * 2 * kv_tile_rows * row,
+        cp_bytes: kv_tile_rows * element_bytes,
+        o_bytes: row,
+        misc_bytes: 2 * element_bytes,
+    }
+}
+
+/// Whether one decode step can run on the device: the streaming working set
+/// fits L1 and the step's DRAM-resident bytes (the KV cache plus the
+/// new-token operand rows, i.e. [`DecodeStep::min_dram_traffic_bytes`]) fit
+/// device DRAM.
+#[must_use]
+pub fn decode_step_fits(step: &DecodeStep, kv_tile_rows: usize, hw: &HardwareConfig) -> bool {
+    decode_footprint(step, kv_tile_rows, hw.element_bytes).fits(hw.l1_bytes)
+        && step.min_dram_traffic_bytes(hw.element_bytes) <= hw.dram_bytes as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step() -> DecodeStep {
+        DecodeStep::new("llama-decode", 1, 8, 256, 64)
+    }
+
+    #[test]
+    fn op_counts_are_linear_in_context() {
+        let s = step();
+        assert_eq!(s.slices(), 8);
+        assert_eq!(s.mac_ops(), 2 * 8 * 256 * 64);
+        assert_eq!(s.softmax_elements(), 8 * 256);
+        let doubled = s.with_context(512);
+        assert_eq!(doubled.mac_ops(), 2 * s.mac_ops());
+        assert_eq!(doubled.softmax_elements(), 2 * s.softmax_elements());
+    }
+
+    #[test]
+    fn prefill_equivalent_is_quadratically_more_work() {
+        let s = step();
+        let prefill = s.prefill_equivalent();
+        assert_eq!(prefill.seq_len, 256);
+        // Prefill runs t query rows where decode runs one.
+        assert_eq!(prefill.total_mac_ops(), s.context_len as u64 * s.mac_ops());
+    }
+
+    #[test]
+    fn new_token_bytes_are_context_independent() {
+        let s = step();
+        assert_eq!(
+            s.new_token_bytes(2),
+            s.with_context(4096).new_token_bytes(2)
+        );
+        assert_eq!(s.new_token_bytes(2), 8 * 64 * 2);
+    }
+
+    #[test]
+    fn dram_traffic_counts_cache_stream_plus_new_token_rows() {
+        let s = step();
+        assert_eq!(
+            s.min_dram_traffic_bytes(2),
+            s.kv_cache_bytes(2) + 4 * s.new_token_bytes(2)
+        );
+        // The KV-cached step moves far less than the recompute baseline
+        // (which re-reads full Q/K/V and re-writes full O).
+        assert!(s.recompute_dram_traffic_bytes(2) > s.min_dram_traffic_bytes(2));
+        // And the advantage grows with context: recompute is 4·t·E per head
+        // per operand, decode stays at cache-stream + O(1) rows.
+        let long = s.with_context(4096);
+        let ratio_short =
+            s.recompute_dram_traffic_bytes(2) as f64 / s.min_dram_traffic_bytes(2) as f64;
+        let ratio_long =
+            long.recompute_dram_traffic_bytes(2) as f64 / long.min_dram_traffic_bytes(2) as f64;
+        assert!(ratio_long >= ratio_short);
+    }
+
+    #[test]
+    fn kv_cache_bytes_scale_with_context_and_element_size() {
+        let s = step();
+        assert_eq!(s.kv_cache_bytes(2), 2 * 8 * 256 * 64 * 2);
+        assert_eq!(s.kv_cache_bytes(4), 2 * s.kv_cache_bytes(2));
+        assert_eq!(
+            s.with_context(512).kv_cache_bytes(2),
+            2 * s.kv_cache_bytes(2)
+        );
+    }
+
+    #[test]
+    fn footprint_is_context_independent_and_fits_the_edge_device() {
+        let hw = HardwareConfig::edge_default();
+        let short = decode_footprint(&step(), 64, hw.element_bytes);
+        let long = decode_footprint(&step().with_context(1 << 20), 64, hw.element_bytes);
+        assert_eq!(short.total_bytes(), long.total_bytes());
+        assert!(decode_step_fits(&step(), 64, &hw));
+    }
+
+    #[test]
+    fn oversized_kv_cache_is_infeasible() {
+        let hw = HardwareConfig::edge_default();
+        // ~2 TB of KV cache at this context: over any edge DRAM.
+        let huge = DecodeStep::new("huge", 1, 32, 1 << 28, 128);
+        assert!(!decode_step_fits(&huge, 64, &hw));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = DecodeStep::new("bad", 1, 0, 16, 64);
+    }
+
+    #[test]
+    fn display_contains_dimensions() {
+        let s = format!("{}", step());
+        assert!(s.contains("H=8"));
+        assert!(s.contains("t=256"));
+    }
+}

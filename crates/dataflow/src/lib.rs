@@ -28,6 +28,12 @@
 //! graphs are simulated by `mas-sim`; the *numerical* counterparts used for
 //! golden-data checks live in [`numeric`].
 //!
+//! Beyond the paper's fixed-shape prefill layers, [`decode`] models
+//! autoregressive *decode* steps ([`DecodeStep`]): one new token attending
+//! over the session's KV cache, with per-step cost linear in the context and
+//! DRAM footprint math that counts only the new-token operands beyond the
+//! unavoidable cache streaming.
+//!
 //! ## Example
 //!
 //! ```
@@ -48,6 +54,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod decode;
 pub mod flat;
 pub mod footprint;
 pub mod fusemax;
@@ -63,6 +70,7 @@ pub mod tileflow;
 pub mod tiling;
 pub mod workload;
 
+pub use decode::DecodeStep;
 pub use kind::DataflowKind;
 pub use schedule::{build_dataflow, BuildStats, Schedule};
 pub use tiling::Tiling;

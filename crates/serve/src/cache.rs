@@ -20,6 +20,12 @@
 //! cache. Merging is commutative and associative (conflicts resolve by a
 //! total order on entries), so shards can combine in any grouping.
 //!
+//! The format carries an integrity footer (entry count plus an FNV-1a
+//! checksum of the entry lines), so a corrupted or truncated file — shard
+//! caches travel between processes and machines — parses to an error
+//! instead of panicking or silently dropping entries (pinned by property
+//! test, `tests/cache_robustness.rs`).
+//!
 //! The `#[derive(Serialize, Deserialize)]` markers keep the types ready for
 //! real serde (the vendored shim is marker-only; the hand-rolled text format
 //! is the working persistence path until a registry is available).
@@ -43,7 +49,10 @@ use mas_search::cost::Objective;
 use mas_sim::HardwareConfig;
 
 /// Magic first line of the serialized cache format.
-const FORMAT_HEADER: &str = "mas-serve-schedule-cache v1";
+const FORMAT_HEADER: &str = "mas-serve-schedule-cache v2";
+
+/// Prefix of the integrity footer (last line of the format).
+const FOOTER_PREFIX: &str = "# entries=";
 
 /// Incremental FNV-1a hasher for configuration fingerprints.
 struct Fnv(u64);
@@ -330,14 +339,16 @@ impl ScheduleCache {
 
     /// Serializes the cache to the versioned text format. Deterministic:
     /// entries are emitted in key order with floats as exact bit patterns,
-    /// so equal caches serialize identically.
+    /// so equal caches serialize identically. The final line is an integrity
+    /// footer (entry count + FNV-1a checksum of the entry lines) that
+    /// [`ScheduleCache::from_text`] verifies, so truncated or bit-flipped
+    /// cache files are rejected instead of silently losing or corrupting
+    /// entries.
     #[must_use]
     pub fn to_text(&self) -> String {
-        let mut out = String::with_capacity(64 + self.entries.len() * 96);
-        out.push_str(FORMAT_HEADER);
-        out.push('\n');
+        let mut body = String::with_capacity(self.entries.len() * 96);
         for (k, p) in &self.entries {
-            out.push_str(&format!(
+            body.push_str(&format!(
                 "m={} b={} h={} n={} e={} cfg={:016x} t={}/{}/{}/{} cyc={} s={:016x} epj={:016x} dr={} dw={} tuned={}\n",
                 method_token(k.method),
                 k.batch,
@@ -357,14 +368,23 @@ impl ScheduleCache {
                 u8::from(p.tuned),
             ));
         }
-        out
+        let mut checksum = Fnv::new();
+        checksum.eat(body.as_bytes());
+        format!(
+            "{FORMAT_HEADER}\n{body}{FOOTER_PREFIX}{} fnv={:016x}\n",
+            self.entries.len(),
+            checksum.0
+        )
     }
 
-    /// Parses a cache from the text format.
+    /// Parses a cache from the text format, verifying the integrity footer.
     ///
     /// # Errors
     ///
-    /// Returns [`CacheError::Parse`] on a bad header or malformed line.
+    /// Returns [`CacheError::Parse`] on a bad header, a malformed line, a
+    /// missing or misplaced footer (truncation), or a footer whose entry
+    /// count or checksum does not match the entry lines (corruption). Never
+    /// panics and never silently drops entries.
     pub fn from_text(text: &str) -> Result<Self, CacheError> {
         let mut lines = text.lines().enumerate();
         match lines.next() {
@@ -380,16 +400,57 @@ impl ScheduleCache {
             }
         }
         let mut cache = ScheduleCache::new();
+        let mut checksum = Fnv::new();
+        let mut entry_lines: usize = 0;
+        let mut footer: Option<(usize, usize, u64)> = None;
         for (idx, line) in lines {
             let line_no = idx + 1;
+            if footer.is_some() {
+                return Err(CacheError::Parse {
+                    line: line_no,
+                    reason: "content after the integrity footer".to_string(),
+                });
+            }
             if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(FOOTER_PREFIX) {
+                let (count, fnv) = parse_footer(rest).map_err(|reason| CacheError::Parse {
+                    line: line_no,
+                    reason,
+                })?;
+                footer = Some((line_no, count, fnv));
                 continue;
             }
             let (key, plan) = parse_entry(line).map_err(|reason| CacheError::Parse {
                 line: line_no,
                 reason,
             })?;
+            checksum.eat(line.as_bytes());
+            checksum.eat(b"\n");
+            entry_lines += 1;
             cache.insert(key, plan);
+        }
+        let Some((footer_line, count, fnv)) = footer else {
+            return Err(CacheError::Parse {
+                line: text.lines().count().max(1),
+                reason: "missing integrity footer (truncated cache?)".to_string(),
+            });
+        };
+        if count != entry_lines {
+            return Err(CacheError::Parse {
+                line: footer_line,
+                reason: format!("footer claims {count} entries, found {entry_lines}"),
+            });
+        }
+        if fnv != checksum.0 {
+            return Err(CacheError::Parse {
+                line: footer_line,
+                reason: format!(
+                    "checksum mismatch: footer fnv={fnv:016x}, entries hash to {:016x}",
+                    checksum.0
+                ),
+            });
         }
         Ok(cache)
     }
@@ -438,6 +499,40 @@ fn method_from_token(token: &str) -> Result<DataflowKind, String> {
         "MasAttention" => DataflowKind::MasAttention,
         other => return Err(format!("unknown method token {other:?}")),
     })
+}
+
+/// Parses the footer payload after [`FOOTER_PREFIX`]: `"<count> fnv=<hex>"`.
+fn parse_footer(rest: &str) -> Result<(usize, u64), String> {
+    let mut parts = rest.split_whitespace();
+    let count = parts
+        .next()
+        .ok_or_else(|| "footer missing entry count".to_string())?
+        .parse::<usize>()
+        .map_err(|e| format!("footer entry count: {e}"))?;
+    let fnv_field = parts
+        .next()
+        .ok_or_else(|| "footer missing fnv field".to_string())?;
+    let fnv_hex = fnv_field
+        .strip_prefix("fnv=")
+        .ok_or_else(|| format!("footer field {fnv_field:?} is not fnv=<hex>"))?;
+    // The canonical emitter writes exactly 16 lowercase hex digits; the
+    // footer is the one line its own checksum cannot cover, so reject any
+    // non-canonical spelling (`from_str_radix` alone would let a case-flipped
+    // digit — a single-bit corruption — parse back to the same value).
+    if fnv_hex.len() != 16
+        || !fnv_hex
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return Err(format!(
+            "footer fnv {fnv_hex:?} is not 16 lowercase hex digits"
+        ));
+    }
+    let fnv = u64::from_str_radix(fnv_hex, 16).map_err(|e| format!("footer fnv: {e}"))?;
+    if let Some(extra) = parts.next() {
+        return Err(format!("unexpected footer token {extra:?}"));
+    }
+    Ok((count, fnv))
 }
 
 fn parse_entry(line: &str) -> Result<(CacheKey, CachedPlan), String> {
@@ -660,6 +755,69 @@ mod tests {
             ScheduleCache::from_text(&text),
             Err(CacheError::Parse { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn truncated_text_is_rejected_never_silently_shortened() {
+        let mut cache = ScheduleCache::new();
+        cache.insert(key(DataflowKind::MasAttention, 512), plan(1));
+        cache.insert(key(DataflowKind::Flat, 256), plan(2));
+        let text = cache.to_text();
+        // Any prefix that loses data — including cuts at line boundaries,
+        // which the pre-footer format accepted as a valid smaller cache —
+        // must error. (The one exception is the cut that removes only the
+        // final newline: the footer line is still complete and nothing is
+        // lost.)
+        for cut in 0..text.len() - 1 {
+            assert!(
+                matches!(
+                    ScheduleCache::from_text(&text[..cut]),
+                    Err(CacheError::Parse { .. })
+                ),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+        let no_final_newline = &text[..text.len() - 1];
+        assert_eq!(ScheduleCache::from_text(no_final_newline).unwrap(), cache);
+    }
+
+    #[test]
+    fn footer_mismatches_are_rejected() {
+        let mut cache = ScheduleCache::new();
+        cache.insert(key(DataflowKind::Flat, 256), plan(9));
+        let text = cache.to_text();
+
+        // Tampered entry content under an untouched footer: checksum catches
+        // it even though the line itself still parses.
+        let tampered = text.replacen("dr=1024", "dr=1025", 1);
+        assert_ne!(tampered, text);
+        let err = ScheduleCache::from_text(&tampered).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        // Wrong entry count.
+        let wrong_count = text.replacen("# entries=1", "# entries=2", 1);
+        let err = ScheduleCache::from_text(&wrong_count).unwrap_err();
+        assert!(err.to_string().contains("entries"), "{err}");
+
+        // Content after the footer.
+        let trailing = format!("{text}m=Flat b=1\n");
+        let err = ScheduleCache::from_text(&trailing).unwrap_err();
+        assert!(
+            err.to_string().contains("after the integrity footer"),
+            "{err}"
+        );
+
+        // Malformed footer payload.
+        let bad_footer = text.replacen("fnv=", "sum=", 1);
+        assert!(ScheduleCache::from_text(&bad_footer).is_err());
+    }
+
+    #[test]
+    fn empty_cache_round_trips_through_the_footer() {
+        let cache = ScheduleCache::new();
+        let text = cache.to_text();
+        assert!(text.contains("# entries=0"));
+        assert_eq!(ScheduleCache::from_text(&text).unwrap(), cache);
     }
 
     #[test]

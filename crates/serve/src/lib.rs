@@ -48,6 +48,41 @@
 //! test), and a warm cache changes wall-clock planning cost only, never
 //! results.
 //!
+//! ## Autoregressive decode ([`decode`])
+//!
+//! The pipeline above serves *prefill* requests — independent fixed-shape
+//! attention layers. Decode traffic (one generated token per step, the
+//! dominant shape in LLM serving) flows through the decode-aware variant
+//! instead:
+//!
+//! ```text
+//!          ┌───────────────┐   ┌──────────────────┐   ┌───────────────┐
+//! session ─▶ admit session │──▶│ batch steps      │──▶│ launch + report│
+//!  + steps │ (KV budget)   │   │ (cross-session)  │   │ (decode cost)  │
+//!          └───────────────┘   └──────────────────┘   └───────────────┘
+//! ```
+//!
+//! * Sessions hold *sticky KV residency*: a session is admitted only if its
+//!   KV cache at maximum context fits the device KV budget, the bytes stay
+//!   charged until its last step completes, and sessions that do not fit
+//!   are shed whole ([`DecodePolicy`]).
+//! * Step requests from different sessions sharing a `(heads, embed)` shape
+//!   coalesce into one batched launch within a window, amortizing the
+//!   per-launch issue overhead that dominates single-token kernels.
+//! * Launch cost comes from the closed-form decode model
+//!   ([`mas_dataflow::decode::DecodeStep`]): per-step work linear in the
+//!   context length, DRAM traffic of the cache stream plus only the
+//!   new-token operand rows. The numerical kernel this models —
+//!   `mas_tensor::decode::decode_attention` over a per-session
+//!   `mas_tensor::decode::KvCache` — is pinned step-by-step against the
+//!   full-prefill oracle by the differential `decode_vs_prefill` test
+//!   harness.
+//!
+//! [`DecodeRuntime::run_trace`] replays a deterministic
+//! [`mas_workloads::DecodeTrace`] and yields a [`DecodeReport`] with
+//! per-step latency, batching factor, deadline verdicts and peak KV
+//! residency.
+//!
 //! ## Example
 //!
 //! ```
@@ -73,6 +108,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod decode;
 pub mod metrics;
 pub mod queue;
 pub mod request;
@@ -81,6 +117,10 @@ pub mod runtime;
 pub use batcher::{Batch, BatchKey, BatchPolicy};
 pub use cache::{
     hardware_fingerprint, planning_fingerprint, CacheError, CacheKey, CachedPlan, ScheduleCache,
+};
+pub use decode::{
+    decode_step_lower_bound_s, launch_service_s, DecodePolicy, DecodeRejectReason, DecodeReport,
+    DecodeRuntime, DecodeStepOutcome, RejectedDecodeStep,
 };
 pub use metrics::{percentile, RejectedRequest, RequestOutcome, ServeReport};
 pub use queue::{AdmissionPolicy, RejectReason};

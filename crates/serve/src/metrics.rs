@@ -18,7 +18,11 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile values are finite"));
     let n = sorted.len();
-    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    // `p·n/100` multiplied before dividing: `(p/100)·n` rounds up through an
+    // inexact intermediate exactly at rank boundaries (e.g.
+    // `(55/100)·100 = 55.000000000000007` puts p55 of 100 samples at rank 56
+    // instead of 55), while `p·n` is exact for every realistic p and n.
+    let rank = ((p * n as f64) / 100.0).ceil() as usize;
     Some(sorted[rank.clamp(1, n) - 1])
 }
 
@@ -250,6 +254,61 @@ mod tests {
         assert!((r.latency_percentile_s(0.0).unwrap() - 0.1).abs() < 1e-12);
         assert!((r.latency_percentile_s(100.0).unwrap() - 0.4).abs() < 1e-12);
         assert!(report(&[]).p50_latency_s().is_none());
+    }
+
+    #[test]
+    fn percentile_of_one_sample_is_that_sample_at_every_p() {
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], p), Some(7.5), "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_two_samples_splits_at_the_median() {
+        let v = [2.0, 1.0];
+        // Nearest rank: p ≤ 50 → rank 1 (minimum), p > 50 → rank 2.
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.001), Some(2.0));
+        assert_eq!(percentile(&v, 99.0), Some(2.0));
+        assert_eq!(percentile(&v, 100.0), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_of_three_samples_hits_every_rank_boundary() {
+        let v = [3.0, 1.0, 2.0];
+        // Rank boundaries at 33.3̅% and 66.6̅%.
+        assert_eq!(percentile(&v, 33.0), Some(1.0));
+        assert_eq!(percentile(&v, 34.0), Some(2.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.0), "p50 of 3 is the middle");
+        assert_eq!(percentile(&v, 66.0), Some(2.0));
+        assert_eq!(percentile(&v, 67.0), Some(3.0));
+        assert_eq!(percentile(&v, 99.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_rank_boundaries_are_exact_not_float_rounded() {
+        // Regression: computing `(p/100)·n` rounds through an inexact
+        // intermediate — 0.55·100 = 55.000000000000007 shifted p55 of 100
+        // samples to rank 56, 0.07·100 = 7.000000000000001 shifted p7 to
+        // rank 8. `p·n/100` keeps integer-valued ranks exact.
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 55.0), Some(55.0), "p55 of 100 is rank 55");
+        assert_eq!(percentile(&v, 7.0), Some(7.0), "p7 of 100 is rank 7");
+        assert_eq!(percentile(&v, 99.0), Some(99.0));
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 1.0), Some(1.0));
+        // Same failure shape at small n: 0.28·25 = 7.000000000000001.
+        let v: Vec<f64> = (1..=25).map(f64::from).collect();
+        assert_eq!(percentile(&v, 28.0), Some(7.0), "p28 of 25 is rank 7");
+        assert_eq!(percentile(&v, 56.0), Some(14.0), "p56 of 25 is rank 14");
+    }
+
+    #[test]
+    fn out_of_range_p_clamps_to_the_extremes() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, -10.0), Some(1.0));
+        assert_eq!(percentile(&v, 250.0), Some(3.0));
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! KV-cache streaming for autoregressive decode.
+//!
+//! Prefill attention (the paper's workload class) computes all `N` query rows
+//! against all `N` key/value rows in one kernel. Autoregressive *decode*
+//! instead produces one token per step: the new token's `K`/`V` rows are
+//! appended to a per-session cache and the single new query row attends over
+//! every cached row. With FlashAttention-style online softmax the step is a
+//! single sweep over the cache — `O(t·E)` work at context length `t`, versus
+//! `O(t²·E)` for re-running prefill over the whole sequence each step.
+//!
+//! Two pieces implement that here:
+//!
+//! * [`KvCache`] — appendable per-head `K`/`V` row storage with optional
+//!   sliding-window capacity and eviction accounting. Rows are contiguous
+//!   per head, so the decode kernel runs on the same
+//!   [`dot`](crate::matmul::dot)/[`axpy`](crate::matmul::axpy) slice
+//!   primitives as the prefill executors in [`crate::tiled`].
+//! * [`decode_attention`] — one decode step: for each head, an
+//!   online-softmax sweep of the single query row over the cached rows.
+//!
+//! The differential harness in `tests/decode_vs_prefill.rs` pins every decode
+//! step against the full-prefill oracle
+//! ([`fused_online_attention`](crate::tiled::fused_online_attention)) within
+//! [`golden_check`](crate::golden::golden_check) tolerance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+use crate::matmul::{axpy, dot};
+
+/// Appendable per-session key/value cache for autoregressive decode.
+///
+/// Storage is one contiguous row-major `len × embed` matrix per head for `K`
+/// and one for `V` — the decode kernel's inner loops borrow whole-cache row
+/// slices per head, exactly like the `(batch, head)` slices of the prefill
+/// executors.
+///
+/// An optional capacity turns the cache into a sliding window: appending
+/// beyond `capacity_tokens` evicts the oldest rows first (StreamingLLM-style
+/// recency window) and the eviction count is tracked so serving layers can
+/// report cache pressure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvCache {
+    heads: usize,
+    embed: usize,
+    capacity_tokens: Option<usize>,
+    /// Per-head contiguous `len × embed` key rows.
+    k: Vec<Vec<f32>>,
+    /// Per-head contiguous `len × embed` value rows.
+    v: Vec<Vec<f32>>,
+    appended_tokens: usize,
+    evicted_tokens: usize,
+}
+
+impl KvCache {
+    /// Creates an unbounded cache for `heads` heads of `embed`-wide rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` or `embed` is zero.
+    #[must_use]
+    pub fn new(heads: usize, embed: usize) -> Self {
+        assert!(
+            heads > 0 && embed > 0,
+            "KV cache dimensions must be non-zero"
+        );
+        Self {
+            heads,
+            embed,
+            capacity_tokens: None,
+            k: vec![Vec::new(); heads],
+            v: vec![Vec::new(); heads],
+            appended_tokens: 0,
+            evicted_tokens: 0,
+        }
+    }
+
+    /// Creates a sliding-window cache holding at most `capacity_tokens`
+    /// tokens; appends beyond the capacity evict the oldest rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the capacity is zero.
+    #[must_use]
+    pub fn with_capacity(heads: usize, embed: usize, capacity_tokens: usize) -> Self {
+        assert!(capacity_tokens > 0, "KV cache capacity must be non-zero");
+        Self {
+            capacity_tokens: Some(capacity_tokens),
+            ..Self::new(heads, embed)
+        }
+    }
+
+    /// Number of attention heads.
+    #[must_use]
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Per-head embedding width of each cached row.
+    #[must_use]
+    pub fn embed(&self) -> usize {
+        self.embed
+    }
+
+    /// The sliding-window capacity in tokens (`None` = unbounded).
+    #[must_use]
+    pub fn capacity_tokens(&self) -> Option<usize> {
+        self.capacity_tokens
+    }
+
+    /// Number of tokens currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.k[0].len() / self.embed
+    }
+
+    /// Whether no tokens are cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.k[0].is_empty()
+    }
+
+    /// Total tokens ever appended (resident plus evicted).
+    #[must_use]
+    pub fn appended_tokens(&self) -> usize {
+        self.appended_tokens
+    }
+
+    /// Tokens evicted by the sliding window so far.
+    #[must_use]
+    pub fn evicted_tokens(&self) -> usize {
+        self.evicted_tokens
+    }
+
+    /// Bytes of resident `K` plus `V` rows at `element_bytes` per element —
+    /// the footprint a serving layer charges against its device KV budget.
+    #[must_use]
+    pub fn kv_bytes(&self, element_bytes: usize) -> usize {
+        2 * self.heads * self.len() * self.embed * element_bytes
+    }
+
+    /// Appends one token: `k_step` and `v_step` hold the new row for every
+    /// head, concatenated head-major (`heads × embed` values each, the same
+    /// layout as one row of a `(1, H, N, E)` tensor per head). Evicts the
+    /// oldest token first when the sliding window is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLengthMismatch`] if either slice is not
+    /// exactly `heads · embed` long.
+    pub fn append(&mut self, k_step: &[f32], v_step: &[f32]) -> Result<()> {
+        let expected = self.heads * self.embed;
+        for step in [k_step, v_step] {
+            if step.len() != expected {
+                return Err(TensorError::DataLengthMismatch {
+                    expected,
+                    actual: step.len(),
+                });
+            }
+        }
+        if let Some(capacity) = self.capacity_tokens {
+            if self.len() == capacity {
+                for h in 0..self.heads {
+                    self.k[h].drain(..self.embed);
+                    self.v[h].drain(..self.embed);
+                }
+                self.evicted_tokens += 1;
+            }
+        }
+        for h in 0..self.heads {
+            self.k[h].extend_from_slice(&k_step[h * self.embed..(h + 1) * self.embed]);
+            self.v[h].extend_from_slice(&v_step[h * self.embed..(h + 1) * self.embed]);
+        }
+        self.appended_tokens += 1;
+        Ok(())
+    }
+
+    /// The contiguous `len × embed` key rows of head `h` (oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    #[must_use]
+    pub fn key_rows(&self, h: usize) -> &[f32] {
+        &self.k[h]
+    }
+
+    /// The contiguous `len × embed` value rows of head `h` (oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    #[must_use]
+    pub fn value_rows(&self, h: usize) -> &[f32] {
+        &self.v[h]
+    }
+}
+
+/// One autoregressive decode step: the single query row of each head attends
+/// over every cached `K`/`V` row with an online softmax, writing the
+/// attention output into `out`.
+///
+/// `q_step` and `out` are head-major `heads × embed` slices (the same layout
+/// [`KvCache::append`] takes). The sweep keeps a running maximum `m` and
+/// denominator `d` per head and rescales the output accumulator by
+/// `exp(m_old − m_new)` whenever the maximum grows — identical arithmetic to
+/// [`fused_online_attention`](crate::tiled::fused_online_attention) with a
+/// one-row query block and single-row sub-tiles, which is why the two agree
+/// within floating-point tolerance (pinned by the differential harness).
+/// Cost is `O(len · embed)` per head.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DataLengthMismatch`] if `q_step` or `out` is not
+/// `heads · embed` long, or [`TensorError::ZeroDimension`] if the cache is
+/// empty (a query attending over zero keys has no defined softmax).
+pub fn decode_attention(cache: &KvCache, q_step: &[f32], out: &mut [f32]) -> Result<()> {
+    let (heads, embed) = (cache.heads(), cache.embed());
+    let expected = heads * embed;
+    if q_step.len() != expected || out.len() != expected {
+        return Err(TensorError::DataLengthMismatch {
+            expected,
+            actual: if q_step.len() != expected {
+                q_step.len()
+            } else {
+                out.len()
+            },
+        });
+    }
+    if cache.is_empty() {
+        return Err(TensorError::ZeroDimension { dim: "kv_cache" });
+    }
+    let len = cache.len();
+    for h in 0..heads {
+        let q_row = &q_step[h * embed..(h + 1) * embed];
+        let o_row = &mut out[h * embed..(h + 1) * embed];
+        o_row.fill(0.0);
+        let keys = cache.key_rows(h);
+        let vals = cache.value_rows(h);
+        let mut row_max = f32::NEG_INFINITY;
+        let mut denom = 0.0f32;
+        for t in 0..len {
+            let score = dot(q_row, &keys[t * embed..(t + 1) * embed]);
+            if score > row_max {
+                let correction = if row_max.is_finite() {
+                    (row_max - score).exp()
+                } else {
+                    0.0
+                };
+                denom *= correction;
+                for ov in o_row.iter_mut() {
+                    *ov *= correction;
+                }
+                row_max = score;
+            }
+            let w = (score - row_max).exp();
+            denom += w;
+            axpy(w, &vals[t * embed..(t + 1) * embed], o_row);
+        }
+        let inv = 1.0 / denom;
+        for ov in o_row.iter_mut() {
+            *ov *= inv;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_qkv;
+    use crate::tiled::{fused_online_attention, TileSizes};
+
+    /// Runs `t` decode steps over the rows of seeded `(1, H, t, E)` tensors,
+    /// returning the stacked per-step outputs.
+    fn decode_all_steps(heads: usize, t: usize, embed: usize, seed: u64) -> Vec<Vec<f32>> {
+        let (q, k, v) = random_qkv(1, heads, t, embed, seed);
+        let mut cache = KvCache::new(heads, embed);
+        let mut outs = Vec::with_capacity(t);
+        for step in 0..t {
+            let row_of = |tensor: &crate::Tensor| -> Vec<f32> {
+                (0..heads)
+                    .flat_map(|h| tensor.row(0, h, step).to_vec())
+                    .collect()
+            };
+            cache.append(&row_of(&k), &row_of(&v)).unwrap();
+            let mut out = vec![0.0f32; heads * embed];
+            decode_attention(&cache, &row_of(&q), &mut out).unwrap();
+            outs.push(out);
+        }
+        outs
+    }
+
+    #[test]
+    fn append_grows_and_reports_bytes() {
+        let mut cache = KvCache::new(2, 4);
+        assert!(cache.is_empty());
+        cache.append(&[1.0; 8], &[2.0; 8]).unwrap();
+        cache.append(&[3.0; 8], &[4.0; 8]).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.appended_tokens(), 2);
+        assert_eq!(cache.evicted_tokens(), 0);
+        assert_eq!(cache.kv_bytes(2), 2 * 2 * 2 * 4 * 2);
+        assert_eq!(cache.key_rows(0), &[1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0]);
+        assert_eq!(cache.value_rows(1).len(), 8);
+    }
+
+    #[test]
+    fn wrong_row_width_is_rejected() {
+        let mut cache = KvCache::new(2, 4);
+        assert!(matches!(
+            cache.append(&[0.0; 7], &[0.0; 8]),
+            Err(TensorError::DataLengthMismatch {
+                expected: 8,
+                actual: 7
+            })
+        ));
+        assert!(cache.is_empty(), "failed append must not partially apply");
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest_rows() {
+        let mut cache = KvCache::with_capacity(1, 2, 2);
+        for t in 0..4 {
+            let row = [t as f32, t as f32];
+            cache.append(&row, &row).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.appended_tokens(), 4);
+        assert_eq!(cache.evicted_tokens(), 2);
+        // Only the two newest tokens remain, oldest first.
+        assert_eq!(cache.key_rows(0), &[2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn decode_on_empty_cache_is_an_error() {
+        let cache = KvCache::new(1, 2);
+        let mut out = [0.0f32; 2];
+        assert!(matches!(
+            decode_attention(&cache, &[1.0, 0.0], &mut out),
+            Err(TensorError::ZeroDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn single_token_decode_returns_its_value_row() {
+        // With one cached token the softmax weight is 1 regardless of score.
+        let mut cache = KvCache::new(2, 3);
+        cache
+            .append(&[9.0; 6], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
+        let mut out = [0.0f32; 6];
+        decode_attention(&cache, &[0.5; 6], &mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn final_decode_step_matches_full_prefill_oracle() {
+        let (heads, t, embed, seed) = (3, 12, 8, 17);
+        let outs = decode_all_steps(heads, t, embed, seed);
+        let (q, k, v) = random_qkv(1, heads, t, embed, seed);
+        let tiles = TileSizes::new(4, 3, t).unwrap();
+        let oracle = fused_online_attention(&q, &k, &v, tiles).unwrap();
+        // The last step's query attends over the full t-token context — the
+        // same computation as oracle row t-1.
+        let last = &outs[t - 1];
+        for h in 0..heads {
+            let oracle_row = oracle.row(0, h, t - 1);
+            for (c, &ov) in oracle_row.iter().enumerate() {
+                assert!(
+                    (last[h * embed + c] - ov).abs() < 1e-4,
+                    "head {h} col {c}: decode {} vs oracle {ov}",
+                    last[h * embed + c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_decode_step_matches_its_prefix_oracle() {
+        let (heads, t, embed, seed) = (2, 9, 4, 23);
+        let outs = decode_all_steps(heads, t, embed, seed);
+        let (q, k, v) = random_qkv(1, heads, t, embed, seed);
+        for (step, out) in outs.iter().enumerate() {
+            let prefix = step + 1;
+            let sub = |t: &crate::Tensor| t.block([0, 0, 0, 0], [1, heads, prefix, embed]).unwrap();
+            let tiles = TileSizes::new(prefix, 1, prefix).unwrap();
+            let oracle = fused_online_attention(&sub(&q), &sub(&k), &sub(&v), tiles).unwrap();
+            for h in 0..heads {
+                let oracle_row = oracle.row(0, h, step);
+                for (c, &ov) in oracle_row.iter().enumerate() {
+                    assert!(
+                        (out[h * embed + c] - ov).abs() < 1e-4,
+                        "step {step} head {h} col {c}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -16,7 +16,13 @@
 //!   decompositions,
 //! * a reference attention implementation ([`attention::reference_attention`]),
 //! * tiled numerical executors mirroring Algorithms 1–4 of the paper and each
-//!   baseline's blocking structure ([`tiled`]), and
+//!   baseline's blocking structure ([`tiled`]),
+//! * KV-cache streaming for autoregressive decode ([`decode`]): an
+//!   appendable per-session [`decode::KvCache`] plus the incremental
+//!   [`decode::decode_attention`] kernel — a single-query online-softmax
+//!   sweep over the cached rows, `O(t)` per step instead of the `O(t²)`
+//!   full-prefill recompute, pinned step-by-step against
+//!   [`tiled::fused_online_attention`] by a differential test harness, and
 //! * the golden-data checker ([`golden`]) and deterministic input generation
 //!   ([`init`]).
 //!
@@ -64,6 +70,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod attention;
+pub mod decode;
 pub mod dtype;
 pub mod error;
 pub mod golden;

@@ -10,7 +10,9 @@
 //! * [`generator`] — a seeded synthetic workload generator for stress tests
 //!   and property-based testing, and
 //! * [`traffic`] — deterministic Poisson/burst request-trace generation for
-//!   the `mas-serve` streaming runtime.
+//!   the `mas-serve` streaming runtime, plus autoregressive decode traces
+//!   (sessions with prompts and per-token step arrivals) for its KV-cached
+//!   decode path.
 //!
 //! ## Example
 //!
@@ -33,4 +35,7 @@ pub mod traffic;
 
 pub use networks::Network;
 pub use sdunet::{sd15_reduced_unet, SdAttentionUnit};
-pub use traffic::{request_trace, ArrivalProcess, TraceConfig, TraceEvent};
+pub use traffic::{
+    decode_trace, request_trace, ArrivalProcess, DecodeSessionSpec, DecodeStepEvent, DecodeTrace,
+    DecodeTraceConfig, TraceConfig, TraceEvent,
+};

@@ -166,6 +166,179 @@ pub fn request_trace(config: &TraceConfig) -> Vec<TraceEvent> {
     events
 }
 
+/// Configuration of a generated autoregressive decode trace: sessions open
+/// at Poisson times, each with a prompt length and a step count drawn from
+/// configured ranges, and the session's decode steps arrive at jittered
+/// inter-token gaps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeTraceConfig {
+    /// Networks whose head count / embedding size sessions draw from
+    /// (uniformly at random). Must be non-empty.
+    pub networks: Vec<Network>,
+    /// Number of sessions to generate.
+    pub sessions: usize,
+    /// Long-run session arrival rate in sessions per second (Poisson).
+    pub session_rate_rps: f64,
+    /// Inclusive `(min, max)` prompt length in tokens (the KV cache each
+    /// session starts from).
+    pub prompt_len: (usize, usize),
+    /// Inclusive `(min, max)` number of decode steps per session.
+    pub steps_per_session: (usize, usize),
+    /// Mean inter-token gap in seconds; actual gaps are exponentially
+    /// jittered around it.
+    pub token_gap_s: f64,
+    /// RNG seed; traces are a pure function of the whole config.
+    pub seed: u64,
+}
+
+impl DecodeTraceConfig {
+    /// A decode trace with Poisson session arrivals and sensible ranges
+    /// (prompts of 32–256 tokens, 8–64 steps, 10 ms mean token gap).
+    #[must_use]
+    pub fn poisson(networks: Vec<Network>, sessions: usize, rate_rps: f64, seed: u64) -> Self {
+        Self {
+            networks,
+            sessions,
+            session_rate_rps: rate_rps,
+            prompt_len: (32, 256),
+            steps_per_session: (8, 64),
+            token_gap_s: 0.01,
+            seed,
+        }
+    }
+}
+
+/// One decode session of a generated trace: its shape, prompt and step
+/// budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeSessionSpec {
+    /// Session id, unique within the trace.
+    pub id: u64,
+    /// The Table 1 network the session's shape was drawn from.
+    pub network: Network,
+    /// Time the session opens, in seconds from the start of the trace.
+    pub start_s: f64,
+    /// Attention heads of the session's layers.
+    pub heads: usize,
+    /// Per-head embedding size.
+    pub embed: usize,
+    /// Prompt length in tokens (KV-cache residency before the first step).
+    pub prompt_len: usize,
+    /// Number of decode steps the session will request.
+    pub steps: usize,
+}
+
+impl DecodeSessionSpec {
+    /// KV-cache residency after the last step, in tokens — what a serving
+    /// layer charges against its KV budget for the session's lifetime.
+    #[must_use]
+    pub fn max_context(&self) -> usize {
+        self.prompt_len + self.steps
+    }
+}
+
+/// One timestamped decode-step request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeStepEvent {
+    /// The session requesting the step.
+    pub session_id: u64,
+    /// Zero-based index of the step within its session.
+    pub step_index: usize,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival_s: f64,
+}
+
+/// A generated decode trace: session specs plus their step requests in
+/// global arrival order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeTrace {
+    /// Sessions in start order (ids are their indices).
+    pub sessions: Vec<DecodeSessionSpec>,
+    /// Step requests sorted by `(arrival_s, session_id, step_index)`.
+    pub steps: Vec<DecodeStepEvent>,
+}
+
+impl DecodeTrace {
+    /// Total decode steps across all sessions.
+    #[must_use]
+    pub fn total_steps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Generates a decode trace from the config.
+///
+/// Session starts follow a Poisson process at
+/// [`DecodeTraceConfig::session_rate_rps`]; each session's steps arrive at
+/// exponentially jittered gaps with mean [`DecodeTraceConfig::token_gap_s`].
+/// The trace is a pure function of `config` (bit-identical across runs and
+/// platforms).
+///
+/// # Panics
+///
+/// Panics if `config.networks` is empty, the rates are non-positive, or a
+/// range is inverted or starts at zero.
+#[must_use]
+pub fn decode_trace(config: &DecodeTraceConfig) -> DecodeTrace {
+    assert!(
+        !config.networks.is_empty(),
+        "decode trace generation needs at least one network"
+    );
+    assert!(
+        config.session_rate_rps > 0.0,
+        "session arrival rate must be positive"
+    );
+    assert!(config.token_gap_s > 0.0, "token gap must be positive");
+    let ranges = [config.prompt_len, config.steps_per_session];
+    for (lo, hi) in ranges {
+        assert!(lo > 0 && lo <= hi, "ranges must be non-empty and ordered");
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Inverse-CDF sample of Exp(1/mean); u in [0, 1) keeps ln's argument in
+    // (0, 1].
+    let exp_sample = |mean: f64, rng: &mut StdRng| -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        -(1.0 - u).ln() * mean
+    };
+    let mut sessions = Vec::with_capacity(config.sessions);
+    let mut steps = Vec::new();
+    let mut now_s = 0.0f64;
+    for id in 0..config.sessions as u64 {
+        now_s += exp_sample(1.0 / config.session_rate_rps, &mut rng);
+        let network = config.networks[rng.gen_range(0..config.networks.len())];
+        let shape = network.attention_workload(1);
+        let prompt_len = rng.gen_range(config.prompt_len.0..config.prompt_len.1 + 1);
+        let step_count = rng.gen_range(config.steps_per_session.0..config.steps_per_session.1 + 1);
+        let mut t = now_s;
+        for step_index in 0..step_count {
+            t += exp_sample(config.token_gap_s, &mut rng);
+            steps.push(DecodeStepEvent {
+                session_id: id,
+                step_index,
+                arrival_s: t,
+            });
+        }
+        sessions.push(DecodeSessionSpec {
+            id,
+            network,
+            start_s: now_s,
+            heads: shape.heads,
+            embed: shape.embed,
+            prompt_len,
+            steps: step_count,
+        });
+    }
+    steps.sort_by(|a, b| {
+        a.arrival_s
+            .partial_cmp(&b.arrival_s)
+            .expect("arrival times are finite")
+            .then(a.session_id.cmp(&b.session_id))
+            .then(a.step_index.cmp(&b.step_index))
+    });
+    DecodeTrace { sessions, steps }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +410,67 @@ mod tests {
     fn empty_network_list_panics() {
         let cfg = TraceConfig::poisson(vec![], 1, 1.0, 0);
         let _ = request_trace(&cfg);
+    }
+
+    #[test]
+    fn decode_traces_are_deterministic_per_seed() {
+        let cfg = DecodeTraceConfig::poisson(nets(), 10, 50.0, 5);
+        assert_eq!(decode_trace(&cfg), decode_trace(&cfg));
+        let other = DecodeTraceConfig::poisson(nets(), 10, 50.0, 6);
+        assert_ne!(decode_trace(&cfg), decode_trace(&other));
+    }
+
+    #[test]
+    fn decode_sessions_respect_the_configured_ranges() {
+        let cfg = DecodeTraceConfig {
+            prompt_len: (4, 9),
+            steps_per_session: (2, 5),
+            ..DecodeTraceConfig::poisson(nets(), 40, 100.0, 12)
+        };
+        let trace = decode_trace(&cfg);
+        assert_eq!(trace.sessions.len(), 40);
+        for s in &trace.sessions {
+            assert!((4..=9).contains(&s.prompt_len));
+            assert!((2..=5).contains(&s.steps));
+            assert_eq!(s.max_context(), s.prompt_len + s.steps);
+            let shape = s.network.attention_workload(1);
+            assert_eq!((s.heads, s.embed), (shape.heads, shape.embed));
+        }
+        // Step count conservation and global ordering.
+        let expected: usize = trace.sessions.iter().map(|s| s.steps).sum();
+        assert_eq!(trace.total_steps(), expected);
+        for pair in trace.steps.windows(2) {
+            assert!(pair[1].arrival_s >= pair[0].arrival_s);
+        }
+    }
+
+    #[test]
+    fn decode_steps_arrive_after_their_session_opens_in_order() {
+        let cfg = DecodeTraceConfig::poisson(nets(), 12, 200.0, 3);
+        let trace = decode_trace(&cfg);
+        for session in &trace.sessions {
+            let mine: Vec<&DecodeStepEvent> = trace
+                .steps
+                .iter()
+                .filter(|e| e.session_id == session.id)
+                .collect();
+            assert_eq!(mine.len(), session.steps);
+            let mut prev = session.start_s;
+            for (i, e) in mine.iter().enumerate() {
+                assert_eq!(e.step_index, i, "per-session steps stay ordered");
+                assert!(e.arrival_s > prev);
+                prev = e.arrival_s;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges must be non-empty")]
+    fn inverted_decode_range_panics() {
+        let cfg = DecodeTraceConfig {
+            prompt_len: (9, 4),
+            ..DecodeTraceConfig::poisson(nets(), 1, 1.0, 0)
+        };
+        let _ = decode_trace(&cfg);
     }
 }
