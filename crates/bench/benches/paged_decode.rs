@@ -1,0 +1,210 @@
+//! Benchmarks of the paged (block-granular) KV decode path.
+//!
+//! Two questions, both pinned by assertions so a regression fails the CI
+//! bench smoke:
+//!
+//! 1. **Kernel overhead** — sweeping a block table instead of one
+//!    contiguous buffer must cost at most a small constant factor per step
+//!    (`pin_paged_overhead` asserts ≤ 3× across the context sweep; the two
+//!    paths are bit-identical numerically, so this is pure traversal
+//!    overhead).
+//! 2. **Sessions per GB** — the point of paged allocation: under the same
+//!    KV budget, block-granular charging at actual context must admit ≥ 2×
+//!    the sessions of worst-case max-context reservation
+//!    (`pin_sessions_per_gb`, replayed through `DecodeRuntime` on a
+//!    long-max-context/short-actual-context trace).
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mas_serve::{DecodePolicy, DecodeRuntime};
+use mas_sim::HardwareConfig;
+use mas_tensor::decode::{decode_attention, KvCache};
+use mas_tensor::init::random_qkv;
+use mas_tensor::paged::{decode_attention_paged, KvBlockPool, PagedKvCache};
+use mas_tensor::Tensor;
+use mas_workloads::{DecodeSessionSpec, DecodeStepEvent, DecodeTrace, Network};
+
+const HEADS: usize = 8;
+const EMBED: usize = 64;
+const BLOCK_TOKENS: usize = 16;
+const CONTEXTS: [usize; 3] = [64, 128, 256];
+
+fn gather(src: &Tensor, r: usize) -> Vec<f32> {
+    (0..HEADS).flat_map(|h| src.row(0, h, r).to_vec()).collect()
+}
+
+/// Builds matching contiguous and paged caches holding `context` tokens,
+/// plus the step's query row.
+#[allow(clippy::type_complexity)]
+fn dual_setup(context: usize) -> (KvCache, KvBlockPool, PagedKvCache, Vec<f32>) {
+    let (q, k, v) = random_qkv(1, HEADS, context, EMBED, 42);
+    let mut contiguous = KvCache::new(HEADS, EMBED);
+    let mut pool = KvBlockPool::new(BLOCK_TOKENS, HEADS, EMBED);
+    let mut paged = PagedKvCache::new(HEADS, HEADS, EMBED, BLOCK_TOKENS).unwrap();
+    for t in 0..context {
+        let (ks, vs) = (gather(&k, t), gather(&v, t));
+        contiguous.append(&ks, &vs).unwrap();
+        paged.append(&mut pool, &ks, &vs).unwrap();
+    }
+    (contiguous, pool, paged, gather(&q, context - 1))
+}
+
+fn bench_paged_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paged_decode_step_8h_64e");
+    for context in CONTEXTS {
+        let (contiguous, pool, paged, q_step) = dual_setup(context);
+        let mut out = vec![0.0f32; HEADS * EMBED];
+        g.bench_function(BenchmarkId::new("contiguous", context), |b| {
+            b.iter(|| {
+                decode_attention(black_box(&contiguous), black_box(&q_step), &mut out).unwrap()
+            })
+        });
+        g.bench_function(BenchmarkId::new("paged_block16", context), |b| {
+            b.iter(|| {
+                decode_attention_paged(
+                    black_box(&pool),
+                    black_box(&paged),
+                    black_box(&q_step),
+                    &mut out,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Times `f` with a short warmup, returning the mean duration per call.
+fn time_per_call<F: FnMut()>(mut f: F) -> Duration {
+    let warmup = Instant::now();
+    let mut warm_iters: u32 = 0;
+    while warmup.elapsed() < Duration::from_millis(50) || warm_iters == 0 {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warmup.elapsed() / warm_iters;
+    let iters = (Duration::from_millis(300).as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters
+}
+
+/// Pins the paged kernel's traversal overhead: ≤ 3× the contiguous step at
+/// every context in the sweep (the arithmetic is identical; only the
+/// block-table walk differs).
+fn pin_paged_overhead(_c: &mut Criterion) {
+    println!("\npaged vs contiguous decode step (H={HEADS}, E={EMBED}, block={BLOCK_TOKENS}):");
+    println!("| context | contiguous | paged | ratio |");
+    println!("|---|---|---|---|");
+    for context in CONTEXTS {
+        let (contiguous, pool, paged, q_step) = dual_setup(context);
+        let mut out = vec![0.0f32; HEADS * EMBED];
+        let c_s = time_per_call(|| {
+            decode_attention(black_box(&contiguous), black_box(&q_step), &mut out).unwrap();
+        });
+        let p_s = time_per_call(|| {
+            decode_attention_paged(
+                black_box(&pool),
+                black_box(&paged),
+                black_box(&q_step),
+                &mut out,
+            )
+            .unwrap();
+        });
+        let ratio = p_s.as_secs_f64() / c_s.as_secs_f64();
+        println!(
+            "| {context} | {:.2} µs | {:.2} µs | {ratio:.2}x |",
+            c_s.as_secs_f64() * 1e6,
+            p_s.as_secs_f64() * 1e6,
+        );
+        assert!(
+            ratio <= 3.0,
+            "paged decode must stay within 3x of the contiguous step at \
+             context {context}, measured {ratio:.2}x"
+        );
+    }
+}
+
+/// Replays a long-max-context/short-actual-context trace under both
+/// charging policies at the same budget and pins the sessions-per-GB win.
+fn pin_sessions_per_gb(_c: &mut Criterion) {
+    let hw = HardwareConfig::edge_default();
+    let budget: u64 = 1 << 30; // 1 GiB of KV
+    let (prompt, declared, actual) = (32usize, 480usize, 8usize);
+    let sessions: u64 = 4096;
+
+    let specs: Vec<DecodeSessionSpec> = (0..sessions)
+        .map(|id| DecodeSessionSpec {
+            id,
+            network: Network::BertSmall,
+            start_s: 0.0,
+            heads: HEADS,
+            kv_heads: HEADS,
+            embed: EMBED,
+            prompt_len: prompt,
+            steps: declared,
+        })
+        .collect();
+    let mut steps = Vec::new();
+    for step_index in 0..actual {
+        for id in 0..sessions {
+            steps.push(DecodeStepEvent {
+                session_id: id,
+                step_index,
+                arrival_s: step_index as f64 * 0.01 + 1e-9,
+            });
+        }
+    }
+    let trace = DecodeTrace {
+        sessions: specs,
+        steps,
+    };
+
+    let run = |kv_block_tokens: Option<usize>| {
+        let policy = DecodePolicy {
+            kv_budget_bytes: Some(budget),
+            kv_block_tokens,
+            ..DecodePolicy::default()
+        };
+        DecodeRuntime::new(hw.clone(), policy).run_trace(&trace)
+    };
+    let legacy = run(None);
+    let paged = run(Some(BLOCK_TOKENS));
+
+    println!(
+        "\nsessions per GiB of KV budget (prompt {prompt}, declared max context {}):",
+        prompt + declared
+    );
+    println!("| charging | sessions admitted | peak KV MB | frag at peak | pool overflows |");
+    println!("|---|---|---|---|---|");
+    for (name, r) in [("max-context", &legacy), ("paged block16", &paged)] {
+        println!(
+            "| {name} | {} | {:.1} | {:.1}% | {} |",
+            r.sessions_admitted,
+            r.kv_peak_bytes as f64 / 1e6,
+            r.kv_frag_at_peak * 100.0,
+            r.pool_overflows(),
+        );
+    }
+    assert_eq!(paged.pool_overflows(), 0, "the paged run must not overflow");
+    assert!(paged.kv_peak_bytes <= budget);
+    assert!(
+        paged.sessions_admitted >= 2 * legacy.sessions_admitted,
+        "block-granular charging must admit >= 2x the sessions of \
+         max-context reservation at the same budget: {} vs {}",
+        paged.sessions_admitted,
+        legacy.sessions_admitted
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_paged_step,
+    pin_paged_overhead,
+    pin_sessions_per_gb
+);
+criterion_main!(benches);

@@ -40,4 +40,4 @@ pub mod verify;
 pub use mas_dataflow::DataflowKind as Method;
 pub use planner::{PlannedRun, Planner, PlannerConfig, RunResult, TilingCache};
 pub use report::{ComparisonReport, MethodRow};
-pub use verify::{verify_decode, verify_method};
+pub use verify::{verify_decode, verify_decode_paged, verify_method};

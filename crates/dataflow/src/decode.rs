@@ -34,14 +34,22 @@ use crate::workload::AttentionWorkload;
 /// One autoregressive decode step: a single new token per sequence, whose
 /// query row attends over `context_len` cached tokens (the new token's own
 /// `K`/`V` rows included).
+///
+/// With grouped-query head sharing ([`DecodeStep::with_kv_heads`]) the step
+/// has `kv_heads ≤ heads` shared K/V heads: compute is unchanged (every
+/// query head still scores `t` keys) but KV residency and cache-stream
+/// traffic shrink by `kv_heads / heads`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DecodeStep {
     /// Human-readable name, e.g. `"llama3-decode"`.
     pub name: String,
     /// Number of sequences decoded together (batched sessions).
     pub batch: usize,
-    /// Number of attention heads `H`.
+    /// Number of query attention heads `H`.
     pub heads: usize,
+    /// Number of shared key/value heads (`kv_heads ≤ heads`, dividing
+    /// `heads`; equal for plain MHA, `1` for MQA).
+    pub kv_heads: usize,
     /// Tokens attended this step: the KV-cache residency *after* appending
     /// the new token (`t`).
     pub context_len: usize,
@@ -50,7 +58,8 @@ pub struct DecodeStep {
 }
 
 impl DecodeStep {
-    /// Creates a decode-step description.
+    /// Creates a plain multi-head decode-step description
+    /// (`kv_heads == heads`).
     ///
     /// # Panics
     ///
@@ -71,9 +80,34 @@ impl DecodeStep {
             name: name.into(),
             batch,
             heads,
+            kv_heads: heads,
             context_len,
             embed,
         }
+    }
+
+    /// Returns the step with `kv_heads` shared key/value heads
+    /// (grouped-query attention; `kv_heads == 1` is MQA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_heads` is zero, exceeds `heads` or does not divide it
+    /// (the numeric layer rejects the same configurations with a typed
+    /// error — `mas_tensor::decode::check_head_grouping`).
+    #[must_use]
+    pub fn with_kv_heads(mut self, kv_heads: usize) -> Self {
+        assert!(
+            kv_heads > 0 && kv_heads <= self.heads && self.heads.is_multiple_of(kv_heads),
+            "kv_heads must be non-zero and divide the query head count"
+        );
+        self.kv_heads = kv_heads;
+        self
+    }
+
+    /// Query heads per shared KV head (`1` for plain MHA).
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.heads / self.kv_heads
     }
 
     /// Number of independent `(batch, head)` decode slices.
@@ -96,34 +130,88 @@ impl DecodeStep {
         self.slices() as u64 * self.context_len as u64
     }
 
-    /// Bytes of one *new-token* operand row set (`q`, `k`, `v` or `o`):
-    /// `B · H · E` elements — independent of the context length.
+    /// Bytes of one *query-head-wide* new-token operand row set (`q` or
+    /// `o`): `B · H · E` elements — independent of the context length.
     #[must_use]
     pub fn new_token_bytes(&self, element_bytes: usize) -> u64 {
         self.slices() as u64 * self.embed as u64 * element_bytes as u64
     }
 
+    /// Bytes of one *KV-head-wide* new-token row set (`k` or `v`):
+    /// `B · H_kv · E` elements — grouped-query sharing shrinks the appended
+    /// rows along with the cache.
+    #[must_use]
+    pub fn new_kv_token_bytes(&self, element_bytes: usize) -> u64 {
+        self.batch as u64 * self.kv_heads as u64 * self.embed as u64 * element_bytes as u64
+    }
+
     /// Bytes of the resident KV cache attended this step
-    /// (`2 · B · H · t · E` elements) — what a serving layer charges against
-    /// the device memory budget for session residency.
+    /// (`2 · B · H_kv · t · E` elements) — what a serving layer charges
+    /// against the device memory budget for session residency under
+    /// token-granular accounting. Scales by `kv_heads / heads` relative to
+    /// plain MHA.
     #[must_use]
     pub fn kv_cache_bytes(&self, element_bytes: usize) -> u64 {
-        2 * self.slices() as u64
+        2 * self.batch as u64
+            * self.kv_heads as u64
             * self.context_len as u64
             * self.embed as u64
             * element_bytes as u64
     }
 
+    /// `K` plus `V` bytes of one `block_tokens`-token KV block
+    /// (`2 · B · H_kv · block_tokens · E` elements) — the allocation granule
+    /// of the paged KV path. A zero block size is clamped to one token,
+    /// matching [`DecodeStep::kv_blocks`], so degenerate configurations
+    /// never account zero bytes per block.
+    #[must_use]
+    pub fn kv_block_bytes(&self, block_tokens: usize, element_bytes: usize) -> u64 {
+        2 * self.batch as u64
+            * self.kv_heads as u64
+            * block_tokens.max(1) as u64
+            * self.embed as u64
+            * element_bytes as u64
+    }
+
+    /// Blocks needed to hold the step's context at `block_tokens` tokens per
+    /// block (the last block may be partially filled).
+    #[must_use]
+    pub fn kv_blocks(&self, block_tokens: usize) -> u64 {
+        self.context_len.div_ceil(block_tokens.max(1)) as u64
+    }
+
+    /// Bytes of the *allocated* KV blocks under block-granular accounting:
+    /// `kv_blocks · kv_block_bytes` — residency counts allocated blocks, not
+    /// max context, so a serving layer charging this grows a session's bill
+    /// as it decodes instead of reserving worst case up front.
+    #[must_use]
+    pub fn paged_kv_bytes(&self, block_tokens: usize, element_bytes: usize) -> u64 {
+        self.kv_blocks(block_tokens) * self.kv_block_bytes(block_tokens, element_bytes)
+    }
+
+    /// Internal fragmentation of block-granular residency at this context:
+    /// the fraction of allocated token slots not holding a token (`0.0`
+    /// when the context fills its blocks exactly, bounded by
+    /// `(block_tokens − 1) / block_tokens`).
+    #[must_use]
+    pub fn kv_fragmentation(&self, block_tokens: usize) -> f64 {
+        let slots = self.kv_blocks(block_tokens) * block_tokens.max(1) as u64;
+        1.0 - self.context_len as f64 / slots as f64
+    }
+
     /// Minimum DRAM traffic of one KV-cached step: stream the cached `K`/`V`
-    /// rows in once, read the new `q`/`k`/`v` rows and write the appended
-    /// `k`/`v` rows and the output row. Only the new-token operands appear
-    /// beyond the unavoidable cache streaming — contrast
-    /// [`DecodeStep::recompute_dram_traffic_bytes`].
+    /// rows in once, read the new `q` row and write the appended `k`/`v`
+    /// rows and the output row. Only the new-token operands appear beyond
+    /// the unavoidable cache streaming — contrast
+    /// [`DecodeStep::recompute_dram_traffic_bytes`]. Grouped-query sharing
+    /// shrinks both the cache stream and the appended rows.
     #[must_use]
     pub fn min_dram_traffic_bytes(&self, element_bytes: usize) -> u64 {
         // Reads: cached K/V (includes the just-appended rows) + q row.
         // Writes: appended k/v rows + o row.
-        self.kv_cache_bytes(element_bytes) + 4 * self.new_token_bytes(element_bytes)
+        self.kv_cache_bytes(element_bytes)
+            + 2 * self.new_token_bytes(element_bytes)
+            + 2 * self.new_kv_token_bytes(element_bytes)
     }
 
     /// Minimum DRAM traffic of the recompute-per-step baseline: re-running
@@ -167,9 +255,13 @@ impl fmt::Display for DecodeStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} (B={}, H={}, t={}, E={})",
+            "{} (B={}, H={}, t={}, E={}",
             self.name, self.batch, self.heads, self.context_len, self.embed
-        )
+        )?;
+        if self.kv_heads != self.heads {
+            write!(f, ", KV={}", self.kv_heads)?;
+        }
+        f.write_str(")")
     }
 }
 
@@ -287,6 +379,72 @@ mod tests {
         // ~2 TB of KV cache at this context: over any edge DRAM.
         let huge = DecodeStep::new("huge", 1, 32, 1 << 28, 128);
         assert!(!decode_step_fits(&huge, 64, &hw));
+    }
+
+    #[test]
+    fn grouped_kv_heads_scale_cache_bytes_not_compute() {
+        let mha = step(); // H = 8
+        let gqa = step().with_kv_heads(2);
+        let mqa = step().with_kv_heads(1);
+        assert_eq!(gqa.group_size(), 4);
+        // Compute is per query head: unchanged.
+        assert_eq!(gqa.mac_ops(), mha.mac_ops());
+        assert_eq!(gqa.softmax_elements(), mha.softmax_elements());
+        // Residency and appended K/V rows shrink by kv_heads / heads.
+        assert_eq!(gqa.kv_cache_bytes(2), mha.kv_cache_bytes(2) / 4);
+        assert_eq!(mqa.kv_cache_bytes(2), mha.kv_cache_bytes(2) / 8);
+        assert_eq!(gqa.new_kv_token_bytes(2), mha.new_kv_token_bytes(2) / 4);
+        // q/o rows stay query-head-wide.
+        assert_eq!(gqa.new_token_bytes(2), mha.new_token_bytes(2));
+        // DRAM traffic shrinks accordingly, and the MHA formula reduces to
+        // the historical 4-row form.
+        assert!(gqa.min_dram_traffic_bytes(2) < mha.min_dram_traffic_bytes(2));
+        assert_eq!(
+            mha.min_dram_traffic_bytes(2),
+            mha.kv_cache_bytes(2) + 4 * mha.new_token_bytes(2)
+        );
+        // kv_heads survives context sweeps.
+        assert_eq!(gqa.with_context(512).kv_heads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the query head count")]
+    fn invalid_kv_head_grouping_panics() {
+        let _ = step().with_kv_heads(3);
+    }
+
+    #[test]
+    fn block_granular_residency_counts_allocated_blocks() {
+        let s = step(); // t = 256
+                        // 256 tokens in 16-token blocks: exactly 16 blocks, zero waste.
+        assert_eq!(s.kv_blocks(16), 16);
+        assert_eq!(s.paged_kv_bytes(16, 2), s.kv_cache_bytes(2));
+        assert_eq!(s.kv_fragmentation(16), 0.0);
+        // 255 tokens still allocate 16 blocks; one slot is wasted.
+        let short = s.with_context(255);
+        assert_eq!(short.kv_blocks(16), 16);
+        assert_eq!(short.paged_kv_bytes(16, 2), s.kv_cache_bytes(2));
+        assert!((short.kv_fragmentation(16) - 1.0 / 256.0).abs() < 1e-12);
+        // A block larger than the context allocates one block.
+        let tiny = s.with_context(3);
+        assert_eq!(tiny.kv_blocks(512), 1);
+        assert!((tiny.kv_fragmentation(512) - 509.0 / 512.0).abs() < 1e-12);
+        // Block bytes scale with kv_heads like the cache does.
+        assert_eq!(
+            step().with_kv_heads(2).kv_block_bytes(16, 2),
+            s.kv_block_bytes(16, 2) / 4
+        );
+        // A zero block size clamps to one token everywhere — it must never
+        // account zero bytes per block (which would zero paged residency).
+        assert_eq!(s.kv_block_bytes(0, 2), s.kv_block_bytes(1, 2));
+        assert_eq!(s.paged_kv_bytes(0, 2), s.kv_cache_bytes(2));
+        // Paged residency never undercounts the true token bytes, and wastes
+        // less than one block.
+        for (t, b) in [(1usize, 7usize), (9, 7), (100, 16), (64, 64), (65, 64)] {
+            let c = s.with_context(t);
+            assert!(c.paged_kv_bytes(b, 2) >= c.kv_cache_bytes(2));
+            assert!(c.paged_kv_bytes(b, 2) < c.kv_cache_bytes(2) + c.kv_block_bytes(b, 2));
+        }
     }
 
     #[test]

@@ -7,14 +7,28 @@
 //! resident on the device. This module adapts the serving pipeline to that
 //! shape:
 //!
-//! * **Sticky KV residency** — a session is admitted only if its KV cache
-//!   *at maximum context* (prompt plus all requested steps) fits the
-//!   remaining device KV budget ([`DecodePolicy::kv_budget_bytes`],
-//!   defaulting to half of device DRAM). Admitted bytes stay charged until
-//!   the session's last step completes; sessions that do not fit are
-//!   rejected whole, before any of their steps consume batcher resources.
+//! * **Block-granular KV residency** — by default
+//!   ([`DecodePolicy::kv_block_tokens`]) sessions charge the shared device
+//!   KV budget ([`DecodePolicy::kv_budget_bytes`], defaulting to half of
+//!   device DRAM) *as they actually grow*, in fixed-size token blocks
+//!   (vLLM-style paged allocation, modeling
+//!   `mas_tensor::paged::PagedKvCache` over a `KvBlockPool`). Admission
+//!   screens only the first step's blocks; a later step that cannot get a
+//!   new block is shed as a *pool overflow*
+//!   ([`DecodeRejectReason::KvPoolExhausted`]) while its session keeps
+//!   decoding at its old residency. The legacy policy
+//!   (`kv_block_tokens: None`) reserves worst-case *max-context* bytes per
+//!   session up front — the over-reservation that caps concurrency, kept
+//!   for comparison and pinned by the paged-admission tests. Either way,
+//!   charged bytes release when the session's last step completes.
+//! * **Grouped-query head sharing** — sessions carry
+//!   `kv_heads ≤ heads` shared K/V heads
+//!   ([`mas_workloads::DecodeSessionSpec::kv_heads`]); residency and
+//!   cache-stream traffic shrink by `kv_heads / heads` (Llama3-8B decodes
+//!   at a quarter of its MHA KV bytes). Invalid groupings reject the
+//!   session at admission instead of panicking.
 //! * **Cross-session step batching** — step requests that share a
-//!   `(heads, embed)` shape and arrive within
+//!   `(heads, kv_heads, embed)` shape and arrive within
 //!   [`DecodePolicy::window_s`] coalesce into one batched launch (each
 //!   session contributes its own query row and cache; the slices are
 //!   independent, like the `(batch, head)` slices of a merged prefill
@@ -27,8 +41,10 @@
 //!   like prefill batches.
 //!
 //! The numerical kernel this models is `mas_tensor::decode::decode_attention`
-//! over a `mas_tensor::decode::KvCache`; the differential test harness pins
-//! that kernel step-by-step against the full-prefill oracle.
+//! over a `mas_tensor::decode::KvCache` (contiguous) or
+//! `mas_tensor::paged::decode_attention_paged` over a block table (paged,
+//! bit-identical); the differential test harnesses pin both step-by-step
+//! against the full-prefill oracle.
 
 use serde::{Deserialize, Serialize};
 
@@ -42,10 +58,12 @@ use crate::metrics::percentile;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DecodeRejectReason {
     /// The session's step working set cannot run on the device at all
-    /// (streaming footprint over L1, or KV cache over device DRAM).
+    /// (streaming footprint over L1, KV cache over device DRAM, or an
+    /// invalid grouped-query head configuration).
     InfeasibleSession,
-    /// Admitting the session's maximum-context KV cache would exceed the
-    /// device KV budget.
+    /// Admitting the session's *initial* KV residency (max context under
+    /// legacy charging, the first step's blocks under paged charging) would
+    /// exceed the device KV budget.
     KvBudgetExceeded,
     /// The concurrent-session limit was reached.
     SessionLimit,
@@ -55,6 +73,10 @@ pub enum DecodeRejectReason {
     /// The step references a session id absent from the trace's session
     /// table (a malformed or partially assembled trace).
     UnknownSession,
+    /// Under paged charging: the step needed a new KV block but the shared
+    /// block pool is exhausted — a pool overflow. The session keeps its
+    /// existing blocks; only this step is shed.
+    KvPoolExhausted,
 }
 
 impl std::fmt::Display for DecodeRejectReason {
@@ -67,6 +89,7 @@ impl std::fmt::Display for DecodeRejectReason {
                 "deadline below decode service-time lower bound"
             }
             DecodeRejectReason::UnknownSession => "unknown session id",
+            DecodeRejectReason::KvPoolExhausted => "shared KV block pool exhausted",
         })
     }
 }
@@ -95,6 +118,15 @@ pub struct DecodePolicy {
     /// KV-cache streaming granularity (rows per sub-tile) used for the L1
     /// footprint feasibility screen.
     pub kv_tile_rows: usize,
+    /// KV residency charging granularity. `Some(block_tokens)` charges the
+    /// shared block pool on *actual growth*: a session pays for the blocks
+    /// its current context occupies (`DecodeStep::paged_kv_bytes`), admission
+    /// screens only the first step's blocks, and a step that cannot get a
+    /// new block is shed with [`DecodeRejectReason::KvPoolExhausted`] (a
+    /// *pool overflow*) while the session keeps decoding at its old
+    /// residency. `None` is the legacy contiguous policy: reserve worst-case
+    /// max-context bytes for the whole session lifetime.
+    pub kv_block_tokens: Option<usize>,
 }
 
 impl Default for DecodePolicy {
@@ -106,6 +138,7 @@ impl Default for DecodePolicy {
             max_steps_per_launch: 16,
             step_deadline_s: None,
             kv_tile_rows: 64,
+            kv_block_tokens: Some(16),
         }
     }
 }
@@ -216,8 +249,18 @@ pub struct DecodeReport {
     pub launches: usize,
     /// Virtual time at which the last launch completed.
     pub makespan_s: f64,
-    /// Peak bytes of concurrently resident KV caches.
+    /// Peak bytes charged against the KV budget at once — allocated-block
+    /// bytes under paged charging, worst-case reservations under legacy
+    /// charging.
     pub kv_peak_bytes: u64,
+    /// Peak KV blocks allocated at once across all sessions (zero under
+    /// legacy charging, which has no block granularity).
+    pub kv_peak_blocks: u64,
+    /// Internal fragmentation at the charge peak: the fraction of charged
+    /// bytes not holding an actual context token — partial-tail-block waste
+    /// under paged charging, the full over-reservation under legacy
+    /// charging.
+    pub kv_frag_at_peak: f64,
 }
 
 impl DecodeReport {
@@ -263,6 +306,17 @@ impl DecodeReport {
         self.outcomes.iter().filter(|o| !o.deadline_met).count()
     }
 
+    /// Steps shed because the shared KV block pool was exhausted (pool
+    /// overflows). Always zero under legacy max-context charging, which
+    /// over-reserves instead.
+    #[must_use]
+    pub fn pool_overflows(&self) -> usize {
+        self.rejected
+            .iter()
+            .filter(|r| r.reason == DecodeRejectReason::KvPoolExhausted)
+            .count()
+    }
+
     /// A compact human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -270,7 +324,8 @@ impl DecodeReport {
             |s: Option<f64>| s.map_or_else(|| "-".to_string(), |v| format!("{:.3} ms", v * 1e3));
         format!(
             "decode: {} steps ({} sessions) / {} rejected in {} launches (mean {:.1} steps) | \
-             {:.0} steps/s | latency p50 {} p99 {} | deadline misses {} | peak KV {:.1} MB",
+             {:.0} steps/s | latency p50 {} p99 {} | deadline misses {} | peak KV {:.1} MB \
+             ({} blocks, {:.1}% frag) | pool overflows {}",
             self.completed(),
             self.sessions_admitted,
             self.rejected.len(),
@@ -281,15 +336,20 @@ impl DecodeReport {
             fmt_ms(self.latency_percentile_s(99.0)),
             self.deadline_missed(),
             self.kv_peak_bytes as f64 / 1e6,
+            self.kv_peak_blocks,
+            self.kv_frag_at_peak * 100.0,
+            self.pool_overflows(),
         )
     }
 }
 
 /// Shape key decode steps coalesce under: launches merge only steps whose
-/// kernels share the per-head geometry.
+/// kernels share the per-head geometry (including the grouped-query KV
+/// head count, which changes the cache-stream traffic per step).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct LaunchKey {
     heads: usize,
+    kv_heads: usize,
     embed: usize,
 }
 
@@ -316,7 +376,15 @@ struct SessionState {
     rejected_steps: usize,
     /// Steps joined to a not-yet-dispatched launch.
     pending_steps: usize,
-    kv_bytes: u64,
+    /// Bytes currently charged against the KV budget: the max-context
+    /// reservation under legacy charging, the allocated-block bytes under
+    /// paged charging (grows as the session decodes).
+    charged_bytes: u64,
+    /// KV blocks currently allocated (paged charging only).
+    charged_blocks: u64,
+    /// Bytes of actual resident context tokens (prompt plus generated),
+    /// used for fragmentation reporting.
+    used_bytes: u64,
 }
 
 impl SessionState {
@@ -325,6 +393,46 @@ impl SessionState {
     /// the point at which its KV residency can be released.
     fn finished(&self) -> bool {
         self.completed_steps + self.rejected_steps == self.spec.steps && self.pending_steps == 0
+    }
+
+    /// The session's decode step at a given context length.
+    ///
+    /// Callers must have validated the spec's head grouping (admission
+    /// rejects invalid groupings as infeasible before building steps).
+    fn step_at(&self, context_len: usize) -> DecodeStep {
+        DecodeStep::new("decode", 1, self.spec.heads, context_len, self.spec.embed)
+            .with_kv_heads(self.spec.kv_heads)
+    }
+
+    /// `K` plus `V` bytes of one context token at the session's shape.
+    fn token_bytes(&self, element_bytes: usize) -> u64 {
+        2 * self.spec.kv_heads as u64 * self.spec.embed as u64 * element_bytes as u64
+    }
+
+    /// Blocks covering `context_len` tokens at `block_tokens` per block —
+    /// plain arithmetic (`DecodeStep::kv_blocks` without building a step on
+    /// the per-event hot path).
+    fn blocks_at(context_len: usize, block_tokens: usize) -> u64 {
+        context_len.div_ceil(block_tokens.max(1)) as u64
+    }
+
+    /// `K` plus `V` bytes of one KV block at the session's shape
+    /// (`DecodeStep::kv_block_bytes` without the step allocation). Clamps a
+    /// zero block size to one token, like [`SessionState::blocks_at`], so a
+    /// degenerate `kv_block_tokens: Some(0)` policy charges per token
+    /// instead of silently disabling the budget.
+    fn block_bytes(&self, block_tokens: usize, element_bytes: usize) -> u64 {
+        block_tokens.max(1) as u64 * self.token_bytes(element_bytes)
+    }
+}
+
+/// Records the charge high-water mark with its block count and
+/// fragmentation snapshot.
+fn note_kv_peak(report: &mut DecodeReport, charged: u64, used: u64, blocks: u64) {
+    if charged >= report.kv_peak_bytes && charged > 0 {
+        report.kv_peak_bytes = charged;
+        report.kv_peak_blocks = blocks;
+        report.kv_frag_at_peak = 1.0 - used as f64 / charged as f64;
     }
 }
 
@@ -375,18 +483,18 @@ impl DecodeRuntime {
             .sessions
             .iter()
             .map(|spec| {
-                let max_step =
-                    DecodeStep::new("admit", 1, spec.heads, spec.max_context(), spec.embed);
                 (
                     spec.id,
                     SessionState {
-                        kv_bytes: max_step.kv_cache_bytes(element_bytes),
                         spec: spec.clone(),
                         admitted: false,
                         reject_reason: None,
                         completed_steps: 0,
                         rejected_steps: 0,
                         pending_steps: 0,
+                        charged_bytes: 0,
+                        charged_blocks: 0,
+                        used_bytes: 0,
                     },
                 )
             })
@@ -397,7 +505,11 @@ impl DecodeRuntime {
             std::collections::BTreeMap::new();
         let mut next_launch_id: u64 = 0;
         let mut free_at = vec![0.0f64; self.devices];
+        // Charged bytes, actual context-token bytes and allocated blocks
+        // across all resident sessions.
         let mut kv_in_use: u64 = 0;
+        let mut kv_used: u64 = 0;
+        let mut blocks_in_use: u64 = 0;
         let mut active_sessions: usize = 0;
         // KV released when a session's last step completes on the device:
         // (completion_s, session_id) pending releases, applied once virtual
@@ -414,7 +526,10 @@ impl DecodeRuntime {
             let steps: Vec<DecodeStep> = launch
                 .steps
                 .iter()
-                .map(|p| DecodeStep::new("decode", 1, key.heads, p.context_len, key.embed))
+                .map(|p| {
+                    DecodeStep::new("decode", 1, key.heads, p.context_len, key.embed)
+                        .with_kv_heads(key.kv_heads)
+                })
                 .collect();
             let service_s = launch_service_s(&steps, &self.hw);
             let device = free_at
@@ -481,8 +596,13 @@ impl DecodeRuntime {
             // Apply KV releases that have completed by now.
             releases.retain(|&(release_s, session_id)| {
                 if release_s <= now_s {
-                    let s = sessions.get(&session_id).expect("session exists");
-                    kv_in_use = kv_in_use.saturating_sub(s.kv_bytes);
+                    let s = sessions.get_mut(&session_id).expect("session exists");
+                    kv_in_use = kv_in_use.saturating_sub(s.charged_bytes);
+                    kv_used = kv_used.saturating_sub(s.used_bytes);
+                    blocks_in_use = blocks_in_use.saturating_sub(s.charged_blocks);
+                    s.charged_bytes = 0;
+                    s.charged_blocks = 0;
+                    s.used_bytes = 0;
                     active_sessions = active_sessions.saturating_sub(1);
                     false
                 } else {
@@ -503,17 +623,39 @@ impl DecodeRuntime {
                 continue;
             };
             let (admitted, reason, context_len) = {
+                let context_len = session.spec.prompt_len + event.step_index + 1;
                 if !session.admitted && session.reject_reason.is_none() {
-                    let probe = DecodeStep::new(
-                        "admit",
-                        1,
-                        session.spec.heads,
-                        session.spec.max_context(),
-                        session.spec.embed,
-                    );
-                    let verdict = if !decode_step_fits(&probe, self.policy.kv_tile_rows, &self.hw) {
+                    let spec = &session.spec;
+                    let grouping_valid = spec.kv_heads > 0
+                        && spec.kv_heads <= spec.heads
+                        && spec.heads % spec.kv_heads == 0;
+                    // Initial charge: worst-case max context under legacy
+                    // charging, the first step's blocks under paged
+                    // charging.
+                    let (initial_bytes, initial_blocks) = if !grouping_valid {
+                        (0, 0)
+                    } else {
+                        match self.policy.kv_block_tokens {
+                            None => (
+                                spec.max_context() as u64 * session.token_bytes(element_bytes),
+                                0,
+                            ),
+                            Some(bt) => {
+                                let blocks = SessionState::blocks_at(context_len, bt);
+                                (blocks * session.block_bytes(bt, element_bytes), blocks)
+                            }
+                        }
+                    };
+                    // `step_at` requires a valid grouping; `||` short-circuits
+                    // past it for malformed specs.
+                    let verdict = if !grouping_valid
+                        || !decode_step_fits(
+                            &session.step_at(session.spec.max_context()),
+                            self.policy.kv_tile_rows,
+                            &self.hw,
+                        ) {
                         Some(DecodeRejectReason::InfeasibleSession)
-                    } else if kv_in_use + session.kv_bytes > kv_budget {
+                    } else if kv_in_use + initial_bytes > kv_budget {
                         Some(DecodeRejectReason::KvBudgetExceeded)
                     } else if self
                         .policy
@@ -531,18 +673,22 @@ impl DecodeRuntime {
                         }
                         None => {
                             session.admitted = true;
-                            kv_in_use += session.kv_bytes;
+                            session.charged_bytes = initial_bytes;
+                            session.charged_blocks = initial_blocks;
+                            // The prompt is resident from admission; each
+                            // joined step adds one token below.
+                            session.used_bytes =
+                                session.spec.prompt_len as u64 * session.token_bytes(element_bytes);
+                            kv_in_use += initial_bytes;
+                            kv_used += session.used_bytes;
+                            blocks_in_use += initial_blocks;
                             active_sessions += 1;
-                            report.kv_peak_bytes = report.kv_peak_bytes.max(kv_in_use);
+                            note_kv_peak(&mut report, kv_in_use, kv_used, blocks_in_use);
                             report.sessions_admitted += 1;
                         }
                     }
                 }
-                (
-                    session.admitted,
-                    session.reject_reason,
-                    session.spec.prompt_len + event.step_index + 1,
-                )
+                (session.admitted, session.reject_reason, context_len)
             };
             if !admitted {
                 report.rejected.push(RejectedDecodeStep {
@@ -555,9 +701,13 @@ impl DecodeRuntime {
             }
 
             // Per-step deadline screening at this step's context length.
-            let (heads, embed) = (session.spec.heads, session.spec.embed);
+            let (heads, kv_heads, embed) = (
+                session.spec.heads,
+                session.spec.kv_heads,
+                session.spec.embed,
+            );
             if let Some(deadline) = self.policy.step_deadline_s {
-                let step = DecodeStep::new("screen", 1, heads, context_len, embed);
+                let step = session.step_at(context_len);
                 if deadline < decode_step_lower_bound_s(&step, &self.hw) {
                     session.rejected_steps += 1;
                     // A session whose every remaining step is screened out
@@ -574,10 +724,49 @@ impl DecodeRuntime {
                     continue;
                 }
             }
+            // Paged charging: grow the session's block allocation to cover
+            // this step's context. Growth runs *after* the deadline screen —
+            // a screened step generates no token, so it must not keep a
+            // block. A step that cannot get its block is shed (pool
+            // overflow) while the session keeps its residency.
+            if let Some(bt) = self.policy.kv_block_tokens {
+                let needed = SessionState::blocks_at(context_len, bt);
+                if needed > session.charged_blocks {
+                    let delta_blocks = needed - session.charged_blocks;
+                    let delta_bytes = delta_blocks * session.block_bytes(bt, element_bytes);
+                    if kv_in_use + delta_bytes > kv_budget {
+                        session.rejected_steps += 1;
+                        if session.finished() {
+                            releases.push((now_s, event.session_id));
+                        }
+                        report.rejected.push(RejectedDecodeStep {
+                            session_id: event.session_id,
+                            step_index: event.step_index,
+                            arrival_s: now_s,
+                            reason: DecodeRejectReason::KvPoolExhausted,
+                        });
+                        continue;
+                    }
+                    session.charged_bytes += delta_bytes;
+                    session.charged_blocks = needed;
+                    kv_in_use += delta_bytes;
+                    blocks_in_use += delta_blocks;
+                    note_kv_peak(&mut report, kv_in_use, kv_used, blocks_in_use);
+                }
+            }
             session.pending_steps += 1;
+            // The step's token becomes resident context.
+            let token = session.token_bytes(element_bytes);
+            session.used_bytes += token;
+            kv_used += token;
+            note_kv_peak(&mut report, kv_in_use, kv_used, blocks_in_use);
 
             // Join (or open) the launch for this shape key.
-            let key = LaunchKey { heads, embed };
+            let key = LaunchKey {
+                heads,
+                kv_heads,
+                embed,
+            };
             let launch = open.entry(key).or_insert_with(|| {
                 let l = OpenLaunch {
                     id: next_launch_id,
@@ -644,6 +833,7 @@ mod tests {
                 network: Network::BertSmall,
                 start_s: 0.0,
                 heads: 8,
+                kv_heads: 8,
                 embed: 64,
                 prompt_len: prompt,
                 steps,
@@ -719,6 +909,9 @@ mod tests {
         let per_session = DecodeStep::new("s", 1, 8, 38, 64).kv_cache_bytes(hw().element_bytes);
         let policy = DecodePolicy {
             kv_budget_bytes: Some(2 * per_session + per_session / 2),
+            // Legacy contiguous charging: this test pins whole-session
+            // max-context shedding.
+            kv_block_tokens: None,
             ..DecodePolicy::default()
         };
         let trace = lockstep_trace(4, 6, 32, 0.01);
@@ -745,6 +938,7 @@ mod tests {
                 network: Network::BertSmall,
                 start_s: 0.0,
                 heads: 8,
+                kv_heads: 8,
                 embed: 64,
                 prompt_len: 32,
                 steps: 2,
@@ -754,6 +948,7 @@ mod tests {
                 network: Network::BertSmall,
                 start_s: 1.0,
                 heads: 8,
+                kv_heads: 8,
                 embed: 64,
                 prompt_len: 32,
                 steps: 2,
@@ -776,6 +971,7 @@ mod tests {
         let per_session = DecodeStep::new("s", 1, 8, 34, 64).kv_cache_bytes(hw().element_bytes);
         let policy = DecodePolicy {
             kv_budget_bytes: Some(per_session), // room for exactly one at a time
+            kv_block_tokens: None,              // legacy max-context charging
             ..DecodePolicy::default()
         };
         let report = DecodeRuntime::new(hw(), policy).run_trace(&trace);
@@ -835,6 +1031,7 @@ mod tests {
             network: Network::BertSmall,
             start_s: 0.0,
             heads: 32,
+            kv_heads: 32,
             embed: 128,
             prompt_len: 1 << 28, // ~2 TB of KV at max context
             steps: 1,
@@ -866,6 +1063,7 @@ mod tests {
                 network: Network::BertSmall,
                 start_s: 0.0,
                 heads: 8,
+                kv_heads: 8,
                 embed: 64,
                 prompt_len: 32,
                 steps: 2,
@@ -875,6 +1073,7 @@ mod tests {
                 network: Network::BertSmall,
                 start_s: 1.0,
                 heads: 8,
+                kv_heads: 8,
                 embed: 64,
                 prompt_len: 32,
                 steps: 2,
@@ -901,6 +1100,7 @@ mod tests {
         let policy = DecodePolicy {
             kv_budget_bytes: Some(per_session),
             step_deadline_s: Some(1e-12),
+            kv_block_tokens: None, // legacy max-context charging
             ..DecodePolicy::default()
         };
         let report = DecodeRuntime::new(hw(), policy).run_trace(&trace);
@@ -924,6 +1124,7 @@ mod tests {
                 network: Network::BertSmall,
                 start_s: 0.0,
                 heads: 8,
+                kv_heads: 8,
                 embed: 64,
                 prompt_len: 16,
                 steps: 3,
@@ -1005,5 +1206,157 @@ mod tests {
             .run_trace(&trace)
             .makespan_s;
         assert!(two < one, "two devices ({two} s) must beat one ({one} s)");
+    }
+
+    #[test]
+    fn paged_charging_grows_with_actual_context_not_max() {
+        // One session, prompt 8, 4 steps, 16-token blocks: the charge starts
+        // at one block (context 9) and never reaches the max-context
+        // worst case the legacy policy would reserve.
+        let trace = lockstep_trace(1, 4, 8, 0.01);
+        let step_at = |t: usize| DecodeStep::new("s", 1, 8, t, 64);
+        let report = DecodeRuntime::new(hw(), DecodePolicy::default()).run_trace(&trace);
+        assert_eq!(report.completed(), 4);
+        assert_eq!(report.pool_overflows(), 0);
+        // Context ends at 12 tokens: still one 16-token block.
+        assert_eq!(report.kv_peak_blocks, 1);
+        assert_eq!(
+            report.kv_peak_bytes,
+            step_at(12).kv_block_bytes(16, hw().element_bytes)
+        );
+        let legacy = step_at(12).kv_cache_bytes(hw().element_bytes);
+        assert!(report.kv_peak_bytes <= 2 * legacy);
+        // Fragmentation at peak: 12 of 16 slots used.
+        assert!((report.kv_frag_at_peak - 4.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paged_pool_overflow_sheds_steps_not_sessions() {
+        // Budget of exactly two 16-token blocks per the session's shape: the
+        // session is admitted (first step needs one block) and decodes until
+        // context crosses 32 tokens, after which every step that needs a
+        // third block is shed as a pool overflow.
+        let block = DecodeStep::new("s", 1, 8, 1, 64).kv_block_bytes(16, hw().element_bytes);
+        let policy = DecodePolicy {
+            kv_budget_bytes: Some(2 * block),
+            ..DecodePolicy::default()
+        };
+        let trace = lockstep_trace(1, 30, 8, 0.01); // context 9..=38
+        let report = DecodeRuntime::new(hw(), policy).run_trace(&trace);
+        assert_eq!(report.sessions_admitted, 1);
+        assert!(report.rejected_sessions.is_empty(), "sessions are kept");
+        // Steps up to context 32 run: contexts 9..=32 are steps 0..=23.
+        assert_eq!(report.completed(), 24);
+        assert_eq!(report.pool_overflows(), 6);
+        assert!(report
+            .rejected
+            .iter()
+            .all(|r| r.reason == DecodeRejectReason::KvPoolExhausted));
+        assert_eq!(report.kv_peak_bytes, 2 * block);
+        assert_eq!(report.kv_peak_blocks, 2);
+        assert!(report.kv_peak_bytes <= policy.kv_budget(&hw()));
+    }
+
+    #[test]
+    fn deadline_screened_steps_do_not_keep_blocks() {
+        // Impossible deadline: every step is screened out before it
+        // generates a token, so under paged charging no step may grow the
+        // session's block allocation past the admission-time charge.
+        let policy = DecodePolicy {
+            step_deadline_s: Some(1e-12),
+            ..DecodePolicy::default()
+        };
+        let trace = lockstep_trace(1, 40, 8, 0.01); // context would reach 48
+        let report = DecodeRuntime::new(hw(), policy).run_trace(&trace);
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.rejected.len(), 40);
+        // Admission charged ceil(9 / 16) = 1 block; screened steps added
+        // none (pre-fix this grew to ceil(48 / 16) = 3).
+        assert_eq!(report.kv_peak_blocks, 1);
+    }
+
+    #[test]
+    fn gqa_sessions_charge_fewer_kv_bytes() {
+        // Same trace shape, one MHA (8/8) and one GQA (8/2) session set: the
+        // grouped sessions' peak charge is a quarter of the MHA one.
+        let mk_trace = |kv_heads: usize| {
+            let mut t = lockstep_trace(2, 4, 32, 0.01);
+            for s in &mut t.sessions {
+                s.kv_heads = kv_heads;
+            }
+            t
+        };
+        let runtime = DecodeRuntime::new(hw(), DecodePolicy::default());
+        let mha = runtime.run_trace(&mk_trace(8));
+        let gqa = runtime.run_trace(&mk_trace(2));
+        assert_eq!(mha.completed(), gqa.completed());
+        assert_eq!(gqa.kv_peak_bytes * 4, mha.kv_peak_bytes);
+        // GQA steps stream less DRAM, so they can only be faster.
+        assert!(gqa.makespan_s <= mha.makespan_s);
+    }
+
+    #[test]
+    fn zero_block_tokens_degrades_to_per_token_charging_not_a_free_pass() {
+        // A degenerate Some(0) policy must not zero out block bytes and
+        // bypass the budget: it clamps to one-token blocks, so a budget
+        // sized for one session still sheds the rest.
+        let per_session = DecodeStep::new("s", 1, 8, 38, 64).kv_cache_bytes(hw().element_bytes);
+        let policy = DecodePolicy {
+            kv_budget_bytes: Some(per_session),
+            kv_block_tokens: Some(0),
+            ..DecodePolicy::default()
+        };
+        let trace = lockstep_trace(4, 6, 32, 0.01);
+        let report = DecodeRuntime::new(hw(), policy).run_trace(&trace);
+        assert!(report.sessions_admitted < 4, "{}", report.summary());
+        assert!(report.kv_peak_bytes > 0);
+        assert!(report.kv_peak_bytes <= per_session);
+        // Behaves exactly like one-token blocks.
+        let one = DecodePolicy {
+            kv_block_tokens: Some(1),
+            ..policy
+        };
+        let with_one = DecodeRuntime::new(hw(), one).run_trace(&trace);
+        assert_eq!(report.outcomes, with_one.outcomes);
+        assert_eq!(report.kv_peak_bytes, with_one.kv_peak_bytes);
+    }
+
+    #[test]
+    fn invalid_head_grouping_rejects_the_session_not_panics() {
+        let mut trace = lockstep_trace(1, 2, 16, 0.01);
+        trace.sessions[0].kv_heads = 3; // 8 % 3 != 0
+        let report = DecodeRuntime::new(hw(), DecodePolicy::default()).run_trace(&trace);
+        assert_eq!(
+            report.rejected_sessions,
+            vec![(0, DecodeRejectReason::InfeasibleSession)]
+        );
+        assert_eq!(report.completed(), 0);
+    }
+
+    #[test]
+    fn paged_and_legacy_charging_complete_the_same_steps_without_pressure() {
+        // With an unconstrained budget the charging policy must not change
+        // scheduling: identical outcomes, only the residency accounting
+        // differs.
+        let mut trace = lockstep_trace(3, 5, 40, 0.01);
+        // Sessions *declare* a long generation budget but the trace only
+        // replays 5 steps — legacy charging reserves the declared worst
+        // case, paged charging only the blocks actually grown into.
+        for s in &mut trace.sessions {
+            s.steps = 100;
+        }
+        let paged = DecodeRuntime::new(hw(), DecodePolicy::default()).run_trace(&trace);
+        let legacy_policy = DecodePolicy {
+            kv_block_tokens: None,
+            ..DecodePolicy::default()
+        };
+        let legacy = DecodeRuntime::new(hw(), legacy_policy).run_trace(&trace);
+        assert_eq!(paged.outcomes, legacy.outcomes);
+        assert_eq!(paged.launches, legacy.launches);
+        assert!(paged.kv_peak_bytes < legacy.kv_peak_bytes);
+        assert_eq!(legacy.kv_peak_blocks, 0, "legacy charging has no blocks");
+        // Legacy fragmentation exposes the over-reservation: most of the
+        // worst-case charge is not yet actual context.
+        assert!(legacy.kv_frag_at_peak > paged.kv_frag_at_peak);
     }
 }

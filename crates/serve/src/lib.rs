@@ -62,11 +62,16 @@
 //!          └───────────────┘   └──────────────────┘   └───────────────┘
 //! ```
 //!
-//! * Sessions hold *sticky KV residency*: a session is admitted only if its
-//!   KV cache at maximum context fits the device KV budget, the bytes stay
-//!   charged until its last step completes, and sessions that do not fit
-//!   are shed whole ([`DecodePolicy`]).
-//! * Step requests from different sessions sharing a `(heads, embed)` shape
+//! * Sessions hold *block-granular KV residency* by default: they charge
+//!   the shared budget for the fixed-size token blocks their context
+//!   actually occupies (vLLM-style paged allocation), growing one block at
+//!   a time as they decode; a step that cannot get a block is shed as a
+//!   pool overflow while its session keeps decoding. Grouped-query
+//!   sessions (`kv_heads < heads`) charge proportionally less. The legacy
+//!   max-context reservation policy remains available for comparison
+//!   ([`DecodePolicy`]).
+//! * Step requests from different sessions sharing a
+//!   `(heads, kv_heads, embed)` shape
 //!   coalesce into one batched launch within a window, amortizing the
 //!   per-launch issue overhead that dominates single-token kernels.
 //! * Launch cost comes from the closed-form decode model

@@ -18,6 +18,23 @@
 //! * [`decode_attention`] — one decode step: for each head, an
 //!   online-softmax sweep of the single query row over the cached rows.
 //!
+//! ## Grouped-query head sharing (GQA / MQA)
+//!
+//! Both caches support *grouped-query attention*: `kv_heads ≤ heads` shared
+//! key/value heads, each read by a group of `heads / kv_heads` query heads
+//! ([`KvCache::grouped`]). `kv_heads == heads` is plain multi-head attention
+//! and `kv_heads == 1` is multi-query attention; invalid groupings are
+//! rejected with [`TensorError::InvalidHeadGrouping`], never a panic. Head
+//! sharing shrinks KV residency by `kv_heads / heads` without changing the
+//! per-query-head arithmetic — query head `h` computes bit-identically to an
+//! MHA cache whose K/V heads were replicated per group (the oracle
+//! [`expand_kv_heads`] builds, pinned by the GQA differential tests).
+//!
+//! Block-granular (paged) KV storage lives in [`crate::paged`]; its
+//! [`decode_attention_paged`](crate::paged::decode_attention_paged) kernel
+//! shares the per-row online-softmax sweep ([`OnlineDecodeState`]) with
+//! [`decode_attention`], which is why the two paths are bit-identical.
+//!
 //! The differential harness in `tests/decode_vs_prefill.rs` pins every decode
 //! step against the full-prefill oracle
 //! ([`fused_online_attention`](crate::tiled::fused_online_attention)) within
@@ -27,33 +44,143 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
 use crate::matmul::{axpy, dot};
+use crate::tensor::Tensor;
+
+/// Validates a grouped-query head configuration.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidHeadGrouping`] unless `kv_heads` is
+/// non-zero, at most `heads` and divides `heads`.
+pub fn check_head_grouping(heads: usize, kv_heads: usize) -> Result<()> {
+    if kv_heads == 0 || kv_heads > heads || !heads.is_multiple_of(kv_heads) {
+        return Err(TensorError::InvalidHeadGrouping { heads, kv_heads });
+    }
+    Ok(())
+}
+
+/// Replicates the `kv_heads` heads of a `(B, kv_heads, N, E)` tensor into a
+/// `(B, heads, N, E)` tensor where query head `h` holds a copy of KV head
+/// `h / (heads / kv_heads)` — the head-replicated MHA oracle grouped-query
+/// attention is checked against.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidHeadGrouping`] if `heads` is not a multiple
+/// of the tensor's head count.
+pub fn expand_kv_heads(src: &Tensor, heads: usize) -> Result<Tensor> {
+    let [b, kv_heads, n, e] = src.shape().dims();
+    check_head_grouping(heads, kv_heads)?;
+    let group = heads / kv_heads;
+    let mut out = Tensor::zeros(crate::Shape::new(b, heads, n, e)?);
+    for bi in 0..b {
+        for h in 0..heads {
+            let src_slice = src.slice(bi, h / group);
+            out.slice_mut(bi, h).copy_from_slice(src_slice);
+        }
+    }
+    Ok(out)
+}
+
+/// Running online-softmax state of one query row's sweep over cached
+/// `K`/`V` rows: the running maximum, the softmax denominator and the
+/// unnormalized output accumulator.
+///
+/// Both the contiguous ([`decode_attention`]) and the paged
+/// ([`crate::paged::decode_attention_paged`]) decode kernels drive this
+/// state row by row in cache order, which makes them bit-identical: the
+/// arithmetic is a pure function of the visited row sequence, not of the
+/// storage layout. It is the same rescaling recurrence as
+/// [`fused_online_attention`](crate::tiled::fused_online_attention) with a
+/// one-row query block and single-row sub-tiles.
+#[derive(Debug)]
+pub struct OnlineDecodeState<'a> {
+    q_row: &'a [f32],
+    o_row: &'a mut [f32],
+    row_max: f32,
+    denom: f32,
+}
+
+impl<'a> OnlineDecodeState<'a> {
+    /// Starts a sweep for one query row, clearing the output accumulator.
+    pub fn new(q_row: &'a [f32], o_row: &'a mut [f32]) -> Self {
+        o_row.fill(0.0);
+        Self {
+            q_row,
+            o_row,
+            row_max: f32::NEG_INFINITY,
+            denom: 0.0,
+        }
+    }
+
+    /// Feeds a contiguous run of `K`/`V` rows (`len × embed` each, oldest
+    /// first) into the sweep.
+    pub fn update(&mut self, keys: &[f32], vals: &[f32]) {
+        let embed = self.q_row.len();
+        debug_assert_eq!(keys.len(), vals.len());
+        debug_assert!(keys.len().is_multiple_of(embed));
+        for t in 0..keys.len() / embed {
+            let score = dot(self.q_row, &keys[t * embed..(t + 1) * embed]);
+            if score > self.row_max {
+                let correction = if self.row_max.is_finite() {
+                    (self.row_max - score).exp()
+                } else {
+                    0.0
+                };
+                self.denom *= correction;
+                for ov in self.o_row.iter_mut() {
+                    *ov *= correction;
+                }
+                self.row_max = score;
+            }
+            let w = (score - self.row_max).exp();
+            self.denom += w;
+            axpy(w, &vals[t * embed..(t + 1) * embed], self.o_row);
+        }
+    }
+
+    /// Normalizes the accumulator by the softmax denominator, finishing the
+    /// sweep.
+    pub fn finish(self) {
+        let inv = 1.0 / self.denom;
+        for ov in self.o_row.iter_mut() {
+            *ov *= inv;
+        }
+    }
+}
 
 /// Appendable per-session key/value cache for autoregressive decode.
 ///
-/// Storage is one contiguous row-major `len × embed` matrix per head for `K`
-/// and one for `V` — the decode kernel's inner loops borrow whole-cache row
-/// slices per head, exactly like the `(batch, head)` slices of the prefill
-/// executors.
+/// Storage is one contiguous row-major `len × embed` matrix per KV head for
+/// `K` and one for `V` — the decode kernel's inner loops borrow whole-cache
+/// row slices per head, exactly like the `(batch, head)` slices of the
+/// prefill executors.
 ///
 /// An optional capacity turns the cache into a sliding window: appending
 /// beyond `capacity_tokens` evicts the oldest rows first (StreamingLLM-style
 /// recency window) and the eviction count is tracked so serving layers can
 /// report cache pressure.
+///
+/// With [`KvCache::grouped`] the cache stores `kv_heads < heads` shared
+/// K/V heads; [`KvCache::append`] then takes `kv_heads · embed`-wide rows
+/// while [`decode_attention`] still takes `heads · embed`-wide queries.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KvCache {
     heads: usize,
+    kv_heads: usize,
     embed: usize,
     capacity_tokens: Option<usize>,
-    /// Per-head contiguous `len × embed` key rows.
+    /// Per-KV-head contiguous `len × embed` key rows.
     k: Vec<Vec<f32>>,
-    /// Per-head contiguous `len × embed` value rows.
+    /// Per-KV-head contiguous `len × embed` value rows.
     v: Vec<Vec<f32>>,
     appended_tokens: usize,
     evicted_tokens: usize,
 }
 
 impl KvCache {
-    /// Creates an unbounded cache for `heads` heads of `embed`-wide rows.
+    /// Creates an unbounded MHA cache (`kv_heads == heads`) for `heads`
+    /// heads of `embed`-wide rows.
     ///
     /// # Panics
     ///
@@ -66,6 +193,7 @@ impl KvCache {
         );
         Self {
             heads,
+            kv_heads: heads,
             embed,
             capacity_tokens: None,
             k: vec![Vec::new(); heads],
@@ -75,7 +203,33 @@ impl KvCache {
         }
     }
 
-    /// Creates a sliding-window cache holding at most `capacity_tokens`
+    /// Creates an unbounded grouped-query cache: `kv_heads` shared K/V heads
+    /// read by `heads` query heads (`heads / kv_heads` queries per group).
+    /// `kv_heads == heads` is plain MHA, `kv_heads == 1` is MQA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidHeadGrouping`] if `kv_heads` is zero,
+    /// exceeds `heads` or does not divide it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` or `embed` is zero.
+    pub fn grouped(heads: usize, kv_heads: usize, embed: usize) -> Result<Self> {
+        assert!(
+            heads > 0 && embed > 0,
+            "KV cache dimensions must be non-zero"
+        );
+        check_head_grouping(heads, kv_heads)?;
+        Ok(Self {
+            kv_heads,
+            k: vec![Vec::new(); kv_heads],
+            v: vec![Vec::new(); kv_heads],
+            ..Self::new(heads, embed)
+        })
+    }
+
+    /// Creates a sliding-window MHA cache holding at most `capacity_tokens`
     /// tokens; appends beyond the capacity evict the oldest rows.
     ///
     /// # Panics
@@ -83,17 +237,38 @@ impl KvCache {
     /// Panics if any dimension or the capacity is zero.
     #[must_use]
     pub fn with_capacity(heads: usize, embed: usize, capacity_tokens: usize) -> Self {
-        assert!(capacity_tokens > 0, "KV cache capacity must be non-zero");
-        Self {
-            capacity_tokens: Some(capacity_tokens),
-            ..Self::new(heads, embed)
-        }
+        Self::new(heads, embed).with_window(capacity_tokens)
     }
 
-    /// Number of attention heads.
+    /// Turns the cache into a sliding window of at most `capacity_tokens`
+    /// tokens (applies to grouped caches too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_tokens` is zero.
+    #[must_use]
+    pub fn with_window(mut self, capacity_tokens: usize) -> Self {
+        assert!(capacity_tokens > 0, "KV cache capacity must be non-zero");
+        self.capacity_tokens = Some(capacity_tokens);
+        self
+    }
+
+    /// Number of query heads served by the cache.
     #[must_use]
     pub fn heads(&self) -> usize {
         self.heads
+    }
+
+    /// Number of stored (shared) key/value heads.
+    #[must_use]
+    pub fn kv_heads(&self) -> usize {
+        self.kv_heads
+    }
+
+    /// Query heads per shared KV head (`1` for plain MHA).
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.heads / self.kv_heads
     }
 
     /// Per-head embedding width of each cached row.
@@ -134,22 +309,23 @@ impl KvCache {
 
     /// Bytes of resident `K` plus `V` rows at `element_bytes` per element —
     /// the footprint a serving layer charges against its device KV budget.
+    /// Grouped caches store only `kv_heads` heads, so head sharing shrinks
+    /// this by `kv_heads / heads`.
     #[must_use]
     pub fn kv_bytes(&self, element_bytes: usize) -> usize {
-        2 * self.heads * self.len() * self.embed * element_bytes
+        2 * self.kv_heads * self.len() * self.embed * element_bytes
     }
 
     /// Appends one token: `k_step` and `v_step` hold the new row for every
-    /// head, concatenated head-major (`heads × embed` values each, the same
-    /// layout as one row of a `(1, H, N, E)` tensor per head). Evicts the
-    /// oldest token first when the sliding window is full.
+    /// *KV* head, concatenated head-major (`kv_heads × embed` values each).
+    /// Evicts the oldest token first when the sliding window is full.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::DataLengthMismatch`] if either slice is not
-    /// exactly `heads · embed` long.
+    /// exactly `kv_heads · embed` long.
     pub fn append(&mut self, k_step: &[f32], v_step: &[f32]) -> Result<()> {
-        let expected = self.heads * self.embed;
+        let expected = self.kv_heads * self.embed;
         for step in [k_step, v_step] {
             if step.len() != expected {
                 return Err(TensorError::DataLengthMismatch {
@@ -160,14 +336,14 @@ impl KvCache {
         }
         if let Some(capacity) = self.capacity_tokens {
             if self.len() == capacity {
-                for h in 0..self.heads {
+                for h in 0..self.kv_heads {
                     self.k[h].drain(..self.embed);
                     self.v[h].drain(..self.embed);
                 }
                 self.evicted_tokens += 1;
             }
         }
-        for h in 0..self.heads {
+        for h in 0..self.kv_heads {
             self.k[h].extend_from_slice(&k_step[h * self.embed..(h + 1) * self.embed]);
             self.v[h].extend_from_slice(&v_step[h * self.embed..(h + 1) * self.embed]);
         }
@@ -175,39 +351,41 @@ impl KvCache {
         Ok(())
     }
 
-    /// The contiguous `len × embed` key rows of head `h` (oldest first).
+    /// The contiguous `len × embed` key rows of KV head `h` (oldest first).
     ///
     /// # Panics
     ///
-    /// Panics if `h` is out of range.
+    /// Panics if `h` is out of range (`0..kv_heads`).
     #[must_use]
     pub fn key_rows(&self, h: usize) -> &[f32] {
         &self.k[h]
     }
 
-    /// The contiguous `len × embed` value rows of head `h` (oldest first).
+    /// The contiguous `len × embed` value rows of KV head `h` (oldest
+    /// first).
     ///
     /// # Panics
     ///
-    /// Panics if `h` is out of range.
+    /// Panics if `h` is out of range (`0..kv_heads`).
     #[must_use]
     pub fn value_rows(&self, h: usize) -> &[f32] {
         &self.v[h]
     }
 }
 
-/// One autoregressive decode step: the single query row of each head attends
-/// over every cached `K`/`V` row with an online softmax, writing the
-/// attention output into `out`.
+/// One autoregressive decode step: the single query row of each query head
+/// attends over every cached `K`/`V` row of its (possibly shared) KV head
+/// with an online softmax, writing the attention output into `out`.
 ///
-/// `q_step` and `out` are head-major `heads × embed` slices (the same layout
-/// [`KvCache::append`] takes). The sweep keeps a running maximum `m` and
+/// `q_step` and `out` are head-major `heads × embed` slices — the *query*
+/// head count, even for grouped caches whose [`KvCache::append`] takes
+/// `kv_heads × embed` rows. The sweep keeps a running maximum `m` and
 /// denominator `d` per head and rescales the output accumulator by
 /// `exp(m_old − m_new)` whenever the maximum grows — identical arithmetic to
 /// [`fused_online_attention`](crate::tiled::fused_online_attention) with a
 /// one-row query block and single-row sub-tiles, which is why the two agree
 /// within floating-point tolerance (pinned by the differential harness).
-/// Cost is `O(len · embed)` per head.
+/// Cost is `O(len · embed)` per query head.
 ///
 /// # Errors
 ///
@@ -230,37 +408,14 @@ pub fn decode_attention(cache: &KvCache, q_step: &[f32], out: &mut [f32]) -> Res
     if cache.is_empty() {
         return Err(TensorError::ZeroDimension { dim: "kv_cache" });
     }
-    let len = cache.len();
+    let group = cache.group_size();
     for h in 0..heads {
         let q_row = &q_step[h * embed..(h + 1) * embed];
         let o_row = &mut out[h * embed..(h + 1) * embed];
-        o_row.fill(0.0);
-        let keys = cache.key_rows(h);
-        let vals = cache.value_rows(h);
-        let mut row_max = f32::NEG_INFINITY;
-        let mut denom = 0.0f32;
-        for t in 0..len {
-            let score = dot(q_row, &keys[t * embed..(t + 1) * embed]);
-            if score > row_max {
-                let correction = if row_max.is_finite() {
-                    (row_max - score).exp()
-                } else {
-                    0.0
-                };
-                denom *= correction;
-                for ov in o_row.iter_mut() {
-                    *ov *= correction;
-                }
-                row_max = score;
-            }
-            let w = (score - row_max).exp();
-            denom += w;
-            axpy(w, &vals[t * embed..(t + 1) * embed], o_row);
-        }
-        let inv = 1.0 / denom;
-        for ov in o_row.iter_mut() {
-            *ov *= inv;
-        }
+        let kv_h = h / group;
+        let mut state = OnlineDecodeState::new(q_row, o_row);
+        state.update(cache.key_rows(kv_h), cache.value_rows(kv_h));
+        state.finish();
     }
     Ok(())
 }
@@ -352,6 +507,82 @@ mod tests {
         let mut out = [0.0f32; 6];
         decode_attention(&cache, &[0.5; 6], &mut out).unwrap();
         assert_eq!(out, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn invalid_head_groupings_are_typed_errors_not_panics() {
+        for (heads, kv_heads) in [(8, 3), (8, 0), (4, 8), (6, 4)] {
+            assert_eq!(
+                KvCache::grouped(heads, kv_heads, 4).unwrap_err(),
+                TensorError::InvalidHeadGrouping { heads, kv_heads }
+            );
+        }
+        // Degenerate-but-valid groupings construct fine.
+        assert_eq!(KvCache::grouped(8, 8, 4).unwrap().group_size(), 1); // MHA
+        assert_eq!(KvCache::grouped(8, 1, 4).unwrap().group_size(), 8); // MQA
+        assert_eq!(KvCache::grouped(8, 2, 4).unwrap().group_size(), 4); // GQA
+    }
+
+    #[test]
+    fn grouped_append_takes_kv_head_rows_and_shrinks_bytes() {
+        let mut mha = KvCache::new(4, 2);
+        let mut gqa = KvCache::grouped(4, 2, 2).unwrap();
+        mha.append(&[1.0; 8], &[2.0; 8]).unwrap();
+        gqa.append(&[1.0; 4], &[2.0; 4]).unwrap();
+        assert_eq!(gqa.len(), 1);
+        assert_eq!(gqa.kv_bytes(2), mha.kv_bytes(2) / 2);
+        // Appending query-head-wide rows to a grouped cache is a typed error.
+        assert!(matches!(
+            gqa.append(&[0.0; 8], &[0.0; 8]),
+            Err(TensorError::DataLengthMismatch {
+                expected: 4,
+                actual: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn grouped_decode_matches_head_replicated_mha_exactly() {
+        let (heads, kv_heads, t, embed, seed) = (6, 2, 9, 5, 31);
+        let (q, _, _) = random_qkv(1, heads, t, embed, seed);
+        let (_, k, v) = random_qkv(1, kv_heads, t, embed, seed.wrapping_add(1));
+        let k_full = expand_kv_heads(&k, heads).unwrap();
+        let v_full = expand_kv_heads(&v, heads).unwrap();
+
+        let mut gqa = KvCache::grouped(heads, kv_heads, embed).unwrap();
+        let mut mha = KvCache::new(heads, embed);
+        let gather = |src: &crate::Tensor, r: usize| -> Vec<f32> {
+            let [_, h_n, _, _] = src.shape().dims();
+            (0..h_n).flat_map(|h| src.row(0, h, r).to_vec()).collect()
+        };
+        for i in 0..t {
+            gqa.append(&gather(&k, i), &gather(&v, i)).unwrap();
+            mha.append(&gather(&k_full, i), &gather(&v_full, i))
+                .unwrap();
+            let q_step = gather(&q, i);
+            let mut out_gqa = vec![0.0f32; heads * embed];
+            let mut out_mha = vec![0.0f32; heads * embed];
+            decode_attention(&gqa, &q_step, &mut out_gqa).unwrap();
+            decode_attention(&mha, &q_step, &mut out_mha).unwrap();
+            assert_eq!(out_gqa, out_mha, "step {i}: GQA must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn expand_kv_heads_replicates_per_group() {
+        let (_, k, _) = random_qkv(1, 2, 3, 4, 7);
+        let full = expand_kv_heads(&k, 6).unwrap();
+        assert_eq!(full.shape().dims(), [1, 6, 3, 4]);
+        for h in 0..6 {
+            assert_eq!(full.slice(0, h), k.slice(0, h / 3));
+        }
+        assert!(matches!(
+            expand_kv_heads(&k, 5),
+            Err(TensorError::InvalidHeadGrouping {
+                heads: 5,
+                kv_heads: 2
+            })
+        ));
     }
 
     #[test]

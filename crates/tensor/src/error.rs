@@ -63,6 +63,29 @@ pub enum TensorError {
         /// Extent of the dimension.
         extent: usize,
     },
+    /// A grouped-query head configuration was invalid: `kv_heads` must be
+    /// non-zero and divide the query head count (`kv_heads == heads` is plain
+    /// MHA, `kv_heads == 1` is MQA).
+    InvalidHeadGrouping {
+        /// Query head count.
+        heads: usize,
+        /// Shared key/value head count.
+        kv_heads: usize,
+    },
+    /// A KV block allocation failed because the bounded pool is full.
+    BlockPoolExhausted {
+        /// Capacity of the pool in blocks.
+        capacity_blocks: usize,
+    },
+    /// Two paged-KV objects that must share a block geometry do not.
+    BlockGeometryMismatch {
+        /// Human-readable description of the mismatching parameter.
+        param: &'static str,
+        /// Value held by the pool.
+        pool: usize,
+        /// Value held by the cache.
+        cache: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -97,6 +120,18 @@ impl fmt::Display for TensorError {
                 f,
                 "invalid tile size {tile} for dimension `{dim}` of extent {extent}"
             ),
+            TensorError::InvalidHeadGrouping { heads, kv_heads } => write!(
+                f,
+                "invalid head grouping: {kv_heads} KV heads must be non-zero and divide {heads} query heads"
+            ),
+            TensorError::BlockPoolExhausted { capacity_blocks } => write!(
+                f,
+                "block pool exhausted: all {capacity_blocks} KV blocks are live"
+            ),
+            TensorError::BlockGeometryMismatch { param, pool, cache } => write!(
+                f,
+                "paged KV geometry mismatch on `{param}`: pool has {pool}, cache has {cache}"
+            ),
         }
     }
 }
@@ -123,6 +158,16 @@ mod tests {
                 dim: "n_q",
                 tile: 0,
                 extent: 8,
+            },
+            TensorError::InvalidHeadGrouping {
+                heads: 8,
+                kv_heads: 3,
+            },
+            TensorError::BlockPoolExhausted { capacity_blocks: 4 },
+            TensorError::BlockGeometryMismatch {
+                param: "block_tokens",
+                pool: 16,
+                cache: 8,
             },
         ];
         for e in errors {

@@ -22,7 +22,15 @@
 //!   [`decode::decode_attention`] kernel — a single-query online-softmax
 //!   sweep over the cached rows, `O(t)` per step instead of the `O(t²)`
 //!   full-prefill recompute, pinned step-by-step against
-//!   [`tiled::fused_online_attention`] by a differential test harness, and
+//!   [`tiled::fused_online_attention`] by a differential test harness, with
+//!   grouped-query/multi-query head sharing (`kv_heads ≤ heads`,
+//!   [`decode::KvCache::grouped`]),
+//! * block-granular (paged, vLLM-style) KV storage ([`paged`]): a shared
+//!   [`paged::KvBlockPool`] block allocator plus per-session
+//!   [`paged::PagedKvCache`] block tables and the
+//!   [`paged::decode_attention_paged`] kernel, bit-identical to the
+//!   contiguous decode path (see the module docs for the block-table layout
+//!   invariants), and
 //! * the golden-data checker ([`golden`]) and deterministic input generation
 //!   ([`init`]).
 //!
@@ -77,6 +85,7 @@ pub mod golden;
 pub mod half;
 pub mod init;
 pub mod matmul;
+pub mod paged;
 pub mod shape;
 pub mod softmax;
 pub mod tensor;

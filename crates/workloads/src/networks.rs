@@ -176,6 +176,20 @@ impl Network {
         self.config().name
     }
 
+    /// Shared key/value heads of the network's *decode* configuration.
+    ///
+    /// Table 1 describes prefill attention shapes; for autoregressive decode
+    /// the grouped-query networks share K/V heads across query-head groups.
+    /// Llama3-8B uses 8 KV heads for its 32 query heads (GQA-4); the
+    /// encoder-style networks are plain MHA (`kv_heads == heads`).
+    #[must_use]
+    pub const fn kv_heads(self) -> usize {
+        match self {
+            Network::Llama3_8B => 8,
+            other => other.config().heads,
+        }
+    }
+
     /// The attention workload of this network for a given batch size.
     #[must_use]
     pub fn attention_workload(self, batch: usize) -> AttentionWorkload {
@@ -252,6 +266,18 @@ mod tests {
             let c = n.config();
             assert_eq!(c.hidden, c.heads * c.embed, "{}", c.name);
         }
+    }
+
+    #[test]
+    fn kv_heads_divide_query_heads_everywhere() {
+        for n in Network::all() {
+            let c = n.config();
+            let kv = n.kv_heads();
+            assert!(kv > 0 && kv <= c.heads && c.heads % kv == 0, "{}", c.name);
+        }
+        // Llama3-8B is the grouped-query network of Table 1 (32 Q / 8 KV).
+        assert_eq!(Network::Llama3_8B.kv_heads(), 8);
+        assert_eq!(Network::BertBase.kv_heads(), 12);
     }
 
     #[test]

@@ -218,8 +218,12 @@ pub struct DecodeSessionSpec {
     pub network: Network,
     /// Time the session opens, in seconds from the start of the trace.
     pub start_s: f64,
-    /// Attention heads of the session's layers.
+    /// Query attention heads of the session's layers.
     pub heads: usize,
+    /// Shared key/value heads (`kv_heads ≤ heads`, dividing `heads`) —
+    /// grouped-query networks like Llama3-8B store fewer KV heads than
+    /// query heads, shrinking per-session KV residency.
+    pub kv_heads: usize,
     /// Per-head embedding size.
     pub embed: usize,
     /// Prompt length in tokens (KV-cache residency before the first step).
@@ -324,6 +328,7 @@ pub fn decode_trace(config: &DecodeTraceConfig) -> DecodeTrace {
             network,
             start_s: now_s,
             heads: shape.heads,
+            kv_heads: network.kv_heads(),
             embed: shape.embed,
             prompt_len,
             steps: step_count,
@@ -435,6 +440,8 @@ mod tests {
             assert_eq!(s.max_context(), s.prompt_len + s.steps);
             let shape = s.network.attention_workload(1);
             assert_eq!((s.heads, s.embed), (shape.heads, shape.embed));
+            assert_eq!(s.kv_heads, s.network.kv_heads());
+            assert!(s.kv_heads > 0 && s.heads % s.kv_heads == 0);
         }
         // Step count conservation and global ordering.
         let expected: usize = trace.sessions.iter().map(|s| s.steps).sum();
@@ -461,6 +468,15 @@ mod tests {
                 assert!(e.arrival_s > prev);
                 prev = e.arrival_s;
             }
+        }
+    }
+
+    #[test]
+    fn grouped_query_networks_produce_gqa_decode_sessions() {
+        let cfg = DecodeTraceConfig::poisson(vec![Network::Llama3_8B], 6, 100.0, 17);
+        let trace = decode_trace(&cfg);
+        for s in &trace.sessions {
+            assert_eq!((s.heads, s.kv_heads), (32, 8), "Llama3-8B decodes GQA-4");
         }
     }
 

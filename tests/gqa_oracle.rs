@@ -1,0 +1,156 @@
+//! Grouped-query attention oracle tests.
+//!
+//! Grouped-query decode (`kv_heads < heads` shared K/V heads) must compute
+//! exactly what a head-replicated MHA cache computes: query head `h`
+//! reading shared KV head `h / group` performs the same per-row arithmetic
+//! as an MHA head reading its own copy of those rows, so the comparison is
+//! **exact** (bit-identical), not tolerance-based. The degenerate cases are
+//! pinned — `kv_heads == heads` is plain MHA and `kv_heads == 1` is MQA —
+//! and invalid groupings are typed errors, never panics. The
+//! tolerance-based leg checks grouped decode against the prefill oracle via
+//! `verify_decode`.
+
+use proptest::prelude::*;
+
+use mas::api::verify_decode;
+use mas::dataflow::DecodeStep;
+use mas::tensor::decode::{decode_attention, expand_kv_heads, KvCache};
+use mas::tensor::init::random_qkv;
+use mas::tensor::paged::{decode_attention_paged, KvBlockPool, PagedKvCache};
+use mas::tensor::{Tensor, TensorError};
+
+/// Copies row `r` of every head of `src` into one head-major step slice.
+fn gather_step(src: &Tensor, r: usize) -> Vec<f32> {
+    let [_, heads, _, _] = src.shape().dims();
+    (0..heads).flat_map(|h| src.row(0, h, r).to_vec()).collect()
+}
+
+/// Runs `t` grouped decode steps and, in lockstep, the head-replicated MHA
+/// oracle; asserts exact equality at every step and returns the final
+/// grouped output.
+fn grouped_vs_replicated(heads: usize, kv_heads: usize, t: usize, embed: usize, seed: u64) {
+    let (q, _, _) = random_qkv(1, heads, t, embed, seed);
+    let (_, k, v) = random_qkv(1, kv_heads, t, embed, seed.wrapping_add(1));
+    let k_full = expand_kv_heads(&k, heads).unwrap();
+    let v_full = expand_kv_heads(&v, heads).unwrap();
+
+    let mut grouped = KvCache::grouped(heads, kv_heads, embed).unwrap();
+    let mut replicated = KvCache::new(heads, embed);
+    let mut out_g = vec![0.0f32; heads * embed];
+    let mut out_r = vec![0.0f32; heads * embed];
+    for i in 0..t {
+        grouped
+            .append(&gather_step(&k, i), &gather_step(&v, i))
+            .unwrap();
+        replicated
+            .append(&gather_step(&k_full, i), &gather_step(&v_full, i))
+            .unwrap();
+        let qs = gather_step(&q, i);
+        decode_attention(&grouped, &qs, &mut out_g).unwrap();
+        decode_attention(&replicated, &qs, &mut out_r).unwrap();
+        assert_eq!(
+            out_g, out_r,
+            "H={heads} KV={kv_heads} step {i}: grouped decode must equal the \
+             head-replicated MHA oracle exactly"
+        );
+    }
+    // Head sharing shrank residency by exactly the group factor.
+    assert_eq!(
+        grouped.kv_bytes(2) * (heads / kv_heads),
+        replicated.kv_bytes(2)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grouped_decode_equals_the_head_replicated_oracle_exactly(
+        kv_heads in 1usize..5,
+        group in 1usize..5,
+        t in 1usize..25,
+        e in 2usize..13,
+        seed in 0u64..1000,
+    ) {
+        grouped_vs_replicated(kv_heads * group, kv_heads, t, e, seed);
+    }
+
+    #[test]
+    fn grouped_paged_decode_equals_grouped_contiguous_exactly(
+        kv_heads in 1usize..4,
+        group in 1usize..4,
+        t in 1usize..21,
+        e in 2usize..9,
+        block_tokens in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let heads = kv_heads * group;
+        let (q, _, _) = random_qkv(1, heads, t, e, seed);
+        let (_, k, v) = random_qkv(1, kv_heads, t, e, seed.wrapping_add(1));
+        let mut contiguous = KvCache::grouped(heads, kv_heads, e).unwrap();
+        let mut pool = KvBlockPool::new(block_tokens, kv_heads, e);
+        let mut paged = PagedKvCache::new(heads, kv_heads, e, block_tokens).unwrap();
+        let mut out_c = vec![0.0f32; heads * e];
+        let mut out_p = vec![0.0f32; heads * e];
+        for i in 0..t {
+            let (ks, vs, qs) = (gather_step(&k, i), gather_step(&v, i), gather_step(&q, i));
+            contiguous.append(&ks, &vs).unwrap();
+            paged.append(&mut pool, &ks, &vs).unwrap();
+            decode_attention(&contiguous, &qs, &mut out_c).unwrap();
+            decode_attention_paged(&pool, &paged, &qs, &mut out_p).unwrap();
+            prop_assert_eq!(&out_c, &out_p, "step {}", i);
+        }
+    }
+
+    #[test]
+    fn verify_decode_passes_for_random_grouped_steps(
+        kv_heads in 1usize..4,
+        group in 1usize..4,
+        context in 1usize..41,
+        e in 2usize..17,
+        seed in 0u64..1000,
+    ) {
+        let step = DecodeStep::new("prop-gqa", 1, kv_heads * group, context, e)
+            .with_kv_heads(kv_heads);
+        let report = verify_decode(&step, seed).unwrap();
+        prop_assert!(
+            report.passed,
+            "{}: {} mismatches (max abs diff {})",
+            step, report.mismatches, report.max_abs_diff
+        );
+    }
+}
+
+#[test]
+fn degenerate_groupings_are_pinned() {
+    // kv_heads == heads: plain MHA — grouped construction must behave
+    // exactly like the ungrouped constructor.
+    grouped_vs_replicated(4, 4, 9, 6, 3);
+    // kv_heads == 1: MQA — every query head reads the single shared head.
+    grouped_vs_replicated(4, 1, 9, 6, 5);
+}
+
+#[test]
+fn invalid_groupings_are_typed_errors_not_panics() {
+    for (heads, kv_heads) in [(8usize, 3usize), (8, 0), (4, 8), (6, 4)] {
+        assert_eq!(
+            KvCache::grouped(heads, kv_heads, 4).unwrap_err(),
+            TensorError::InvalidHeadGrouping { heads, kv_heads },
+            "contiguous cache H={heads} KV={kv_heads}"
+        );
+        assert_eq!(
+            PagedKvCache::new(heads, kv_heads, 4, 16).unwrap_err(),
+            TensorError::InvalidHeadGrouping { heads, kv_heads },
+            "paged cache H={heads} KV={kv_heads}"
+        );
+    }
+    // The oracle helper rejects the same configurations.
+    let (_, k, _) = random_qkv(1, 3, 2, 4, 1);
+    assert!(matches!(
+        expand_kv_heads(&k, 8),
+        Err(TensorError::InvalidHeadGrouping {
+            heads: 8,
+            kv_heads: 3
+        })
+    ));
+}
