@@ -4,18 +4,31 @@
 //! ```text
 //! serve_trace [--requests N] [--rate RPS] [--seed S] [--burst LEN]
 //!             [--deadline-ms MS] [--devices N] [--search] [--serial]
+//!             [--mixed] [--sessions N] [--session-rate RPS]
+//!             [--policy decode|prefill|fair]
 //!             [--load-cache PATH]... [--save-cache PATH] [--json]
 //! ```
 //!
 //! `--load-cache` may repeat: the caches merge (commutatively) before the
 //! replay, which is how sharded tuning sweeps combine. `--save-cache`
 //! persists the post-replay cache for the next shard or process.
+//!
+//! `--mixed` interleaves `--sessions` autoregressive decode sessions with
+//! the prefill trace and replays both classes through the unified
+//! `ServeEngine` on one device timeline (`--policy` selects the
+//! iteration-level scheduling policy), reporting per-class latency plus the
+//! shared-budget peak.
 
 use mas_attention::planner::{PlannerConfig, TilingStrategy};
 use mas_dataflow::DataflowKind;
 use mas_search::tuner::TunerConfig;
-use mas_serve::{ScheduleCache, ServeConfig, ServeReport, ServeRequest, ServeRuntime};
-use mas_workloads::{request_trace, Network, TraceConfig};
+use mas_serve::{
+    EngineConfig, ScheduleCache, SchedulePolicy, ServeConfig, ServeEngine, ServeReport,
+    ServeRequest, ServeRuntime,
+};
+use mas_workloads::{
+    decode_trace, request_trace, DecodeTraceConfig, Network, TraceConfig, MIXED_DECODE_SEED_SALT,
+};
 
 struct Args {
     requests: usize,
@@ -26,6 +39,10 @@ struct Args {
     devices: usize,
     search: bool,
     serial: bool,
+    mixed: bool,
+    sessions: usize,
+    session_rate_rps: f64,
+    policy: SchedulePolicy,
     load_caches: Vec<String>,
     save_cache: Option<String>,
     json: bool,
@@ -70,6 +87,15 @@ fn parse_args() -> Args {
         devices: parsed("--devices", value("--devices")).unwrap_or(1),
         search: argv.iter().any(|a| a == "--search"),
         serial: argv.iter().any(|a| a == "--serial"),
+        mixed: argv.iter().any(|a| a == "--mixed"),
+        sessions: parsed("--sessions", value("--sessions")).unwrap_or(16),
+        session_rate_rps: parsed("--session-rate", value("--session-rate")).unwrap_or(200.0),
+        policy: match value("--policy").as_deref() {
+            None | Some("fair") => SchedulePolicy::FairShare,
+            Some("decode") => SchedulePolicy::DecodePriority,
+            Some("prefill") => SchedulePolicy::PrefillPriority,
+            Some(other) => panic!("--policy: expected decode|prefill|fair, got {other:?}"),
+        },
         load_caches: values("--load-cache"),
         save_cache: value("--save-cache"),
         json: argv.iter().any(|a| a == "--json"),
@@ -80,8 +106,14 @@ fn main() {
     let args = parse_args();
     let networks = vec![Network::BertSmall, Network::VitB16, Network::T5Mini];
     let trace_cfg = match args.burst {
-        Some(len) => TraceConfig::bursty(networks, args.requests, args.rate_rps, len, args.seed),
-        None => TraceConfig::poisson(networks, args.requests, args.rate_rps, args.seed),
+        Some(len) => TraceConfig::bursty(
+            networks.clone(),
+            args.requests,
+            args.rate_rps,
+            len,
+            args.seed,
+        ),
+        None => TraceConfig::poisson(networks.clone(), args.requests, args.rate_rps, args.seed),
     };
     let trace = request_trace(&trace_cfg);
     let stream = ServeRequest::stream_from_trace(
@@ -111,6 +143,11 @@ fn main() {
         cache.merge(&shard);
     }
     let warm_entries = cache.len();
+
+    if args.mixed {
+        run_mixed(&args, config, cache, &stream, networks, warm_entries);
+        return;
+    }
 
     let mut runtime = ServeRuntime::with_cache(config, cache);
     let wall_start = std::time::Instant::now();
@@ -142,6 +179,90 @@ fn main() {
             .save(path)
             .unwrap_or_else(|e| panic!("saving cache {path}: {e}"));
         println!("saved cache to {path} ({} entries)", runtime.cache().len());
+    }
+}
+
+/// The `--mixed` path: interleave generated decode sessions with the
+/// prefill stream and replay both classes through the unified engine.
+fn run_mixed(
+    args: &Args,
+    config: ServeConfig,
+    cache: ScheduleCache,
+    stream: &[ServeRequest],
+    networks: Vec<Network>,
+    warm_entries: usize,
+) {
+    let dtrace = decode_trace(&DecodeTraceConfig::poisson(
+        networks,
+        args.sessions,
+        args.session_rate_rps,
+        args.seed ^ MIXED_DECODE_SEED_SALT,
+    ));
+    let mut engine_config: EngineConfig = config.into();
+    engine_config.policy = args.policy;
+    // The From<ServeConfig> lifting disables the shared budget for legacy
+    // prefill-shim compatibility; a mixed replay wants the engine's real
+    // default (the decode policy's half-DRAM KV budget) so the cross-class
+    // memory coupling is live.
+    engine_config.shared_budget_bytes = None;
+    let mut engine = ServeEngine::with_cache(engine_config, cache);
+    let wall_start = std::time::Instant::now();
+    let report = engine
+        .run(stream, &dtrace)
+        .unwrap_or_else(|e| panic!("replaying the mixed trace failed: {e}"));
+    let wall = wall_start.elapsed();
+
+    println!("# mas-serve mixed trace replay (unified engine)");
+    println!(
+        "trace: {} prefill requests + {} decode sessions ({} steps), seed {}",
+        args.requests,
+        args.sessions,
+        dtrace.total_steps(),
+        args.seed
+    );
+    println!(
+        "runtime: {} device(s), policy {}, cache warm entries {} -> final {}",
+        args.devices.max(1),
+        args.policy,
+        warm_entries,
+        engine.cache().len(),
+    );
+    println!("{}", report.summary());
+    println!("  prefill detail: {}", report.prefill.summary());
+    println!("  decode detail:  {}", report.decode.summary());
+    println!(
+        "host planning wall-clock: {:.1} ms for {} mixed events",
+        wall.as_secs_f64() * 1e3,
+        stream.len() + dtrace.total_steps(),
+    );
+    if args.json {
+        let fmt_ms = |s: Option<mas_serve::LatencyStats>| {
+            s.map_or((0.0, 0.0), |s| (s.p50_s * 1e3, s.p99_s * 1e3))
+        };
+        let (pf_p50, pf_p99) = fmt_ms(report.prefill_latency());
+        let (dc_p50, dc_p99) = fmt_ms(report.decode_latency());
+        println!(
+            "{{\"policy\":\"{}\",\"prefill_completed\":{},\"decode_completed\":{},\
+             \"rejected\":{},\"launches\":{},\"makespan_s\":{:.9},\
+             \"prefill_p50_ms\":{pf_p50:.6},\"prefill_p99_ms\":{pf_p99:.6},\
+             \"decode_p50_ms\":{dc_p50:.6},\"decode_p99_ms\":{dc_p99:.6},\
+             \"mem_budget_bytes\":{},\"mem_peak_bytes\":{}}}",
+            report.policy,
+            report.prefill.completed(),
+            report.decode.completed(),
+            report.rejected(),
+            report.launches,
+            report.makespan_s,
+            report.mem_budget_bytes,
+            report.mem_peak_bytes,
+        );
+    }
+    if let Some(path) = &args.save_cache {
+        engine
+            .cache()
+            .save(path)
+            .unwrap_or_else(|e| panic!("saving cache {path}: {e}"));
+        println!("saved cache to {path} ({} entries)", engine.cache().len());
     }
 }
 

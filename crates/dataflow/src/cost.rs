@@ -1,0 +1,178 @@
+//! Stream-demand cost glue shared by the serving layer's merged launch path.
+//!
+//! A device launch — whether it carries a merged prefill batch or a batched
+//! set of decode steps — is bounded by the same three streams: MAC work,
+//! VEC (softmax) work and DRAM traffic. [`StreamDemand`] is the common
+//! currency: both work classes lower into it, demands of co-launched work
+//! items add component-wise, and [`StreamDemand::bound_seconds`] turns the
+//! sum into the physical service-time bound on a given device. The serve
+//! engine's unified prefill+decode timeline costs every launch through this
+//! one type, so the two traffic classes are comparable by construction.
+//!
+//! The arithmetic is deliberately bit-for-bit identical to the historical
+//! per-class formulas (prefill admission's service-time lower bound and the
+//! decode launch cost model): each component is computed per item in `f64`,
+//! accumulated in item order, and divided by the device rate once at the
+//! end. Refactoring the call sites onto this type therefore changes no
+//! report anywhere.
+
+use mas_sim::HardwareConfig;
+
+use crate::decode::DecodeStep;
+use crate::workload::AttentionWorkload;
+
+/// The three-stream resource demand of one unit of attention work (a
+/// prefill workload or a decode step), in device-independent units:
+/// multiply-accumulates, VEC-lane operations and DRAM bytes.
+///
+/// Demands of work items sharing a launch add component-wise
+/// ([`StreamDemand::accumulate`]); the launch's physical service-time bound
+/// on a device is the binding component ([`StreamDemand::bound_seconds`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamDemand {
+    /// Multiply-accumulate operations.
+    pub mac_ops: f64,
+    /// VEC-lane operations (softmax elements times the per-element op
+    /// count of the device's softmax decomposition).
+    pub vec_ops: f64,
+    /// Minimum DRAM traffic in bytes.
+    pub dram_bytes: f64,
+}
+
+impl StreamDemand {
+    /// The demand of one fixed-shape prefill attention workload: its full
+    /// MAC count, its softmax elements at the device's VEC cost per
+    /// element, and its minimum DRAM traffic.
+    #[must_use]
+    pub fn of_prefill(workload: &AttentionWorkload, hw: &HardwareConfig) -> Self {
+        Self {
+            mac_ops: workload.total_mac_ops() as f64,
+            vec_ops: workload.softmax_elements() as f64 * hw.softmax_ops_per_element as f64,
+            dram_bytes: workload.min_dram_traffic_bytes(hw.element_bytes) as f64,
+        }
+    }
+
+    /// The demand of one decode step: linear-in-context MAC and softmax
+    /// work plus the KV-cache stream and new-token rows.
+    #[must_use]
+    pub fn of_decode_step(step: &DecodeStep, hw: &HardwareConfig) -> Self {
+        Self {
+            mac_ops: step.mac_ops() as f64,
+            vec_ops: step.softmax_elements() as f64 * hw.softmax_ops_per_element as f64,
+            dram_bytes: step.min_dram_traffic_bytes(hw.element_bytes) as f64,
+        }
+    }
+
+    /// Adds another work item's demand component-wise (work items sharing a
+    /// launch each stream their own operands and compute their own rows, so
+    /// demands sum).
+    pub fn accumulate(&mut self, other: &Self) {
+        self.mac_ops += other.mac_ops;
+        self.vec_ops += other.vec_ops;
+        self.dram_bytes += other.dram_bytes;
+    }
+
+    /// Physical lower bound on the service time of this demand on an idle
+    /// device: the largest of peak-throughput MAC time, peak-throughput VEC
+    /// time and minimum DRAM traffic time. Queueing, tiling overheads and
+    /// launch issue cost only add to this.
+    #[must_use]
+    pub fn bound_seconds(&self, hw: &HardwareConfig) -> f64 {
+        let mac_s = self.mac_ops / hw.peak_macs_per_second();
+        let vec_s = self.vec_ops / (hw.vec_ops_per_cycle_total() as f64 * hw.frequency_hz);
+        let dram_s = self.dram_bytes / hw.dram_bandwidth_bytes_per_s;
+        mac_s.max(vec_s).max(dram_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareConfig {
+        HardwareConfig::edge_default()
+    }
+
+    #[test]
+    fn prefill_demand_matches_the_workload_counters() {
+        let hw = hw();
+        let w = AttentionWorkload::new("toy", 1, 8, 256, 64);
+        let d = StreamDemand::of_prefill(&w, &hw);
+        assert_eq!(d.mac_ops, w.total_mac_ops() as f64);
+        assert_eq!(
+            d.vec_ops,
+            w.softmax_elements() as f64 * hw.softmax_ops_per_element as f64
+        );
+        assert_eq!(
+            d.dram_bytes,
+            w.min_dram_traffic_bytes(hw.element_bytes) as f64
+        );
+        assert!(d.bound_seconds(&hw) > 0.0);
+    }
+
+    #[test]
+    fn decode_demand_is_linear_in_context() {
+        let hw = hw();
+        let short = StreamDemand::of_decode_step(&DecodeStep::new("s", 1, 8, 128, 64), &hw);
+        let long = StreamDemand::of_decode_step(&DecodeStep::new("s", 1, 8, 256, 64), &hw);
+        assert_eq!(long.mac_ops, 2.0 * short.mac_ops);
+        assert_eq!(long.vec_ops, 2.0 * short.vec_ops);
+        assert!(long.bound_seconds(&hw) > short.bound_seconds(&hw));
+    }
+
+    #[test]
+    fn accumulation_sums_components_in_order() {
+        let hw = hw();
+        let a = StreamDemand::of_decode_step(&DecodeStep::new("a", 1, 8, 100, 64), &hw);
+        let b = StreamDemand::of_decode_step(&DecodeStep::new("b", 1, 8, 200, 64), &hw);
+        let mut sum = StreamDemand::default();
+        sum.accumulate(&a);
+        sum.accumulate(&b);
+        assert_eq!(sum.mac_ops, a.mac_ops + b.mac_ops);
+        assert_eq!(sum.vec_ops, a.vec_ops + b.vec_ops);
+        assert_eq!(sum.dram_bytes, a.dram_bytes + b.dram_bytes);
+        // Accumulating from the zero demand is exact (0.0 + x == x), so the
+        // fold over a one-item launch equals the item's own demand.
+        let mut one = StreamDemand::default();
+        one.accumulate(&a);
+        assert_eq!(one, a);
+    }
+
+    #[test]
+    fn bound_takes_the_binding_component() {
+        let hw = hw();
+        let mac_heavy = StreamDemand {
+            mac_ops: 1e12,
+            vec_ops: 1.0,
+            dram_bytes: 1.0,
+        };
+        let dram_heavy = StreamDemand {
+            mac_ops: 1.0,
+            vec_ops: 1.0,
+            dram_bytes: 1e12,
+        };
+        assert_eq!(
+            mac_heavy.bound_seconds(&hw),
+            1e12 / hw.peak_macs_per_second()
+        );
+        assert_eq!(
+            dram_heavy.bound_seconds(&hw),
+            1e12 / hw.dram_bandwidth_bytes_per_s
+        );
+    }
+
+    #[test]
+    fn prefill_and_decode_demands_are_comparable() {
+        // The unified engine's premise: a decode step's demand and a prefill
+        // workload's demand live in the same units, so a mixed launch queue
+        // can be costed on one timeline.
+        let hw = hw();
+        let prefill = StreamDemand::of_prefill(&AttentionWorkload::new("p", 1, 8, 256, 64), &hw);
+        let step = StreamDemand::of_decode_step(&DecodeStep::new("d", 1, 8, 256, 64), &hw);
+        // One decode step is one query row of the prefill's 256: strictly
+        // less work on every component.
+        assert!(step.mac_ops < prefill.mac_ops);
+        assert!(step.vec_ops < prefill.vec_ops);
+        assert!(step.bound_seconds(&hw) < prefill.bound_seconds(&hw));
+    }
+}

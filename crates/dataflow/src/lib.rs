@@ -32,7 +32,10 @@
 //! autoregressive *decode* steps ([`DecodeStep`]): one new token attending
 //! over the session's KV cache, with per-step cost linear in the context and
 //! DRAM footprint math that counts only the new-token operands beyond the
-//! unavoidable cache streaming.
+//! unavoidable cache streaming, and [`cost`] provides the [`StreamDemand`]
+//! three-stream cost currency both prefill workloads and decode steps lower
+//! into — the glue the serving layer's unified prefill+decode launch
+//! timeline is costed with.
 //!
 //! ## Example
 //!
@@ -54,6 +57,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod cost;
 pub mod decode;
 pub mod flat;
 pub mod footprint;
@@ -70,6 +74,7 @@ pub mod tileflow;
 pub mod tiling;
 pub mod workload;
 
+pub use cost::StreamDemand;
 pub use decode::DecodeStep;
 pub use kind::DataflowKind;
 pub use schedule::{build_dataflow, BuildStats, Schedule};

@@ -15,10 +15,11 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use mas_dataflow::{AttentionWorkload, DataflowKind};
+use mas_dataflow::AttentionWorkload;
 use mas_sim::HardwareConfig;
 
-use crate::queue::{AdmissionPolicy, RejectReason};
+pub use crate::key::BatchKey;
+use crate::queue::{AdmissionPolicy, BacklogEstimator, RejectReason};
 use crate::request::ServeRequest;
 
 /// Micro-batching configuration.
@@ -38,34 +39,6 @@ impl Default for BatchPolicy {
         Self {
             max_batch: 8,
             window_s: 2e-3,
-        }
-    }
-}
-
-/// The coalescing identity of a request: requests merge only when they ask
-/// for the same method on the same attention shape (the batch dimension is
-/// what merging sums over).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct BatchKey {
-    /// Requested dataflow method.
-    pub method: DataflowKind,
-    /// Attention heads of the shape.
-    pub heads: usize,
-    /// Sequence length of the shape.
-    pub seq_len: usize,
-    /// Per-head embedding size of the shape.
-    pub embed: usize,
-}
-
-impl BatchKey {
-    /// The batch key of one request.
-    #[must_use]
-    pub fn of(request: &ServeRequest) -> Self {
-        Self {
-            method: request.method,
-            heads: request.workload.heads,
-            seq_len: request.workload.seq_len,
-            embed: request.workload.embed,
         }
     }
 }
@@ -126,43 +99,6 @@ struct OpenBatch {
     requests: Vec<ServeRequest>,
 }
 
-/// Tracks an estimated device timeline during coalescing so admission can
-/// shed load when the launch queue falls behind. Estimates use the physical
-/// service-time lower bound (planning has not happened yet), so they
-/// under-state the true backlog — shedding is conservative, never spurious.
-struct BacklogEstimator {
-    est_free_s: Vec<f64>,
-}
-
-impl BacklogEstimator {
-    fn new(devices: usize) -> Self {
-        Self {
-            est_free_s: vec![0.0; devices.max(1)],
-        }
-    }
-
-    /// Accounts one dispatched batch on the earliest-free estimated device.
-    fn dispatch(&mut self, batch: &Batch, hw: &HardwareConfig) {
-        let lb = crate::queue::service_time_lower_bound_s(&batch.merged_workload(), hw);
-        let device = self
-            .est_free_s
-            .iter_mut()
-            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
-            .expect("at least one device");
-        *device = device.max(batch.ready_s) + lb;
-    }
-
-    /// Estimated queueing delay a batch launched at `now_s` would see.
-    fn queue_delay_s(&self, now_s: f64) -> f64 {
-        let earliest = self
-            .est_free_s
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
-        (earliest - now_s).max(0.0)
-    }
-}
-
 /// Screens a request stream through admission control and groups the
 /// admitted requests into micro-batches.
 ///
@@ -195,7 +131,10 @@ pub fn coalesce(
     let mut backlog_est = BacklogEstimator::new(devices);
 
     let dispatch = |batch: Batch, closed: &mut Vec<Batch>, backlog_est: &mut BacklogEstimator| {
-        backlog_est.dispatch(&batch, hw);
+        backlog_est.feed(
+            batch.ready_s,
+            crate::queue::service_time_lower_bound_s(&batch.merged_workload(), hw),
+        );
         closed.push(batch);
     };
 
@@ -319,6 +258,7 @@ pub fn coalesce(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mas_dataflow::DataflowKind;
 
     fn hw() -> HardwareConfig {
         HardwareConfig::edge_default()

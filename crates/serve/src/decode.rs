@@ -48,11 +48,15 @@
 
 use serde::{Deserialize, Serialize};
 
-use mas_dataflow::decode::{decode_step_fits, DecodeStep};
+use mas_dataflow::decode::DecodeStep;
+use mas_dataflow::StreamDemand;
 use mas_sim::HardwareConfig;
-use mas_workloads::{DecodeSessionSpec, DecodeTrace};
+use mas_workloads::DecodeTrace;
 
-use crate::metrics::percentile;
+use mas_attention::PlannerConfig;
+
+use crate::engine::{EngineConfig, ServeEngine};
+use crate::metrics::{percentile, LatencyStats};
 
 /// Why a decode session or step was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -168,18 +172,11 @@ pub fn decode_step_lower_bound_s(step: &DecodeStep, hw: &HardwareConfig) -> f64 
 /// issue overhead — which is what batching amortizes.
 #[must_use]
 pub fn launch_service_s(steps: &[DecodeStep], hw: &HardwareConfig) -> f64 {
-    let mut mac_ops = 0.0f64;
-    let mut vec_ops = 0.0f64;
-    let mut dram_bytes = 0.0f64;
+    let mut demand = StreamDemand::default();
     for step in steps {
-        mac_ops += step.mac_ops() as f64;
-        vec_ops += step.softmax_elements() as f64 * hw.softmax_ops_per_element as f64;
-        dram_bytes += step.min_dram_traffic_bytes(hw.element_bytes) as f64;
+        demand.accumulate(&StreamDemand::of_decode_step(step, hw));
     }
-    let mac_s = mac_ops / hw.peak_macs_per_second();
-    let vec_s = vec_ops / (hw.vec_ops_per_cycle_total() as f64 * hw.frequency_hz);
-    let dram_s = dram_bytes / hw.dram_bandwidth_bytes_per_s;
-    mac_s.max(vec_s).max(dram_s) + hw.issue_overhead_cycles as f64 / hw.frequency_hz
+    demand.bound_seconds(hw) + hw.issue_overhead_cycles as f64 / hw.frequency_hz
 }
 
 /// The fate of one completed decode step.
@@ -300,6 +297,19 @@ impl DecodeReport {
         percentile(&latencies, p)
     }
 
+    /// The report's latency summary (count, mean, p50, p99), or `None` with
+    /// no completed steps — the same [`LatencyStats`] type the prefill and
+    /// engine reports expose.
+    #[must_use]
+    pub fn latency_stats(&self) -> Option<LatencyStats> {
+        let latencies: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(DecodeStepOutcome::latency_s)
+            .collect();
+        LatencyStats::of(&latencies)
+    }
+
     /// Completed steps that missed their deadline.
     #[must_use]
     pub fn deadline_missed(&self) -> usize {
@@ -343,102 +353,17 @@ impl DecodeReport {
     }
 }
 
-/// Shape key decode steps coalesce under: launches merge only steps whose
-/// kernels share the per-head geometry (including the grouped-query KV
-/// head count, which changes the cache-stream traffic per step).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct LaunchKey {
-    heads: usize,
-    kv_heads: usize,
-    embed: usize,
-}
-
-struct PendingStep {
-    session_id: u64,
-    step_index: usize,
-    context_len: usize,
-    arrival_s: f64,
-}
-
-struct OpenLaunch {
-    id: u64,
-    first_arrival_s: f64,
-    steps: Vec<PendingStep>,
-}
-
-struct SessionState {
-    spec: DecodeSessionSpec,
-    admitted: bool,
-    reject_reason: Option<DecodeRejectReason>,
-    /// Steps that completed on a device.
-    completed_steps: usize,
-    /// Steps rejected after admission (e.g. deadline screening).
-    rejected_steps: usize,
-    /// Steps joined to a not-yet-dispatched launch.
-    pending_steps: usize,
-    /// Bytes currently charged against the KV budget: the max-context
-    /// reservation under legacy charging, the allocated-block bytes under
-    /// paged charging (grows as the session decodes).
-    charged_bytes: u64,
-    /// KV blocks currently allocated (paged charging only).
-    charged_blocks: u64,
-    /// Bytes of actual resident context tokens (prompt plus generated),
-    /// used for fragmentation reporting.
-    used_bytes: u64,
-}
-
-impl SessionState {
-    /// Whether every step the session will ever request has been accounted
-    /// for (completed or rejected) with nothing still waiting in a launch —
-    /// the point at which its KV residency can be released.
-    fn finished(&self) -> bool {
-        self.completed_steps + self.rejected_steps == self.spec.steps && self.pending_steps == 0
-    }
-
-    /// The session's decode step at a given context length.
-    ///
-    /// Callers must have validated the spec's head grouping (admission
-    /// rejects invalid groupings as infeasible before building steps).
-    fn step_at(&self, context_len: usize) -> DecodeStep {
-        DecodeStep::new("decode", 1, self.spec.heads, context_len, self.spec.embed)
-            .with_kv_heads(self.spec.kv_heads)
-    }
-
-    /// `K` plus `V` bytes of one context token at the session's shape.
-    fn token_bytes(&self, element_bytes: usize) -> u64 {
-        2 * self.spec.kv_heads as u64 * self.spec.embed as u64 * element_bytes as u64
-    }
-
-    /// Blocks covering `context_len` tokens at `block_tokens` per block —
-    /// plain arithmetic (`DecodeStep::kv_blocks` without building a step on
-    /// the per-event hot path).
-    fn blocks_at(context_len: usize, block_tokens: usize) -> u64 {
-        context_len.div_ceil(block_tokens.max(1)) as u64
-    }
-
-    /// `K` plus `V` bytes of one KV block at the session's shape
-    /// (`DecodeStep::kv_block_bytes` without the step allocation). Clamps a
-    /// zero block size to one token, like [`SessionState::blocks_at`], so a
-    /// degenerate `kv_block_tokens: Some(0)` policy charges per token
-    /// instead of silently disabling the budget.
-    fn block_bytes(&self, block_tokens: usize, element_bytes: usize) -> u64 {
-        block_tokens.max(1) as u64 * self.token_bytes(element_bytes)
-    }
-}
-
-/// Records the charge high-water mark with its block count and
-/// fragmentation snapshot.
-fn note_kv_peak(report: &mut DecodeReport, charged: u64, used: u64, blocks: u64) {
-    if charged >= report.kv_peak_bytes && charged > 0 {
-        report.kv_peak_bytes = charged;
-        report.kv_peak_blocks = blocks;
-        report.kv_frag_at_peak = 1.0 - used as f64 / charged as f64;
-    }
-}
-
 /// The decode serving runtime: replays a [`DecodeTrace`] with sticky KV
 /// residency, cross-session step batching and the closed-form decode cost
 /// model, on `devices` virtual devices.
+///
+/// Since the prefill/decode unification this is a thin shim over
+/// [`ServeEngine`]: it runs the engine with an empty prefill stream and
+/// returns the decode-class breakdown, which is bit-identical to the
+/// pre-unification runtime (the engine's event loop performs the same
+/// checks in the same order, and this module's behavioral tests pin it).
+/// Use the engine directly to co-schedule decode with prefill traffic on
+/// one timeline.
 #[derive(Debug, Clone)]
 pub struct DecodeRuntime {
     hw: HardwareConfig,
@@ -473,352 +398,29 @@ impl DecodeRuntime {
     /// Replays a decode trace and returns the aggregate report. The report
     /// is a pure function of the trace, the policy and the hardware.
     #[must_use]
-    #[allow(clippy::too_many_lines)]
     pub fn run_trace(&self, trace: &DecodeTrace) -> DecodeReport {
-        let kv_budget = self.policy.kv_budget(&self.hw);
-        let element_bytes = self.hw.element_bytes;
-        let max_launch = self.policy.max_steps_per_launch.max(1);
-
-        let mut sessions: std::collections::BTreeMap<u64, SessionState> = trace
-            .sessions
-            .iter()
-            .map(|spec| {
-                (
-                    spec.id,
-                    SessionState {
-                        spec: spec.clone(),
-                        admitted: false,
-                        reject_reason: None,
-                        completed_steps: 0,
-                        rejected_steps: 0,
-                        pending_steps: 0,
-                        charged_bytes: 0,
-                        charged_blocks: 0,
-                        used_bytes: 0,
-                    },
-                )
-            })
-            .collect();
-
-        let mut report = DecodeReport::default();
-        let mut open: std::collections::BTreeMap<LaunchKey, OpenLaunch> =
-            std::collections::BTreeMap::new();
-        let mut next_launch_id: u64 = 0;
-        let mut free_at = vec![0.0f64; self.devices];
-        // Charged bytes, actual context-token bytes and allocated blocks
-        // across all resident sessions.
-        let mut kv_in_use: u64 = 0;
-        let mut kv_used: u64 = 0;
-        let mut blocks_in_use: u64 = 0;
-        let mut active_sessions: usize = 0;
-        // KV released when a session's last step completes on the device:
-        // (completion_s, session_id) pending releases, applied once virtual
-        // time (the next arrival) passes them.
-        let mut releases: Vec<(f64, u64)> = Vec::new();
-
-        let dispatch = |key: LaunchKey,
-                        launch: OpenLaunch,
-                        ready_s: f64,
-                        free_at: &mut [f64],
-                        sessions: &mut std::collections::BTreeMap<u64, SessionState>,
-                        releases: &mut Vec<(f64, u64)>,
-                        report: &mut DecodeReport| {
-            let steps: Vec<DecodeStep> = launch
-                .steps
-                .iter()
-                .map(|p| {
-                    DecodeStep::new("decode", 1, key.heads, p.context_len, key.embed)
-                        .with_kv_heads(key.kv_heads)
-                })
-                .collect();
-            let service_s = launch_service_s(&steps, &self.hw);
-            let device = free_at
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("times are finite"))
-                .map(|(i, _)| i)
-                .expect("at least one device");
-            let start_s = free_at[device].max(ready_s);
-            let completion_s = start_s + service_s;
-            free_at[device] = completion_s;
-            report.makespan_s = report.makespan_s.max(completion_s);
-            report.launches += 1;
-            for p in launch.steps {
-                let deadline_s = self.policy.step_deadline_s;
-                let latency_s = completion_s - p.arrival_s;
-                let session = sessions.get_mut(&p.session_id).expect("session exists");
-                session.completed_steps += 1;
-                session.pending_steps -= 1;
-                if session.finished() {
-                    releases.push((completion_s, p.session_id));
-                }
-                report.outcomes.push(DecodeStepOutcome {
-                    session_id: p.session_id,
-                    step_index: p.step_index,
-                    context_len: p.context_len,
-                    arrival_s: p.arrival_s,
-                    start_s,
-                    completion_s,
-                    service_s,
-                    deadline_s,
-                    deadline_met: deadline_s.is_none_or(|d| latency_s <= d),
-                    launch_id: launch.id,
-                    device,
-                });
-            }
+        let config = EngineConfig {
+            planner: PlannerConfig {
+                hardware: self.hw.clone(),
+                ..PlannerConfig::default()
+            },
+            decode: self.policy,
+            devices: self.devices,
+            ..EngineConfig::default()
         };
-
-        for event in &trace.steps {
-            let now_s = event.arrival_s;
-
-            // Dispatch every open launch whose window ended at or before
-            // `now`, in creation (= window-expiry) order.
-            let mut expired: Vec<(u64, LaunchKey)> = open
-                .iter()
-                .filter(|(_, l)| now_s >= l.first_arrival_s + self.policy.window_s)
-                .map(|(k, l)| (l.id, *k))
-                .collect();
-            expired.sort_unstable_by_key(|(id, _)| *id);
-            for (_, key) in expired {
-                let launch = open.remove(&key).expect("key collected from the map");
-                let ready_s = launch.first_arrival_s + self.policy.window_s;
-                dispatch(
-                    key,
-                    launch,
-                    ready_s,
-                    &mut free_at,
-                    &mut sessions,
-                    &mut releases,
-                    &mut report,
-                );
-            }
-
-            // Apply KV releases that have completed by now.
-            releases.retain(|&(release_s, session_id)| {
-                if release_s <= now_s {
-                    let s = sessions.get_mut(&session_id).expect("session exists");
-                    kv_in_use = kv_in_use.saturating_sub(s.charged_bytes);
-                    kv_used = kv_used.saturating_sub(s.used_bytes);
-                    blocks_in_use = blocks_in_use.saturating_sub(s.charged_blocks);
-                    s.charged_bytes = 0;
-                    s.charged_blocks = 0;
-                    s.used_bytes = 0;
-                    active_sessions = active_sessions.saturating_sub(1);
-                    false
-                } else {
-                    true
-                }
-            });
-
-            // Admit the session at its first seen step (steps of malformed
-            // traces referencing unknown sessions are rejected, not a
-            // panic).
-            let Some(session) = sessions.get_mut(&event.session_id) else {
-                report.rejected.push(RejectedDecodeStep {
-                    session_id: event.session_id,
-                    step_index: event.step_index,
-                    arrival_s: now_s,
-                    reason: DecodeRejectReason::UnknownSession,
-                });
-                continue;
-            };
-            let (admitted, reason, context_len) = {
-                let context_len = session.spec.prompt_len + event.step_index + 1;
-                if !session.admitted && session.reject_reason.is_none() {
-                    let spec = &session.spec;
-                    let grouping_valid = spec.kv_heads > 0
-                        && spec.kv_heads <= spec.heads
-                        && spec.heads % spec.kv_heads == 0;
-                    // Initial charge: worst-case max context under legacy
-                    // charging, the first step's blocks under paged
-                    // charging.
-                    let (initial_bytes, initial_blocks) = if !grouping_valid {
-                        (0, 0)
-                    } else {
-                        match self.policy.kv_block_tokens {
-                            None => (
-                                spec.max_context() as u64 * session.token_bytes(element_bytes),
-                                0,
-                            ),
-                            Some(bt) => {
-                                let blocks = SessionState::blocks_at(context_len, bt);
-                                (blocks * session.block_bytes(bt, element_bytes), blocks)
-                            }
-                        }
-                    };
-                    // `step_at` requires a valid grouping; `||` short-circuits
-                    // past it for malformed specs.
-                    let verdict = if !grouping_valid
-                        || !decode_step_fits(
-                            &session.step_at(session.spec.max_context()),
-                            self.policy.kv_tile_rows,
-                            &self.hw,
-                        ) {
-                        Some(DecodeRejectReason::InfeasibleSession)
-                    } else if kv_in_use + initial_bytes > kv_budget {
-                        Some(DecodeRejectReason::KvBudgetExceeded)
-                    } else if self
-                        .policy
-                        .max_sessions
-                        .is_some_and(|limit| active_sessions >= limit)
-                    {
-                        Some(DecodeRejectReason::SessionLimit)
-                    } else {
-                        None
-                    };
-                    match verdict {
-                        Some(reason) => {
-                            session.reject_reason = Some(reason);
-                            report.rejected_sessions.push((event.session_id, reason));
-                        }
-                        None => {
-                            session.admitted = true;
-                            session.charged_bytes = initial_bytes;
-                            session.charged_blocks = initial_blocks;
-                            // The prompt is resident from admission; each
-                            // joined step adds one token below.
-                            session.used_bytes =
-                                session.spec.prompt_len as u64 * session.token_bytes(element_bytes);
-                            kv_in_use += initial_bytes;
-                            kv_used += session.used_bytes;
-                            blocks_in_use += initial_blocks;
-                            active_sessions += 1;
-                            note_kv_peak(&mut report, kv_in_use, kv_used, blocks_in_use);
-                            report.sessions_admitted += 1;
-                        }
-                    }
-                }
-                (session.admitted, session.reject_reason, context_len)
-            };
-            if !admitted {
-                report.rejected.push(RejectedDecodeStep {
-                    session_id: event.session_id,
-                    step_index: event.step_index,
-                    arrival_s: now_s,
-                    reason: reason.expect("unadmitted sessions carry a reason"),
-                });
-                continue;
-            }
-
-            // Per-step deadline screening at this step's context length.
-            let (heads, kv_heads, embed) = (
-                session.spec.heads,
-                session.spec.kv_heads,
-                session.spec.embed,
-            );
-            if let Some(deadline) = self.policy.step_deadline_s {
-                let step = session.step_at(context_len);
-                if deadline < decode_step_lower_bound_s(&step, &self.hw) {
-                    session.rejected_steps += 1;
-                    // A session whose every remaining step is screened out
-                    // must still release its KV residency.
-                    if session.finished() {
-                        releases.push((now_s, event.session_id));
-                    }
-                    report.rejected.push(RejectedDecodeStep {
-                        session_id: event.session_id,
-                        step_index: event.step_index,
-                        arrival_s: now_s,
-                        reason: DecodeRejectReason::DeadlineImpossible,
-                    });
-                    continue;
-                }
-            }
-            // Paged charging: grow the session's block allocation to cover
-            // this step's context. Growth runs *after* the deadline screen —
-            // a screened step generates no token, so it must not keep a
-            // block. A step that cannot get its block is shed (pool
-            // overflow) while the session keeps its residency.
-            if let Some(bt) = self.policy.kv_block_tokens {
-                let needed = SessionState::blocks_at(context_len, bt);
-                if needed > session.charged_blocks {
-                    let delta_blocks = needed - session.charged_blocks;
-                    let delta_bytes = delta_blocks * session.block_bytes(bt, element_bytes);
-                    if kv_in_use + delta_bytes > kv_budget {
-                        session.rejected_steps += 1;
-                        if session.finished() {
-                            releases.push((now_s, event.session_id));
-                        }
-                        report.rejected.push(RejectedDecodeStep {
-                            session_id: event.session_id,
-                            step_index: event.step_index,
-                            arrival_s: now_s,
-                            reason: DecodeRejectReason::KvPoolExhausted,
-                        });
-                        continue;
-                    }
-                    session.charged_bytes += delta_bytes;
-                    session.charged_blocks = needed;
-                    kv_in_use += delta_bytes;
-                    blocks_in_use += delta_blocks;
-                    note_kv_peak(&mut report, kv_in_use, kv_used, blocks_in_use);
-                }
-            }
-            session.pending_steps += 1;
-            // The step's token becomes resident context.
-            let token = session.token_bytes(element_bytes);
-            session.used_bytes += token;
-            kv_used += token;
-            note_kv_peak(&mut report, kv_in_use, kv_used, blocks_in_use);
-
-            // Join (or open) the launch for this shape key.
-            let key = LaunchKey {
-                heads,
-                kv_heads,
-                embed,
-            };
-            let launch = open.entry(key).or_insert_with(|| {
-                let l = OpenLaunch {
-                    id: next_launch_id,
-                    first_arrival_s: now_s,
-                    steps: Vec::new(),
-                };
-                next_launch_id += 1;
-                l
-            });
-            launch.steps.push(PendingStep {
-                session_id: event.session_id,
-                step_index: event.step_index,
-                context_len,
-                arrival_s: now_s,
-            });
-            if launch.steps.len() >= max_launch || self.policy.window_s == 0.0 {
-                let launch = open.remove(&key).expect("just inserted");
-                dispatch(
-                    key,
-                    launch,
-                    now_s,
-                    &mut free_at,
-                    &mut sessions,
-                    &mut releases,
-                    &mut report,
-                );
-            }
-        }
-
-        // Flush the stragglers at their window ends, in creation order.
-        let mut rest: Vec<(LaunchKey, OpenLaunch)> = open.into_iter().collect();
-        rest.sort_unstable_by_key(|(_, l)| l.id);
-        for (key, launch) in rest {
-            let ready_s = launch.first_arrival_s + self.policy.window_s;
-            dispatch(
-                key,
-                launch,
-                ready_s,
-                &mut free_at,
-                &mut sessions,
-                &mut releases,
-                &mut report,
-            );
-        }
-        report
+        ServeEngine::new(config)
+            .run(&[], trace)
+            .expect("decode-only streams never plan and so never fail")
+            .decode
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mas_workloads::{decode_trace, DecodeStepEvent, DecodeTraceConfig, Network};
+    use mas_workloads::{
+        decode_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTraceConfig, Network,
+    };
 
     fn hw() -> HardwareConfig {
         HardwareConfig::edge_default()

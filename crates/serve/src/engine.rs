@@ -1,0 +1,1313 @@
+//! The unified prefill+decode serve engine: one mixed request stream, one
+//! earliest-free device timeline, one shared memory budget.
+//!
+//! Historically `mas-serve` replayed prefill requests ([`ServeRuntime`])
+//! and decode sessions ([`DecodeRuntime`]) on two disjoint virtual-device
+//! timelines, so the two traffic classes could never contend — a prefill
+//! burst could not delay a decode step, and decode KV residency could not
+//! squeeze prefill admission. [`ServeEngine`] merges both classes into one
+//! interleaved work stream:
+//!
+//! * **One work item type.** Every unit of schedulable work is a
+//!   [`WorkItem`] — a prefill request or a decode step — and coalesces in
+//!   one launch map keyed by the typed [`LaunchKey`], with one launch-id
+//!   space. Prefill items micro-batch under [`BatchPolicy`]
+//!   (window / fill / feasibility dispatch) and decode items batch
+//!   cross-session under [`DecodePolicy`] (window / fill), exactly as the
+//!   legacy runtimes did — the mechanism is shared, the per-class policies
+//!   are preserved.
+//! * **One device timeline.** Every dispatched launch — either class —
+//!   starts on the earliest-free virtual device at
+//!   `max(device_free, ready)`, so the classes genuinely contend for
+//!   compute. The iteration-level [`SchedulePolicy`] decides which queue
+//!   feeds the launch slots when launches of both classes are ready at the
+//!   same stream instant: [`SchedulePolicy::DecodePriority`] dispatches
+//!   pending decode launches first (protecting token latency under prefill
+//!   bursts), [`SchedulePolicy::PrefillPriority`] the reverse, and
+//!   [`SchedulePolicy::FairShare`] interleaves strictly by launch creation
+//!   (arrival) order.
+//! * **One memory budget.** Decode sessions charge KV residency (paged
+//!   block growth or legacy max-context reservation, per [`DecodePolicy`])
+//!   and prefill requests charge their activation footprint (the four
+//!   Q/K/V/O operands) against the *same* budget
+//!   ([`EngineConfig::shared_budget_bytes`], defaulting to the decode
+//!   policy's KV budget — half of device DRAM). A prefill burst can
+//!   therefore exhaust the pool and shed decode block growth
+//!   ([`DecodeRejectReason::KvPoolExhausted`]), and a heavy decode
+//!   residency can shed prefill arrivals
+//!   ([`RejectReason::MemoryPressure`]).
+//!
+//! ## Budget accounting invariants
+//!
+//! The shared pool is charged and released at these points, and nowhere
+//! else:
+//!
+//! 1. A prefill request charges `4 · operand_bytes` when it joins a batch
+//!    (it is rejected with [`RejectReason::MemoryPressure`] instead if the
+//!    charge would exceed the budget) and its batch releases the summed
+//!    member charge when the batch's launch *completes* on the timeline.
+//! 2. A decode session charges its initial residency at admission (first
+//!    step's blocks under paged charging, worst-case max context under
+//!    legacy charging), grows block-by-block as it decodes (a growth that
+//!    would exceed the budget sheds that step as a pool overflow, never the
+//!    session), and releases everything when its last step completes.
+//! 3. Charges never go negative (releases are saturating), every charge is
+//!    checked against the budget *before* it is applied, and the recorded
+//!    peak ([`EngineReport::mem_peak_bytes`]) therefore never exceeds the
+//!    budget. These invariants are pinned by a proptest over random mixed
+//!    interleavings (`tests/engine_mixed.rs`).
+//!
+//! ## Backward equivalence
+//!
+//! A prefill-only stream through the engine reproduces the legacy
+//! [`ServeReport`] bit-identically, and a decode-only trace reproduces the
+//! legacy [`DecodeReport`] bit-identically: the event loop performs the
+//! same checks in the same order as the two legacy runtimes, launch-id
+//! assignment and device selection are unchanged, and with a single class
+//! present the scheduling policy degenerates to launch-creation order.
+//! [`ServeRuntime`] and [`DecodeRuntime`] are thin shims over this engine
+//! — the prefill shim additionally *disables* the shared budget (the
+//! legacy runtime had none), so its replays match the pre-unification
+//! behavior in every regime; a prefill-only stream through a
+//! default-budget engine matches too except in memory-bound corners where
+//! the budget sheds load the legacy path would have queued. The legacy
+//! runtimes' extensive behavioral suites (which pin absolute latencies,
+//! counts and orderings, not engine-vs-engine consistency) run through the
+//! shims on every build and are the substantive equivalence pin; the
+//! `engine_equivalence` suite adds shim/engine consistency, policy
+//! invariance on single-class streams, and the per-class report collapse.
+//!
+//! Planning: prefill launches are planned through the shared
+//! [`ScheduleCache`] exactly as before. For prefill-only runs the engine
+//! pre-plans the unique uncached batch keys — concurrently when
+//! [`EngineConfig::parallel_planning`] is set — before replaying, which
+//! preserves the legacy pooled-planning speedup; mixed runs plan misses
+//! on demand at dispatch (batch composition can depend on cross-class
+//! contention there). Either way the cache changes wall-clock planning
+//! cost only, never results.
+//!
+//! [`ServeRuntime`]: crate::runtime::ServeRuntime
+//! [`DecodeRuntime`]: crate::decode::DecodeRuntime
+//! [`DecodeRejectReason::KvPoolExhausted`]: crate::decode::DecodeRejectReason::KvPoolExhausted
+//! [`RejectReason::MemoryPressure`]: crate::queue::RejectReason::MemoryPressure
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use mas_attention::planner::TilingStrategy;
+use mas_attention::{Planner, PlannerConfig};
+use mas_dataflow::decode::{decode_step_fits, DecodeStep};
+use mas_dataflow::AttentionWorkload;
+use mas_sim::{HardwareConfig, Result};
+use mas_workloads::{DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTrace};
+
+use crate::batcher::{coalesce, BatchPolicy};
+use crate::cache::{CacheKey, CachedPlan, ScheduleCache};
+use crate::decode::{
+    decode_step_lower_bound_s, launch_service_s, DecodePolicy, DecodeRejectReason, DecodeReport,
+    DecodeStepOutcome, RejectedDecodeStep,
+};
+use crate::key::{BatchKey, DecodeKey, LaunchKey, WorkClass};
+use crate::metrics::{LatencyStats, RejectedRequest, RequestOutcome, ServeReport};
+use crate::queue::{
+    service_time_lower_bound_s, workload_is_feasible, AdmissionPolicy, BacklogEstimator,
+    RejectReason,
+};
+use crate::request::ServeRequest;
+
+/// Which queue feeds the launch slots when launches of both classes are
+/// ready at the same stream instant (iteration-level scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Pending decode launches dispatch before pending prefill launches:
+    /// protects per-token latency under prefill bursts.
+    DecodePriority,
+    /// Pending prefill launches dispatch before pending decode launches:
+    /// protects time-to-first-token / prefill throughput under decode load.
+    PrefillPriority,
+    /// Launches dispatch strictly in creation (arrival) order regardless of
+    /// class — the default, and the order both legacy single-class runtimes
+    /// used.
+    #[default]
+    FairShare,
+}
+
+impl SchedulePolicy {
+    /// Dispatch rank of a class under this policy (lower dispatches first;
+    /// ties fall back to launch creation order).
+    fn class_rank(self, class: WorkClass) -> u8 {
+        match (self, class) {
+            (SchedulePolicy::FairShare, _)
+            | (SchedulePolicy::DecodePriority, WorkClass::Decode)
+            | (SchedulePolicy::PrefillPriority, WorkClass::Prefill) => 0,
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedulePolicy::DecodePriority => "decode-priority",
+            SchedulePolicy::PrefillPriority => "prefill-priority",
+            SchedulePolicy::FairShare => "fair-share",
+        })
+    }
+}
+
+/// One unit of schedulable work in the engine's unified stream: a prefill
+/// attention request or a single decode step.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum WorkItem {
+    /// A fixed-shape prefill request.
+    Prefill(ServeRequest),
+    /// One decode step of an admitted session.
+    Decode(DecodeStepItem),
+}
+
+/// A decode step joined to a launch: the session, the step index, the
+/// context length attended and the arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DecodeStepItem {
+    /// The session the step belongs to.
+    pub session_id: u64,
+    /// Zero-based index of the step within its session.
+    pub step_index: usize,
+    /// Context length attended (prompt plus generated tokens so far,
+    /// including this step's).
+    pub context_len: usize,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+}
+
+/// Configuration of the unified serve engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Planner for prefill batches (hardware, energy model, tiling
+    /// strategy, tuning budget). The hardware model also costs decode
+    /// launches and sizes the shared memory budget.
+    pub planner: PlannerConfig,
+    /// Prefill admission control.
+    pub admission: AdmissionPolicy,
+    /// Prefill micro-batching policy.
+    pub batching: BatchPolicy,
+    /// Decode admission, KV charging and step-batching policy.
+    pub decode: DecodePolicy,
+    /// Number of virtual devices both classes' launches share.
+    pub devices: usize,
+    /// Whether uncached prefill plans are computed concurrently on the
+    /// worker pool (prefill-only runs pre-plan; reports are bit-identical
+    /// either way).
+    pub parallel_planning: bool,
+    /// Iteration-level scheduling policy for mixed launch queues.
+    pub policy: SchedulePolicy,
+    /// The shared device memory budget both classes charge against. `None`
+    /// defaults to the decode policy's KV budget (half of device DRAM).
+    pub shared_budget_bytes: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            planner: PlannerConfig::default(),
+            admission: AdmissionPolicy::default(),
+            batching: BatchPolicy::default(),
+            decode: DecodePolicy::default(),
+            devices: 1,
+            parallel_planning: true,
+            policy: SchedulePolicy::default(),
+            shared_budget_bytes: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The effective shared memory budget on `hw`: the explicit bytes, or
+    /// the decode policy's KV budget.
+    #[must_use]
+    pub fn budget(&self, hw: &HardwareConfig) -> u64 {
+        self.shared_budget_bytes
+            .unwrap_or_else(|| self.decode.kv_budget(hw))
+    }
+}
+
+/// Aggregate result of replaying one mixed trace: the per-class breakdowns
+/// (each bit-identical to the corresponding legacy report when the other
+/// class is absent) plus the shared-timeline and shared-budget figures.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EngineReport {
+    /// The scheduling policy the replay ran under.
+    pub policy: SchedulePolicy,
+    /// Prefill-class breakdown (latency, energy, cache hits, sheds).
+    pub prefill: ServeReport,
+    /// Decode-class breakdown (per-step latency, batching factor, KV peaks,
+    /// pool overflows).
+    pub decode: DecodeReport,
+    /// Total launches dispatched across both classes (one shared id space).
+    pub launches: usize,
+    /// Virtual time at which the last launch of either class completed.
+    pub makespan_s: f64,
+    /// The shared memory budget the replay enforced, in bytes.
+    pub mem_budget_bytes: u64,
+    /// Peak bytes charged against the shared budget at once (prefill
+    /// activations plus decode KV residency). Never exceeds the budget.
+    pub mem_peak_bytes: u64,
+    /// Prefill activation share of the shared peak.
+    pub mem_peak_prefill_bytes: u64,
+    /// Decode KV share of the shared peak.
+    pub mem_peak_decode_bytes: u64,
+}
+
+impl EngineReport {
+    /// Completed work items across both classes.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.prefill.completed() + self.decode.completed()
+    }
+
+    /// Rejected work items across both classes.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.prefill.rejected.len() + self.decode.rejected.len()
+    }
+
+    /// Prefill-class latency summary.
+    #[must_use]
+    pub fn prefill_latency(&self) -> Option<LatencyStats> {
+        self.prefill.latency_stats()
+    }
+
+    /// Decode-class latency summary.
+    #[must_use]
+    pub fn decode_latency(&self) -> Option<LatencyStats> {
+        self.decode.latency_stats()
+    }
+
+    /// A compact human-readable summary: the shared timeline and budget
+    /// headline plus one line per class.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let stats = |s: Option<LatencyStats>| {
+            s.map_or_else(|| "no completions".to_string(), |s| s.to_string())
+        };
+        format!(
+            "engine[{}]: {} launches in {:.3} ms makespan | shared budget {:.1} MB peak {:.1} MB \
+             ({:.1} prefill + {:.1} decode)\n  prefill: {}\n  decode:  {}",
+            self.policy,
+            self.launches,
+            self.makespan_s * 1e3,
+            self.mem_budget_bytes as f64 / 1e6,
+            self.mem_peak_bytes as f64 / 1e6,
+            self.mem_peak_prefill_bytes as f64 / 1e6,
+            self.mem_peak_decode_bytes as f64 / 1e6,
+            stats(self.prefill_latency()),
+            stats(self.decode_latency()),
+        )
+    }
+}
+
+/// The unified serve engine. Owns the shared schedule cache, which persists
+/// across runs (and, via [`ScheduleCache::save`] / [`ScheduleCache::load`]
+/// / [`ScheduleCache::merge`], across processes).
+#[derive(Debug, Clone)]
+pub struct ServeEngine {
+    config: EngineConfig,
+    planner: Planner,
+    cache: ScheduleCache,
+}
+
+impl ServeEngine {
+    /// Creates an engine with an empty schedule cache.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Self::with_cache(config, ScheduleCache::new())
+    }
+
+    /// Creates an engine warm-started with an existing cache.
+    #[must_use]
+    pub fn with_cache(config: EngineConfig, cache: ScheduleCache) -> Self {
+        let planner = Planner::new(config.planner.clone());
+        Self {
+            config,
+            planner,
+            cache,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared schedule cache.
+    #[must_use]
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// Mutable access to the shared schedule cache (e.g. to merge a shard).
+    pub fn cache_mut(&mut self) -> &mut ScheduleCache {
+        &mut self.cache
+    }
+
+    /// Consumes the engine, returning its cache (for persistence).
+    #[must_use]
+    pub fn into_cache(self) -> ScheduleCache {
+        self.cache
+    }
+
+    /// Replays a generated [`MixedTrace`]: its prefill leg becomes a request
+    /// stream (ids in trace order, all asking for `method` with the same
+    /// relative `deadline_s`), interleaved with its decode leg by arrival
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeEngine::run`].
+    pub fn run_mixed(
+        &mut self,
+        trace: &MixedTrace,
+        method: mas_dataflow::DataflowKind,
+        deadline_s: Option<f64>,
+    ) -> Result<EngineReport> {
+        let stream = ServeRequest::stream_from_trace(&trace.prefill, method, deadline_s);
+        self.run(&stream, &trace.decode)
+    }
+
+    /// Replays a mixed stream — prefill requests plus a decode trace — on
+    /// one device timeline and returns the aggregate report.
+    ///
+    /// Events are processed in arrival order (prefill requests additionally
+    /// ordered by id, decode steps in trace order; a prefill request ties
+    /// ahead of a decode step arriving at the identical instant). The
+    /// report is a pure function of the inputs, the configuration and the
+    /// cache contents (the cache changes wall-clock planning cost, never
+    /// results).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mas_sim::SimError`] if a prefill batch that passed
+    /// admission fails to plan or simulate. Decode-only streams never plan
+    /// and so never fail.
+    pub fn run(&mut self, prefill: &[ServeRequest], decode: &DecodeTrace) -> Result<EngineReport> {
+        let hw = self.planner.hardware().clone();
+
+        // Pre-plan prefill-only runs: the batch composition of a pure
+        // prefill stream is independent of the timeline, so the legacy
+        // coalesce pass predicts it exactly and the unique uncached keys
+        // can plan up front — concurrently when configured — just as the
+        // legacy runtime did. The prediction is only a planning warm-up:
+        // the event loop below is authoritative, and if a binding shared
+        // budget sheds prefill load (something `coalesce` does not model),
+        // the drifted batches simply plan on demand at dispatch. Mixed
+        // runs skip the warm-up entirely (composition there can depend on
+        // cross-class contention) and plan misses at dispatch.
+        let mut inserted_this_run: BTreeSet<CacheKey> = BTreeSet::new();
+        if decode.steps.is_empty() && !prefill.is_empty() {
+            let coalesced = coalesce(
+                prefill,
+                self.config.batching,
+                &self.config.admission,
+                &hw,
+                self.config.devices,
+            );
+            let mut missing: BTreeMap<CacheKey, AttentionWorkload> = BTreeMap::new();
+            for batch in &coalesced.batches {
+                let merged = batch.merged_workload();
+                let key = CacheKey::of(batch.key.method, &merged, &self.config.planner);
+                if !self.cache.contains(&key) {
+                    missing.entry(key).or_insert(merged);
+                }
+            }
+            let missing: Vec<(CacheKey, AttentionWorkload)> = missing.into_iter().collect();
+            let tuned = self.config.planner.tiling == TilingStrategy::Search;
+            let planner = &self.planner;
+            let planned: Vec<(CacheKey, Result<CachedPlan>)> = if self.config.parallel_planning
+                && missing.len() > 1
+            {
+                missing
+                    .par_iter()
+                    .map(|(key, workload)| (*key, plan_one(planner, key.method, workload, tuned)))
+                    .collect()
+            } else {
+                missing
+                    .iter()
+                    .map(|(key, workload)| (*key, plan_one(planner, key.method, workload, tuned)))
+                    .collect()
+            };
+            for (key, plan) in planned {
+                self.cache.insert(key, plan?);
+                inserted_this_run.insert(key);
+            }
+        }
+
+        let budget = self.config.budget(&hw);
+        let element_bytes = hw.element_bytes;
+        let sessions: BTreeMap<u64, SessionState> = decode
+            .sessions
+            .iter()
+            .map(|spec| {
+                (
+                    spec.id,
+                    SessionState {
+                        spec: spec.clone(),
+                        admitted: false,
+                        reject_reason: None,
+                        completed_steps: 0,
+                        rejected_steps: 0,
+                        pending_steps: 0,
+                        charged_bytes: 0,
+                        charged_blocks: 0,
+                        used_bytes: 0,
+                    },
+                )
+            })
+            .collect();
+
+        let mut pass = EngineRun {
+            config: &self.config,
+            planner: &self.planner,
+            cache: &mut self.cache,
+            hw,
+            element_bytes,
+            budget,
+            tuned: self.config.planner.tiling == TilingStrategy::Search,
+            max_batch: self.config.batching.max_batch.max(1),
+            max_steps_per_launch: self.config.decode.max_steps_per_launch.max(1),
+            free_at: vec![0.0f64; self.config.devices.max(1)],
+            open: BTreeMap::new(),
+            open_prefill_members: 0,
+            next_launch_id: 0,
+            sessions,
+            releases: Vec::new(),
+            estimator: BacklogEstimator::new(self.config.devices),
+            kv_in_use: 0,
+            kv_used: 0,
+            blocks_in_use: 0,
+            active_sessions: 0,
+            prefill_charged: 0,
+            inserted_this_run,
+            used_keys: BTreeSet::new(),
+            prefill_report: ServeReport::default(),
+            decode_report: DecodeReport::default(),
+            makespan_s: 0.0,
+            mem_peak: MemPeak::default(),
+        };
+
+        // Merge the two arrival streams: prefill sorted by (arrival, id) —
+        // the order the legacy coalesce pass imposed — and decode steps in
+        // trace order, a prefill request winning exact-arrival ties.
+        let mut prefill_sorted: Vec<&ServeRequest> = prefill.iter().collect();
+        prefill_sorted.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .expect("arrival times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        let mut pi = 0usize;
+        let mut di = 0usize;
+        while pi < prefill_sorted.len() || di < decode.steps.len() {
+            let take_prefill = match (prefill_sorted.get(pi), decode.steps.get(di)) {
+                (Some(p), Some(d)) => p.arrival_s <= d.arrival_s,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_prefill {
+                let request = prefill_sorted[pi];
+                pi += 1;
+                pass.dispatch_expired(request.arrival_s)?;
+                pass.apply_releases(request.arrival_s);
+                pass.on_prefill(request)?;
+            } else {
+                let event = &decode.steps[di];
+                di += 1;
+                pass.dispatch_expired(event.arrival_s)?;
+                pass.apply_releases(event.arrival_s);
+                pass.on_decode(event);
+            }
+        }
+        pass.flush()?;
+
+        let launches = pass.prefill_report.batches + pass.decode_report.launches;
+        Ok(EngineReport {
+            policy: self.config.policy,
+            prefill: pass.prefill_report,
+            decode: pass.decode_report,
+            launches,
+            makespan_s: pass.makespan_s,
+            mem_budget_bytes: budget,
+            mem_peak_bytes: pass.mem_peak.total,
+            mem_peak_prefill_bytes: pass.mem_peak.prefill,
+            mem_peak_decode_bytes: pass.mem_peak.decode,
+        })
+    }
+}
+
+/// Plans one uncached prefill key: tiling via the plan-only entry point,
+/// then one simulated execution. Pure function of its arguments.
+pub(crate) fn plan_one(
+    planner: &Planner,
+    method: mas_dataflow::DataflowKind,
+    workload: &AttentionWorkload,
+    tuned: bool,
+) -> Result<CachedPlan> {
+    let planned = planner.plan(method, workload);
+    let run = planner.execute(&planned, workload)?;
+    Ok(CachedPlan {
+        tiling: planned.tiling,
+        cycles: run.report.total_cycles,
+        seconds: run.report.total_seconds,
+        energy_pj: run.report.total_energy_pj(),
+        dram_read_bytes: run.report.dram_read_bytes,
+        dram_write_bytes: run.report.dram_write_bytes,
+        tuned,
+    })
+}
+
+/// One not-yet-dispatched launch: same-key work items accumulating toward
+/// a window, fill or feasibility dispatch.
+struct OpenLaunch {
+    id: u64,
+    first_arrival_s: f64,
+    items: Vec<WorkItem>,
+    /// Shared-budget bytes charged by the members (prefill activation
+    /// charges; decode items charge through their session instead).
+    charged_bytes: u64,
+}
+
+/// A deferred shared-budget release, applied once virtual time passes its
+/// completion instant.
+enum Release {
+    /// A decode session's last step completed: release its KV residency.
+    Session(u64),
+    /// A prefill batch completed: release its activation charge.
+    PrefillBytes(u64),
+}
+
+/// Tracks the shared-budget high-water mark with its per-class split.
+#[derive(Debug, Default, Clone, Copy)]
+struct MemPeak {
+    total: u64,
+    prefill: u64,
+    decode: u64,
+}
+
+impl MemPeak {
+    fn note(&mut self, prefill: u64, decode: u64) {
+        let total = prefill.saturating_add(decode);
+        if total >= self.total && total > 0 {
+            self.total = total;
+            self.prefill = prefill;
+            self.decode = decode;
+        }
+    }
+}
+
+/// Per-session decode bookkeeping (admission verdict, step progress, KV
+/// charge).
+struct SessionState {
+    spec: DecodeSessionSpec,
+    admitted: bool,
+    reject_reason: Option<DecodeRejectReason>,
+    /// Steps that completed on a device.
+    completed_steps: usize,
+    /// Steps rejected after admission (e.g. deadline screening).
+    rejected_steps: usize,
+    /// Steps joined to a not-yet-dispatched launch.
+    pending_steps: usize,
+    /// Bytes currently charged against the shared budget: the max-context
+    /// reservation under legacy charging, the allocated-block bytes under
+    /// paged charging (grows as the session decodes).
+    charged_bytes: u64,
+    /// KV blocks currently allocated (paged charging only).
+    charged_blocks: u64,
+    /// Bytes of actual resident context tokens (prompt plus generated),
+    /// used for fragmentation reporting.
+    used_bytes: u64,
+}
+
+impl SessionState {
+    /// Whether every step the session will ever request has been accounted
+    /// for (completed or rejected) with nothing still waiting in a launch —
+    /// the point at which its KV residency can be released.
+    fn finished(&self) -> bool {
+        self.completed_steps + self.rejected_steps == self.spec.steps && self.pending_steps == 0
+    }
+
+    /// The session's decode step at a given context length.
+    ///
+    /// Callers must have validated the spec's head grouping (admission
+    /// rejects invalid groupings as infeasible before building steps).
+    fn step_at(&self, context_len: usize) -> DecodeStep {
+        DecodeStep::new("decode", 1, self.spec.heads, context_len, self.spec.embed)
+            .with_kv_heads(self.spec.kv_heads)
+    }
+
+    /// `K` plus `V` bytes of one context token at the session's shape.
+    fn token_bytes(&self, element_bytes: usize) -> u64 {
+        2 * self.spec.kv_heads as u64 * self.spec.embed as u64 * element_bytes as u64
+    }
+
+    /// Blocks covering `context_len` tokens at `block_tokens` per block —
+    /// plain arithmetic (`DecodeStep::kv_blocks` without building a step on
+    /// the per-event hot path).
+    fn blocks_at(context_len: usize, block_tokens: usize) -> u64 {
+        context_len.div_ceil(block_tokens.max(1)) as u64
+    }
+
+    /// `K` plus `V` bytes of one KV block at the session's shape
+    /// (`DecodeStep::kv_block_bytes` without the step allocation). Clamps a
+    /// zero block size to one token, like [`SessionState::blocks_at`], so a
+    /// degenerate `kv_block_tokens: Some(0)` policy charges per token
+    /// instead of silently disabling the budget.
+    fn block_bytes(&self, block_tokens: usize, element_bytes: usize) -> u64 {
+        block_tokens.max(1) as u64 * self.token_bytes(element_bytes)
+    }
+}
+
+/// Records the decode-class charge high-water mark with its block count and
+/// fragmentation snapshot.
+fn note_kv_peak(report: &mut DecodeReport, charged: u64, used: u64, blocks: u64) {
+    if charged >= report.kv_peak_bytes && charged > 0 {
+        report.kv_peak_bytes = charged;
+        report.kv_peak_blocks = blocks;
+        report.kv_frag_at_peak = 1.0 - used as f64 / charged as f64;
+    }
+}
+
+/// All mutable state of one engine replay. Methods mirror the legacy
+/// runtimes' event-loop stages check for check; the comments note the few
+/// places where the unified path adds shared-budget or cross-class
+/// behavior (all of which are no-ops for single-class streams).
+struct EngineRun<'a> {
+    config: &'a EngineConfig,
+    planner: &'a Planner,
+    cache: &'a mut ScheduleCache,
+    hw: HardwareConfig,
+    element_bytes: usize,
+    budget: u64,
+    tuned: bool,
+    max_batch: usize,
+    max_steps_per_launch: usize,
+    free_at: Vec<f64>,
+    open: BTreeMap<LaunchKey, OpenLaunch>,
+    open_prefill_members: usize,
+    next_launch_id: u64,
+    sessions: BTreeMap<u64, SessionState>,
+    releases: Vec<(f64, Release)>,
+    estimator: BacklogEstimator,
+    kv_in_use: u64,
+    kv_used: u64,
+    blocks_in_use: u64,
+    active_sessions: usize,
+    prefill_charged: u64,
+    inserted_this_run: BTreeSet<CacheKey>,
+    used_keys: BTreeSet<CacheKey>,
+    prefill_report: ServeReport,
+    decode_report: DecodeReport,
+    makespan_s: f64,
+    mem_peak: MemPeak,
+}
+
+impl EngineRun<'_> {
+    /// The batching window of a class.
+    fn window_s(&self, class: WorkClass) -> f64 {
+        match class {
+            WorkClass::Prefill => self.config.batching.window_s,
+            WorkClass::Decode => self.config.decode.window_s,
+        }
+    }
+
+    /// The earliest-free virtual device (first index on ties — the same
+    /// selection both legacy runtimes used).
+    fn earliest_free_device(&self) -> usize {
+        self.free_at
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("times are finite"))
+            .map(|(i, _)| i)
+            .expect("at least one device")
+    }
+
+    /// Dispatches every open launch whose window ended at or before `now`,
+    /// ordered by the scheduling policy's class rank and then by launch
+    /// creation order (pure creation order for a single class — the legacy
+    /// order).
+    fn dispatch_expired(&mut self, now_s: f64) -> Result<()> {
+        let mut expired: Vec<(u8, u64, LaunchKey)> = self
+            .open
+            .iter()
+            .filter(|(key, launch)| now_s >= launch.first_arrival_s + self.window_s(key.class()))
+            .map(|(key, launch)| (self.config.policy.class_rank(key.class()), launch.id, *key))
+            .collect();
+        expired.sort_unstable();
+        for (_, _, key) in expired {
+            let launch = self.open.remove(&key).expect("key collected from the map");
+            let ready_s = launch.first_arrival_s + self.window_s(key.class());
+            self.dispatch(key, launch, ready_s)?;
+        }
+        Ok(())
+    }
+
+    /// Applies every deferred release whose completion instant has passed,
+    /// in the order the releases were scheduled.
+    fn apply_releases(&mut self, now_s: f64) {
+        let releases = std::mem::take(&mut self.releases);
+        let mut kept = Vec::with_capacity(releases.len());
+        for (release_s, release) in releases {
+            if release_s > now_s {
+                kept.push((release_s, release));
+                continue;
+            }
+            match release {
+                Release::Session(session_id) => {
+                    let s = self.sessions.get_mut(&session_id).expect("session exists");
+                    self.kv_in_use = self.kv_in_use.saturating_sub(s.charged_bytes);
+                    self.kv_used = self.kv_used.saturating_sub(s.used_bytes);
+                    self.blocks_in_use = self.blocks_in_use.saturating_sub(s.charged_blocks);
+                    s.charged_bytes = 0;
+                    s.charged_blocks = 0;
+                    s.used_bytes = 0;
+                    self.active_sessions = self.active_sessions.saturating_sub(1);
+                }
+                Release::PrefillBytes(bytes) => {
+                    self.prefill_charged = self.prefill_charged.saturating_sub(bytes);
+                }
+            }
+        }
+        self.releases = kept;
+    }
+
+    /// Handles one prefill arrival: admission (backlog, estimated queue
+    /// delay, shared budget), feasibility-preserving join, fill dispatch.
+    fn on_prefill(&mut self, request: &ServeRequest) -> Result<()> {
+        let now_s = request.arrival_s;
+
+        // Admission against the post-expiry backlog: open prefill members
+        // plus the estimated delay of the already-dispatched launch queue
+        // (which, on the unified timeline, includes decode launches).
+        if let Err(reason) = self.config.admission.admit(
+            request.method,
+            &request.workload,
+            request.deadline_s,
+            self.open_prefill_members,
+            self.estimator.queue_delay_s(now_s),
+            &self.hw,
+        ) {
+            self.prefill_report.rejected.push(RejectedRequest {
+                id: request.id,
+                workload: request.workload.name.clone(),
+                arrival_s: now_s,
+                reason,
+            });
+            return Ok(());
+        }
+
+        // Shared-budget admission: the request's activation footprint (its
+        // four Q/K/V/O operands) must fit beside the resident decode KV.
+        let charge = 4 * request.workload.operand_bytes(self.element_bytes);
+        if self
+            .prefill_charged
+            .saturating_add(self.kv_in_use)
+            .saturating_add(charge)
+            > self.budget
+        {
+            self.prefill_report.rejected.push(RejectedRequest {
+                id: request.id,
+                workload: request.workload.name.clone(),
+                arrival_s: now_s,
+                reason: RejectReason::MemoryPressure,
+            });
+            return Ok(());
+        }
+
+        // Join (or open) the launch for this key. If the merged workload
+        // would outgrow the device, dispatch the current batch first —
+        // per-request feasibility is preserved under merging.
+        let batch_key = BatchKey::of(request);
+        let key = LaunchKey::Prefill(batch_key);
+        if let Some(launch) = self.open.get(&key) {
+            let existing: usize = launch
+                .items
+                .iter()
+                .map(|item| match item {
+                    WorkItem::Prefill(r) => r.workload.batch,
+                    WorkItem::Decode(_) => unreachable!("prefill launches hold prefill items"),
+                })
+                .sum();
+            let prospective = AttentionWorkload::new(
+                "prospective",
+                existing + request.workload.batch,
+                batch_key.heads,
+                batch_key.seq_len,
+                batch_key.embed,
+            );
+            if !workload_is_feasible(batch_key.method, &prospective, &self.hw) {
+                let launch = self.open.remove(&key).expect("present");
+                self.dispatch(key, launch, now_s)?;
+            }
+        }
+        let next_id = self.next_launch_id;
+        let mut created = false;
+        let launch = self.open.entry(key).or_insert_with(|| {
+            created = true;
+            OpenLaunch {
+                id: next_id,
+                first_arrival_s: now_s,
+                items: Vec::new(),
+                charged_bytes: 0,
+            }
+        });
+        launch.items.push(WorkItem::Prefill(request.clone()));
+        launch.charged_bytes += charge;
+        let full = launch.items.len() >= self.max_batch;
+        if created {
+            self.next_launch_id += 1;
+        }
+        self.open_prefill_members += 1;
+        self.prefill_charged += charge;
+        self.mem_peak.note(self.prefill_charged, self.kv_in_use);
+        if full {
+            let launch = self.open.remove(&key).expect("just inserted");
+            self.dispatch(key, launch, now_s)?;
+        }
+        Ok(())
+    }
+
+    /// Handles one decode-step arrival: session admission at first sight
+    /// (against the shared budget), deadline screening, paged block growth,
+    /// launch join, fill dispatch.
+    #[allow(clippy::too_many_lines)]
+    fn on_decode(&mut self, event: &DecodeStepEvent) {
+        let now_s = event.arrival_s;
+
+        // Admit the session at its first seen step (steps of malformed
+        // traces referencing unknown sessions are rejected, not a panic).
+        let Some(session) = self.sessions.get_mut(&event.session_id) else {
+            self.decode_report.rejected.push(RejectedDecodeStep {
+                session_id: event.session_id,
+                step_index: event.step_index,
+                arrival_s: now_s,
+                reason: DecodeRejectReason::UnknownSession,
+            });
+            return;
+        };
+        let context_len = session.spec.prompt_len + event.step_index + 1;
+        if !session.admitted && session.reject_reason.is_none() {
+            let spec = &session.spec;
+            let grouping_valid =
+                spec.kv_heads > 0 && spec.kv_heads <= spec.heads && spec.heads % spec.kv_heads == 0;
+            // Initial charge: worst-case max context under legacy charging,
+            // the first step's blocks under paged charging.
+            let (initial_bytes, initial_blocks) = if !grouping_valid {
+                (0, 0)
+            } else {
+                match self.config.decode.kv_block_tokens {
+                    None => (
+                        spec.max_context() as u64 * session.token_bytes(self.element_bytes),
+                        0,
+                    ),
+                    Some(bt) => {
+                        let blocks = SessionState::blocks_at(context_len, bt);
+                        (blocks * session.block_bytes(bt, self.element_bytes), blocks)
+                    }
+                }
+            };
+            // `step_at` requires a valid grouping; `||` short-circuits past
+            // it for malformed specs. The budget check sees resident
+            // prefill activations too — the cross-class squeeze.
+            let verdict = if !grouping_valid
+                || !decode_step_fits(
+                    &session.step_at(session.spec.max_context()),
+                    self.config.decode.kv_tile_rows,
+                    &self.hw,
+                ) {
+                Some(DecodeRejectReason::InfeasibleSession)
+            } else if self
+                .kv_in_use
+                .saturating_add(self.prefill_charged)
+                .saturating_add(initial_bytes)
+                > self.budget
+            {
+                Some(DecodeRejectReason::KvBudgetExceeded)
+            } else if self
+                .config
+                .decode
+                .max_sessions
+                .is_some_and(|limit| self.active_sessions >= limit)
+            {
+                Some(DecodeRejectReason::SessionLimit)
+            } else {
+                None
+            };
+            match verdict {
+                Some(reason) => {
+                    session.reject_reason = Some(reason);
+                    self.decode_report
+                        .rejected_sessions
+                        .push((event.session_id, reason));
+                }
+                None => {
+                    session.admitted = true;
+                    session.charged_bytes = initial_bytes;
+                    session.charged_blocks = initial_blocks;
+                    // The prompt is resident from admission; each joined
+                    // step adds one token below.
+                    session.used_bytes =
+                        session.spec.prompt_len as u64 * session.token_bytes(self.element_bytes);
+                    self.kv_in_use += initial_bytes;
+                    self.kv_used += session.used_bytes;
+                    self.blocks_in_use += initial_blocks;
+                    self.active_sessions += 1;
+                    note_kv_peak(
+                        &mut self.decode_report,
+                        self.kv_in_use,
+                        self.kv_used,
+                        self.blocks_in_use,
+                    );
+                    self.mem_peak.note(self.prefill_charged, self.kv_in_use);
+                    self.decode_report.sessions_admitted += 1;
+                }
+            }
+        }
+        let session = self.sessions.get_mut(&event.session_id).expect("present");
+        if !session.admitted {
+            let reason = session
+                .reject_reason
+                .expect("unadmitted sessions carry a reason");
+            self.decode_report.rejected.push(RejectedDecodeStep {
+                session_id: event.session_id,
+                step_index: event.step_index,
+                arrival_s: now_s,
+                reason,
+            });
+            return;
+        }
+
+        // Per-step deadline screening at this step's context length.
+        let (heads, kv_heads, embed) = (
+            session.spec.heads,
+            session.spec.kv_heads,
+            session.spec.embed,
+        );
+        if let Some(deadline) = self.config.decode.step_deadline_s {
+            let step = session.step_at(context_len);
+            if deadline < decode_step_lower_bound_s(&step, &self.hw) {
+                session.rejected_steps += 1;
+                // A session whose every remaining step is screened out
+                // must still release its KV residency.
+                if session.finished() {
+                    self.releases
+                        .push((now_s, Release::Session(event.session_id)));
+                }
+                self.decode_report.rejected.push(RejectedDecodeStep {
+                    session_id: event.session_id,
+                    step_index: event.step_index,
+                    arrival_s: now_s,
+                    reason: DecodeRejectReason::DeadlineImpossible,
+                });
+                return;
+            }
+        }
+        // Paged charging: grow the session's block allocation to cover this
+        // step's context. Growth runs *after* the deadline screen — a
+        // screened step generates no token, so it must not keep a block. A
+        // step that cannot get its block from the shared pool (now also
+        // drained by prefill activations) is shed as a pool overflow while
+        // the session keeps its residency.
+        if let Some(bt) = self.config.decode.kv_block_tokens {
+            let needed = SessionState::blocks_at(context_len, bt);
+            if needed > session.charged_blocks {
+                let delta_blocks = needed - session.charged_blocks;
+                let delta_bytes = delta_blocks * session.block_bytes(bt, self.element_bytes);
+                if self
+                    .kv_in_use
+                    .saturating_add(self.prefill_charged)
+                    .saturating_add(delta_bytes)
+                    > self.budget
+                {
+                    session.rejected_steps += 1;
+                    if session.finished() {
+                        self.releases
+                            .push((now_s, Release::Session(event.session_id)));
+                    }
+                    self.decode_report.rejected.push(RejectedDecodeStep {
+                        session_id: event.session_id,
+                        step_index: event.step_index,
+                        arrival_s: now_s,
+                        reason: DecodeRejectReason::KvPoolExhausted,
+                    });
+                    return;
+                }
+                session.charged_bytes += delta_bytes;
+                session.charged_blocks = needed;
+                self.kv_in_use += delta_bytes;
+                self.blocks_in_use += delta_blocks;
+                note_kv_peak(
+                    &mut self.decode_report,
+                    self.kv_in_use,
+                    self.kv_used,
+                    self.blocks_in_use,
+                );
+                self.mem_peak.note(self.prefill_charged, self.kv_in_use);
+            }
+        }
+        session.pending_steps += 1;
+        // The step's token becomes resident context.
+        let token = session.token_bytes(self.element_bytes);
+        session.used_bytes += token;
+        self.kv_used += token;
+        note_kv_peak(
+            &mut self.decode_report,
+            self.kv_in_use,
+            self.kv_used,
+            self.blocks_in_use,
+        );
+
+        // Join (or open) the launch for this shape key.
+        let key = LaunchKey::Decode(DecodeKey {
+            heads,
+            kv_heads,
+            embed,
+        });
+        let next_id = self.next_launch_id;
+        let mut created = false;
+        let launch = self.open.entry(key).or_insert_with(|| {
+            created = true;
+            OpenLaunch {
+                id: next_id,
+                first_arrival_s: now_s,
+                items: Vec::new(),
+                charged_bytes: 0,
+            }
+        });
+        launch.items.push(WorkItem::Decode(DecodeStepItem {
+            session_id: event.session_id,
+            step_index: event.step_index,
+            context_len,
+            arrival_s: now_s,
+        }));
+        let full =
+            launch.items.len() >= self.max_steps_per_launch || self.config.decode.window_s == 0.0;
+        if created {
+            self.next_launch_id += 1;
+        }
+        if full {
+            let launch = self.open.remove(&key).expect("just inserted");
+            self.dispatch_decode(
+                DecodeKey {
+                    heads,
+                    kv_heads,
+                    embed,
+                },
+                launch,
+                now_s,
+            );
+        }
+    }
+
+    /// Dispatches one launch of either class.
+    fn dispatch(&mut self, key: LaunchKey, launch: OpenLaunch, ready_s: f64) -> Result<()> {
+        match key {
+            LaunchKey::Prefill(batch_key) => self.dispatch_prefill(batch_key, launch, ready_s),
+            LaunchKey::Decode(decode_key) => {
+                self.dispatch_decode(decode_key, launch, ready_s);
+                Ok(())
+            }
+        }
+    }
+
+    /// Dispatches one prefill micro-batch: plan (cached), launch on the
+    /// earliest-free device, record per-request outcomes, schedule the
+    /// activation-charge release at completion.
+    fn dispatch_prefill(
+        &mut self,
+        batch_key: BatchKey,
+        launch: OpenLaunch,
+        ready_s: f64,
+    ) -> Result<()> {
+        let OpenLaunch {
+            id: launch_id,
+            items,
+            charged_bytes,
+            ..
+        } = launch;
+        let requests: Vec<ServeRequest> = items
+            .into_iter()
+            .map(|item| match item {
+                WorkItem::Prefill(request) => request,
+                WorkItem::Decode(_) => unreachable!("prefill launches hold prefill items"),
+            })
+            .collect();
+        let total_batch: usize = requests.iter().map(|r| r.workload.batch).sum();
+        let merged = AttentionWorkload::new(
+            format!(
+                "serve-batch-{}x{}h{}n{}e{}",
+                requests.len(),
+                total_batch,
+                batch_key.heads,
+                batch_key.seq_len,
+                batch_key.embed
+            ),
+            total_batch,
+            batch_key.heads,
+            batch_key.seq_len,
+            batch_key.embed,
+        );
+        let cache_key = CacheKey::of(batch_key.method, &merged, &self.config.planner);
+        if !self.cache.contains(&cache_key) {
+            let plan = plan_one(self.planner, batch_key.method, &merged, self.tuned)?;
+            self.cache.insert(cache_key, plan);
+            self.inserted_this_run.insert(cache_key);
+        }
+        let plan = *self.cache.lookup(&cache_key).expect("planned above");
+        // A launch is a cache hit when its key predates this run or an
+        // earlier launch of this run already planned it — the legacy
+        // accounting.
+        let hit =
+            self.used_keys.contains(&cache_key) || !self.inserted_this_run.contains(&cache_key);
+        if hit {
+            self.prefill_report.cache_hits += 1;
+        } else {
+            self.prefill_report.cache_misses += 1;
+            self.used_keys.insert(cache_key);
+        }
+
+        let device = self.earliest_free_device();
+        let start_s = self.free_at[device].max(ready_s);
+        let completion_s = start_s + plan.seconds;
+        self.free_at[device] = completion_s;
+        self.prefill_report.makespan_s = self.prefill_report.makespan_s.max(completion_s);
+        self.makespan_s = self.makespan_s.max(completion_s);
+        self.prefill_report.batches += 1;
+        self.estimator
+            .feed(ready_s, service_time_lower_bound_s(&merged, &self.hw));
+
+        let total = total_batch as f64;
+        for request in &requests {
+            let latency_s = completion_s - request.arrival_s;
+            let deadline_met = request.deadline_s.is_none_or(|d| latency_s <= d);
+            let energy_pj = plan.energy_pj * request.workload.batch as f64 / total;
+            self.prefill_report.total_energy_pj += energy_pj;
+            self.prefill_report.outcomes.push(RequestOutcome {
+                id: request.id,
+                workload: request.workload.name.clone(),
+                method: request.method,
+                arrival_s: request.arrival_s,
+                start_s,
+                completion_s,
+                service_s: plan.seconds,
+                deadline_s: request.deadline_s,
+                deadline_met,
+                energy_pj,
+                cache_hit: hit,
+                batch_id: launch_id,
+                device,
+            });
+        }
+        self.open_prefill_members -= requests.len();
+        if charged_bytes > 0 {
+            self.releases
+                .push((completion_s, Release::PrefillBytes(charged_bytes)));
+        }
+        Ok(())
+    }
+
+    /// Dispatches one batched decode launch: closed-form service time,
+    /// earliest-free device, per-step outcomes, session-finish releases.
+    fn dispatch_decode(&mut self, decode_key: DecodeKey, launch: OpenLaunch, ready_s: f64) {
+        let OpenLaunch {
+            id: launch_id,
+            items,
+            ..
+        } = launch;
+        let pending: Vec<DecodeStepItem> = items
+            .into_iter()
+            .map(|item| match item {
+                WorkItem::Decode(step) => step,
+                WorkItem::Prefill(_) => unreachable!("decode launches hold decode items"),
+            })
+            .collect();
+        let steps: Vec<DecodeStep> = pending
+            .iter()
+            .map(|p| {
+                DecodeStep::new(
+                    "decode",
+                    1,
+                    decode_key.heads,
+                    p.context_len,
+                    decode_key.embed,
+                )
+                .with_kv_heads(decode_key.kv_heads)
+            })
+            .collect();
+        let service_s = launch_service_s(&steps, &self.hw);
+        let device = self.earliest_free_device();
+        let start_s = self.free_at[device].max(ready_s);
+        let completion_s = start_s + service_s;
+        self.free_at[device] = completion_s;
+        self.decode_report.makespan_s = self.decode_report.makespan_s.max(completion_s);
+        self.makespan_s = self.makespan_s.max(completion_s);
+        self.decode_report.launches += 1;
+        // Decode launches occupy the shared timeline too: account them in
+        // the backlog estimate prefill admission sees.
+        self.estimator.feed(ready_s, service_s);
+        for p in pending {
+            let deadline_s = self.config.decode.step_deadline_s;
+            let latency_s = completion_s - p.arrival_s;
+            let session = self
+                .sessions
+                .get_mut(&p.session_id)
+                .expect("session exists");
+            session.completed_steps += 1;
+            session.pending_steps -= 1;
+            if session.finished() {
+                self.releases
+                    .push((completion_s, Release::Session(p.session_id)));
+            }
+            self.decode_report.outcomes.push(DecodeStepOutcome {
+                session_id: p.session_id,
+                step_index: p.step_index,
+                context_len: p.context_len,
+                arrival_s: p.arrival_s,
+                start_s,
+                completion_s,
+                service_s,
+                deadline_s,
+                deadline_met: deadline_s.is_none_or(|d| latency_s <= d),
+                launch_id,
+                device,
+            });
+        }
+    }
+
+    /// Flushes the straggler launches at their window ends, ordered by
+    /// `(ready, policy class rank, creation order)` — for a single class
+    /// this is exactly the legacy flush order.
+    fn flush(&mut self) -> Result<()> {
+        let mut rest: Vec<(LaunchKey, OpenLaunch)> =
+            std::mem::take(&mut self.open).into_iter().collect();
+        rest.sort_by(|(key_a, a), (key_b, b)| {
+            let ready_a = a.first_arrival_s + self.window_s(key_a.class());
+            let ready_b = b.first_arrival_s + self.window_s(key_b.class());
+            ready_a
+                .partial_cmp(&ready_b)
+                .expect("ready times are finite")
+                .then(
+                    self.config
+                        .policy
+                        .class_rank(key_a.class())
+                        .cmp(&self.config.policy.class_rank(key_b.class())),
+                )
+                .then(a.id.cmp(&b.id))
+        });
+        for (key, launch) in rest {
+            let ready_s = launch.first_arrival_s + self.window_s(key.class());
+            self.dispatch(key, launch, ready_s)?;
+        }
+        Ok(())
+    }
+}

@@ -88,6 +88,32 @@
 //! per-step latency, batching factor, deadline verdicts and peak KV
 //! residency.
 //!
+//! ## The unified engine ([`engine`])
+//!
+//! Both pipelines above are thin shims over [`ServeEngine`], which admits,
+//! batches and replays a **mixed** prefill+decode stream on one
+//! earliest-free device timeline with one shared memory budget:
+//!
+//! ```text
+//! prefill ──┐   ┌───────────────────────┐   ┌──────────────────────────┐
+//!           ├──▶│ unified WorkItem queue │──▶│ one device timeline      │
+//! decode  ──┘   │ (LaunchKey coalescing, │   │ (policy-ordered slots,   │
+//!               │  shared memory budget) │   │  shared schedule cache)  │
+//!               └───────────────────────┘   └──────────────────────────┘
+//! ```
+//!
+//! Every unit of work is a [`engine::WorkItem`] coalescing under a typed
+//! [`LaunchKey`]; a configurable iteration-level [`SchedulePolicy`]
+//! (decode-priority / prefill-priority / fair-share) decides which class
+//! feeds each launch slot when both are ready; and prefill activation
+//! footprints plus decode KV residency charge one budget, so a prefill
+//! burst can shed decode block growth (pool overflows) and a heavy decode
+//! residency can shed prefill arrivals
+//! ([`RejectReason::MemoryPressure`]). Single-class streams through the
+//! engine are bit-identical to the legacy reports (pinned by test), and an
+//! [`EngineReport`] breaks a mixed replay down per class with shared
+//! [`LatencyStats`].
+//!
 //! ## Example
 //!
 //! ```
@@ -114,12 +140,14 @@
 pub mod batcher;
 pub mod cache;
 pub mod decode;
+pub mod engine;
+pub mod key;
 pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod runtime;
 
-pub use batcher::{Batch, BatchKey, BatchPolicy};
+pub use batcher::{Batch, BatchPolicy};
 pub use cache::{
     hardware_fingerprint, planning_fingerprint, CacheError, CacheKey, CachedPlan, ScheduleCache,
 };
@@ -127,7 +155,11 @@ pub use decode::{
     decode_step_lower_bound_s, launch_service_s, DecodePolicy, DecodeRejectReason, DecodeReport,
     DecodeRuntime, DecodeStepOutcome, RejectedDecodeStep,
 };
-pub use metrics::{percentile, RejectedRequest, RequestOutcome, ServeReport};
+pub use engine::{
+    DecodeStepItem, EngineConfig, EngineReport, SchedulePolicy, ServeEngine, WorkItem,
+};
+pub use key::{BatchKey, DecodeKey, LaunchKey, WorkClass};
+pub use metrics::{percentile, LatencyStats, RejectedRequest, RequestOutcome, ServeReport};
 pub use queue::{AdmissionPolicy, RejectReason};
 pub use request::ServeRequest;
 pub use runtime::{ServeConfig, ServeRuntime};

@@ -26,6 +26,54 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     Some(sorted[rank.clamp(1, n) - 1])
 }
 
+/// The latency summary every report in this crate exposes: sample count,
+/// mean and the p50/p99 nearest-rank percentiles, computed by the one
+/// [`percentile`] definition. Built once from a latency set
+/// ([`LatencyStats::of`]) instead of re-deriving each figure ad hoc — the
+/// legacy prefill and decode reports and the engine's per-class breakdowns
+/// all share this type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencyStats {
+    /// Number of latency samples.
+    pub count: usize,
+    /// Mean latency in seconds.
+    pub mean_s: f64,
+    /// Median (nearest-rank p50) latency in seconds.
+    pub p50_s: f64,
+    /// Nearest-rank 99th-percentile latency in seconds.
+    pub p99_s: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a latency set, or `None` for an empty one.
+    #[must_use]
+    pub fn of(latencies: &[f64]) -> Option<Self> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let sum: f64 = latencies.iter().sum();
+        Some(Self {
+            count: latencies.len(),
+            mean_s: sum / latencies.len() as f64,
+            p50_s: percentile(latencies, 50.0).expect("non-empty"),
+            p99_s: percentile(latencies, 99.0).expect("non-empty"),
+        })
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50 {:.3} ms p99 {:.3} ms mean {:.3} ms (n={})",
+            self.p50_s * 1e3,
+            self.p99_s * 1e3,
+            self.mean_s * 1e3,
+            self.count
+        )
+    }
+}
+
 /// The fate of one completed (admitted and executed) request.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RequestOutcome {
@@ -133,26 +181,35 @@ impl ServeReport {
         percentile(&latencies, p)
     }
 
+    /// The report's latency summary (count, mean, p50, p99), or `None` with
+    /// no completed requests. The single source for every headline latency
+    /// figure below.
+    #[must_use]
+    pub fn latency_stats(&self) -> Option<LatencyStats> {
+        let latencies: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(RequestOutcome::latency_s)
+            .collect();
+        LatencyStats::of(&latencies)
+    }
+
     /// Median end-to-end latency.
     #[must_use]
     pub fn p50_latency_s(&self) -> Option<f64> {
-        self.latency_percentile_s(50.0)
+        self.latency_stats().map(|s| s.p50_s)
     }
 
     /// 99th-percentile end-to-end latency.
     #[must_use]
     pub fn p99_latency_s(&self) -> Option<f64> {
-        self.latency_percentile_s(99.0)
+        self.latency_stats().map(|s| s.p99_s)
     }
 
     /// Mean end-to-end latency.
     #[must_use]
     pub fn mean_latency_s(&self) -> Option<f64> {
-        if self.outcomes.is_empty() {
-            return None;
-        }
-        let sum: f64 = self.outcomes.iter().map(RequestOutcome::latency_s).sum();
-        Some(sum / self.outcomes.len() as f64)
+        self.latency_stats().map(|s| s.mean_s)
     }
 
     /// Completed requests that met their deadline (requests without a
@@ -330,6 +387,28 @@ mod tests {
         r.cache_hits = 3;
         r.cache_misses = 1;
         assert!((r.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_stats_match_the_ad_hoc_figures() {
+        let r = report(&[0.4, 0.1, 0.3, 0.2]);
+        let stats = r.latency_stats().unwrap();
+        assert_eq!(stats.count, 4);
+        assert_eq!(Some(stats.p50_s), r.latency_percentile_s(50.0));
+        assert_eq!(Some(stats.p99_s), r.latency_percentile_s(99.0));
+        assert!((stats.mean_s - 0.25).abs() < 1e-12);
+        assert!(report(&[]).latency_stats().is_none());
+        assert_eq!(LatencyStats::of(&[]), None);
+        let one = LatencyStats::of(&[0.002]).unwrap();
+        assert_eq!(
+            (one.count, one.p50_s, one.p99_s, one.mean_s),
+            (1, 0.002, 0.002, 0.002)
+        );
+        let shown = stats.to_string();
+        assert!(
+            shown.contains("p50") && shown.contains("p99") && shown.contains("n=4"),
+            "{shown}"
+        );
     }
 
     #[test]

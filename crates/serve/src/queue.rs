@@ -23,7 +23,7 @@
 use serde::{Deserialize, Serialize};
 
 use mas_dataflow::footprint::tiling_fits;
-use mas_dataflow::{AttentionWorkload, DataflowKind, Tiling};
+use mas_dataflow::{AttentionWorkload, DataflowKind, StreamDemand, Tiling};
 use mas_sim::HardwareConfig;
 
 /// Why a request was refused admission.
@@ -39,6 +39,13 @@ pub enum RejectReason {
     /// The batcher backlog reached the configured depth, or the estimated
     /// launch-queue delay exceeded its bound; load is shed.
     QueueFull,
+    /// Admitting the request's activation footprint would overrun the
+    /// shared device memory budget — prefill activations and resident
+    /// decode KV caches are charged against one pool, so a heavy decode
+    /// residency can shed prefill load (and vice versa). Only the unified
+    /// engine raises this; the budget-free legacy admission path never
+    /// does.
+    MemoryPressure,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -47,6 +54,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::InfeasibleWorkload => "infeasible workload",
             RejectReason::DeadlineImpossible => "deadline below service-time lower bound",
             RejectReason::QueueFull => "queue full",
+            RejectReason::MemoryPressure => "shared device memory budget exhausted",
         })
     }
 }
@@ -151,16 +159,51 @@ pub fn workload_is_feasible(
 
 /// Physical lower bound on the service time of one workload on an idle
 /// device: the largest of peak-throughput MAC time, peak-throughput VEC
-/// (softmax) time and minimum DRAM traffic time. Queueing and tiling
-/// overheads only add to this, so any deadline below it is hopeless.
+/// (softmax) time and minimum DRAM traffic time (the workload's
+/// [`StreamDemand`]). Queueing and tiling overheads only add to this, so
+/// any deadline below it is hopeless.
 #[must_use]
 pub fn service_time_lower_bound_s(workload: &AttentionWorkload, hw: &HardwareConfig) -> f64 {
-    let mac_s = workload.total_mac_ops() as f64 / hw.peak_macs_per_second();
-    let vec_ops = workload.softmax_elements() as f64 * hw.softmax_ops_per_element as f64;
-    let vec_s = vec_ops / (hw.vec_ops_per_cycle_total() as f64 * hw.frequency_hz);
-    let dram_s =
-        workload.min_dram_traffic_bytes(hw.element_bytes) as f64 / hw.dram_bandwidth_bytes_per_s;
-    mac_s.max(vec_s).max(dram_s)
+    StreamDemand::of_prefill(workload, hw).bound_seconds(hw)
+}
+
+/// Tracks an estimated device timeline during admission so load can be shed
+/// when the launch queue falls behind. Estimates cost prefill launches at
+/// their physical service-time lower bound (planning has not happened yet)
+/// and decode launches at their closed-form service time, so they
+/// under-state the true backlog — shedding is conservative, never spurious.
+#[derive(Debug, Clone)]
+pub(crate) struct BacklogEstimator {
+    est_free_s: Vec<f64>,
+}
+
+impl BacklogEstimator {
+    pub(crate) fn new(devices: usize) -> Self {
+        Self {
+            est_free_s: vec![0.0; devices.max(1)],
+        }
+    }
+
+    /// Accounts one dispatched launch of estimated cost `lb_s`, ready at
+    /// `ready_s`, on the earliest-free estimated device.
+    pub(crate) fn feed(&mut self, ready_s: f64, lb_s: f64) {
+        let device = self
+            .est_free_s
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+            .expect("at least one device");
+        *device = device.max(ready_s) + lb_s;
+    }
+
+    /// Estimated queueing delay a launch dispatched at `now_s` would see.
+    pub(crate) fn queue_delay_s(&self, now_s: f64) -> f64 {
+        let earliest = self
+            .est_free_s
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        (earliest - now_s).max(0.0)
+    }
 }
 
 #[cfg(test)]

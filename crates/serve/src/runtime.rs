@@ -1,13 +1,18 @@
-//! The serving runtime: admission → batching → plan/cache → simulate →
-//! report.
+//! The legacy prefill serving runtime, now a thin shim over the unified
+//! [`ServeEngine`].
 //!
-//! [`ServeRuntime::run_trace`] replays a timestamped request stream:
+//! [`ServeRuntime::run_trace`] replays a timestamped prefill request stream
+//! through the engine with an empty decode leg and returns the
+//! prefill-class report, which is bit-identical to the pre-unification
+//! runtime (same admission checks in the same order, same batch ids, same
+//! earliest-free device timeline; pinned by this module's tests and by
+//! `tests/e2e.rs`):
 //!
 //! 1. **Admit + batch.** The stream is screened by the
 //!    [`AdmissionPolicy`](crate::queue::AdmissionPolicy) and coalesced into
-//!    micro-batches by [`coalesce`](crate::batcher::coalesce).
-//! 2. **Plan (cached).** Each batch maps to a [`CacheKey`]; keys missing
-//!    from the shared [`ScheduleCache`] are planned — tiling selection via
+//!    micro-batches keyed by [`BatchKey`](crate::key::BatchKey).
+//! 2. **Plan (cached).** Each batch maps to a `CacheKey`; keys missing
+//!    from the shared `ScheduleCache` are planned — tiling selection via
 //!    `mas-attention`'s plan-only entry point, then one `mas-sim` execution
 //!    — and memoized. Distinct keys plan concurrently on the persistent
 //!    worker pool; results are merged in deterministic key order, so pooled
@@ -20,17 +25,17 @@
 //! latencies are simulated-device quantities, while the wall-clock cost of
 //! `run_trace` itself is dominated by planning — which the cache
 //! amortizes away for every repeated key.
+//!
+//! To co-schedule prefill with decode traffic on one device timeline and
+//! one shared memory budget, use [`ServeEngine`] directly.
 
-use rayon::prelude::*;
-
-use mas_attention::planner::TilingStrategy;
-use mas_attention::{Planner, PlannerConfig};
-use mas_dataflow::{AttentionWorkload, DataflowKind};
+use mas_attention::PlannerConfig;
 use mas_sim::Result;
 
-use crate::batcher::{coalesce, BatchPolicy};
-use crate::cache::{CacheKey, CachedPlan, ScheduleCache};
-use crate::metrics::{RejectedRequest, RequestOutcome, ServeReport};
+use crate::batcher::BatchPolicy;
+use crate::cache::ScheduleCache;
+use crate::engine::{EngineConfig, ServeEngine};
+use crate::metrics::ServeReport;
 use crate::queue::AdmissionPolicy;
 use crate::request::ServeRequest;
 
@@ -63,14 +68,35 @@ impl Default for ServeConfig {
     }
 }
 
+impl From<ServeConfig> for EngineConfig {
+    /// Lifts a prefill-only configuration into the engine. The legacy
+    /// runtime predates the shared memory budget, so the lifted
+    /// configuration *disables* it (an effectively unbounded budget):
+    /// prefill-only replays through [`ServeRuntime`] are bit-identical to
+    /// the pre-unification runtime in every regime, including memory-bound
+    /// corners where the engine's default half-DRAM pool would shed load.
+    /// Decode and scheduling policies take their defaults (unobservable
+    /// with no decode traffic).
+    fn from(config: ServeConfig) -> Self {
+        Self {
+            planner: config.planner,
+            admission: config.admission,
+            batching: config.batching,
+            devices: config.devices,
+            parallel_planning: config.parallel_planning,
+            shared_budget_bytes: Some(u64::MAX),
+            ..EngineConfig::default()
+        }
+    }
+}
+
 /// The streaming serving runtime. Owns the shared schedule cache, which
 /// persists across traces (and, via [`ScheduleCache::save`] /
 /// [`ScheduleCache::load`] / [`ScheduleCache::merge`], across processes).
 #[derive(Debug, Clone)]
 pub struct ServeRuntime {
     config: ServeConfig,
-    planner: Planner,
-    cache: ScheduleCache,
+    engine: ServeEngine,
 }
 
 impl ServeRuntime {
@@ -83,12 +109,8 @@ impl ServeRuntime {
     /// Creates a runtime warm-started with an existing cache.
     #[must_use]
     pub fn with_cache(config: ServeConfig, cache: ScheduleCache) -> Self {
-        let planner = Planner::new(config.planner.clone());
-        Self {
-            config,
-            planner,
-            cache,
-        }
+        let engine = ServeEngine::with_cache(config.clone().into(), cache);
+        Self { config, engine }
     }
 
     /// The runtime's configuration.
@@ -100,18 +122,18 @@ impl ServeRuntime {
     /// The shared schedule cache.
     #[must_use]
     pub fn cache(&self) -> &ScheduleCache {
-        &self.cache
+        self.engine.cache()
     }
 
     /// Mutable access to the shared schedule cache (e.g. to merge a shard).
     pub fn cache_mut(&mut self) -> &mut ScheduleCache {
-        &mut self.cache
+        self.engine.cache_mut()
     }
 
     /// Consumes the runtime, returning its cache (for persistence).
     #[must_use]
     pub fn into_cache(self) -> ScheduleCache {
-        self.cache
+        self.engine.into_cache()
     }
 
     /// Replays a request trace and returns the aggregate report.
@@ -126,149 +148,18 @@ impl ServeRuntime {
     /// fails to build or simulate (this indicates an infeasibility the
     /// admission check cannot see; rejected requests never reach planning).
     pub fn run_trace(&mut self, requests: &[ServeRequest]) -> Result<ServeReport> {
-        let hw = self.planner.hardware().clone();
-        let coalesced = coalesce(
-            requests,
-            self.config.batching,
-            &self.config.admission,
-            &hw,
-            self.config.devices,
-        );
-
-        // Batch → (key, merged workload); collect the unique uncached keys.
-        let mut batch_keys: Vec<CacheKey> = Vec::with_capacity(coalesced.batches.len());
-        let mut missing: std::collections::BTreeMap<CacheKey, AttentionWorkload> =
-            std::collections::BTreeMap::new();
-        for batch in &coalesced.batches {
-            let merged = batch.merged_workload();
-            let key = CacheKey::of(batch.key.method, &merged, &self.config.planner);
-            if !self.cache.contains(&key) {
-                missing.entry(key).or_insert(merged);
-            }
-            batch_keys.push(key);
-        }
-        let keys_cached_before: std::collections::BTreeSet<CacheKey> = batch_keys
-            .iter()
-            .filter(|k| self.cache.contains(k))
-            .copied()
-            .collect();
-
-        // Plan the unique misses — concurrently when configured — and merge
-        // into the cache in deterministic (sorted-key) order.
-        let missing: Vec<(CacheKey, AttentionWorkload)> = missing.into_iter().collect();
-        let tuned = self.config.planner.tiling == TilingStrategy::Search;
-        let planner = &self.planner;
-        let planned: Vec<(CacheKey, Result<CachedPlan>)> =
-            if self.config.parallel_planning && missing.len() > 1 {
-                missing
-                    .par_iter()
-                    .map(|(key, workload)| (*key, plan_one(planner, key.method, workload, tuned)))
-                    .collect()
-            } else {
-                missing
-                    .iter()
-                    .map(|(key, workload)| (*key, plan_one(planner, key.method, workload, tuned)))
-                    .collect()
-            };
-        for (key, plan) in planned {
-            self.cache.insert(key, plan?);
-        }
-
-        // Deterministic replay: batches in (ready, id) order, each on the
-        // earliest-free virtual device.
-        let mut free_at = vec![0.0f64; self.config.devices.max(1)];
-        let mut report = ServeReport {
-            batches: coalesced.batches.len(),
-            ..ServeReport::default()
-        };
-        let mut keys_planned_this_run: std::collections::BTreeSet<CacheKey> =
-            std::collections::BTreeSet::new();
-        for (batch, key) in coalesced.batches.iter().zip(&batch_keys) {
-            let plan = *self
-                .cache
-                .lookup(key)
-                .expect("every launched batch was planned above");
-            let hit = keys_cached_before.contains(key) || keys_planned_this_run.contains(key);
-            if hit {
-                report.cache_hits += 1;
-            } else {
-                report.cache_misses += 1;
-                keys_planned_this_run.insert(*key);
-            }
-
-            let device = free_at
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("times are finite"))
-                .map(|(i, _)| i)
-                .expect("at least one device");
-            let start_s = free_at[device].max(batch.ready_s);
-            let completion_s = start_s + plan.seconds;
-            free_at[device] = completion_s;
-            report.makespan_s = report.makespan_s.max(completion_s);
-
-            let total_batch = batch.total_batch() as f64;
-            for request in &batch.requests {
-                let latency_s = completion_s - request.arrival_s;
-                let deadline_met = request.deadline_s.is_none_or(|d| latency_s <= d);
-                let energy_pj = plan.energy_pj * request.workload.batch as f64 / total_batch;
-                report.total_energy_pj += energy_pj;
-                report.outcomes.push(RequestOutcome {
-                    id: request.id,
-                    workload: request.workload.name.clone(),
-                    method: request.method,
-                    arrival_s: request.arrival_s,
-                    start_s,
-                    completion_s,
-                    service_s: plan.seconds,
-                    deadline_s: request.deadline_s,
-                    deadline_met,
-                    energy_pj,
-                    cache_hit: hit,
-                    batch_id: batch.id,
-                    device,
-                });
-            }
-        }
-        report.rejected = coalesced
-            .rejected
-            .into_iter()
-            .map(|(request, reason)| RejectedRequest {
-                id: request.id,
-                workload: request.workload.name,
-                arrival_s: request.arrival_s,
-                reason,
-            })
-            .collect();
-        Ok(report)
+        let report = self
+            .engine
+            .run(requests, &mas_workloads::DecodeTrace::empty())?;
+        Ok(report.prefill)
     }
-}
-
-/// Plans one uncached key: tiling via the plan-only entry point, then one
-/// simulated execution. Pure function of its arguments.
-fn plan_one(
-    planner: &Planner,
-    method: DataflowKind,
-    workload: &AttentionWorkload,
-    tuned: bool,
-) -> Result<CachedPlan> {
-    let planned = planner.plan(method, workload);
-    let run = planner.execute(&planned, workload)?;
-    Ok(CachedPlan {
-        tiling: planned.tiling,
-        cycles: run.report.total_cycles,
-        seconds: run.report.total_seconds,
-        energy_pj: run.report.total_energy_pj(),
-        dram_read_bytes: run.report.dram_read_bytes,
-        dram_write_bytes: run.report.dram_write_bytes,
-        tuned,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mas_dataflow::DataflowKind;
+    use crate::metrics::RequestOutcome;
+    use mas_dataflow::{AttentionWorkload, DataflowKind};
 
     fn small_config() -> ServeConfig {
         ServeConfig::default()

@@ -1,0 +1,330 @@
+//! Mixed prefill+decode behavior of the unified engine: the iteration-level
+//! scheduling policy observably moves per-class tail latency, the shared
+//! memory budget couples the two classes in both directions, and the budget
+//! accounting is violation-free under proptest-generated interleavings.
+
+use proptest::prelude::*;
+
+use mas_dataflow::{AttentionWorkload, DataflowKind, DecodeStep};
+use mas_serve::{
+    DecodePolicy, EngineConfig, RejectReason, SchedulePolicy, ServeEngine, ServeRequest,
+};
+use mas_sim::HardwareConfig;
+use mas_workloads::{
+    mixed_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTraceConfig, Network,
+};
+
+fn hw() -> HardwareConfig {
+    HardwareConfig::edge_default()
+}
+
+/// `sessions` decode sessions in lockstep: step `k` of every session
+/// arrives at `k · gap_s` (cross-session simultaneous, so steps batch).
+fn lockstep_decode(sessions: u64, steps: usize, prompt: usize, gap_s: f64) -> DecodeTrace {
+    let specs: Vec<DecodeSessionSpec> = (0..sessions)
+        .map(|id| DecodeSessionSpec {
+            id,
+            network: Network::BertSmall,
+            start_s: 0.0,
+            heads: 8,
+            kv_heads: 8,
+            embed: 64,
+            prompt_len: prompt,
+            steps,
+        })
+        .collect();
+    let mut events = Vec::new();
+    for step_index in 0..steps {
+        for id in 0..sessions {
+            events.push(DecodeStepEvent {
+                session_id: id,
+                step_index,
+                arrival_s: step_index as f64 * gap_s + 1e-9,
+            });
+        }
+    }
+    DecodeTrace {
+        sessions: specs,
+        steps: events,
+    }
+}
+
+/// `bursts` bursts of `per_burst` identical prefill requests, burst `k`
+/// arriving at `offset_s + k · gap_s`.
+fn prefill_bursts(
+    bursts: usize,
+    per_burst: usize,
+    offset_s: f64,
+    gap_s: f64,
+    workload: &AttentionWorkload,
+) -> Vec<ServeRequest> {
+    let mut requests = Vec::new();
+    for k in 0..bursts {
+        for j in 0..per_burst {
+            requests.push(ServeRequest::new(
+                (k * per_burst + j) as u64,
+                offset_s + k as f64 * gap_s,
+                DataflowKind::MasAttention,
+                workload.clone(),
+                None,
+            ));
+        }
+    }
+    requests
+}
+
+fn engine(policy: SchedulePolicy) -> ServeEngine {
+    ServeEngine::new(EngineConfig {
+        policy,
+        ..EngineConfig::default()
+    })
+}
+
+/// The policy scenario: decode launches (ready at tick + window) and
+/// prefill batches (ready 1 ms later) contend for one device at every tick.
+/// Long decode contexts make the batched cache stream DRAM-bound (~ms per
+/// launch), so each class can visibly delay the other.
+fn policy_scenario() -> (Vec<ServeRequest>, DecodeTrace) {
+    // 12 sessions < max_steps_per_launch, so the decode launch waits out
+    // its window instead of fill-dispatching past the policy ordering.
+    let decode = lockstep_decode(12, 30, 2000, 0.01);
+    // 6 requests per burst < max_batch 8, so prefill waits out its window
+    // and meets the decode launch at the next tick's dispatch instant. One
+    // fewer burst than decode ticks, so every prefill batch dispatches at a
+    // policy-ordered event rather than in the end-of-trace flush.
+    let prefill = prefill_bursts(
+        29,
+        6,
+        0.001,
+        0.01,
+        &Network::BertSmall.attention_workload(1),
+    );
+    (prefill, decode)
+}
+
+#[test]
+fn scheduling_policy_observably_moves_per_class_p99() {
+    let (prefill, decode) = policy_scenario();
+    let run = |policy: SchedulePolicy| engine(policy).run(&prefill, &decode).unwrap();
+    let decode_first = run(SchedulePolicy::DecodePriority);
+    let prefill_first = run(SchedulePolicy::PrefillPriority);
+    let fair = run(SchedulePolicy::FairShare);
+
+    // The policy reorders contended launch slots; it never changes what
+    // completes.
+    for report in [&decode_first, &prefill_first, &fair] {
+        assert_eq!(report.decode.completed(), 360, "{}", report.summary());
+        assert_eq!(report.prefill.completed(), 174, "{}", report.summary());
+        assert_eq!(report.rejected(), 0, "{}", report.summary());
+        assert!(report.mem_peak_bytes <= report.mem_budget_bytes);
+    }
+
+    let d_dp = decode_first.decode_latency().unwrap();
+    let d_pp = prefill_first.decode_latency().unwrap();
+    let p_dp = decode_first.prefill_latency().unwrap();
+    let p_pp = prefill_first.prefill_latency().unwrap();
+    // Decode-priority must visibly protect decode p99 against the prefill
+    // burst, and prefill-priority must visibly protect prefill p99.
+    assert!(
+        d_pp.p99_s > 1.5 * d_dp.p99_s,
+        "prefill-priority decode p99 ({:.3} ms) must exceed decode-priority \
+         decode p99 ({:.3} ms) by >1.5x",
+        d_pp.p99_s * 1e3,
+        d_dp.p99_s * 1e3,
+    );
+    assert!(
+        p_dp.p99_s > p_pp.p99_s,
+        "decode-priority prefill p99 ({:.3} ms) must exceed prefill-priority \
+         prefill p99 ({:.3} ms)",
+        p_dp.p99_s * 1e3,
+        p_pp.p99_s * 1e3,
+    );
+
+    // Decode-priority keeps decode p99 within 2x of the decode-only
+    // baseline (the co-scheduling acceptance bar, also asserted by the
+    // `serve_mixed` bench).
+    let baseline = engine(SchedulePolicy::DecodePriority)
+        .run(&[], &decode)
+        .unwrap();
+    let d_base = baseline.decode_latency().unwrap();
+    assert!(
+        d_dp.p99_s <= 2.0 * d_base.p99_s,
+        "decode-priority decode p99 ({:.3} ms) must stay within 2x of the \
+         decode-only baseline ({:.3} ms)",
+        d_dp.p99_s * 1e3,
+        d_base.p99_s * 1e3,
+    );
+
+    // Determinism: the mixed replay is a pure function of its inputs.
+    assert_eq!(decode_first, run(SchedulePolicy::DecodePriority));
+}
+
+#[test]
+fn decode_residency_sheds_prefill_under_a_shared_budget() {
+    let hw = hw();
+    let prefill_workload = Network::BertSmall.attention_workload(1);
+    let prefill_charge = 4 * prefill_workload.operand_bytes(hw.element_bytes);
+    // One decode session whose legacy max-context reservation fills the
+    // budget to within half a prefill charge.
+    let session_tokens = 2048usize;
+    let session_bytes =
+        DecodeStep::new("s", 1, 8, session_tokens, 64).kv_cache_bytes(hw.element_bytes);
+    let budget = session_bytes + prefill_charge / 2;
+
+    let decode = lockstep_decode(1, 8, session_tokens - 8, 0.01);
+    // The prefill request arrives while the session is resident.
+    let prefill = vec![ServeRequest::new(
+        0,
+        0.035,
+        DataflowKind::MasAttention,
+        prefill_workload,
+        None,
+    )];
+    let config = EngineConfig {
+        decode: DecodePolicy {
+            kv_block_tokens: None, // legacy charging: whole reservation up front
+            ..DecodePolicy::default()
+        },
+        shared_budget_bytes: Some(budget),
+        ..EngineConfig::default()
+    };
+
+    let mixed = ServeEngine::new(config.clone())
+        .run(&prefill, &decode)
+        .unwrap();
+    assert_eq!(mixed.decode.sessions_admitted, 1, "{}", mixed.summary());
+    assert_eq!(mixed.prefill.completed(), 0, "{}", mixed.summary());
+    assert_eq!(mixed.prefill.rejected.len(), 1);
+    assert_eq!(
+        mixed.prefill.rejected[0].reason,
+        RejectReason::MemoryPressure
+    );
+    assert!(mixed.mem_peak_bytes <= budget);
+
+    // Without the decode residency the same request fits the same budget.
+    let alone = ServeEngine::new(config)
+        .run(&prefill, &DecodeTrace::empty())
+        .unwrap();
+    assert_eq!(alone.prefill.completed(), 1);
+    assert!(alone.prefill.rejected.is_empty());
+}
+
+#[test]
+fn prefill_pressure_sheds_decode_under_a_shared_budget() {
+    let hw = hw();
+    let prefill_workload = Network::BertSmall.attention_workload(1);
+    let prefill_charge = 4 * prefill_workload.operand_bytes(hw.element_bytes);
+    let session_tokens = 2048usize;
+    let session_bytes =
+        DecodeStep::new("s", 1, 8, session_tokens, 64).kv_cache_bytes(hw.element_bytes);
+    // Ten queued prefill charges fill the budget; the session alone fits.
+    let budget = 10 * prefill_charge + session_bytes / 2;
+
+    // Burst of 10 at t=0 (queued until their batch completes); the session
+    // opens at 1 ms, mid-pressure.
+    let prefill = prefill_bursts(1, 10, 0.0, 0.01, &prefill_workload);
+    let mut decode = lockstep_decode(1, 4, session_tokens - 4, 0.01);
+    for event in &mut decode.steps {
+        event.arrival_s += 0.001;
+    }
+    let config = EngineConfig {
+        decode: DecodePolicy {
+            kv_block_tokens: None,
+            ..DecodePolicy::default()
+        },
+        shared_budget_bytes: Some(budget),
+        ..EngineConfig::default()
+    };
+
+    let mixed = ServeEngine::new(config.clone())
+        .run(&prefill, &decode)
+        .unwrap();
+    assert!(mixed.prefill.completed() > 0, "{}", mixed.summary());
+    assert_eq!(
+        mixed.decode.sessions_admitted,
+        0,
+        "the prefill burst must squeeze the session out: {}",
+        mixed.summary()
+    );
+    assert_eq!(mixed.decode.rejected_sessions.len(), 1);
+    assert!(mixed.mem_peak_bytes <= budget);
+
+    // Decode-only under the same budget: the session is admitted.
+    let alone = ServeEngine::new(config).run(&[], &decode).unwrap();
+    assert_eq!(alone.decode.sessions_admitted, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    // Budget-accounting invariants under random mixed interleavings: every
+    // work item is accounted exactly once, the shared peak never exceeds
+    // the budget, the peak split sums, and the replay is deterministic.
+    #[test]
+    fn budget_accounting_holds_under_random_mixed_interleavings(
+        prefill_count in 0usize..10,
+        sessions in 0usize..5,
+        seed in 0u64..1000,
+        budget_pick in 0usize..4,
+        policy_pick in 0usize..3,
+        paged_pick in 0usize..2,
+    ) {
+        let budget_mb = [1u64, 4, 16, 3072][budget_pick];
+        let policy = [
+            SchedulePolicy::FairShare,
+            SchedulePolicy::DecodePriority,
+            SchedulePolicy::PrefillPriority,
+        ][policy_pick];
+        let paged = paged_pick == 1;
+        let trace = mixed_trace(&MixedTraceConfig::poisson(
+            vec![Network::BertSmall, Network::T5Mini],
+            prefill_count,
+            2000.0,
+            sessions,
+            300.0,
+            seed,
+        ));
+        let config = EngineConfig {
+            decode: DecodePolicy {
+                kv_block_tokens: if paged { Some(16) } else { None },
+                ..DecodePolicy::default()
+            },
+            policy,
+            shared_budget_bytes: Some(budget_mb * 1_000_000),
+            ..EngineConfig::default()
+        };
+        let stream = ServeRequest::stream_from_trace(
+            &trace.prefill,
+            DataflowKind::MasAttention,
+            Some(0.05),
+        );
+        let report = ServeEngine::new(config.clone()).run(&stream, &trace.decode).unwrap();
+
+        // Conservation: every prefill request and every decode step is
+        // either completed or rejected, exactly once.
+        prop_assert_eq!(
+            report.prefill.completed() + report.prefill.rejected.len(),
+            stream.len()
+        );
+        prop_assert_eq!(
+            report.decode.completed() + report.decode.rejected.len(),
+            trace.decode.total_steps()
+        );
+
+        // Budget: the shared peak never exceeds the enforced budget, and
+        // its per-class split is exact.
+        prop_assert!(report.mem_peak_bytes <= report.mem_budget_bytes);
+        prop_assert_eq!(
+            report.mem_peak_bytes,
+            report.mem_peak_prefill_bytes + report.mem_peak_decode_bytes
+        );
+        // The decode-class KV peak can never exceed the shared peak's
+        // decode share at some instant, which itself is bounded by the
+        // budget.
+        prop_assert!(report.decode.kv_peak_bytes <= report.mem_budget_bytes);
+
+        // Determinism: a second replay is bit-identical.
+        let again = ServeEngine::new(config).run(&stream, &trace.decode).unwrap();
+        prop_assert_eq!(report, again);
+    }
+}

@@ -10,9 +10,10 @@
 //! * [`generator`] — a seeded synthetic workload generator for stress tests
 //!   and property-based testing, and
 //! * [`traffic`] — deterministic Poisson/burst request-trace generation for
-//!   the `mas-serve` streaming runtime, plus autoregressive decode traces
+//!   the `mas-serve` streaming runtime, autoregressive decode traces
 //!   (sessions with prompts and per-token step arrivals) for its KV-cached
-//!   decode path.
+//!   decode path, and mixed prefill+decode traces for the unified serve
+//!   engine's single-timeline co-scheduling.
 //!
 //! ## Example
 //!
@@ -36,6 +37,7 @@ pub mod traffic;
 pub use networks::Network;
 pub use sdunet::{sd15_reduced_unet, SdAttentionUnit};
 pub use traffic::{
-    decode_trace, request_trace, ArrivalProcess, DecodeSessionSpec, DecodeStepEvent, DecodeTrace,
-    DecodeTraceConfig, TraceConfig, TraceEvent,
+    decode_trace, mixed_trace, request_trace, ArrivalProcess, DecodeSessionSpec, DecodeStepEvent,
+    DecodeTrace, DecodeTraceConfig, MixedTrace, MixedTraceConfig, TraceConfig, TraceEvent,
+    MIXED_DECODE_SEED_SALT,
 };

@@ -263,6 +263,16 @@ pub struct DecodeTrace {
 }
 
 impl DecodeTrace {
+    /// The empty decode trace (no sessions, no steps) — the decode leg of a
+    /// prefill-only replay through the unified serve engine.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            sessions: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
     /// Total decode steps across all sessions.
     #[must_use]
     pub fn total_steps(&self) -> usize {
@@ -342,6 +352,88 @@ pub fn decode_trace(config: &DecodeTraceConfig) -> DecodeTrace {
             .then(a.step_index.cmp(&b.step_index))
     });
     DecodeTrace { sessions, steps }
+}
+
+/// Configuration of a mixed prefill+decode trace: the two generated legs a
+/// unified serving replay interleaves on one timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedTraceConfig {
+    /// The prefill request leg.
+    pub prefill: TraceConfig,
+    /// The decode session/step leg.
+    pub decode: DecodeTraceConfig,
+}
+
+/// Seed salt decorrelating a mixed trace's decode leg from its prefill leg
+/// (the bytes `"mixed_tr"`): both legs derive from one user seed without
+/// sampling correlated streams. Exposed so every mixed-trace producer (the
+/// [`MixedTraceConfig::poisson`] helper, CLI tools building custom legs)
+/// derives the same decode seed for the same user seed.
+pub const MIXED_DECODE_SEED_SALT: u64 = 0x6d69_7865_645f_7472;
+
+impl MixedTraceConfig {
+    /// A Poisson mixed trace over one network set: `prefill_count` prefill
+    /// requests at `prefill_rate_rps` interleaved with `sessions` decode
+    /// sessions opening at `session_rate_rps`. The two legs draw from
+    /// decorrelated seeds derived from `seed` (the decode leg uses
+    /// `seed ^ MIXED_DECODE_SEED_SALT`).
+    #[must_use]
+    pub fn poisson(
+        networks: Vec<Network>,
+        prefill_count: usize,
+        prefill_rate_rps: f64,
+        sessions: usize,
+        session_rate_rps: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            prefill: TraceConfig::poisson(networks.clone(), prefill_count, prefill_rate_rps, seed),
+            decode: DecodeTraceConfig::poisson(
+                networks,
+                sessions,
+                session_rate_rps,
+                seed ^ MIXED_DECODE_SEED_SALT,
+            ),
+        }
+    }
+}
+
+/// A generated mixed trace: the prefill request events and the decode
+/// trace, each internally sorted by arrival. A consumer replaying both
+/// classes on one timeline (the serve engine) merges them by arrival time —
+/// the deterministic interleaving is a property of the timestamps, not of a
+/// combined event list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedTrace {
+    /// Prefill request events in arrival order.
+    pub prefill: Vec<TraceEvent>,
+    /// Decode sessions and their step events in arrival order.
+    pub decode: DecodeTrace,
+}
+
+impl MixedTrace {
+    /// Total events across both legs (prefill requests plus decode steps).
+    #[must_use]
+    pub fn total_events(&self) -> usize {
+        self.prefill.len() + self.decode.total_steps()
+    }
+}
+
+/// Generates a mixed prefill+decode trace from the config: the existing
+/// prefill and decode generators run with their own (decorrelated) seeds,
+/// producing two arrival-timestamped legs over one shared time origin. The
+/// trace is a pure function of `config`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`request_trace`] and
+/// [`decode_trace`].
+#[must_use]
+pub fn mixed_trace(config: &MixedTraceConfig) -> MixedTrace {
+    MixedTrace {
+        prefill: request_trace(&config.prefill),
+        decode: decode_trace(&config.decode),
+    }
 }
 
 #[cfg(test)]
@@ -478,6 +570,34 @@ mod tests {
         for s in &trace.sessions {
             assert_eq!((s.heads, s.kv_heads), (32, 8), "Llama3-8B decodes GQA-4");
         }
+    }
+
+    #[test]
+    fn mixed_traces_are_deterministic_and_carry_both_legs() {
+        let cfg = MixedTraceConfig::poisson(nets(), 30, 1000.0, 8, 100.0, 17);
+        let a = mixed_trace(&cfg);
+        assert_eq!(a, mixed_trace(&cfg), "pure function of the config");
+        assert_eq!(a.prefill.len(), 30);
+        assert_eq!(a.decode.sessions.len(), 8);
+        assert_eq!(a.total_events(), 30 + a.decode.total_steps());
+        // Each leg is internally sorted by arrival.
+        for pair in a.prefill.windows(2) {
+            assert!(pair[1].arrival_s >= pair[0].arrival_s);
+        }
+        for pair in a.decode.steps.windows(2) {
+            assert!(pair[1].arrival_s >= pair[0].arrival_s);
+        }
+        // The legs are decorrelated: a different seed changes both.
+        let b = mixed_trace(&MixedTraceConfig::poisson(nets(), 30, 1000.0, 8, 100.0, 18));
+        assert_ne!(a.prefill, b.prefill);
+        assert_ne!(a.decode, b.decode);
+    }
+
+    #[test]
+    fn empty_decode_trace_has_no_work() {
+        let t = DecodeTrace::empty();
+        assert_eq!(t.total_steps(), 0);
+        assert!(t.sessions.is_empty());
     }
 
     #[test]
