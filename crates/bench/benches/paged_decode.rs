@@ -17,7 +17,7 @@
 use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mas_serve::{DecodePolicy, DecodeRuntime};
+use mas_serve::{DecodePolicy, DecodeRuntime, KvDtype};
 use mas_sim::HardwareConfig;
 use mas_tensor::decode::{decode_attention, KvCache};
 use mas_tensor::init::random_qkv;
@@ -129,14 +129,9 @@ fn pin_paged_overhead(_c: &mut Criterion) {
     }
 }
 
-/// Replays a long-max-context/short-actual-context trace under both
-/// charging policies at the same budget and pins the sessions-per-GB win.
-fn pin_sessions_per_gb(_c: &mut Criterion) {
-    let hw = HardwareConfig::edge_default();
-    let budget: u64 = 1 << 30; // 1 GiB of KV
-    let (prompt, declared, actual) = (32usize, 480usize, 8usize);
-    let sessions: u64 = 4096;
-
+/// The long-max-context/short-actual-context admission trace shared by the
+/// sessions-per-GiB pins.
+fn admission_trace(sessions: u64, prompt: usize, declared: usize, actual: usize) -> DecodeTrace {
     let specs: Vec<DecodeSessionSpec> = (0..sessions)
         .map(|id| DecodeSessionSpec {
             id,
@@ -159,10 +154,19 @@ fn pin_sessions_per_gb(_c: &mut Criterion) {
             });
         }
     }
-    let trace = DecodeTrace {
+    DecodeTrace {
         sessions: specs,
         steps,
-    };
+    }
+}
+
+/// Replays a long-max-context/short-actual-context trace under both
+/// charging policies at the same budget and pins the sessions-per-GB win.
+fn pin_sessions_per_gb(_c: &mut Criterion) {
+    let hw = HardwareConfig::edge_default();
+    let budget: u64 = 1 << 30; // 1 GiB of KV
+    let (prompt, declared, actual) = (32usize, 480usize, 8usize);
+    let trace = admission_trace(4096, prompt, declared, actual);
 
     let run = |kv_block_tokens: Option<usize>| {
         let policy = DecodePolicy {
@@ -201,10 +205,63 @@ fn pin_sessions_per_gb(_c: &mut Criterion) {
     );
 }
 
+/// Same trace and budget, paged charging, KV priced at f32 vs f16: halving
+/// the stored bytes per element must admit ≥ 1.8× the sessions with no
+/// budget violations and no pool overflows.
+fn pin_f16_sessions_per_gb(_c: &mut Criterion) {
+    let hw = HardwareConfig::edge_default();
+    let budget: u64 = 1 << 30; // 1 GiB of KV
+    let (prompt, declared, actual) = (32usize, 480usize, 8usize);
+    // More offered sessions than even the f16 run can hold, so admission is
+    // budget-limited under both dtypes and the ratio is meaningful.
+    let trace = admission_trace(16384, prompt, declared, actual);
+
+    let run = |kv_dtype: KvDtype| {
+        let policy = DecodePolicy {
+            kv_budget_bytes: Some(budget),
+            kv_dtype: Some(kv_dtype),
+            ..DecodePolicy::default()
+        };
+        DecodeRuntime::new(hw.clone(), policy).run_trace(&trace)
+    };
+    let f32_run = run(KvDtype::F32);
+    let f16_run = run(KvDtype::F16);
+
+    println!("\nsessions per GiB of KV budget by storage dtype (paged block16):");
+    println!("| kv dtype | sessions admitted | sessions/GiB | peak KV MB | pool overflows |");
+    println!("|---|---|---|---|---|");
+    for (name, r) in [("f32", &f32_run), ("f16", &f16_run)] {
+        println!(
+            "| {name} | {} | {:.0} | {:.1} | {} |",
+            r.sessions_admitted,
+            r.sessions_admitted as f64 / (budget as f64 / (1u64 << 30) as f64),
+            r.kv_peak_bytes as f64 / 1e6,
+            r.pool_overflows(),
+        );
+    }
+    for (name, r) in [("f32", &f32_run), ("f16", &f16_run)] {
+        assert!(
+            r.kv_peak_bytes <= budget,
+            "{name} run violated the KV budget: {} > {budget}",
+            r.kv_peak_bytes
+        );
+        assert_eq!(r.pool_overflows(), 0, "{name} run must not overflow");
+    }
+    let ratio = f16_run.sessions_admitted as f64 / f32_run.sessions_admitted.max(1) as f64;
+    assert!(
+        ratio >= 1.8,
+        "f16 KV storage must admit >= 1.8x the f32 session count under the \
+         same budget: {} vs {} ({ratio:.2}x)",
+        f16_run.sessions_admitted,
+        f32_run.sessions_admitted
+    );
+}
+
 criterion_group!(
     benches,
     bench_paged_step,
     pin_paged_overhead,
-    pin_sessions_per_gb
+    pin_sessions_per_gb,
+    pin_f16_sessions_per_gb
 );
 criterion_main!(benches);

@@ -12,7 +12,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mas_dataflow::DataflowKind;
-use mas_serve::{EngineConfig, EngineReport, SchedulePolicy, ServeEngine, ServeRequest};
+use mas_serve::{
+    DecodePolicy, EngineConfig, EngineReport, KvDtype, SchedulePolicy, ServeEngine, ServeRequest,
+};
 use mas_workloads::{
     mixed_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTraceConfig, Network,
 };
@@ -134,6 +136,43 @@ fn pin_policy_separation(_c: &mut Criterion) {
     );
 }
 
+/// Decode tail latency by KV storage dtype on the contention trace's
+/// decode half: the 2000-token-context launches are DRAM-bound, so pricing
+/// the cache stream at f16 (half the bytes) must not worsen — and should
+/// improve — decode p99 versus f32 storage.
+fn pin_f16_decode_tail(_c: &mut Criterion) {
+    let (_, decode) = contention_scenario();
+    let run = |kv_dtype: KvDtype| {
+        ServeEngine::new(EngineConfig {
+            decode: DecodePolicy {
+                kv_dtype: Some(kv_dtype),
+                ..DecodePolicy::default()
+            },
+            ..EngineConfig::default()
+        })
+        .run(&[], &decode)
+        .expect("decode replay")
+    };
+    let f32_run = run(KvDtype::F32);
+    let f16_run = run(KvDtype::F16);
+    let f32_p99 = f32_run.decode_latency().expect("f32 completes").p99_s;
+    let f16_p99 = f16_run.decode_latency().expect("f16 completes").p99_s;
+
+    println!("\ndecode p99 by KV storage dtype (DRAM-bound 2000-token contexts):");
+    println!("| kv dtype | decode p99 | vs f32 |");
+    println!("|---|---|---|");
+    for (name, p99) in [("f32", f32_p99), ("f16", f16_p99)] {
+        println!("| {name} | {:.3} ms | {:.2}x |", p99 * 1e3, p99 / f32_p99);
+    }
+    assert!(
+        f16_p99 <= f32_p99,
+        "halving the KV stream must not worsen decode p99: f16 {:.3} ms vs \
+         f32 {:.3} ms",
+        f16_p99 * 1e3,
+        f32_p99 * 1e3,
+    );
+}
+
 /// Wall-clock engine throughput on a generated Poisson mixed trace.
 fn bench_mixed_replay(c: &mut Criterion) {
     let trace = mixed_trace(&MixedTraceConfig::poisson(
@@ -167,5 +206,10 @@ fn bench_mixed_replay(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pin_policy_separation, bench_mixed_replay);
+criterion_group!(
+    benches,
+    pin_policy_separation,
+    pin_f16_decode_tail,
+    bench_mixed_replay
+);
 criterion_main!(benches);

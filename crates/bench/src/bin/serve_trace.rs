@@ -5,7 +5,7 @@
 //! serve_trace [--requests N] [--rate RPS] [--seed S] [--burst LEN]
 //!             [--deadline-ms MS] [--devices N] [--search] [--serial]
 //!             [--mixed] [--sessions N] [--session-rate RPS]
-//!             [--policy decode|prefill|fair]
+//!             [--policy decode|prefill|fair] [--kv-dtype f32|f16]
 //!             [--load-cache PATH]... [--save-cache PATH] [--json]
 //! ```
 //!
@@ -23,7 +23,7 @@ use mas_attention::planner::{PlannerConfig, TilingStrategy};
 use mas_dataflow::DataflowKind;
 use mas_search::tuner::TunerConfig;
 use mas_serve::{
-    EngineConfig, ScheduleCache, SchedulePolicy, ServeConfig, ServeEngine, ServeReport,
+    EngineConfig, KvDtype, ScheduleCache, SchedulePolicy, ServeConfig, ServeEngine, ServeReport,
     ServeRequest, ServeRuntime,
 };
 use mas_workloads::{
@@ -43,6 +43,7 @@ struct Args {
     sessions: usize,
     session_rate_rps: f64,
     policy: SchedulePolicy,
+    kv_dtype: Option<KvDtype>,
     load_caches: Vec<String>,
     save_cache: Option<String>,
     json: bool,
@@ -96,6 +97,9 @@ fn parse_args() -> Args {
             Some("prefill") => SchedulePolicy::PrefillPriority,
             Some(other) => panic!("--policy: expected decode|prefill|fair, got {other:?}"),
         },
+        kv_dtype: value("--kv-dtype").map(|v| {
+            KvDtype::parse(&v).unwrap_or_else(|| panic!("--kv-dtype: expected f32|f16, got {v:?}"))
+        }),
         load_caches: values("--load-cache"),
         save_cache: value("--save-cache"),
         json: argv.iter().any(|a| a == "--json"),
@@ -200,6 +204,7 @@ fn run_mixed(
     ));
     let mut engine_config: EngineConfig = config.into();
     engine_config.policy = args.policy;
+    engine_config.decode.kv_dtype = args.kv_dtype;
     // The From<ServeConfig> lifting disables the shared budget for legacy
     // prefill-shim compatibility; a mixed replay wants the engine's real
     // default (the decode policy's half-DRAM KV budget) so the cross-class
@@ -221,9 +226,11 @@ fn run_mixed(
         args.seed
     );
     println!(
-        "runtime: {} device(s), policy {}, cache warm entries {} -> final {}",
+        "runtime: {} device(s), policy {}, kv dtype {}, cache warm entries {} -> final {}",
         args.devices.max(1),
         args.policy,
+        args.kv_dtype
+            .map_or("device default".to_string(), |d| d.to_string()),
         warm_entries,
         engine.cache().len(),
     );

@@ -56,10 +56,25 @@ impl StreamDemand {
     /// work plus the KV-cache stream and new-token rows.
     #[must_use]
     pub fn of_decode_step(step: &DecodeStep, hw: &HardwareConfig) -> Self {
+        Self::of_decode_step_with_kv(step, hw, hw.element_bytes)
+    }
+
+    /// [`StreamDemand::of_decode_step`] with the KV terms of the DRAM
+    /// traffic priced at `kv_element_bytes`
+    /// ([`DecodeStep::min_dram_traffic_bytes_split`]): a narrower KV dtype
+    /// shrinks the cache stream — and so the DRAM-bound service time — but
+    /// leaves MAC and softmax work untouched (compute widens to f32).
+    #[must_use]
+    pub fn of_decode_step_with_kv(
+        step: &DecodeStep,
+        hw: &HardwareConfig,
+        kv_element_bytes: usize,
+    ) -> Self {
         Self {
             mac_ops: step.mac_ops() as f64,
             vec_ops: step.softmax_elements() as f64 * hw.softmax_ops_per_element as f64,
-            dram_bytes: step.min_dram_traffic_bytes(hw.element_bytes) as f64,
+            dram_bytes: step.min_dram_traffic_bytes_split(hw.element_bytes, kv_element_bytes)
+                as f64,
         }
     }
 
@@ -118,6 +133,22 @@ mod tests {
         assert_eq!(long.mac_ops, 2.0 * short.mac_ops);
         assert_eq!(long.vec_ops, 2.0 * short.vec_ops);
         assert!(long.bound_seconds(&hw) > short.bound_seconds(&hw));
+    }
+
+    #[test]
+    fn kv_priced_demand_shrinks_only_dram_bytes() {
+        let hw = hw();
+        let step = DecodeStep::new("d", 1, 8, 4096, 64);
+        let full = StreamDemand::of_decode_step(&step, &hw);
+        let half = StreamDemand::of_decode_step_with_kv(&step, &hw, hw.element_bytes / 2);
+        assert_eq!(half.mac_ops, full.mac_ops);
+        assert_eq!(half.vec_ops, full.vec_ops);
+        assert!(half.dram_bytes < full.dram_bytes);
+        // Equal pricing is exactly the unsplit demand.
+        assert_eq!(
+            StreamDemand::of_decode_step_with_kv(&step, &hw, hw.element_bytes),
+            full
+        );
     }
 
     #[test]

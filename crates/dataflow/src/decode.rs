@@ -214,6 +214,24 @@ impl DecodeStep {
             + 2 * self.new_kv_token_bytes(element_bytes)
     }
 
+    /// [`DecodeStep::min_dram_traffic_bytes`] with the KV-resident terms
+    /// (the cache stream and the appended `k`/`v` rows) priced at
+    /// `kv_element_bytes` while the activation rows (`q` in, `o` out) stay
+    /// at `activation_element_bytes` — the traffic of a runtime storing its
+    /// KV cache in a narrower dtype than its activations (f16 KV under f32
+    /// compute halves every KV term). Equal element sizes reduce to the
+    /// unsplit formula.
+    #[must_use]
+    pub fn min_dram_traffic_bytes_split(
+        &self,
+        activation_element_bytes: usize,
+        kv_element_bytes: usize,
+    ) -> u64 {
+        self.kv_cache_bytes(kv_element_bytes)
+            + 2 * self.new_token_bytes(activation_element_bytes)
+            + 2 * self.new_kv_token_bytes(kv_element_bytes)
+    }
+
     /// Minimum DRAM traffic of the recompute-per-step baseline: re-running
     /// full prefill over the `t`-token sequence (read `Q`, `K`, `V`, write
     /// `O` — all `t × E` per head), which is what a runtime without a KV
@@ -291,8 +309,24 @@ pub fn decode_footprint(step: &DecodeStep, kv_tile_rows: usize, element_bytes: u
 /// device DRAM.
 #[must_use]
 pub fn decode_step_fits(step: &DecodeStep, kv_tile_rows: usize, hw: &HardwareConfig) -> bool {
+    decode_step_fits_with_kv(step, kv_tile_rows, hw, hw.element_bytes)
+}
+
+/// [`decode_step_fits`] with the DRAM-resident KV terms priced at
+/// `kv_element_bytes` (see [`DecodeStep::min_dram_traffic_bytes_split`]).
+/// The L1 working set is unchanged: the kernel widens KV tiles to the
+/// compute dtype before streaming them, so scratch tiles stay at
+/// `hw.element_bytes`.
+#[must_use]
+pub fn decode_step_fits_with_kv(
+    step: &DecodeStep,
+    kv_tile_rows: usize,
+    hw: &HardwareConfig,
+    kv_element_bytes: usize,
+) -> bool {
     decode_footprint(step, kv_tile_rows, hw.element_bytes).fits(hw.l1_bytes)
-        && step.min_dram_traffic_bytes(hw.element_bytes) <= hw.dram_bytes as u64
+        && step.min_dram_traffic_bytes_split(hw.element_bytes, kv_element_bytes)
+            <= hw.dram_bytes as u64
 }
 
 #[cfg(test)]
@@ -445,6 +479,47 @@ mod tests {
             assert!(c.paged_kv_bytes(b, 2) >= c.kv_cache_bytes(2));
             assert!(c.paged_kv_bytes(b, 2) < c.kv_cache_bytes(2) + c.kv_block_bytes(b, 2));
         }
+    }
+
+    #[test]
+    fn split_traffic_reduces_to_unsplit_at_equal_element_sizes() {
+        let s = step();
+        for eb in [1usize, 2, 4] {
+            assert_eq!(
+                s.min_dram_traffic_bytes_split(eb, eb),
+                s.min_dram_traffic_bytes(eb)
+            );
+        }
+    }
+
+    #[test]
+    fn f16_kv_halves_exactly_the_kv_terms_of_the_traffic() {
+        let s = step().with_kv_heads(2);
+        let kv_terms_f32 = s.kv_cache_bytes(4) + 2 * s.new_kv_token_bytes(4);
+        let split = s.min_dram_traffic_bytes_split(4, 2);
+        // Activation rows unchanged, every KV term exactly halved.
+        assert_eq!(split, s.min_dram_traffic_bytes(4) - kv_terms_f32 / 2);
+        assert_eq!(split - 2 * s.new_token_bytes(4), kv_terms_f32 / 2);
+    }
+
+    #[test]
+    fn kv_aware_feasibility_admits_contexts_the_unsplit_check_rejects() {
+        let hw = HardwareConfig::edge_default();
+        // Find a context whose f32-priced traffic overflows DRAM but whose
+        // f16 KV pricing fits: KV dominates, so halving it roughly halves
+        // the bill.
+        let eb = hw.element_bytes;
+        let per_token_kv = 2u64 * 32 * 128 * eb as u64;
+        let t = (hw.dram_bytes as u64 / per_token_kv * 3 / 4) as usize;
+        let s = DecodeStep::new("edge-of-dram", 1, 32, 2 * t, 128);
+        assert!(!decode_step_fits(&s, 64, &hw));
+        assert!(decode_step_fits_with_kv(&s, 64, &hw, eb / 2));
+        // Equal pricing matches the plain check on a feasible step.
+        let small = step();
+        assert_eq!(
+            decode_step_fits(&small, 64, &hw),
+            decode_step_fits_with_kv(&small, 64, &hw, eb)
+        );
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod workload;
 pub use cost::StreamDemand;
 pub use decode::DecodeStep;
 pub use kind::DataflowKind;
+pub use mas_tensor::half::KvDtype;
 pub use schedule::{build_dataflow, BuildStats, Schedule};
 pub use tiling::Tiling;
 pub use workload::AttentionWorkload;

@@ -49,7 +49,7 @@
 use serde::{Deserialize, Serialize};
 
 use mas_dataflow::decode::DecodeStep;
-use mas_dataflow::StreamDemand;
+use mas_dataflow::{KvDtype, StreamDemand};
 use mas_sim::HardwareConfig;
 use mas_workloads::DecodeTrace;
 
@@ -131,6 +131,14 @@ pub struct DecodePolicy {
     /// residency. `None` is the legacy contiguous policy: reserve worst-case
     /// max-context bytes for the whole session lifetime.
     pub kv_block_tokens: Option<usize>,
+    /// KV storage dtype used to price residency charges and the cache-stream
+    /// term of launch costing. `None` inherits the device element size
+    /// (`hw.element_bytes`); `Some(KvDtype::F16)` prices KV at 2 bytes per
+    /// element — halving residency charges relative to f32 activations and
+    /// admitting ~2× the sessions under the same budget. The compute dtype
+    /// is unchanged (kernels widen KV tiles to f32).
+    #[serde(default)]
+    pub kv_dtype: Option<KvDtype>,
 }
 
 impl Default for DecodePolicy {
@@ -143,6 +151,7 @@ impl Default for DecodePolicy {
             step_deadline_s: None,
             kv_tile_rows: 64,
             kv_block_tokens: Some(16),
+            kv_dtype: None,
         }
     }
 }
@@ -152,6 +161,14 @@ impl DecodePolicy {
     #[must_use]
     pub fn kv_budget(&self, hw: &HardwareConfig) -> u64 {
         self.kv_budget_bytes.unwrap_or(hw.dram_bytes as u64 / 2)
+    }
+
+    /// Bytes per stored KV element under this policy on `hw`: the explicit
+    /// [`DecodePolicy::kv_dtype`]'s width, or the device element size.
+    #[must_use]
+    pub fn kv_element_bytes(&self, hw: &HardwareConfig) -> usize {
+        self.kv_dtype
+            .map_or(hw.element_bytes, |dtype| dtype.element_bytes())
     }
 }
 
@@ -166,15 +183,42 @@ pub fn decode_step_lower_bound_s(step: &DecodeStep, hw: &HardwareConfig) -> f64 
     launch_service_s(std::slice::from_ref(step), hw)
 }
 
+/// [`decode_step_lower_bound_s`] with the KV cache-stream term priced at
+/// `kv_element_bytes` ([`StreamDemand::of_decode_step_with_kv`]): narrower
+/// KV storage lowers the DRAM-bound floor of long-context steps.
+#[must_use]
+pub fn decode_step_lower_bound_s_with_kv(
+    step: &DecodeStep,
+    hw: &HardwareConfig,
+    kv_element_bytes: usize,
+) -> f64 {
+    launch_service_s_with_kv(std::slice::from_ref(step), hw, kv_element_bytes)
+}
+
 /// Service time of one batched launch: member step work is summed per bound
 /// component (each member streams its own KV cache and computes its own
 /// query row), the binding component sets the time, and the launch pays one
 /// issue overhead — which is what batching amortizes.
 #[must_use]
 pub fn launch_service_s(steps: &[DecodeStep], hw: &HardwareConfig) -> f64 {
+    launch_service_s_with_kv(steps, hw, hw.element_bytes)
+}
+
+/// [`launch_service_s`] with every member's KV cache-stream term priced at
+/// `kv_element_bytes` (see [`StreamDemand::of_decode_step_with_kv`]).
+#[must_use]
+pub fn launch_service_s_with_kv(
+    steps: &[DecodeStep],
+    hw: &HardwareConfig,
+    kv_element_bytes: usize,
+) -> f64 {
     let mut demand = StreamDemand::default();
     for step in steps {
-        demand.accumulate(&StreamDemand::of_decode_step(step, hw));
+        demand.accumulate(&StreamDemand::of_decode_step_with_kv(
+            step,
+            hw,
+            kv_element_bytes,
+        ));
     }
     demand.bound_seconds(hw) + hw.issue_overhead_cycles as f64 / hw.frequency_hz
 }
@@ -528,6 +572,36 @@ mod tests {
         assert_eq!(report.completed(), 12);
         assert_eq!(report.rejected.len(), 12);
         assert!(report.kv_peak_bytes <= policy.kv_budget(&hw()));
+    }
+
+    #[test]
+    fn f16_kv_policy_charges_half_and_admits_double() {
+        // Same trace, same budget: pricing KV at f16 (2 B) instead of f32
+        // (4 B) halves each session's worst-case reservation, so twice the
+        // sessions fit. The budget is sized for exactly two f32 sessions.
+        let per_session_f32 = DecodeStep::new("s", 1, 8, 38, 64).kv_cache_bytes(4);
+        let base = DecodePolicy {
+            kv_budget_bytes: Some(2 * per_session_f32 + per_session_f32 / 2),
+            kv_block_tokens: None,
+            kv_dtype: Some(KvDtype::F32),
+            ..DecodePolicy::default()
+        };
+        let half = DecodePolicy {
+            kv_dtype: Some(KvDtype::F16),
+            ..base
+        };
+        assert_eq!(base.kv_element_bytes(&hw()), 4);
+        assert_eq!(half.kv_element_bytes(&hw()), 2);
+        let trace = lockstep_trace(4, 6, 32, 0.01);
+        let f32_report = DecodeRuntime::new(hw(), base).run_trace(&trace);
+        let f16_report = DecodeRuntime::new(hw(), half).run_trace(&trace);
+        assert_eq!(f32_report.sessions_admitted, 2);
+        assert_eq!(f16_report.sessions_admitted, 4);
+        assert!(f16_report.rejected.is_empty());
+        // Charges are exactly half per admitted session.
+        assert_eq!(f16_report.kv_peak_bytes, f32_report.kv_peak_bytes);
+        assert_eq!(f32_report.completed(), 12);
+        assert_eq!(f16_report.completed(), 24);
     }
 
     #[test]

@@ -98,7 +98,7 @@ use serde::{Deserialize, Serialize};
 
 use mas_attention::planner::TilingStrategy;
 use mas_attention::{Planner, PlannerConfig};
-use mas_dataflow::decode::{decode_step_fits, DecodeStep};
+use mas_dataflow::decode::{decode_step_fits_with_kv, DecodeStep};
 use mas_dataflow::AttentionWorkload;
 use mas_sim::{HardwareConfig, Result};
 use mas_workloads::{DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTrace};
@@ -106,8 +106,8 @@ use mas_workloads::{DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTrace}
 use crate::batcher::{coalesce, BatchPolicy};
 use crate::cache::{CacheKey, CachedPlan, ScheduleCache};
 use crate::decode::{
-    decode_step_lower_bound_s, launch_service_s, DecodePolicy, DecodeRejectReason, DecodeReport,
-    DecodeStepOutcome, RejectedDecodeStep,
+    decode_step_lower_bound_s_with_kv, launch_service_s_with_kv, DecodePolicy, DecodeRejectReason,
+    DecodeReport, DecodeStepOutcome, RejectedDecodeStep,
 };
 use crate::key::{BatchKey, DecodeKey, LaunchKey, WorkClass};
 use crate::metrics::{LatencyStats, RejectedRequest, RequestOutcome, ServeReport};
@@ -446,6 +446,7 @@ impl ServeEngine {
 
         let budget = self.config.budget(&hw);
         let element_bytes = hw.element_bytes;
+        let kv_element_bytes = self.config.decode.kv_element_bytes(&hw);
         let sessions: BTreeMap<u64, SessionState> = decode
             .sessions
             .iter()
@@ -473,6 +474,7 @@ impl ServeEngine {
             cache: &mut self.cache,
             hw,
             element_bytes,
+            kv_element_bytes,
             budget,
             tuned: self.config.planner.tiling == TilingStrategy::Search,
             max_batch: self.config.batching.max_batch.max(1),
@@ -688,6 +690,10 @@ struct EngineRun<'a> {
     cache: &'a mut ScheduleCache,
     hw: HardwareConfig,
     element_bytes: usize,
+    /// Bytes per stored KV element ([`DecodePolicy::kv_element_bytes`]):
+    /// prices every KV residency charge and the cache-stream term of launch
+    /// costing, while `element_bytes` keeps pricing activations.
+    kv_element_bytes: usize,
     budget: u64,
     tuned: bool,
     max_batch: usize,
@@ -907,12 +913,15 @@ impl EngineRun<'_> {
             } else {
                 match self.config.decode.kv_block_tokens {
                     None => (
-                        spec.max_context() as u64 * session.token_bytes(self.element_bytes),
+                        spec.max_context() as u64 * session.token_bytes(self.kv_element_bytes),
                         0,
                     ),
                     Some(bt) => {
                         let blocks = SessionState::blocks_at(context_len, bt);
-                        (blocks * session.block_bytes(bt, self.element_bytes), blocks)
+                        (
+                            blocks * session.block_bytes(bt, self.kv_element_bytes),
+                            blocks,
+                        )
                     }
                 }
             };
@@ -920,10 +929,11 @@ impl EngineRun<'_> {
             // it for malformed specs. The budget check sees resident
             // prefill activations too — the cross-class squeeze.
             let verdict = if !grouping_valid
-                || !decode_step_fits(
+                || !decode_step_fits_with_kv(
                     &session.step_at(session.spec.max_context()),
                     self.config.decode.kv_tile_rows,
                     &self.hw,
+                    self.kv_element_bytes,
                 ) {
                 Some(DecodeRejectReason::InfeasibleSession)
             } else if self
@@ -957,7 +967,7 @@ impl EngineRun<'_> {
                     // The prompt is resident from admission; each joined
                     // step adds one token below.
                     session.used_bytes =
-                        session.spec.prompt_len as u64 * session.token_bytes(self.element_bytes);
+                        session.spec.prompt_len as u64 * session.token_bytes(self.kv_element_bytes);
                     self.kv_in_use += initial_bytes;
                     self.kv_used += session.used_bytes;
                     self.blocks_in_use += initial_blocks;
@@ -995,7 +1005,8 @@ impl EngineRun<'_> {
         );
         if let Some(deadline) = self.config.decode.step_deadline_s {
             let step = session.step_at(context_len);
-            if deadline < decode_step_lower_bound_s(&step, &self.hw) {
+            if deadline < decode_step_lower_bound_s_with_kv(&step, &self.hw, self.kv_element_bytes)
+            {
                 session.rejected_steps += 1;
                 // A session whose every remaining step is screened out
                 // must still release its KV residency.
@@ -1022,7 +1033,7 @@ impl EngineRun<'_> {
             let needed = SessionState::blocks_at(context_len, bt);
             if needed > session.charged_blocks {
                 let delta_blocks = needed - session.charged_blocks;
-                let delta_bytes = delta_blocks * session.block_bytes(bt, self.element_bytes);
+                let delta_bytes = delta_blocks * session.block_bytes(bt, self.kv_element_bytes);
                 if self
                     .kv_in_use
                     .saturating_add(self.prefill_charged)
@@ -1057,7 +1068,7 @@ impl EngineRun<'_> {
         }
         session.pending_steps += 1;
         // The step's token becomes resident context.
-        let token = session.token_bytes(self.element_bytes);
+        let token = session.token_bytes(self.kv_element_bytes);
         session.used_bytes += token;
         self.kv_used += token;
         note_kv_peak(
@@ -1244,7 +1255,7 @@ impl EngineRun<'_> {
                 .with_kv_heads(decode_key.kv_heads)
             })
             .collect();
-        let service_s = launch_service_s(&steps, &self.hw);
+        let service_s = launch_service_s_with_kv(&steps, &self.hw, self.kv_element_bytes);
         let device = self.earliest_free_device();
         let start_s = self.free_at[device].max(ready_s);
         let completion_s = start_s + service_s;

@@ -152,13 +152,15 @@ pub use cache::{
     hardware_fingerprint, planning_fingerprint, CacheError, CacheKey, CachedPlan, ScheduleCache,
 };
 pub use decode::{
-    decode_step_lower_bound_s, launch_service_s, DecodePolicy, DecodeRejectReason, DecodeReport,
-    DecodeRuntime, DecodeStepOutcome, RejectedDecodeStep,
+    decode_step_lower_bound_s, decode_step_lower_bound_s_with_kv, launch_service_s,
+    launch_service_s_with_kv, DecodePolicy, DecodeRejectReason, DecodeReport, DecodeRuntime,
+    DecodeStepOutcome, RejectedDecodeStep,
 };
 pub use engine::{
     DecodeStepItem, EngineConfig, EngineReport, SchedulePolicy, ServeEngine, WorkItem,
 };
 pub use key::{BatchKey, DecodeKey, LaunchKey, WorkClass};
+pub use mas_dataflow::KvDtype;
 pub use metrics::{percentile, LatencyStats, RejectedRequest, RequestOutcome, ServeReport};
 pub use queue::{AdmissionPolicy, RejectReason};
 pub use request::ServeRequest;

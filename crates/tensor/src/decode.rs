@@ -43,8 +43,16 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
+use crate::half::{f32_to_f16_bits_saturating, KvDtype};
 use crate::matmul::{axpy, dot};
+use crate::simd;
 use crate::tensor::Tensor;
+
+/// Tokens widened per scratch refill when sweeping an f16 cache: the stored
+/// `u16` rows are expanded to f32 in runs of this many tokens (the unit a
+/// device DMA engine would stream), bounding scratch at
+/// `2 × F16_TILE_TOKENS × embed` floats per decode call.
+pub const F16_TILE_TOKENS: usize = 64;
 
 /// Validates a grouped-query head configuration.
 ///
@@ -128,9 +136,7 @@ impl<'a> OnlineDecodeState<'a> {
                     0.0
                 };
                 self.denom *= correction;
-                for ov in self.o_row.iter_mut() {
-                    *ov *= correction;
-                }
+                simd::scale(correction, self.o_row);
                 self.row_max = score;
             }
             let w = (score - self.row_max).exp();
@@ -142,10 +148,7 @@ impl<'a> OnlineDecodeState<'a> {
     /// Normalizes the accumulator by the softmax denominator, finishing the
     /// sweep.
     pub fn finish(self) {
-        let inv = 1.0 / self.denom;
-        for ov in self.o_row.iter_mut() {
-            *ov *= inv;
-        }
+        simd::scale(1.0 / self.denom, self.o_row);
     }
 }
 
@@ -164,16 +167,26 @@ impl<'a> OnlineDecodeState<'a> {
 /// With [`KvCache::grouped`] the cache stores `kv_heads < heads` shared
 /// K/V heads; [`KvCache::append`] then takes `kv_heads · embed`-wide rows
 /// while [`decode_attention`] still takes `heads · embed`-wide queries.
+///
+/// Storage precision is selectable with [`KvCache::with_dtype`]: under
+/// [`KvDtype::F16`] rows live in the `u16` arenas as binary16 bits (written
+/// through [`f32_to_f16_bits_saturating`], 2 bytes/element) and the decode
+/// sweep widens them back to f32 in [`F16_TILE_TOKENS`]-token runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KvCache {
     heads: usize,
     kv_heads: usize,
     embed: usize,
     capacity_tokens: Option<usize>,
-    /// Per-KV-head contiguous `len × embed` key rows.
+    dtype: KvDtype,
+    /// Per-KV-head contiguous `len × embed` key rows (`F32` storage).
     k: Vec<Vec<f32>>,
-    /// Per-KV-head contiguous `len × embed` value rows.
+    /// Per-KV-head contiguous `len × embed` value rows (`F32` storage).
     v: Vec<Vec<f32>>,
+    /// Per-KV-head contiguous key rows as binary16 bits (`F16` storage).
+    k16: Vec<Vec<u16>>,
+    /// Per-KV-head contiguous value rows as binary16 bits (`F16` storage).
+    v16: Vec<Vec<u16>>,
     appended_tokens: usize,
     evicted_tokens: usize,
 }
@@ -196,8 +209,11 @@ impl KvCache {
             kv_heads: heads,
             embed,
             capacity_tokens: None,
+            dtype: KvDtype::F32,
             k: vec![Vec::new(); heads],
             v: vec![Vec::new(); heads],
+            k16: vec![Vec::new(); heads],
+            v16: vec![Vec::new(); heads],
             appended_tokens: 0,
             evicted_tokens: 0,
         }
@@ -225,6 +241,8 @@ impl KvCache {
             kv_heads,
             k: vec![Vec::new(); kv_heads],
             v: vec![Vec::new(); kv_heads],
+            k16: vec![Vec::new(); kv_heads],
+            v16: vec![Vec::new(); kv_heads],
             ..Self::new(heads, embed)
         })
     }
@@ -251,6 +269,28 @@ impl KvCache {
         assert!(capacity_tokens > 0, "KV cache capacity must be non-zero");
         self.capacity_tokens = Some(capacity_tokens);
         self
+    }
+
+    /// Selects the storage precision of the (still empty) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token has already been appended — storage cannot be
+    /// re-typed in flight.
+    #[must_use]
+    pub fn with_dtype(mut self, dtype: KvDtype) -> Self {
+        assert!(
+            self.appended_tokens == 0,
+            "KV storage dtype must be chosen before the first append"
+        );
+        self.dtype = dtype;
+        self
+    }
+
+    /// The storage precision of the cached rows.
+    #[must_use]
+    pub fn dtype(&self) -> KvDtype {
+        self.dtype
     }
 
     /// Number of query heads served by the cache.
@@ -286,13 +326,19 @@ impl KvCache {
     /// Number of tokens currently resident.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.k[0].len() / self.embed
+        match self.dtype {
+            KvDtype::F32 => self.k[0].len() / self.embed,
+            KvDtype::F16 => self.k16[0].len() / self.embed,
+        }
     }
 
     /// Whether no tokens are cached yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.k[0].is_empty()
+        match self.dtype {
+            KvDtype::F32 => self.k[0].is_empty(),
+            KvDtype::F16 => self.k16[0].is_empty(),
+        }
     }
 
     /// Total tokens ever appended (resident plus evicted).
@@ -316,6 +362,15 @@ impl KvCache {
         2 * self.kv_heads * self.len() * self.embed * element_bytes
     }
 
+    /// Bytes of resident `K` plus `V` rows at the cache's *own* storage
+    /// precision — [`KvCache::kv_bytes`] with
+    /// [`KvDtype::element_bytes`](KvDtype::element_bytes): exactly half under
+    /// [`KvDtype::F16`].
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.kv_bytes(self.dtype.element_bytes())
+    }
+
     /// Appends one token: `k_step` and `v_step` hold the new row for every
     /// *KV* head, concatenated head-major (`kv_heads × embed` values each).
     /// Evicts the oldest token first when the sliding window is full.
@@ -337,15 +392,33 @@ impl KvCache {
         if let Some(capacity) = self.capacity_tokens {
             if self.len() == capacity {
                 for h in 0..self.kv_heads {
-                    self.k[h].drain(..self.embed);
-                    self.v[h].drain(..self.embed);
+                    match self.dtype {
+                        KvDtype::F32 => {
+                            self.k[h].drain(..self.embed);
+                            self.v[h].drain(..self.embed);
+                        }
+                        KvDtype::F16 => {
+                            self.k16[h].drain(..self.embed);
+                            self.v16[h].drain(..self.embed);
+                        }
+                    }
                 }
                 self.evicted_tokens += 1;
             }
         }
         for h in 0..self.kv_heads {
-            self.k[h].extend_from_slice(&k_step[h * self.embed..(h + 1) * self.embed]);
-            self.v[h].extend_from_slice(&v_step[h * self.embed..(h + 1) * self.embed]);
+            let k_row = &k_step[h * self.embed..(h + 1) * self.embed];
+            let v_row = &v_step[h * self.embed..(h + 1) * self.embed];
+            match self.dtype {
+                KvDtype::F32 => {
+                    self.k[h].extend_from_slice(k_row);
+                    self.v[h].extend_from_slice(v_row);
+                }
+                KvDtype::F16 => {
+                    self.k16[h].extend(k_row.iter().map(|&x| f32_to_f16_bits_saturating(x)));
+                    self.v16[h].extend(v_row.iter().map(|&x| f32_to_f16_bits_saturating(x)));
+                }
+            }
         }
         self.appended_tokens += 1;
         Ok(())
@@ -355,9 +428,11 @@ impl KvCache {
     ///
     /// # Panics
     ///
-    /// Panics if `h` is out of range (`0..kv_heads`).
+    /// Panics if `h` is out of range (`0..kv_heads`) or the cache stores
+    /// [`KvDtype::F16`] (use [`KvCache::key_bits`]).
     #[must_use]
     pub fn key_rows(&self, h: usize) -> &[f32] {
+        assert_eq!(self.dtype, KvDtype::F32, "f16 caches expose key_bits");
         &self.k[h]
     }
 
@@ -366,10 +441,61 @@ impl KvCache {
     ///
     /// # Panics
     ///
-    /// Panics if `h` is out of range (`0..kv_heads`).
+    /// Panics if `h` is out of range (`0..kv_heads`) or the cache stores
+    /// [`KvDtype::F16`] (use [`KvCache::value_bits`]).
     #[must_use]
     pub fn value_rows(&self, h: usize) -> &[f32] {
+        assert_eq!(self.dtype, KvDtype::F32, "f16 caches expose value_bits");
         &self.v[h]
+    }
+
+    /// The contiguous `len × embed` key rows of KV head `h` as binary16 bits
+    /// (oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range (`0..kv_heads`) or the cache stores
+    /// [`KvDtype::F32`] (use [`KvCache::key_rows`]).
+    #[must_use]
+    pub fn key_bits(&self, h: usize) -> &[u16] {
+        assert_eq!(self.dtype, KvDtype::F16, "f32 caches expose key_rows");
+        &self.k16[h]
+    }
+
+    /// The contiguous `len × embed` value rows of KV head `h` as binary16
+    /// bits (oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range (`0..kv_heads`) or the cache stores
+    /// [`KvDtype::F32`] (use [`KvCache::value_rows`]).
+    #[must_use]
+    pub fn value_bits(&self, h: usize) -> &[u16] {
+        assert_eq!(self.dtype, KvDtype::F16, "f32 caches expose value_rows");
+        &self.v16[h]
+    }
+}
+
+/// Drives `state` over an f16 row arena by widening [`F16_TILE_TOKENS`]-token
+/// runs into the borrowed scratch tiles. Shared by the contiguous and paged
+/// decode sweeps, so both visit identical f32 row sequences.
+pub(crate) fn sweep_f16_rows(
+    state: &mut OnlineDecodeState<'_>,
+    key_bits: &[u16],
+    val_bits: &[u16],
+    k_tile: &mut [f32],
+    v_tile: &mut [f32],
+) {
+    let tile = k_tile.len();
+    debug_assert_eq!(key_bits.len(), val_bits.len());
+    let mut off = 0;
+    while off < key_bits.len() {
+        let end = (off + tile).min(key_bits.len());
+        let n = end - off;
+        simd::f16_to_f32_slice(&key_bits[off..end], &mut k_tile[..n]);
+        simd::f16_to_f32_slice(&val_bits[off..end], &mut v_tile[..n]);
+        state.update(&k_tile[..n], &v_tile[..n]);
+        off = end;
     }
 }
 
@@ -409,12 +535,28 @@ pub fn decode_attention(cache: &KvCache, q_step: &[f32], out: &mut [f32]) -> Res
         return Err(TensorError::ZeroDimension { dim: "kv_cache" });
     }
     let group = cache.group_size();
+    let mut scratch = match cache.dtype() {
+        KvDtype::F32 => Vec::new(),
+        KvDtype::F16 => vec![0.0f32; 2 * F16_TILE_TOKENS * embed],
+    };
     for h in 0..heads {
         let q_row = &q_step[h * embed..(h + 1) * embed];
         let o_row = &mut out[h * embed..(h + 1) * embed];
         let kv_h = h / group;
         let mut state = OnlineDecodeState::new(q_row, o_row);
-        state.update(cache.key_rows(kv_h), cache.value_rows(kv_h));
+        match cache.dtype() {
+            KvDtype::F32 => state.update(cache.key_rows(kv_h), cache.value_rows(kv_h)),
+            KvDtype::F16 => {
+                let (k_tile, v_tile) = scratch.split_at_mut(F16_TILE_TOKENS * embed);
+                sweep_f16_rows(
+                    &mut state,
+                    cache.key_bits(kv_h),
+                    cache.value_bits(kv_h),
+                    k_tile,
+                    v_tile,
+                );
+            }
+        }
         state.finish();
     }
     Ok(())
@@ -605,6 +747,92 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn f16_cache_charges_exactly_half_the_storage_bytes() {
+        let mut f32c = KvCache::new(2, 4);
+        let mut f16c = KvCache::new(2, 4).with_dtype(KvDtype::F16);
+        for _ in 0..3 {
+            f32c.append(&[1.5; 8], &[2.5; 8]).unwrap();
+            f16c.append(&[1.5; 8], &[2.5; 8]).unwrap();
+        }
+        assert_eq!(f32c.dtype(), KvDtype::F32);
+        assert_eq!(f16c.dtype(), KvDtype::F16);
+        assert_eq!(f16c.len(), f32c.len());
+        assert_eq!(f32c.storage_bytes(), f32c.kv_bytes(4));
+        assert_eq!(f16c.storage_bytes() * 2, f32c.storage_bytes());
+        assert_eq!(f16c.key_bits(0).len(), 12);
+    }
+
+    #[test]
+    fn f16_decode_tracks_f32_decode_across_tile_boundaries() {
+        // Context longer than one widening tile so the sweep crosses a
+        // scratch-refill boundary; the tiling must not change results.
+        let (heads, embed, t) = (2, 8, F16_TILE_TOKENS + 17);
+        let (q, k, v) = random_qkv(1, heads, t, embed, 41);
+        let mut full = KvCache::new(heads, embed);
+        let mut half = KvCache::new(heads, embed).with_dtype(KvDtype::F16);
+        let gather = |src: &crate::Tensor, r: usize| -> Vec<f32> {
+            (0..heads).flat_map(|h| src.row(0, h, r).to_vec()).collect()
+        };
+        for i in 0..t {
+            full.append(&gather(&k, i), &gather(&v, i)).unwrap();
+            half.append(&gather(&k, i), &gather(&v, i)).unwrap();
+            let q_step = gather(&q, i);
+            let mut out_full = vec![0.0f32; heads * embed];
+            let mut out_half = vec![0.0f32; heads * embed];
+            decode_attention(&full, &q_step, &mut out_full).unwrap();
+            decode_attention(&half, &q_step, &mut out_half).unwrap();
+            for (c, (a, b)) in out_full.iter().zip(&out_half).enumerate() {
+                assert!(
+                    (a - b).abs() <= 5e-3 * a.abs().max(1.0),
+                    "step {i} col {c}: f32 {a} vs f16 {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f16_store_saturates_large_logits_instead_of_poisoning_softmax() {
+        // A key row whose dot with the query would be huge: stored as f16
+        // it must clamp to ±F16_MAX, not round to inf (which would make
+        // every later softmax inf - inf = NaN).
+        let mut cache = KvCache::new(1, 4).with_dtype(KvDtype::F16);
+        cache.append(&[1e6; 4], &[1.0; 4]).unwrap();
+        cache.append(&[0.5; 4], &[2.0; 4]).unwrap();
+        assert!(cache
+            .key_bits(0)
+            .iter()
+            .all(|&b| crate::half::f16_bits_to_f32(b).is_finite()));
+        let mut out = [0.0f32; 4];
+        decode_attention(&cache, &[1.0; 4], &mut out).unwrap();
+        assert!(out.iter().all(|v| v.is_finite()), "out {out:?}");
+    }
+
+    #[test]
+    fn f16_sliding_window_evicts_oldest_rows() {
+        let mut cache = KvCache::with_capacity(1, 2, 2).with_dtype(KvDtype::F16);
+        for t in 0..4 {
+            let row = [t as f32, t as f32];
+            cache.append(&row, &row).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evicted_tokens(), 2);
+        let resident: Vec<f32> = cache
+            .key_bits(0)
+            .iter()
+            .map(|&b| crate::half::f16_bits_to_f32(b))
+            .collect();
+        assert_eq!(resident, vec![2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first append")]
+    fn retyping_a_nonempty_cache_panics() {
+        let mut cache = KvCache::new(1, 2);
+        cache.append(&[1.0; 2], &[1.0; 2]).unwrap();
+        let _ = cache.with_dtype(KvDtype::F16);
     }
 
     #[test]

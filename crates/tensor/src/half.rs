@@ -11,6 +11,62 @@
 //! in hardware.
 
 use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Element type used for KV-cache *storage* (as opposed to the f32 compute
+/// type every kernel consumes).
+///
+/// With [`F16`](KvDtype::F16) the contiguous and paged caches store K/V rows
+/// as raw binary16 bit patterns (`u16`), written through the saturating
+/// converter [`f32_to_f16_bits_saturating`] and expanded back to f32 per row
+/// tile inside the decode sweep — the same place a device DMA engine would
+/// widen the stream. This halves the resident KV bytes and the decode-step
+/// DRAM traffic relative to [`F32`](KvDtype::F32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum KvDtype {
+    /// Full-precision storage: K/V rows are kept as `f32` (4 bytes/element).
+    #[default]
+    F32,
+    /// Half-precision storage: K/V rows are kept as binary16 bits
+    /// (2 bytes/element) and widened to f32 on load.
+    F16,
+}
+
+impl KvDtype {
+    /// Bytes per stored KV element (4 for f32, 2 for f16).
+    #[must_use]
+    pub const fn element_bytes(self) -> usize {
+        match self {
+            KvDtype::F32 => 4,
+            KvDtype::F16 => 2,
+        }
+    }
+
+    /// Lower-case display name (`"f32"` / `"f16"`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            KvDtype::F32 => "f32",
+            KvDtype::F16 => "f16",
+        }
+    }
+
+    /// Parses a case-insensitive dtype name as accepted by the CLI bins.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" | "fp32" => Some(KvDtype::F32),
+            "f16" | "fp16" | "half" => Some(KvDtype::F16),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KvDtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Converts an `f32` to its nearest IEEE-754 binary16 bit pattern
 /// (round-to-nearest-even).
@@ -75,6 +131,30 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
         }
     }
     sign | (half_exp << 10) | half_mant
+}
+
+/// Converts an `f32` to binary16 bits, saturating finite overflow to
+/// ±[`F16_MAX`] (`0x7bff` / `0xfbff`) instead of rounding to infinity.
+///
+/// [`f32_to_f16_bits`] follows IEEE round-to-nearest-even, under which any
+/// finite magnitude ≥ 65520 becomes ±infinity. That is correct for activation
+/// quantization, but fatal for KV storage: one outsized logit row stored as
+/// `inf` turns the softmax of every later decode step that attends to it into
+/// `inf - inf = NaN`, poisoning the whole session. KV writes therefore clamp
+/// finite values into the representable range and only pass through genuine
+/// infinities and NaNs (which were already poisoned upstream).
+#[must_use]
+pub fn f32_to_f16_bits_saturating(value: f32) -> u16 {
+    if value.is_infinite() || value.is_nan() {
+        return f32_to_f16_bits(value);
+    }
+    if value > F16_MAX {
+        return 0x7bff;
+    }
+    if value < -F16_MAX {
+        return 0xfbff;
+    }
+    f32_to_f16_bits(value)
 }
 
 /// Converts an IEEE-754 binary16 bit pattern back to `f32`.
@@ -201,5 +281,86 @@ mod tests {
         let q2 = quantize_tensor_f16(&q1);
         assert_eq!(q1.shape(), t.shape());
         assert_eq!(q1, q2, "f16 quantization must be idempotent");
+    }
+
+    #[test]
+    fn saturating_conversion_clamps_finite_overflow_to_f16_max() {
+        // Regression: the rounding converter sends these to ±inf, which would
+        // poison softmax for every step attending to the stored row.
+        for v in [65520.0f32, 1e6, 3.4e38, f32::MAX] {
+            assert_eq!(f32_to_f16_bits_saturating(v), 0x7bff, "v={v}");
+            assert_eq!(f32_to_f16_bits_saturating(-v), 0xfbff, "v=-{v}");
+            assert!(f16_bits_to_f32(f32_to_f16_bits(v)).is_infinite());
+        }
+        assert_eq!(f16_bits_to_f32(0x7bff), F16_MAX);
+        // In-range values and specials are untouched.
+        for v in [0.0f32, -0.5, 1.0, 2048.0, F16_MAX, -F16_MAX] {
+            assert_eq!(f32_to_f16_bits_saturating(v), f32_to_f16_bits(v));
+        }
+        assert_eq!(f32_to_f16_bits_saturating(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits_saturating(f32::NEG_INFINITY), 0xfc00);
+        assert!(f16_bits_to_f32(f32_to_f16_bits_saturating(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn all_65536_bit_patterns_round_trip() {
+        for bits in 0..=u16::MAX {
+            let f = f16_bits_to_f32(bits);
+            let exp = (bits >> 10) & 0x1f;
+            let mant = bits & 0x03ff;
+            if exp == 0x1f && mant != 0 {
+                // NaN payloads collapse to the canonical quiet NaN but must
+                // stay NaN with the sign preserved.
+                assert!(f.is_nan(), "bits {bits:#06x} must decode to NaN");
+                let back = f32_to_f16_bits(f);
+                assert_eq!(back, (bits & 0x8000) | 0x7e00, "bits {bits:#06x}");
+                assert_eq!(f32_to_f16_bits_saturating(f), back);
+            } else {
+                // Every non-NaN pattern (zeros, subnormals, normals,
+                // infinities) is exactly representable: identity round trip.
+                assert_eq!(f32_to_f16_bits(f), bits, "bits {bits:#06x} f={f}");
+                assert_eq!(
+                    f32_to_f16_bits_saturating(f),
+                    bits,
+                    "bits {bits:#06x} f={f}"
+                );
+            }
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4096))]
+
+            #[test]
+            fn round_to_f16_relative_error_within_2_pow_neg_11(
+                mant in 0u32..(1 << 24),
+                exp in 0u32..30,
+                sign in 0u32..2,
+            ) {
+                // A float with uniform significand in [1, 2) and an exponent
+                // spanning the whole f16 normal range 2^-14 ..= 2^15.
+                let frac = 1.0 + mant as f32 / (1u32 << 24) as f32;
+                let v = if sign == 0 { frac } else { -frac }
+                    * 2.0f32.powi(exp as i32 - 14);
+                // binary16 keeps 11 significand bits: round-to-nearest-even
+                // guarantees relative error <= 2^-11. In the top binade the
+                // rounding converter overflows to inf above 65504 + half an
+                // ulp, so the saturating converter (the KV store path) takes
+                // over; its clamp to ±F16_MAX stays within the same bound for
+                // every magnitude below 2^16.
+                let r = f16_bits_to_f32(f32_to_f16_bits_saturating(v));
+                prop_assert!(r.is_finite());
+                prop_assert!(((r - v) / v).abs() <= 1.0 / 2048.0, "v={v} r={r}");
+                if v.abs() < 32768.0 {
+                    let r = round_to_f16(v);
+                    prop_assert!(r.is_finite());
+                    prop_assert!(((r - v) / v).abs() <= 1.0 / 2048.0, "v={v} r={r}");
+                }
+            }
+        }
     }
 }

@@ -39,6 +39,23 @@
 //! arithmetic with an `f16` *storage* emulation ([`half`]) for footprint
 //! analyses.
 //!
+//! ## f16 KV storage layout
+//!
+//! Compute is always `f32`; KV-cache *storage* is selectable per cache via
+//! [`half::KvDtype`]. Under `KvDtype::F16` both the contiguous
+//! [`decode::KvCache`] and the paged [`paged::KvBlockPool`] keep their K/V
+//! rows as raw binary16 bit patterns (`u16`, same `kv_heads × tokens × embed`
+//! row-major layout as the `f32` arenas — 2 bytes per element instead of 4).
+//! Rows are written through the saturating converter
+//! [`half::f32_to_f16_bits_saturating`] (finite overflow clamps to
+//! ±[`half::F16_MAX`] so one outsized logit cannot poison a session's softmax
+//! with `inf`) and widened back to `f32` a row tile at a time inside the
+//! decode sweep via [`simd::f16_to_f32_slice`] — the point where a device DMA
+//! engine would expand the stream. Storage accounting (`kv_bytes`,
+//! `block_bytes`, the serve engine's budget charging) scales by
+//! `KvDtype::element_bytes`, so f16 sessions charge exactly half the bytes of
+//! f32 ones.
+//!
 //! ## Slice-view invariants
 //!
 //! All kernels are built on contiguous views of the row-major
@@ -55,13 +72,17 @@
 //! 3. **Kernels never index per element on the hot path.** Inner loops are
 //!    dot products ([`matmul::dot`]), AXPY updates ([`matmul::axpy`]) and
 //!    single-row softmax passes ([`softmax::softmax_row`]) over `&[f32]`,
-//!    which bounds-check once per row and autovectorize. The scalar
-//!    element accessors (`get`/`set`) remain for tests and one-off edits.
-//! 4. **Accumulation order is fixed but not left-to-right.** [`matmul::dot`]
-//!    uses a fixed number of independent accumulator lanes, so results are
-//!    deterministic run-to-run yet may differ from a scalar sum by `f32`
-//!    rounding; golden checks compare against [`golden::Tolerance`], never
-//!    bit equality.
+//!    which bounds-check once per row and run on the explicitly vectorized
+//!    [`simd`] kernels. The scalar element accessors (`get`/`set`) remain
+//!    for tests and one-off edits.
+//! 4. **Accumulation order is fixed but not left-to-right.** Reductions
+//!    follow the explicit 8-lane contract of the [`simd`] module (eight
+//!    independent accumulator lanes, scalar tail, fixed lane-reduction
+//!    order), so results are deterministic run-to-run *and* bit-identical
+//!    between the runtime-dispatched SIMD backends and the scalar fallback —
+//!    yet may differ from a strict left-to-right sum by `f32` rounding;
+//!    golden checks compare against [`golden::Tolerance`], never bit
+//!    equality.
 //!
 //! ## Example
 //!
@@ -87,6 +108,7 @@ pub mod init;
 pub mod matmul;
 pub mod paged;
 pub mod shape;
+pub mod simd;
 pub mod softmax;
 pub mod tensor;
 pub mod tiled;

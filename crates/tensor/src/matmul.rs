@@ -14,29 +14,28 @@
 //! ## Kernel structure
 //!
 //! The inner loops run on contiguous row slices (see [`Tensor::row`]): the NT
-//! form reduces to row·row dot products ([`dot`]) and the NN form to
-//! rank-1 AXPY updates ([`axpy`]) in `ikj` order, both of which LLVM
-//! autovectorizes. The `(batch, head)` slices are independent and fan out
-//! across threads with rayon. The pre-slice scalar implementations are
-//! retained under `#[cfg(test)]` as oracles (see `naive` in the test module)
-//! and the equivalence tests in this file pin the kernels to them.
+//! form reduces to batched row·row dot products ([`crate::simd::dot_many`])
+//! and the NN form to rank-1 AXPY updates ([`axpy`]) in `ikj` order, both
+//! executed by the runtime-dispatched [`crate::simd`] kernels. The
+//! `(batch, head)` slices are independent and fan out across threads with
+//! rayon. The pre-slice scalar implementations are retained under
+//! `#[cfg(test)]` as oracles (see `naive` in the test module) and the
+//! equivalence tests in this file pin the kernels to them.
 
 use rayon::prelude::*;
 
 use crate::error::{Result, TensorError};
 use crate::shape::Shape;
+use crate::simd;
 use crate::tensor::Tensor;
 
-/// Number of parallel accumulator lanes in [`dot`]. Eight `f32` lanes fill a
-/// 256-bit vector register; narrower targets split them into two 128-bit ops.
-const DOT_LANES: usize = 8;
-
-/// Dot product of two equal-length slices using [`DOT_LANES`] independent
-/// accumulators so the compiler can vectorize the reduction.
+/// Dot product of two equal-length slices using [`simd::LANES`] independent
+/// accumulators, dispatched to the runtime-selected SIMD backend (see
+/// [`crate::simd`] for the accumulation-order contract).
 ///
 /// The accumulation order differs from a strict left-to-right sum, so results
 /// may differ from a scalar loop by normal `f32` rounding (well inside the
-/// golden-check tolerances).
+/// golden-check tolerances) — but SIMD and scalar backends are bit-identical.
 ///
 /// # Panics
 ///
@@ -44,47 +43,31 @@ const DOT_LANES: usize = 8;
 #[must_use]
 #[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
-    assert_eq!(x.len(), y.len(), "dot operands must have equal length");
-    let split = x.len() - x.len() % DOT_LANES;
-    let mut lanes = [0.0f32; DOT_LANES];
-    for (xv, yv) in x[..split]
-        .chunks_exact(DOT_LANES)
-        .zip(y[..split].chunks_exact(DOT_LANES))
-    {
-        for l in 0..DOT_LANES {
-            lanes[l] += xv[l] * yv[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (a, b) in x[split..].iter().zip(&y[split..]) {
-        tail += a * b;
-    }
-    lanes.iter().sum::<f32>() + tail
+    simd::dot(x, y)
 }
 
 /// `out += a * x` over equal-length slices (the AXPY update of the `ikj`
-/// matmul order); the inner loop is a pure elementwise FMA that vectorizes.
+/// matmul order), dispatched to the runtime-selected SIMD backend.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(a: f32, x: &[f32], out: &mut [f32]) {
-    assert_eq!(x.len(), out.len(), "axpy operands must have equal length");
-    for (o, &v) in out.iter_mut().zip(x) {
-        *o += a * v;
-    }
+    simd::axpy(a, x, out);
 }
 
 /// Slice-level NT kernel: `c[m × n] = a[m × k] · b[n × k]ᵀ`, row-major.
+///
+/// The `n` output dots of one `a` row run as one [`simd::dot_many`] batch:
+/// the rows of `b` are contiguous at stride `k`, so the batch shares every
+/// load of the `a` row across several independent accumulators.
 #[inline]
 pub(crate) fn matmul_nt_slice(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            *cv = dot(a_row, &b[j * k..(j + 1) * k]);
-        }
+        simd::dot_many(a_row, &b[..n * k], c_row);
     }
 }
 

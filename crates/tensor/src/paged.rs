@@ -53,8 +53,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
-use crate::decode::{check_head_grouping, OnlineDecodeState};
+use crate::decode::{check_head_grouping, sweep_f16_rows, OnlineDecodeState, F16_TILE_TOKENS};
 use crate::error::{Result, TensorError};
+use crate::half::{f32_to_f16_bits_saturating, KvDtype};
 
 /// Source of unique pool identity tokens: block ids are raw arena indices,
 /// so a cache must never be used with a pool other than the one that
@@ -94,11 +95,22 @@ pub struct KvBlockPool {
     kv_heads: usize,
     embed: usize,
     max_blocks: Option<usize>,
+    /// Storage dtype of the arenas. Exactly one pair of arenas (`k`/`v` for
+    /// [`KvDtype::F32`], `k16`/`v16` for [`KvDtype::F16`]) is populated.
+    #[serde(default)]
+    dtype: KvDtype,
     /// Arena of key rows: `total_blocks × kv_heads × block_tokens × embed`,
     /// block-major then head-major (invariant 2 of the module docs).
     k: Vec<f32>,
     /// Arena of value rows, same layout as `k`.
     v: Vec<f32>,
+    /// f16 key arena (same layout as `k`, one `u16` of f16 bits per
+    /// element); used instead of `k` under [`KvDtype::F16`].
+    #[serde(default)]
+    k16: Vec<u16>,
+    /// f16 value arena, same layout as `k16`.
+    #[serde(default)]
+    v16: Vec<u16>,
     /// Indices of freed blocks, reused LIFO.
     free: Vec<usize>,
     live: usize,
@@ -125,8 +137,11 @@ impl KvBlockPool {
             kv_heads,
             embed,
             max_blocks: None,
+            dtype: KvDtype::F32,
             k: Vec::new(),
             v: Vec::new(),
+            k16: Vec::new(),
+            v16: Vec::new(),
             free: Vec::new(),
             live: 0,
             peak_live: 0,
@@ -139,6 +154,33 @@ impl KvBlockPool {
     pub fn with_max_blocks(mut self, max_blocks: usize) -> Self {
         self.max_blocks = Some(max_blocks);
         self
+    }
+
+    /// Selects the storage dtype of the pool's arenas. Under
+    /// [`KvDtype::F16`] each written element is converted with the
+    /// saturating f16 store
+    /// ([`f32_to_f16_bits_saturating`](crate::half::f32_to_f16_bits_saturating))
+    /// and blocks charge half the bytes of f32 blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has already created blocks: the storage dtype must
+    /// be chosen before the first allocation.
+    #[must_use]
+    pub fn with_dtype(mut self, dtype: KvDtype) -> Self {
+        assert_eq!(
+            self.total_blocks(),
+            0,
+            "KV storage dtype must be chosen before the first block allocation"
+        );
+        self.dtype = dtype;
+        self
+    }
+
+    /// Storage dtype of the pool's arenas.
+    #[must_use]
+    pub fn dtype(&self) -> KvDtype {
+        self.dtype
     }
 
     /// Tokens per block.
@@ -173,10 +215,13 @@ impl KvBlockPool {
     #[must_use]
     pub fn total_blocks(&self) -> usize {
         if self.block_stride() == 0 {
-            0
-        } else {
-            self.k.len() / self.block_stride()
+            return 0;
         }
+        let elements = match self.dtype {
+            KvDtype::F32 => self.k.len(),
+            KvDtype::F16 => self.k16.len(),
+        };
+        elements / self.block_stride()
     }
 
     /// Blocks currently allocated to caches.
@@ -210,6 +255,20 @@ impl KvBlockPool {
         self.live * self.block_bytes(element_bytes)
     }
 
+    /// `K` plus `V` bytes of one block at the pool's own storage dtype
+    /// ([`KvBlockPool::block_bytes`] with
+    /// [`KvDtype::element_bytes`]) — exactly half under [`KvDtype::F16`].
+    #[must_use]
+    pub fn storage_block_bytes(&self) -> usize {
+        self.block_bytes(self.dtype.element_bytes())
+    }
+
+    /// Bytes of all live blocks at the pool's own storage dtype.
+    #[must_use]
+    pub fn live_storage_bytes(&self) -> usize {
+        self.live * self.storage_block_bytes()
+    }
+
     /// Allocates one block, reusing the most recently freed block if any,
     /// growing the arena otherwise. The block's contents are zeroed.
     ///
@@ -220,8 +279,16 @@ impl KvBlockPool {
     pub fn alloc(&mut self) -> Result<BlockId> {
         let id = if let Some(reused) = self.free.pop() {
             let stride = self.block_stride();
-            self.k[reused * stride..(reused + 1) * stride].fill(0.0);
-            self.v[reused * stride..(reused + 1) * stride].fill(0.0);
+            match self.dtype {
+                KvDtype::F32 => {
+                    self.k[reused * stride..(reused + 1) * stride].fill(0.0);
+                    self.v[reused * stride..(reused + 1) * stride].fill(0.0);
+                }
+                KvDtype::F16 => {
+                    self.k16[reused * stride..(reused + 1) * stride].fill(0);
+                    self.v16[reused * stride..(reused + 1) * stride].fill(0);
+                }
+            }
             reused
         } else {
             if let Some(max) = self.max_blocks {
@@ -233,8 +300,16 @@ impl KvBlockPool {
             }
             let id = self.total_blocks();
             let stride = self.block_stride();
-            self.k.resize(self.k.len() + stride, 0.0);
-            self.v.resize(self.v.len() + stride, 0.0);
+            match self.dtype {
+                KvDtype::F32 => {
+                    self.k.resize(self.k.len() + stride, 0.0);
+                    self.v.resize(self.v.len() + stride, 0.0);
+                }
+                KvDtype::F16 => {
+                    self.k16.resize(self.k16.len() + stride, 0);
+                    self.v16.resize(self.v16.len() + stride, 0);
+                }
+            }
             id
         };
         self.live += 1;
@@ -259,29 +334,84 @@ impl KvBlockPool {
 
     /// The contiguous key rows `[slot_start, slot_end)` of KV head `h` in
     /// block `id` (each row `embed` wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the pool stores [`KvDtype::F32`]; use
+    /// [`KvBlockPool::key_bits`] for f16 pools.
     #[must_use]
     pub fn key_rows(&self, id: BlockId, h: usize, slot_start: usize, slot_end: usize) -> &[f32] {
+        assert_eq!(self.dtype, KvDtype::F32, "key_rows requires an f32 pool");
         let base = id.0 * self.block_stride() + h * self.head_stride();
         &self.k[base + slot_start * self.embed..base + slot_end * self.embed]
     }
 
     /// The contiguous value rows `[slot_start, slot_end)` of KV head `h` in
     /// block `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the pool stores [`KvDtype::F32`]; use
+    /// [`KvBlockPool::value_bits`] for f16 pools.
     #[must_use]
     pub fn value_rows(&self, id: BlockId, h: usize, slot_start: usize, slot_end: usize) -> &[f32] {
+        assert_eq!(self.dtype, KvDtype::F32, "value_rows requires an f32 pool");
         let base = id.0 * self.block_stride() + h * self.head_stride();
         &self.v[base + slot_start * self.embed..base + slot_end * self.embed]
     }
 
+    /// The raw f16 bits of key rows `[slot_start, slot_end)` of KV head `h`
+    /// in block `id` (each row `embed` wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the pool stores [`KvDtype::F16`].
+    #[must_use]
+    pub fn key_bits(&self, id: BlockId, h: usize, slot_start: usize, slot_end: usize) -> &[u16] {
+        assert_eq!(self.dtype, KvDtype::F16, "key_bits requires an f16 pool");
+        let base = id.0 * self.block_stride() + h * self.head_stride();
+        &self.k16[base + slot_start * self.embed..base + slot_end * self.embed]
+    }
+
+    /// The raw f16 bits of value rows `[slot_start, slot_end)` of KV head
+    /// `h` in block `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the pool stores [`KvDtype::F16`].
+    #[must_use]
+    pub fn value_bits(&self, id: BlockId, h: usize, slot_start: usize, slot_end: usize) -> &[u16] {
+        assert_eq!(self.dtype, KvDtype::F16, "value_bits requires an f16 pool");
+        let base = id.0 * self.block_stride() + h * self.head_stride();
+        &self.v16[base + slot_start * self.embed..base + slot_end * self.embed]
+    }
+
     /// Writes one token's K/V rows (head-major, `kv_heads × embed` each)
-    /// into slot `slot` of block `id`.
+    /// into slot `slot` of block `id`, converting with the saturating f16
+    /// store when the pool holds [`KvDtype::F16`].
     fn write_token(&mut self, id: BlockId, slot: usize, k_step: &[f32], v_step: &[f32]) {
         let (embed, head_stride, block_stride) =
             (self.embed, self.head_stride(), self.block_stride());
         for h in 0..self.kv_heads {
             let base = id.0 * block_stride + h * head_stride + slot * embed;
-            self.k[base..base + embed].copy_from_slice(&k_step[h * embed..(h + 1) * embed]);
-            self.v[base..base + embed].copy_from_slice(&v_step[h * embed..(h + 1) * embed]);
+            let (k_src, v_src) = (
+                &k_step[h * embed..(h + 1) * embed],
+                &v_step[h * embed..(h + 1) * embed],
+            );
+            match self.dtype {
+                KvDtype::F32 => {
+                    self.k[base..base + embed].copy_from_slice(k_src);
+                    self.v[base..base + embed].copy_from_slice(v_src);
+                }
+                KvDtype::F16 => {
+                    for (dst, &x) in self.k16[base..base + embed].iter_mut().zip(k_src) {
+                        *dst = f32_to_f16_bits_saturating(x);
+                    }
+                    for (dst, &x) in self.v16[base..base + embed].iter_mut().zip(v_src) {
+                        *dst = f32_to_f16_bits_saturating(x);
+                    }
+                }
+            }
         }
     }
 }
@@ -630,6 +760,13 @@ pub fn decode_attention_paged(
     let start = end - attended;
     let block_tokens = cache.block_tokens();
     let group = cache.group_size();
+    // f16 pools widen each slot run through the same fixed-size scratch
+    // tiles as the contiguous kernel (`sweep_f16_rows`), so paged and
+    // contiguous f16 decode visit identical f32 row sequences.
+    let mut scratch = match pool.dtype() {
+        KvDtype::F32 => Vec::new(),
+        KvDtype::F16 => vec![0.0f32; 2 * F16_TILE_TOKENS * embed],
+    };
     for h in 0..heads {
         let q_row = &q_step[h * embed..(h + 1) * embed];
         let o_row = &mut out[h * embed..(h + 1) * embed];
@@ -643,10 +780,22 @@ pub fn decode_attention_paged(
             let slot_start = token % block_tokens;
             let slot_end = (end - block_index * block_tokens).min(block_tokens);
             let id = cache.block_table()[block_index];
-            state.update(
-                pool.key_rows(id, kv_h, slot_start, slot_end),
-                pool.value_rows(id, kv_h, slot_start, slot_end),
-            );
+            match pool.dtype() {
+                KvDtype::F32 => state.update(
+                    pool.key_rows(id, kv_h, slot_start, slot_end),
+                    pool.value_rows(id, kv_h, slot_start, slot_end),
+                ),
+                KvDtype::F16 => {
+                    let (k_tile, v_tile) = scratch.split_at_mut(F16_TILE_TOKENS * embed);
+                    sweep_f16_rows(
+                        &mut state,
+                        pool.key_bits(id, kv_h, slot_start, slot_end),
+                        pool.value_bits(id, kv_h, slot_start, slot_end),
+                        k_tile,
+                        v_tile,
+                    );
+                }
+            }
             token = block_index * block_tokens + slot_end;
         }
         state.finish();
@@ -800,6 +949,69 @@ mod tests {
             }
             assert_eq!(paged.allocated_blocks(), t.div_ceil(block_tokens));
         }
+    }
+
+    #[test]
+    fn f16_paged_decode_is_bit_identical_to_f16_contiguous() {
+        // Paged slot runs and the contiguous sweep deliver rows to
+        // `sweep_f16_rows` in different tile groupings, but the online
+        // recurrence is a pure function of the visited row sequence — so
+        // the two f16 paths must agree bitwise, just like the f32 ones.
+        // `t` crosses F16_TILE_TOKENS to exercise contiguous tiling.
+        let (heads, embed, seed) = (3, 8, 41);
+        let t = F16_TILE_TOKENS + 9;
+        for block_tokens in [1usize, 7, 16, 64] {
+            let (q, k, v) = random_qkv(1, heads, t, embed, seed);
+            let mut contiguous = KvCache::new(heads, embed).with_dtype(KvDtype::F16);
+            let mut pool = KvBlockPool::new(block_tokens, heads, embed).with_dtype(KvDtype::F16);
+            let mut paged = PagedKvCache::new(heads, heads, embed, block_tokens).unwrap();
+            let mut out_c = vec![0.0f32; heads * embed];
+            let mut out_p = vec![0.0f32; heads * embed];
+            for i in 0..t {
+                let (ks, vs, qs) = (gather(&k, i), gather(&v, i), gather(&q, i));
+                contiguous.append(&ks, &vs).unwrap();
+                paged.append(&mut pool, &ks, &vs).unwrap();
+                decode_attention(&contiguous, &qs, &mut out_c).unwrap();
+                decode_attention_paged(&pool, &paged, &qs, &mut out_p).unwrap();
+                assert_eq!(out_c, out_p, "block {block_tokens} step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_pool_charges_exactly_half_the_block_bytes() {
+        let f32_pool = KvBlockPool::new(16, 2, 8);
+        let mut f16_pool = KvBlockPool::new(16, 2, 8).with_dtype(KvDtype::F16);
+        assert_eq!(f16_pool.dtype(), KvDtype::F16);
+        assert_eq!(
+            2 * f16_pool.storage_block_bytes(),
+            f32_pool.storage_block_bytes()
+        );
+        let _ = f16_pool.alloc().unwrap();
+        let _ = f16_pool.alloc().unwrap();
+        assert_eq!(
+            f16_pool.live_storage_bytes(),
+            2 * f16_pool.storage_block_bytes()
+        );
+    }
+
+    #[test]
+    fn reused_f16_blocks_come_back_zeroed() {
+        let mut pool = KvBlockPool::new(1, 1, 2).with_dtype(KvDtype::F16);
+        let mut cache = PagedKvCache::new(1, 1, 2, 1).unwrap();
+        cache.append(&mut pool, &[7.0, 7.0], &[7.0, 7.0]).unwrap();
+        cache.release(&mut pool);
+        let id = pool.alloc().unwrap();
+        assert_eq!(pool.key_bits(id, 0, 0, 1), &[0u16, 0u16]);
+        assert_eq!(pool.value_bits(id, 0, 0, 1), &[0u16, 0u16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first block allocation")]
+    fn retyping_a_nonempty_pool_panics() {
+        let mut pool = KvBlockPool::new(2, 1, 2);
+        let _ = pool.alloc().unwrap();
+        let _ = pool.with_dtype(KvDtype::F16);
     }
 
     #[test]

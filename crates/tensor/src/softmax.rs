@@ -18,18 +18,25 @@
 use rayon::prelude::*;
 
 use crate::error::{Result, TensorError};
+use crate::simd;
 use crate::tensor::Tensor;
 
-/// Maximum value of a slice (`-inf` when empty); the fold vectorizes.
+/// Maximum value of a slice (`-inf` when empty), dispatched to the
+/// runtime-selected SIMD backend.
 #[must_use]
 #[inline]
 pub fn slice_max(x: &[f32]) -> f32 {
-    x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+    simd::slice_max(x)
 }
 
 /// Numerically stable softmax of one row: `dst[j] = exp(src[j] - max(src)) /
 /// Σ exp(src - max(src))`. `src` and `dst` may not alias; use
 /// [`softmax_row_in_place`] to normalize a row in its own storage.
+///
+/// The three row passes run on the dispatched [`crate::simd`] kernels: a
+/// vector max, an elementwise `exp` (shared scalar code in every backend),
+/// and an 8-lane denominator sum followed by a vector normalize — so SIMD
+/// and scalar dispatch produce bit-identical probabilities.
 ///
 /// # Panics
 ///
@@ -37,33 +44,23 @@ pub fn slice_max(x: &[f32]) -> f32 {
 #[inline]
 pub fn softmax_row(src: &[f32], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len(), "softmax row length mismatch");
-    let row_max = slice_max(src);
-    let mut denom = 0.0f32;
+    let row_max = simd::slice_max(src);
     for (d, &x) in dst.iter_mut().zip(src) {
-        let e = (x - row_max).exp();
-        *d = e;
-        denom += e;
+        *d = (x - row_max).exp();
     }
-    let inv = 1.0 / denom;
-    for d in dst.iter_mut() {
-        *d *= inv;
-    }
+    let denom = simd::sum8(dst);
+    simd::scale(1.0 / denom, dst);
 }
 
 /// In-place variant of [`softmax_row`].
 #[inline]
 pub fn softmax_row_in_place(row: &mut [f32]) {
-    let row_max = slice_max(row);
-    let mut denom = 0.0f32;
+    let row_max = simd::slice_max(row);
     for v in row.iter_mut() {
-        let e = (*v - row_max).exp();
-        *v = e;
-        denom += e;
+        *v = (*v - row_max).exp();
     }
-    let inv = 1.0 / denom;
-    for v in row.iter_mut() {
-        *v *= inv;
-    }
+    let denom = simd::sum8(row);
+    simd::scale(1.0 / denom, row);
 }
 
 /// Applies softmax to every row (`cols` dimension) of every `(batch, head)`
@@ -139,22 +136,20 @@ impl OnlineSoftmax {
         if chunk.is_empty() {
             return;
         }
-        let chunk_max = slice_max(chunk);
+        let chunk_max = simd::slice_max(chunk);
         let new_max = self.running_max.max(chunk_max);
         // Rescale history to the new reference maximum (one slice pass).
         if self.running_max.is_finite() && new_max > self.running_max {
             let correction = (self.running_max - new_max).exp();
             self.running_denom *= correction;
-            for w in &mut self.weights {
-                *w *= correction;
-            }
+            simd::scale(correction, &mut self.weights);
         }
         self.running_max = new_max;
         // Emit the chunk's weights (one slice pass over the new tail).
         let start = self.weights.len();
         self.weights
             .extend(chunk.iter().map(|&x| (x - new_max).exp()));
-        self.running_denom += self.weights[start..].iter().sum::<f32>();
+        self.running_denom += simd::sum8(&self.weights[start..]);
     }
 
     /// Number of logits absorbed so far.

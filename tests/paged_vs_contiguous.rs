@@ -17,6 +17,7 @@ use mas::api::verify_decode_paged;
 use mas::dataflow::DecodeStep;
 use mas::tensor::decode::{decode_attention, KvCache};
 use mas::tensor::golden::{golden_check, Tolerance};
+use mas::tensor::half::KvDtype;
 use mas::tensor::init::random_qkv;
 use mas::tensor::paged::{decode_attention_paged, KvBlockPool, PagedKvCache};
 use mas::tensor::tiled::{fused_online_attention, TileSizes};
@@ -98,6 +99,42 @@ proptest! {
         prop_assert!(
             report.passed,
             "paged decode diverged from the prefill oracle: {} mismatches, max abs diff {}, worst {:?}",
+            report.mismatches, report.max_abs_diff, report.worst_index
+        );
+    }
+
+    #[test]
+    fn f16_decode_matches_the_f32_prefill_oracle_at_half_precision(
+        heads in 1usize..4,
+        t in 2usize..33,
+        e in 2usize..17,
+        block_tokens in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        // KV rows stored as f16 bits, widened to f32 per tile inside the
+        // decode sweep: paged and contiguous stay bit-identical to each
+        // other (same visited row sequence), and both track the f32
+        // prefill oracle within half-precision tolerance at every step.
+        let (q, k, v) = random_qkv(1, heads, t, e, seed);
+        let mut contiguous = KvCache::new(heads, e).with_dtype(KvDtype::F16);
+        let mut pool = KvBlockPool::new(block_tokens, heads, e).with_dtype(KvDtype::F16);
+        let mut paged = PagedKvCache::new(heads, heads, e, block_tokens).unwrap();
+        let decoded = decode_both_paths(&q, &k, &v, &mut contiguous, &mut pool, &mut paged);
+
+        let mut golden = Tensor::zeros(*q.shape());
+        for i in 0..t {
+            let prefix = i + 1;
+            let sub = |src: &Tensor| src.block([0, 0, 0, 0], [1, heads, prefix, e]).unwrap();
+            let tiles = TileSizes::new(prefix, 1, prefix).unwrap();
+            let oracle = fused_online_attention(&sub(&q), &sub(&k), &sub(&v), tiles).unwrap();
+            for h in 0..heads {
+                golden.row_mut(0, h, i).copy_from_slice(oracle.row(0, h, i));
+            }
+        }
+        let report = golden_check(&decoded, &golden, Tolerance::half_precision()).unwrap();
+        prop_assert!(
+            report.passed,
+            "f16 decode diverged from the f32 prefill oracle: {} mismatches, max abs diff {}, worst {:?}",
             report.mismatches, report.max_abs_diff, report.worst_index
         );
     }
