@@ -7,11 +7,17 @@
 //!             [--mixed] [--sessions N] [--session-rate RPS]
 //!             [--policy decode|prefill|fair] [--kv-dtype f32|f16]
 //!             [--load-cache PATH]... [--save-cache PATH] [--json]
+//!             [--trace-out PATH] [--metrics-out PATH]
 //! ```
 //!
 //! `--load-cache` may repeat: the caches merge (commutatively) before the
 //! replay, which is how sharded tuning sweeps combine. `--save-cache`
 //! persists the post-replay cache for the next shard or process.
+//!
+//! `--trace-out` / `--metrics-out` enable structured telemetry recording
+//! (`mas_serve::telemetry`) and export the replay as Chrome trace-event
+//! JSON (open in Perfetto / `chrome://tracing`) and a Prometheus text
+//! snapshot respectively. The Chrome trace is validated before writing.
 //!
 //! `--mixed` interleaves `--sessions` autoregressive decode sessions with
 //! the prefill trace and replays both classes through the unified
@@ -23,8 +29,8 @@ use mas_attention::planner::{PlannerConfig, TilingStrategy};
 use mas_dataflow::DataflowKind;
 use mas_search::tuner::TunerConfig;
 use mas_serve::{
-    EngineConfig, KvDtype, ScheduleCache, SchedulePolicy, ServeConfig, ServeEngine, ServeReport,
-    ServeRequest, ServeRuntime,
+    validate_chrome_trace, EngineConfig, KvDtype, ScheduleCache, SchedulePolicy, ServeConfig,
+    ServeEngine, ServeReport, ServeRequest, ServeRuntime, Telemetry, TelemetryConfig,
 };
 use mas_workloads::{
     decode_trace, request_trace, DecodeTraceConfig, Network, TraceConfig, MIXED_DECODE_SEED_SALT,
@@ -47,6 +53,15 @@ struct Args {
     load_caches: Vec<String>,
     save_cache: Option<String>,
     json: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl Args {
+    /// Telemetry recording is enabled exactly when an exporter needs it.
+    fn telemetry(&self) -> Option<TelemetryConfig> {
+        (self.trace_out.is_some() || self.metrics_out.is_some()).then(TelemetryConfig::default)
+    }
 }
 
 fn parse_args() -> Args {
@@ -103,6 +118,36 @@ fn parse_args() -> Args {
         load_caches: values("--load-cache"),
         save_cache: value("--save-cache"),
         json: argv.iter().any(|a| a == "--json"),
+        trace_out: value("--trace-out"),
+        metrics_out: value("--metrics-out"),
+    }
+}
+
+/// Writes the requested telemetry exports. The Chrome trace is validated
+/// (well-formed JSON, no overlapping spans per device track) before it is
+/// written — an invalid export is a bug, not an artifact.
+fn export_telemetry(telemetry: Option<&Telemetry>, args: &Args) {
+    if args.trace_out.is_none() && args.metrics_out.is_none() {
+        return;
+    }
+    let telemetry = telemetry.expect("telemetry was enabled for export");
+    if let Some(path) = &args.trace_out {
+        let json = telemetry.chrome_trace_json();
+        let stats = validate_chrome_trace(&json)
+            .unwrap_or_else(|e| panic!("generated Chrome trace is invalid: {e}"));
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "wrote Chrome trace to {path} ({} spans, {} counter samples, {} instants)",
+            stats.spans, stats.counters, stats.instants
+        );
+    }
+    if let Some(path) = &args.metrics_out {
+        let text = telemetry.prometheus_text();
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "wrote Prometheus snapshot to {path} ({} lines)",
+            text.lines().count()
+        );
     }
 }
 
@@ -129,6 +174,7 @@ fn main() {
     let mut config = ServeConfig {
         devices: args.devices,
         parallel_planning: !args.serial,
+        telemetry: args.telemetry(),
         ..ServeConfig::default()
     };
     if args.search {
@@ -177,6 +223,7 @@ fn main() {
     if args.json {
         println!("{}", report_json(&report));
     }
+    export_telemetry(runtime.telemetry(), &args);
     if let Some(path) = &args.save_cache {
         runtime
             .cache()
@@ -264,6 +311,7 @@ fn run_mixed(
             report.mem_peak_bytes,
         );
     }
+    export_telemetry(engine.telemetry(), args);
     if let Some(path) = &args.save_cache {
         engine
             .cache()

@@ -1,0 +1,48 @@
+//! Validates Chrome trace-event JSON files emitted by `serve_trace
+//! --trace-out` (or any other exporter of the same format).
+//!
+//! ```text
+//! trace_check FILE [FILE]...
+//! ```
+//!
+//! For each file, the JSON is parsed (no external parser: the validator in
+//! `mas_serve::telemetry` is self-contained) and the trace is checked
+//! structurally: every event object carries the required fields for its
+//! phase, and complete-span (`"X"`) events never overlap on one
+//! `(pid, tid)` track — a device cannot run two launches at once. Prints
+//! per-file span/counter/instant counts; exits non-zero on the first
+//! invalid file so CI can gate on it.
+
+use mas_serve::validate_chrome_trace;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_check FILE [FILE]...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        let json = match std::fs::read_to_string(path) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_chrome_trace(&json) {
+            Ok(stats) => println!(
+                "{path}: ok ({} events: {} spans on {} tracks, {} counter samples, {} instants)",
+                stats.total_events, stats.spans, stats.span_tracks, stats.counters, stats.instants
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -83,6 +83,23 @@ pub enum DecodeRejectReason {
     KvPoolExhausted,
 }
 
+impl DecodeRejectReason {
+    /// Stable snake_case identifier for machine-readable output (Prometheus
+    /// label values, trace-event args). Distinct per variant and free of
+    /// spaces, unlike the prose [`Display`](std::fmt::Display) form.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DecodeRejectReason::InfeasibleSession => "infeasible_session",
+            DecodeRejectReason::KvBudgetExceeded => "kv_budget_exceeded",
+            DecodeRejectReason::SessionLimit => "session_limit",
+            DecodeRejectReason::DeadlineImpossible => "deadline_impossible",
+            DecodeRejectReason::UnknownSession => "unknown_session",
+            DecodeRejectReason::KvPoolExhausted => "kv_pool_exhausted",
+        }
+    }
+}
+
 impl std::fmt::Display for DecodeRejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
@@ -302,6 +319,11 @@ pub struct DecodeReport {
     /// under paged charging, the full over-reservation under legacy
     /// charging.
     pub kv_frag_at_peak: f64,
+    /// Seconds each virtual device spent busy with decode launches, indexed
+    /// by device. Empty when no decode launch dispatched (so prefill-only
+    /// engine runs keep this report equal to its default, as pinned).
+    #[serde(default)]
+    pub device_busy_s: Vec<f64>,
 }
 
 impl DecodeReport {
@@ -376,7 +398,7 @@ impl DecodeReport {
     pub fn summary(&self) -> String {
         let fmt_ms =
             |s: Option<f64>| s.map_or_else(|| "-".to_string(), |v| format!("{:.3} ms", v * 1e3));
-        format!(
+        let mut out = format!(
             "decode: {} steps ({} sessions) / {} rejected in {} launches (mean {:.1} steps) | \
              {:.0} steps/s | latency p50 {} p99 {} | deadline misses {} | peak KV {:.1} MB \
              ({} blocks, {:.1}% frag) | pool overflows {}",
@@ -393,7 +415,24 @@ impl DecodeReport {
             self.kv_peak_blocks,
             self.kv_frag_at_peak * 100.0,
             self.pool_overflows(),
-        )
+        );
+        if !self.device_busy_s.is_empty() {
+            let per_device: Vec<String> = self
+                .device_busy_s
+                .iter()
+                .enumerate()
+                .map(|(d, &busy)| {
+                    let pct = if self.makespan_s > 0.0 {
+                        busy / self.makespan_s * 100.0
+                    } else {
+                        0.0
+                    };
+                    format!("d{d} {pct:.1}%")
+                })
+                .collect();
+            out.push_str(&format!(" | busy {}", per_device.join(" ")));
+        }
+        out
     }
 }
 

@@ -116,6 +116,9 @@ use crate::queue::{
     RejectReason,
 };
 use crate::request::ServeRequest;
+use crate::telemetry::{
+    EventKind, MemOwner, SealCause, Telemetry, TelemetryConfig, TelemetryRecorder,
+};
 
 /// Which queue feeds the launch slots when launches of both classes are
 /// ready at the same stream instant (iteration-level scheduling).
@@ -206,6 +209,11 @@ pub struct EngineConfig {
     /// The shared device memory budget both classes charge against. `None`
     /// defaults to the decode policy's KV budget (half of device DRAM).
     pub shared_budget_bytes: Option<u64>,
+    /// Opt-in structured telemetry ([`crate::telemetry`]). `None` (the
+    /// default) records nothing and leaves every replay bit-identical to
+    /// the pre-telemetry engine; `Some` records a typed [`EventKind`]
+    /// stream retrievable via [`ServeEngine::telemetry`] after a run.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for EngineConfig {
@@ -219,6 +227,7 @@ impl Default for EngineConfig {
             parallel_planning: true,
             policy: SchedulePolicy::default(),
             shared_budget_bytes: None,
+            telemetry: None,
         }
     }
 }
@@ -258,6 +267,36 @@ pub struct EngineReport {
     pub mem_peak_prefill_bytes: u64,
     /// Decode KV share of the shared peak.
     pub mem_peak_decode_bytes: u64,
+    /// Per-device utilization on the shared timeline (both classes), one
+    /// entry per virtual device.
+    pub device_util: Vec<DeviceUtil>,
+}
+
+/// Utilization of one virtual device over a replay's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct DeviceUtil {
+    /// Seconds the device spent in service (sum of launch service times,
+    /// both classes).
+    pub busy_s: f64,
+    /// Launch-to-launch idle gaps: times a launch started strictly after
+    /// the device's previous completion (excluding the initial idle before
+    /// the first launch).
+    pub idle_gaps: usize,
+    /// Launches the device served.
+    pub launches: usize,
+}
+
+impl DeviceUtil {
+    /// Busy fraction of the device over `makespan_s` (0 when the makespan
+    /// is zero).
+    #[must_use]
+    pub fn busy_fraction(&self, makespan_s: f64) -> f64 {
+        if makespan_s > 0.0 {
+            self.busy_s / makespan_s
+        } else {
+            0.0
+        }
+    }
 }
 
 impl EngineReport {
@@ -292,9 +331,27 @@ impl EngineReport {
         let stats = |s: Option<LatencyStats>| {
             s.map_or_else(|| "no completions".to_string(), |s| s.to_string())
         };
+        let devices = if self.device_util.is_empty() {
+            String::new()
+        } else {
+            let per_device: Vec<String> = self
+                .device_util
+                .iter()
+                .enumerate()
+                .map(|(d, u)| {
+                    format!(
+                        "d{d} {:.0}% busy ({} launches, {} gaps)",
+                        u.busy_fraction(self.makespan_s) * 100.0,
+                        u.launches,
+                        u.idle_gaps
+                    )
+                })
+                .collect();
+            format!("\n  devices: {}", per_device.join(" | "))
+        };
         format!(
             "engine[{}]: {} launches in {:.3} ms makespan | shared budget {:.1} MB peak {:.1} MB \
-             ({:.1} prefill + {:.1} decode)\n  prefill: {}\n  decode:  {}",
+             ({:.1} prefill + {:.1} decode)\n  prefill: {}\n  decode:  {}{}",
             self.policy,
             self.launches,
             self.makespan_s * 1e3,
@@ -304,6 +361,7 @@ impl EngineReport {
             self.mem_peak_decode_bytes as f64 / 1e6,
             stats(self.prefill_latency()),
             stats(self.decode_latency()),
+            devices,
         )
     }
 }
@@ -316,6 +374,8 @@ pub struct ServeEngine {
     config: EngineConfig,
     planner: Planner,
     cache: ScheduleCache,
+    /// The telemetry of the most recent run, when recording was configured.
+    telemetry: Option<Telemetry>,
 }
 
 impl ServeEngine {
@@ -333,7 +393,15 @@ impl ServeEngine {
             config,
             planner,
             cache,
+            telemetry: None,
         }
+    }
+
+    /// The structured telemetry of the most recent [`ServeEngine::run`]:
+    /// `Some` only when [`EngineConfig::telemetry`] was set for that run.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The engine's configuration.
@@ -445,6 +513,25 @@ impl ServeEngine {
         }
 
         let budget = self.config.budget(&hw);
+        let recycled = self.telemetry.take().map(Telemetry::into_event_buffer);
+        let recorder = self.config.telemetry.map(|telemetry_config| {
+            // Capacity hint: every work item produces a handful of events
+            // (arrival, join, dispatch share, completion) plus run overhead.
+            let hint = prefill.len() * 4 + decode.steps.len() * 4 + 64;
+            let mut recorder = TelemetryRecorder::new(telemetry_config, hint, recycled);
+            recorder.record(
+                0.0,
+                EventKind::RunStart {
+                    policy: self.config.policy,
+                    devices: self.config.devices.max(1) as u32,
+                    budget_bytes: budget,
+                    max_batch: self.config.batching.max_batch.max(1) as u32,
+                    max_steps_per_launch: self.config.decode.max_steps_per_launch.max(1) as u32,
+                    step_deadline_s: self.config.decode.step_deadline_s,
+                },
+            );
+            recorder
+        });
         let element_bytes = hw.element_bytes;
         let kv_element_bytes = self.config.decode.kv_element_bytes(&hw);
         let sessions: BTreeMap<u64, SessionState> = decode
@@ -480,6 +567,10 @@ impl ServeEngine {
             max_batch: self.config.batching.max_batch.max(1),
             max_steps_per_launch: self.config.decode.max_steps_per_launch.max(1),
             free_at: vec![0.0f64; self.config.devices.max(1)],
+            busy_prefill: vec![0.0f64; self.config.devices.max(1)],
+            busy_decode: vec![0.0f64; self.config.devices.max(1)],
+            idle_gaps: vec![0usize; self.config.devices.max(1)],
+            launch_counts: vec![0usize; self.config.devices.max(1)],
             open: BTreeMap::new(),
             open_prefill_members: 0,
             next_launch_id: 0,
@@ -497,6 +588,7 @@ impl ServeEngine {
             decode_report: DecodeReport::default(),
             makespan_s: 0.0,
             mem_peak: MemPeak::default(),
+            recorder,
         };
 
         // Merge the two arrival streams: prefill sorted by (arrival, id) —
@@ -533,17 +625,54 @@ impl ServeEngine {
         }
         pass.flush()?;
 
-        let launches = pass.prefill_report.batches + pass.decode_report.launches;
+        // Destructure the pass to end its borrows of the engine before
+        // storing the sealed telemetry back on `self`.
+        let EngineRun {
+            mut prefill_report,
+            mut decode_report,
+            makespan_s,
+            mem_peak,
+            busy_prefill,
+            busy_decode,
+            idle_gaps,
+            launch_counts,
+            recorder,
+            ..
+        } = pass;
+        // A class's per-device busy vector is populated only when the class
+        // dispatched at least one launch, so single-class runs keep the
+        // other class's report exactly at its default.
+        prefill_report.device_busy_s = if prefill_report.batches > 0 {
+            busy_prefill.clone()
+        } else {
+            Vec::new()
+        };
+        decode_report.device_busy_s = if decode_report.launches > 0 {
+            busy_decode.clone()
+        } else {
+            Vec::new()
+        };
+        let device_util: Vec<DeviceUtil> = (0..busy_prefill.len())
+            .map(|d| DeviceUtil {
+                busy_s: busy_prefill[d] + busy_decode[d],
+                idle_gaps: idle_gaps[d],
+                launches: launch_counts[d],
+            })
+            .collect();
+        self.telemetry = recorder.map(TelemetryRecorder::finish);
+
+        let launches = prefill_report.batches + decode_report.launches;
         Ok(EngineReport {
             policy: self.config.policy,
-            prefill: pass.prefill_report,
-            decode: pass.decode_report,
+            prefill: prefill_report,
+            decode: decode_report,
             launches,
-            makespan_s: pass.makespan_s,
+            makespan_s,
             mem_budget_bytes: budget,
-            mem_peak_bytes: pass.mem_peak.total,
-            mem_peak_prefill_bytes: pass.mem_peak.prefill,
-            mem_peak_decode_bytes: pass.mem_peak.decode,
+            mem_peak_bytes: mem_peak.total,
+            mem_peak_prefill_bytes: mem_peak.prefill,
+            mem_peak_decode_bytes: mem_peak.decode,
+            device_util,
         })
     }
 }
@@ -586,19 +715,25 @@ enum Release {
     /// A decode session's last step completed: release its KV residency.
     Session(u64),
     /// A prefill batch completed: release its activation charge.
-    PrefillBytes(u64),
+    PrefillBytes {
+        /// The completed launch (telemetry attribution).
+        launch_id: u64,
+        /// Its summed member activation charge.
+        bytes: u64,
+    },
 }
 
 /// Tracks the shared-budget high-water mark with its per-class split.
+/// `pub(crate)` so telemetry replay reuses the engine's exact peak rule.
 #[derive(Debug, Default, Clone, Copy)]
-struct MemPeak {
-    total: u64,
-    prefill: u64,
-    decode: u64,
+pub(crate) struct MemPeak {
+    pub(crate) total: u64,
+    pub(crate) prefill: u64,
+    pub(crate) decode: u64,
 }
 
 impl MemPeak {
-    fn note(&mut self, prefill: u64, decode: u64) {
+    pub(crate) fn note(&mut self, prefill: u64, decode: u64) {
         let total = prefill.saturating_add(decode);
         if total >= self.total && total > 0 {
             self.total = total;
@@ -671,8 +806,9 @@ impl SessionState {
 }
 
 /// Records the decode-class charge high-water mark with its block count and
-/// fragmentation snapshot.
-fn note_kv_peak(report: &mut DecodeReport, charged: u64, used: u64, blocks: u64) {
+/// fragmentation snapshot. `pub(crate)` so telemetry replay reuses the
+/// engine's exact peak rule.
+pub(crate) fn note_kv_peak(report: &mut DecodeReport, charged: u64, used: u64, blocks: u64) {
     if charged >= report.kv_peak_bytes && charged > 0 {
         report.kv_peak_bytes = charged;
         report.kv_peak_blocks = blocks;
@@ -699,6 +835,15 @@ struct EngineRun<'a> {
     max_batch: usize,
     max_steps_per_launch: usize,
     free_at: Vec<f64>,
+    /// Per-device busy seconds by class. Always accounted (cheap adds);
+    /// the report builder sums them into [`DeviceUtil`] and populates the
+    /// per-class `device_busy_s` vectors only for classes that launched.
+    busy_prefill: Vec<f64>,
+    busy_decode: Vec<f64>,
+    /// Per-device launch-to-launch idle-gap counts.
+    idle_gaps: Vec<usize>,
+    /// Per-device launch counts.
+    launch_counts: Vec<usize>,
     open: BTreeMap<LaunchKey, OpenLaunch>,
     open_prefill_members: usize,
     next_launch_id: u64,
@@ -716,6 +861,10 @@ struct EngineRun<'a> {
     decode_report: DecodeReport,
     makespan_s: f64,
     mem_peak: MemPeak,
+    /// The opt-in telemetry recorder. `None` (the default) keeps every
+    /// recording site to a single branch, preserving the pre-telemetry
+    /// replay bit for bit.
+    recorder: Option<TelemetryRecorder>,
 }
 
 impl EngineRun<'_> {
@@ -724,6 +873,20 @@ impl EngineRun<'_> {
         match class {
             WorkClass::Prefill => self.config.batching.window_s,
             WorkClass::Decode => self.config.decode.window_s,
+        }
+    }
+
+    /// Accounts one launch on a device's utilization tallies. Must run
+    /// *before* `free_at[device]` advances to the launch's completion: the
+    /// idle-gap test compares the start against the previous completion.
+    fn note_device_span(&mut self, device: usize, class: WorkClass, start_s: f64, service_s: f64) {
+        if self.launch_counts[device] > 0 && start_s > self.free_at[device] {
+            self.idle_gaps[device] += 1;
+        }
+        self.launch_counts[device] += 1;
+        match class {
+            WorkClass::Prefill => self.busy_prefill[device] += service_s,
+            WorkClass::Decode => self.busy_decode[device] += service_s,
         }
     }
 
@@ -753,7 +916,7 @@ impl EngineRun<'_> {
         for (_, _, key) in expired {
             let launch = self.open.remove(&key).expect("key collected from the map");
             let ready_s = launch.first_arrival_s + self.window_s(key.class());
-            self.dispatch(key, launch, ready_s)?;
+            self.dispatch(key, launch, ready_s, SealCause::Window)?;
         }
         Ok(())
     }
@@ -771,6 +934,20 @@ impl EngineRun<'_> {
             match release {
                 Release::Session(session_id) => {
                     let s = self.sessions.get_mut(&session_id).expect("session exists");
+                    if let Some(recorder) = self.recorder.as_mut() {
+                        // Recorded before zeroing so the event carries the
+                        // exact released deltas.
+                        recorder.record(
+                            now_s,
+                            EventKind::BudgetRelease {
+                                owner: MemOwner::Session(session_id),
+                                bytes: s.charged_bytes,
+                                used_bytes: s.used_bytes,
+                                blocks: s.charged_blocks,
+                                scheduled_s: release_s,
+                            },
+                        );
+                    }
                     self.kv_in_use = self.kv_in_use.saturating_sub(s.charged_bytes);
                     self.kv_used = self.kv_used.saturating_sub(s.used_bytes);
                     self.blocks_in_use = self.blocks_in_use.saturating_sub(s.charged_blocks);
@@ -779,7 +956,19 @@ impl EngineRun<'_> {
                     s.used_bytes = 0;
                     self.active_sessions = self.active_sessions.saturating_sub(1);
                 }
-                Release::PrefillBytes(bytes) => {
+                Release::PrefillBytes { launch_id, bytes } => {
+                    if let Some(recorder) = self.recorder.as_mut() {
+                        recorder.record(
+                            now_s,
+                            EventKind::BudgetRelease {
+                                owner: MemOwner::PrefillLaunch(launch_id),
+                                bytes,
+                                used_bytes: 0,
+                                blocks: 0,
+                                scheduled_s: release_s,
+                            },
+                        );
+                    }
                     self.prefill_charged = self.prefill_charged.saturating_sub(bytes);
                 }
             }
@@ -791,6 +980,18 @@ impl EngineRun<'_> {
     /// delay, shared budget), feasibility-preserving join, fill dispatch.
     fn on_prefill(&mut self, request: &ServeRequest) -> Result<()> {
         let now_s = request.arrival_s;
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                now_s,
+                EventKind::PrefillArrival {
+                    id: request.id,
+                    workload: request.workload.name.clone(),
+                    method: request.method,
+                    batch: request.workload.batch as u32,
+                    deadline_s: request.deadline_s,
+                },
+            );
+        }
 
         // Admission against the post-expiry backlog: open prefill members
         // plus the estimated delay of the already-dispatched launch queue
@@ -809,6 +1010,15 @@ impl EngineRun<'_> {
                 arrival_s: now_s,
                 reason,
             });
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record(
+                    now_s,
+                    EventKind::PrefillRejected {
+                        id: request.id,
+                        reason,
+                    },
+                );
+            }
             return Ok(());
         }
 
@@ -827,6 +1037,15 @@ impl EngineRun<'_> {
                 arrival_s: now_s,
                 reason: RejectReason::MemoryPressure,
             });
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record(
+                    now_s,
+                    EventKind::PrefillRejected {
+                        id: request.id,
+                        reason: RejectReason::MemoryPressure,
+                    },
+                );
+            }
             return Ok(());
         }
 
@@ -853,7 +1072,7 @@ impl EngineRun<'_> {
             );
             if !workload_is_feasible(batch_key.method, &prospective, &self.hw) {
                 let launch = self.open.remove(&key).expect("present");
-                self.dispatch(key, launch, now_s)?;
+                self.dispatch(key, launch, now_s, SealCause::Feasibility)?;
             }
         }
         let next_id = self.next_launch_id;
@@ -870,15 +1089,26 @@ impl EngineRun<'_> {
         launch.items.push(WorkItem::Prefill(request.clone()));
         launch.charged_bytes += charge;
         let full = launch.items.len() >= self.max_batch;
+        let (launch_id, members) = (launch.id, launch.items.len());
         if created {
             self.next_launch_id += 1;
         }
         self.open_prefill_members += 1;
         self.prefill_charged += charge;
         self.mem_peak.note(self.prefill_charged, self.kv_in_use);
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                now_s,
+                EventKind::PrefillJoin {
+                    launch_id,
+                    members: members as u32,
+                    charged_bytes: charge,
+                },
+            );
+        }
         if full {
             let launch = self.open.remove(&key).expect("just inserted");
-            self.dispatch(key, launch, now_s)?;
+            self.dispatch(key, launch, now_s, SealCause::Fill)?;
         }
         Ok(())
     }
@@ -889,6 +1119,15 @@ impl EngineRun<'_> {
     #[allow(clippy::too_many_lines)]
     fn on_decode(&mut self, event: &DecodeStepEvent) {
         let now_s = event.arrival_s;
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                now_s,
+                EventKind::DecodeArrival {
+                    session_id: event.session_id,
+                    step_index: event.step_index as u32,
+                },
+            );
+        }
 
         // Admit the session at its first seen step (steps of malformed
         // traces referencing unknown sessions are rejected, not a panic).
@@ -899,6 +1138,16 @@ impl EngineRun<'_> {
                 arrival_s: now_s,
                 reason: DecodeRejectReason::UnknownSession,
             });
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record(
+                    now_s,
+                    EventKind::DecodeStepRejected {
+                        session_id: event.session_id,
+                        step_index: event.step_index as u32,
+                        reason: DecodeRejectReason::UnknownSession,
+                    },
+                );
+            }
             return;
         };
         let context_len = session.spec.prompt_len + event.step_index + 1;
@@ -959,6 +1208,15 @@ impl EngineRun<'_> {
                     self.decode_report
                         .rejected_sessions
                         .push((event.session_id, reason));
+                    if let Some(recorder) = self.recorder.as_mut() {
+                        recorder.record(
+                            now_s,
+                            EventKind::SessionRejected {
+                                session_id: event.session_id,
+                                reason,
+                            },
+                        );
+                    }
                 }
                 None => {
                     session.admitted = true;
@@ -980,6 +1238,18 @@ impl EngineRun<'_> {
                     );
                     self.mem_peak.note(self.prefill_charged, self.kv_in_use);
                     self.decode_report.sessions_admitted += 1;
+                    if let Some(recorder) = self.recorder.as_mut() {
+                        recorder.record(
+                            now_s,
+                            EventKind::SessionOpen {
+                                session_id: event.session_id,
+                                prompt_len: session.spec.prompt_len as u32,
+                                charged_bytes: initial_bytes,
+                                used_bytes: session.used_bytes,
+                                blocks: initial_blocks,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -994,6 +1264,16 @@ impl EngineRun<'_> {
                 arrival_s: now_s,
                 reason,
             });
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record(
+                    now_s,
+                    EventKind::DecodeStepRejected {
+                        session_id: event.session_id,
+                        step_index: event.step_index as u32,
+                        reason,
+                    },
+                );
+            }
             return;
         }
 
@@ -1020,6 +1300,16 @@ impl EngineRun<'_> {
                     arrival_s: now_s,
                     reason: DecodeRejectReason::DeadlineImpossible,
                 });
+                if let Some(recorder) = self.recorder.as_mut() {
+                    recorder.record(
+                        now_s,
+                        EventKind::DecodeStepRejected {
+                            session_id: event.session_id,
+                            step_index: event.step_index as u32,
+                            reason: DecodeRejectReason::DeadlineImpossible,
+                        },
+                    );
+                }
                 return;
             }
         }
@@ -1051,6 +1341,16 @@ impl EngineRun<'_> {
                         arrival_s: now_s,
                         reason: DecodeRejectReason::KvPoolExhausted,
                     });
+                    if let Some(recorder) = self.recorder.as_mut() {
+                        recorder.record(
+                            now_s,
+                            EventKind::DecodeStepRejected {
+                                session_id: event.session_id,
+                                step_index: event.step_index as u32,
+                                reason: DecodeRejectReason::KvPoolExhausted,
+                            },
+                        );
+                    }
                     return;
                 }
                 session.charged_bytes += delta_bytes;
@@ -1064,6 +1364,16 @@ impl EngineRun<'_> {
                     self.blocks_in_use,
                 );
                 self.mem_peak.note(self.prefill_charged, self.kv_in_use);
+                if let Some(recorder) = self.recorder.as_mut() {
+                    recorder.record(
+                        now_s,
+                        EventKind::KvGrow {
+                            session_id: event.session_id,
+                            delta_bytes,
+                            delta_blocks,
+                        },
+                    );
+                }
             }
         }
         session.pending_steps += 1;
@@ -1103,8 +1413,22 @@ impl EngineRun<'_> {
         }));
         let full =
             launch.items.len() >= self.max_steps_per_launch || self.config.decode.window_s == 0.0;
+        let (launch_id, members) = (launch.id, launch.items.len());
         if created {
             self.next_launch_id += 1;
+        }
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                now_s,
+                EventKind::DecodeJoin {
+                    launch_id,
+                    session_id: event.session_id,
+                    step_index: event.step_index as u32,
+                    context_len: context_len as u32,
+                    members: members as u32,
+                    token_bytes: token,
+                },
+            );
         }
         if full {
             let launch = self.open.remove(&key).expect("just inserted");
@@ -1116,16 +1440,25 @@ impl EngineRun<'_> {
                 },
                 launch,
                 now_s,
+                SealCause::Fill,
             );
         }
     }
 
     /// Dispatches one launch of either class.
-    fn dispatch(&mut self, key: LaunchKey, launch: OpenLaunch, ready_s: f64) -> Result<()> {
+    fn dispatch(
+        &mut self,
+        key: LaunchKey,
+        launch: OpenLaunch,
+        ready_s: f64,
+        cause: SealCause,
+    ) -> Result<()> {
         match key {
-            LaunchKey::Prefill(batch_key) => self.dispatch_prefill(batch_key, launch, ready_s),
+            LaunchKey::Prefill(batch_key) => {
+                self.dispatch_prefill(batch_key, launch, ready_s, cause)
+            }
             LaunchKey::Decode(decode_key) => {
-                self.dispatch_decode(decode_key, launch, ready_s);
+                self.dispatch_decode(decode_key, launch, ready_s, cause);
                 Ok(())
             }
         }
@@ -1139,6 +1472,7 @@ impl EngineRun<'_> {
         batch_key: BatchKey,
         launch: OpenLaunch,
         ready_s: f64,
+        cause: SealCause,
     ) -> Result<()> {
         let OpenLaunch {
             id: launch_id,
@@ -1190,12 +1524,32 @@ impl EngineRun<'_> {
         let device = self.earliest_free_device();
         let start_s = self.free_at[device].max(ready_s);
         let completion_s = start_s + plan.seconds;
+        self.note_device_span(device, WorkClass::Prefill, start_s, plan.seconds);
         self.free_at[device] = completion_s;
         self.prefill_report.makespan_s = self.prefill_report.makespan_s.max(completion_s);
         self.makespan_s = self.makespan_s.max(completion_s);
         self.prefill_report.batches += 1;
         self.estimator
             .feed(ready_s, service_time_lower_bound_s(&merged, &self.hw));
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                start_s,
+                EventKind::LaunchDispatched {
+                    launch_id,
+                    key: LaunchKey::Prefill(batch_key),
+                    device: device as u32,
+                    ready_s,
+                    start_s,
+                    completion_s,
+                    service_s: plan.seconds,
+                    members: requests.len() as u32,
+                    total_batch: total_batch as u32,
+                    energy_pj: plan.energy_pj,
+                    cache_hit: hit,
+                    cause,
+                },
+            );
+        }
 
         let total = total_batch as f64;
         for request in &requests {
@@ -1218,18 +1572,39 @@ impl EngineRun<'_> {
                 batch_id: launch_id,
                 device,
             });
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record(
+                    completion_s,
+                    EventKind::PrefillCompleted {
+                        id: request.id,
+                        launch_id,
+                    },
+                );
+                recorder.observe_latency(WorkClass::Prefill, latency_s);
+            }
         }
         self.open_prefill_members -= requests.len();
         if charged_bytes > 0 {
-            self.releases
-                .push((completion_s, Release::PrefillBytes(charged_bytes)));
+            self.releases.push((
+                completion_s,
+                Release::PrefillBytes {
+                    launch_id,
+                    bytes: charged_bytes,
+                },
+            ));
         }
         Ok(())
     }
 
     /// Dispatches one batched decode launch: closed-form service time,
     /// earliest-free device, per-step outcomes, session-finish releases.
-    fn dispatch_decode(&mut self, decode_key: DecodeKey, launch: OpenLaunch, ready_s: f64) {
+    fn dispatch_decode(
+        &mut self,
+        decode_key: DecodeKey,
+        launch: OpenLaunch,
+        ready_s: f64,
+        cause: SealCause,
+    ) {
         let OpenLaunch {
             id: launch_id,
             items,
@@ -1259,6 +1634,7 @@ impl EngineRun<'_> {
         let device = self.earliest_free_device();
         let start_s = self.free_at[device].max(ready_s);
         let completion_s = start_s + service_s;
+        self.note_device_span(device, WorkClass::Decode, start_s, service_s);
         self.free_at[device] = completion_s;
         self.decode_report.makespan_s = self.decode_report.makespan_s.max(completion_s);
         self.makespan_s = self.makespan_s.max(completion_s);
@@ -1266,6 +1642,25 @@ impl EngineRun<'_> {
         // Decode launches occupy the shared timeline too: account them in
         // the backlog estimate prefill admission sees.
         self.estimator.feed(ready_s, service_s);
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                start_s,
+                EventKind::LaunchDispatched {
+                    launch_id,
+                    key: LaunchKey::Decode(decode_key),
+                    device: device as u32,
+                    ready_s,
+                    start_s,
+                    completion_s,
+                    service_s,
+                    members: pending.len() as u32,
+                    total_batch: pending.len() as u32,
+                    energy_pj: 0.0,
+                    cache_hit: false,
+                    cause,
+                },
+            );
+        }
         for p in pending {
             let deadline_s = self.config.decode.step_deadline_s;
             let latency_s = completion_s - p.arrival_s;
@@ -1292,6 +1687,18 @@ impl EngineRun<'_> {
                 launch_id,
                 device,
             });
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record(
+                    completion_s,
+                    EventKind::DecodeCompleted {
+                        session_id: p.session_id,
+                        step_index: p.step_index as u32,
+                        context_len: p.context_len as u32,
+                        launch_id,
+                    },
+                );
+                recorder.observe_latency(WorkClass::Decode, latency_s);
+            }
         }
     }
 
@@ -1317,7 +1724,7 @@ impl EngineRun<'_> {
         });
         for (key, launch) in rest {
             let ready_s = launch.first_arrival_s + self.window_s(key.class());
-            self.dispatch(key, launch, ready_s)?;
+            self.dispatch(key, launch, ready_s, SealCause::Flush)?;
         }
         Ok(())
     }

@@ -42,6 +42,15 @@
 //! 5. **Report** ([`metrics`]) — a [`ServeReport`] with per-request
 //!    latency, energy share and deadline verdicts, plus aggregate
 //!    throughput, p50/p99 latency, deadline-miss rate and cache hit rate.
+//! 6. **Observe** ([`telemetry`], opt-in) — with
+//!    [`EngineConfig::telemetry`](engine::EngineConfig::telemetry) set,
+//!    every lifecycle transition (arrival, admission verdict, batch join,
+//!    dispatch, completion, budget charge/release) is appended to a typed
+//!    [`EngineEvent`](telemetry::EngineEvent) timeline alongside streaming
+//!    log-bucketed latency histograms; post-hoc analysis reconstructs the
+//!    engine report bit-for-bit from events alone, attributes memory peaks
+//!    and device utilization, and exports Chrome trace-event JSON
+//!    (Perfetto) and Prometheus text snapshots.
 //!
 //! Reports are a pure function of the trace and the configuration: pooled
 //! and serial planning produce bit-identical [`ServeReport`]s (pinned by
@@ -146,6 +155,7 @@ pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod runtime;
+pub mod telemetry;
 
 pub use batcher::{Batch, BatchPolicy};
 pub use cache::{
@@ -157,11 +167,18 @@ pub use decode::{
     DecodeStepOutcome, RejectedDecodeStep,
 };
 pub use engine::{
-    DecodeStepItem, EngineConfig, EngineReport, SchedulePolicy, ServeEngine, WorkItem,
+    DecodeStepItem, DeviceUtil, EngineConfig, EngineReport, SchedulePolicy, ServeEngine, WorkItem,
 };
 pub use key::{BatchKey, DecodeKey, LaunchKey, WorkClass};
 pub use mas_dataflow::KvDtype;
-pub use metrics::{percentile, LatencyStats, RejectedRequest, RequestOutcome, ServeReport};
+pub use metrics::{
+    percentile, percentile_sorted, LatencyStats, RejectedRequest, RequestOutcome, ServeReport,
+};
 pub use queue::{AdmissionPolicy, RejectReason};
 pub use request::ServeRequest;
 pub use runtime::{ServeConfig, ServeRuntime};
+pub use telemetry::{
+    chrome_trace_from_sim, validate_chrome_trace, ChromeTraceStats, ConservationStats, EngineEvent,
+    EventKind, LogHistogram, MemOwner, PeakAttribution, SealCause, Telemetry, TelemetryConfig,
+    TimeSeries, Track,
+};

@@ -17,6 +17,18 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile values are finite"));
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over values the caller has *already sorted ascending* —
+/// the fast path when several percentiles are read from one set (sort once,
+/// index many). Equal to [`percentile`] on sorted input by construction;
+/// unsorted input yields nonsense, not an error.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
     let n = sorted.len();
     // `p·n/100` multiplied before dividing: `(p/100)·n` rounds up through an
     // inexact intermediate exactly at rank boundaries (e.g.
@@ -51,12 +63,16 @@ impl LatencyStats {
         if latencies.is_empty() {
             return None;
         }
+        // Sum in arrival order *before* sorting: the mean's f64 accumulation
+        // order is part of the pinned bit-exact report contract.
         let sum: f64 = latencies.iter().sum();
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency values are finite"));
         Some(Self {
             count: latencies.len(),
             mean_s: sum / latencies.len() as f64,
-            p50_s: percentile(latencies, 50.0).expect("non-empty"),
-            p99_s: percentile(latencies, 99.0).expect("non-empty"),
+            p50_s: percentile_sorted(&sorted, 50.0).expect("non-empty"),
+            p99_s: percentile_sorted(&sorted, 99.0).expect("non-empty"),
         })
     }
 }
@@ -151,6 +167,12 @@ pub struct ServeReport {
     pub makespan_s: f64,
     /// Total energy across all completed requests, in picojoules.
     pub total_energy_pj: f64,
+    /// Seconds each virtual device spent busy with *this class* of launches,
+    /// indexed by device. Empty when the class never dispatched (legacy
+    /// single-class replays through the standalone runtime leave it empty on
+    /// the unused class so default-equality pins hold).
+    #[serde(default)]
+    pub device_busy_s: Vec<f64>,
 }
 
 impl ServeReport {
@@ -249,7 +271,7 @@ impl ServeReport {
     pub fn summary(&self) -> String {
         let fmt_ms =
             |s: Option<f64>| s.map_or_else(|| "-".to_string(), |v| format!("{:.3} ms", v * 1e3));
-        format!(
+        let mut out = format!(
             "completed {} / rejected {} in {} batches | throughput {:.1} req/s | \
              latency p50 {} p99 {} | deadline misses {} ({:.1}%) | \
              cache {}/{} hits ({:.0}%) | energy {:.3e} pJ",
@@ -265,7 +287,24 @@ impl ServeReport {
             self.cache_hits + self.cache_misses,
             self.cache_hit_rate() * 100.0,
             self.total_energy_pj,
-        )
+        );
+        if !self.device_busy_s.is_empty() {
+            let per_device: Vec<String> = self
+                .device_busy_s
+                .iter()
+                .enumerate()
+                .map(|(d, &busy)| {
+                    let pct = if self.makespan_s > 0.0 {
+                        busy / self.makespan_s * 100.0
+                    } else {
+                        0.0
+                    };
+                    format!("d{d} {pct:.1}%")
+                })
+                .collect();
+            out.push_str(&format!(" | busy {}", per_device.join(" ")));
+        }
+        out
     }
 }
 
@@ -417,5 +456,30 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("completed 2"));
         assert!(s.contains("p50"));
+    }
+
+    #[test]
+    fn percentile_sorted_equals_percentile_on_sorted_input() {
+        let unsorted = [0.4, 0.1, 0.3, 0.2, 0.9, 0.5];
+        let mut sorted = unsorted.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 1.0, 7.0, 28.0, 33.0, 50.0, 55.0, 66.7, 99.0, 100.0] {
+            assert_eq!(
+                percentile(&unsorted, p),
+                percentile_sorted(&sorted, p),
+                "p{p}"
+            );
+        }
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+    }
+
+    #[test]
+    fn summary_shows_device_busy_only_when_attributed() {
+        let mut r = report(&[0.1, 0.2]);
+        assert!(!r.summary().contains("busy"));
+        r.device_busy_s = vec![0.1, 0.05];
+        r.makespan_s = 0.2;
+        let s = r.summary();
+        assert!(s.contains("busy d0 50.0% d1 25.0%"), "{s}");
     }
 }

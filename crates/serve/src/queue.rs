@@ -48,6 +48,21 @@ pub enum RejectReason {
     MemoryPressure,
 }
 
+impl RejectReason {
+    /// Stable snake_case identifier for machine-readable output (Prometheus
+    /// label values, trace-event args). Distinct per variant and free of
+    /// spaces, unlike the prose [`Display`](std::fmt::Display) form.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::InfeasibleWorkload => "infeasible_workload",
+            RejectReason::DeadlineImpossible => "deadline_impossible",
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::MemoryPressure => "memory_pressure",
+        }
+    }
+}
+
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {

@@ -38,6 +38,7 @@ use crate::engine::{EngineConfig, ServeEngine};
 use crate::metrics::ServeReport;
 use crate::queue::AdmissionPolicy;
 use crate::request::ServeRequest;
+use crate::telemetry::{Telemetry, TelemetryConfig};
 
 /// Configuration of the serving runtime.
 #[derive(Debug, Clone)]
@@ -54,6 +55,10 @@ pub struct ServeConfig {
     /// pool. The serial path exists for determinism baselines and produces
     /// bit-identical reports.
     pub parallel_planning: bool,
+    /// Structured telemetry recording ([`crate::telemetry`]). `None` (the
+    /// default) records nothing and leaves replays bit-identical to the
+    /// pre-telemetry runtime.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +69,7 @@ impl Default for ServeConfig {
             batching: BatchPolicy::default(),
             devices: 1,
             parallel_planning: true,
+            telemetry: None,
         }
     }
 }
@@ -85,6 +91,7 @@ impl From<ServeConfig> for EngineConfig {
             devices: config.devices,
             parallel_planning: config.parallel_planning,
             shared_budget_bytes: Some(u64::MAX),
+            telemetry: config.telemetry,
             ..EngineConfig::default()
         }
     }
@@ -134,6 +141,14 @@ impl ServeRuntime {
     #[must_use]
     pub fn into_cache(self) -> ScheduleCache {
         self.engine.into_cache()
+    }
+
+    /// The telemetry captured by the most recent [`run_trace`]
+    /// (`Self::run_trace`) call, or `None` when recording is disabled
+    /// ([`ServeConfig::telemetry`]) or nothing has run yet.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.engine.telemetry()
     }
 
     /// Replays a request trace and returns the aggregate report.

@@ -1,0 +1,2165 @@
+//! Engine-wide structured telemetry: a typed event timeline recorded by
+//! [`ServeEngine`], with post-hoc analysis and exporters.
+//!
+//! ## Event taxonomy
+//!
+//! When [`EngineConfig::telemetry`] is set, the engine records one
+//! [`EngineEvent`] at every lifecycle transition of its replay loop:
+//!
+//! | event | when | track |
+//! |---|---|---|
+//! | [`EventKind::RunStart`] | once, before the first arrival | timeline |
+//! | [`EventKind::PrefillArrival`] | a prefill request arrives | timeline |
+//! | [`EventKind::PrefillRejected`] | admission / budget refusal | timeline |
+//! | [`EventKind::PrefillJoin`] | a request joins an open launch | timeline |
+//! | [`EventKind::DecodeArrival`] | a decode step arrives | timeline |
+//! | [`EventKind::SessionOpen`] | a session admits (initial KV charge) | timeline |
+//! | [`EventKind::SessionRejected`] | a session refuses at first sight | timeline |
+//! | [`EventKind::DecodeStepRejected`] | a step is screened or shed | timeline |
+//! | [`EventKind::KvGrow`] | paged block growth charges the pool | timeline |
+//! | [`EventKind::DecodeJoin`] | a step joins an open launch | timeline |
+//! | [`EventKind::LaunchDispatched`] | a sealed launch starts on a device | device |
+//! | [`EventKind::PrefillCompleted`] | a member request completes | device |
+//! | [`EventKind::DecodeCompleted`] | a member step completes | device |
+//! | [`EventKind::BudgetRelease`] | a deferred release applies | timeline |
+//!
+//! Timestamps are monotone **per track** (the virtual timeline, and one
+//! track per device): timeline events carry the stream instant at which the
+//! engine processed them, device events carry launch start/completion
+//! times, and within one device launches never overlap. The raw event
+//! sequence is *not* globally time-sorted (completion events are recorded
+//! at dispatch, timestamped in the future); sort by `(track, t_s)` — or
+//! feed [`Telemetry::chrome_trace_json`] to a viewer — for a wall-clock
+//! view.
+//!
+//! ## Overhead contract
+//!
+//! Recording is **off by default** and every recording site is behind one
+//! `Option` check, so disabled runs execute the exact pre-telemetry code
+//! path — all pinned bit-identical replays are untouched. Enabled, the
+//! recorder only appends compact plain-data events to a pre-reserved (and
+//! across-runs recycled) `Vec` and updates two fixed-size histograms —
+//! tens of nanoseconds per event. The `telemetry` bench pins the contract
+//! from both ends: end-to-end `serve_mixed` replay (engine construction,
+//! planning, replay — the serving cost a user pays) stays within **5%**,
+//! and the marginal recording cost on a warm pure-replay loop stays under
+//! an absolute per-event bound, so neither a planning regression nor a
+//! bloated event can hide in the other's denominator.
+//! [`TelemetryConfig::max_events`] bounds memory: past the cap events are
+//! counted as dropped instead of recorded (and event-derived analyses
+//! report the log as incomplete).
+//!
+//! ## Replay fidelity
+//!
+//! The event stream is *complete*: [`Telemetry::report`] reconstructs the
+//! full [`EngineReport`] — outcomes, rejects, peaks, fragmentation, energy,
+//! makespans, per-device utilization — purely from events, bit-for-bit
+//! equal to the engine's own report (pinned by `tests/telemetry.rs` over
+//! random mixed traces × policies × budgets). Conservation (every arrival
+//! resolves exactly once) and per-track monotonicity are checkable with
+//! [`Telemetry::conservation_check`] / [`Telemetry::tracks_monotone`].
+//!
+//! ## Exporter formats
+//!
+//! * [`Telemetry::chrome_trace_json`] — Chrome trace-event JSON (the
+//!   Perfetto / `chrome://tracing` format): one thread per device plus an
+//!   `engine` thread, `"X"` complete-events for launches, `"C"` counters
+//!   for shared-budget occupancy and queue depth, `"i"` instants for
+//!   rejects. [`validate_chrome_trace`] parses it back and proves spans
+//!   never overlap within a device track (run by CI on `serve_trace`
+//!   output).
+//! * [`Telemetry::prometheus_text`] — Prometheus text exposition: typed
+//!   `mas_engine_*` counters and gauges with `class` / `reason` / `device`
+//!   labels, plus log-bucketed latency histograms
+//!   ([`LogHistogram`], power-of-two buckets, mergeable across engines by
+//!   bucket-wise addition — the hook for the future multi-engine cluster
+//!   layer) alongside the exact [`LatencyStats`] figures in the report.
+//! * [`chrome_trace_from_sim`] — bridges a cycle-level
+//!   [`mas_sim::trace::Trace`] (per-resource spans) into the same Chrome
+//!   JSON, so kernel-level and engine-level timelines open in one viewer.
+//!
+//! [`ServeEngine`]: crate::engine::ServeEngine
+//! [`EngineConfig::telemetry`]: crate::engine::EngineConfig::telemetry
+//! [`LatencyStats`]: crate::metrics::LatencyStats
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use mas_dataflow::DataflowKind;
+
+use crate::decode::{DecodeRejectReason, DecodeReport, DecodeStepOutcome, RejectedDecodeStep};
+use crate::engine::{note_kv_peak, DeviceUtil, EngineReport, MemPeak, SchedulePolicy};
+use crate::key::{LaunchKey, WorkClass};
+use crate::metrics::{RejectedRequest, RequestOutcome, ServeReport};
+use crate::queue::RejectReason;
+
+/// Opt-in telemetry configuration ([`crate::engine::EngineConfig::telemetry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct TelemetryConfig {
+    /// Maximum events retained per run. `None` is unbounded; with a cap,
+    /// events past it are counted as dropped ([`Telemetry::dropped`]) and
+    /// event-derived analyses ([`Telemetry::report`]) decline rather than
+    /// return partial answers.
+    pub max_events: Option<usize>,
+}
+
+/// Which memory-budget holder a charge or release belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum MemOwner {
+    /// A prefill launch's summed activation charge, by launch id.
+    PrefillLaunch(u64),
+    /// A decode session's KV residency, by session id.
+    Session(u64),
+}
+
+impl std::fmt::Display for MemOwner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemOwner::PrefillLaunch(id) => write!(f, "prefill-launch {id}"),
+            MemOwner::Session(id) => write!(f, "session {id}"),
+        }
+    }
+}
+
+/// Why an open launch was sealed and dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SealCause {
+    /// Its batching window expired.
+    Window,
+    /// It reached the class's member capacity (or decode batching is
+    /// disabled with a zero window).
+    Fill,
+    /// Growing the merged prefill workload further would outrun the device,
+    /// so the current batch dispatched early.
+    Feasibility,
+    /// End-of-stream flush at the window end.
+    Flush,
+}
+
+impl SealCause {
+    /// Stable lower-case label (Prometheus / trace args).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SealCause::Window => "window",
+            SealCause::Fill => "fill",
+            SealCause::Feasibility => "feasibility",
+            SealCause::Flush => "flush",
+        }
+    }
+}
+
+/// The track an event belongs to for per-track monotonicity: the engine's
+/// virtual timeline, or one device's launch history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Track {
+    /// Stream-processing events, stamped at the engine's current instant.
+    Timeline,
+    /// Launch start/completion events on one virtual device.
+    Device(u32),
+}
+
+/// One typed lifecycle event. The sequence number is the event's index in
+/// [`Telemetry::events`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EngineEvent {
+    /// Virtual-time stamp in seconds (monotone per [`Track`]).
+    pub t_s: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy (see the module docs for when each fires).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum EventKind {
+    /// Replay started: the configuration snapshot reconstruction needs.
+    RunStart {
+        /// Iteration-level scheduling policy.
+        policy: SchedulePolicy,
+        /// Virtual device count (one track each).
+        devices: u32,
+        /// Shared memory budget in bytes.
+        budget_bytes: u64,
+        /// Prefill member capacity per launch.
+        max_batch: u32,
+        /// Decode member capacity per launch.
+        max_steps_per_launch: u32,
+        /// Uniform per-step decode deadline, if any.
+        step_deadline_s: Option<f64>,
+    },
+    /// A prefill request arrived (before admission).
+    PrefillArrival {
+        /// Request id.
+        id: u64,
+        /// Workload name (carried once; later events reference the id).
+        workload: String,
+        /// Requested dataflow method.
+        method: DataflowKind,
+        /// The request's batch dimension.
+        batch: u32,
+        /// Relative latency SLO, if any.
+        deadline_s: Option<f64>,
+    },
+    /// A prefill request was refused (admission or shared-budget pressure).
+    PrefillRejected {
+        /// Request id.
+        id: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// A prefill request joined an open launch, charging the shared budget.
+    PrefillJoin {
+        /// The launch joined.
+        launch_id: u64,
+        /// Member count after the join.
+        members: u32,
+        /// Activation bytes charged against the shared budget.
+        charged_bytes: u64,
+    },
+    /// A decode step arrived (before any screening).
+    DecodeArrival {
+        /// Session id.
+        session_id: u64,
+        /// Zero-based step index within the session.
+        step_index: u32,
+    },
+    /// A session admitted at first sight, charging its initial KV residency.
+    SessionOpen {
+        /// Session id.
+        session_id: u64,
+        /// Prompt length resident from admission.
+        prompt_len: u32,
+        /// Initial bytes charged against the shared budget.
+        charged_bytes: u64,
+        /// Bytes of actual resident context tokens at admission.
+        used_bytes: u64,
+        /// Initial KV blocks allocated (zero under legacy charging).
+        blocks: u64,
+    },
+    /// A session was refused at first sight.
+    SessionRejected {
+        /// Session id.
+        session_id: u64,
+        /// Why.
+        reason: DecodeRejectReason,
+    },
+    /// A decode step was refused (unknown/unadmitted session, deadline
+    /// screen, or pool overflow).
+    DecodeStepRejected {
+        /// Session id.
+        session_id: u64,
+        /// Zero-based step index.
+        step_index: u32,
+        /// Why.
+        reason: DecodeRejectReason,
+    },
+    /// Paged block growth charged the shared pool.
+    KvGrow {
+        /// The growing session.
+        session_id: u64,
+        /// Bytes charged.
+        delta_bytes: u64,
+        /// Blocks allocated.
+        delta_blocks: u64,
+    },
+    /// A decode step joined an open launch; its token became resident.
+    DecodeJoin {
+        /// The launch joined.
+        launch_id: u64,
+        /// Session id.
+        session_id: u64,
+        /// Zero-based step index.
+        step_index: u32,
+        /// Context length attended by the step.
+        context_len: u32,
+        /// Member count after the join.
+        members: u32,
+        /// `K`+`V` bytes of the step's token (used-bytes growth).
+        token_bytes: u64,
+    },
+    /// A sealed launch started on a device.
+    LaunchDispatched {
+        /// Launch id (shared id space across classes).
+        launch_id: u64,
+        /// The coalescing key (class + kernel shape).
+        key: LaunchKey,
+        /// Device index.
+        device: u32,
+        /// When the launch was ready to start.
+        ready_s: f64,
+        /// Device start time (`max(device_free, ready)`).
+        start_s: f64,
+        /// Device completion time.
+        completion_s: f64,
+        /// Simulated service time.
+        service_s: f64,
+        /// Member work items carried.
+        members: u32,
+        /// Summed batch dimension (prefill; equals `members` for decode).
+        total_batch: u32,
+        /// The plan's total energy (prefill; zero for decode).
+        energy_pj: f64,
+        /// Whether the plan came from the schedule cache (prefill).
+        cache_hit: bool,
+        /// Why the launch sealed.
+        cause: SealCause,
+    },
+    /// A member prefill request completed (stamped at launch completion).
+    PrefillCompleted {
+        /// Request id.
+        id: u64,
+        /// The launch that carried it.
+        launch_id: u64,
+    },
+    /// A member decode step completed (stamped at launch completion).
+    DecodeCompleted {
+        /// Session id.
+        session_id: u64,
+        /// Zero-based step index.
+        step_index: u32,
+        /// Context length attended.
+        context_len: u32,
+        /// The launch that carried it.
+        launch_id: u64,
+    },
+    /// A deferred shared-budget release applied (stamped at the stream
+    /// instant it was applied; `scheduled_s` is the completion instant that
+    /// scheduled it).
+    BudgetRelease {
+        /// Whose charge released.
+        owner: MemOwner,
+        /// Bytes released.
+        bytes: u64,
+        /// Resident-token bytes released (sessions; zero for prefill).
+        used_bytes: u64,
+        /// KV blocks released (sessions; zero for prefill).
+        blocks: u64,
+        /// The completion instant that scheduled the release.
+        scheduled_s: f64,
+    },
+}
+
+/// The in-flight recorder owned by one engine replay. Append-only; all
+/// analysis lives on the finished [`Telemetry`].
+#[derive(Debug, Clone)]
+pub(crate) struct TelemetryRecorder {
+    events: Vec<EngineEvent>,
+    max_events: usize,
+    dropped: u64,
+    prefill_hist: LogHistogram,
+    decode_hist: LogHistogram,
+}
+
+impl TelemetryRecorder {
+    /// Creates a recorder, pre-reserving capacity for `capacity_hint`
+    /// events (clamped to the configured cap). `recycle` donates the event
+    /// buffer of a previous run's [`Telemetry`] — reusing its allocation
+    /// keeps repeated replays on one warm engine from re-faulting a fresh
+    /// multi-hundred-KB buffer every run, which would dominate the
+    /// recording overhead.
+    pub(crate) fn new(
+        config: TelemetryConfig,
+        capacity_hint: usize,
+        recycle: Option<Vec<EngineEvent>>,
+    ) -> Self {
+        let max_events = config.max_events.unwrap_or(usize::MAX);
+        let want = capacity_hint.min(max_events).min(1 << 20);
+        let mut events = recycle.unwrap_or_default();
+        events.clear();
+        if events.capacity() < want {
+            events.reserve(want - events.capacity());
+        }
+        Self {
+            events,
+            max_events,
+            dropped: 0,
+            prefill_hist: LogHistogram::new(),
+            decode_hist: LogHistogram::new(),
+        }
+    }
+
+    /// Appends one event, or counts it dropped past the cap.
+    #[inline]
+    pub(crate) fn record(&mut self, t_s: f64, kind: EventKind) {
+        if self.events.len() < self.max_events {
+            self.events.push(EngineEvent { t_s, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Streams one completion latency into the class's histogram.
+    #[inline]
+    pub(crate) fn observe_latency(&mut self, class: WorkClass, latency_s: f64) {
+        match class {
+            WorkClass::Prefill => self.prefill_hist.observe(latency_s),
+            WorkClass::Decode => self.decode_hist.observe(latency_s),
+        }
+    }
+
+    /// Seals the recorder into an analyzable [`Telemetry`].
+    pub(crate) fn finish(self) -> Telemetry {
+        Telemetry {
+            events: self.events,
+            dropped: self.dropped,
+            prefill_hist: self.prefill_hist,
+            decode_hist: self.decode_hist,
+        }
+    }
+}
+
+/// The sealed event log of one engine replay, with analysis and exporters.
+/// Obtained from [`crate::engine::ServeEngine::telemetry`] after a run with
+/// [`TelemetryConfig`] set.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    events: Vec<EngineEvent>,
+    dropped: u64,
+    prefill_hist: LogHistogram,
+    decode_hist: LogHistogram,
+}
+
+impl Telemetry {
+    /// Consumes the telemetry, handing its event buffer back for
+    /// [`TelemetryRecorder::new`] to recycle on the next run.
+    pub(crate) fn into_event_buffer(self) -> Vec<EngineEvent> {
+        self.events
+    }
+
+    /// The recorded events, in recording order (index = sequence number).
+    #[must_use]
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// Events dropped past [`TelemetryConfig::max_events`].
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the log captured every transition (nothing dropped).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+
+    /// The streaming log-bucketed latency histogram of a class. Unlike the
+    /// event log these are never truncated by `max_events`, and they merge
+    /// across engines ([`LogHistogram::merge`]).
+    #[must_use]
+    pub fn latency_histogram(&self, class: WorkClass) -> &LogHistogram {
+        match class {
+            WorkClass::Prefill => &self.prefill_hist,
+            WorkClass::Decode => &self.decode_hist,
+        }
+    }
+
+    /// Reconstructs the full [`EngineReport`] purely from the event log —
+    /// bit-for-bit equal to the report the engine produced (pinned by
+    /// test). `None` when the log is incomplete (dropped events) or has no
+    /// [`EventKind::RunStart`].
+    #[must_use]
+    pub fn report(&self) -> Option<EngineReport> {
+        if !self.is_complete() {
+            return None;
+        }
+        let replay = Replay::run(&self.events)?;
+        Some(replay.into_report())
+    }
+
+    /// Per-device utilization replayed from the event log. Empty when the
+    /// log is incomplete or never started.
+    #[must_use]
+    pub fn device_utilization(&self) -> Vec<DeviceUtil> {
+        if !self.is_complete() {
+            return Vec::new();
+        }
+        Replay::run(&self.events).map_or_else(Vec::new, |r| r.device_util())
+    }
+
+    /// Shared-budget occupancy peak with attribution: which holders
+    /// (prefill launches / sessions) held bytes at the peak instant. `None`
+    /// when the log is incomplete or the budget was never charged.
+    #[must_use]
+    pub fn peak_attribution(&self) -> Option<PeakAttribution> {
+        if !self.is_complete() {
+            return None;
+        }
+        Replay::run(&self.events)?.peak
+    }
+
+    /// Queue-depth gauge of a class: joined-but-undispatched members over
+    /// time (`+1` per join, `-members` per dispatch).
+    #[must_use]
+    pub fn queue_depth(&self, class: WorkClass) -> TimeSeries<i64> {
+        let mut series = TimeSeries::new();
+        let mut depth = 0i64;
+        for event in &self.events {
+            match &event.kind {
+                EventKind::PrefillJoin { .. } if class == WorkClass::Prefill => {
+                    depth += 1;
+                    series.push(event.t_s, depth);
+                }
+                EventKind::DecodeJoin { .. } if class == WorkClass::Decode => {
+                    depth += 1;
+                    series.push(event.t_s, depth);
+                }
+                EventKind::LaunchDispatched { key, members, .. } if key.class() == class => {
+                    depth -= i64::from(*members);
+                    series.push(event.t_s, depth);
+                }
+                _ => {}
+            }
+        }
+        series
+    }
+
+    /// Mean batch fill of a class: dispatched members over the class's
+    /// member capacity, averaged across launches. `None` with no launches
+    /// (or no [`EventKind::RunStart`] to read capacities from).
+    #[must_use]
+    pub fn mean_batch_fill(&self, class: WorkClass) -> Option<f64> {
+        let capacity = self.events.iter().find_map(|e| match e.kind {
+            EventKind::RunStart {
+                max_batch,
+                max_steps_per_launch,
+                ..
+            } => Some(match class {
+                WorkClass::Prefill => max_batch,
+                WorkClass::Decode => max_steps_per_launch,
+            }),
+            _ => None,
+        })?;
+        let fills: Vec<f64> = self
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::LaunchDispatched { key, members, .. } if key.class() == class => {
+                    Some(f64::from(*members) / f64::from(capacity.max(1)))
+                }
+                _ => None,
+            })
+            .collect();
+        if fills.is_empty() {
+            return None;
+        }
+        Some(fills.iter().sum::<f64>() / fills.len() as f64)
+    }
+
+    /// Checks conservation: every arrival appears exactly once as completed
+    /// or rejected, and no completion/reject lacks an arrival. Requires a
+    /// complete log.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn conservation_check(&self) -> Result<ConservationStats, String> {
+        if !self.is_complete() {
+            return Err(format!("log incomplete: {} events dropped", self.dropped));
+        }
+        // 0 = arrived, 1 = resolved once; anything else is a violation.
+        let mut prefill: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut decode: BTreeMap<(u64, u32), u32> = BTreeMap::new();
+        let mut stats = ConservationStats::default();
+        for event in &self.events {
+            match &event.kind {
+                EventKind::PrefillArrival { id, .. } => {
+                    if prefill.insert(*id, 0).is_some() {
+                        return Err(format!("prefill request {id} arrived twice"));
+                    }
+                    stats.prefill_arrivals += 1;
+                }
+                EventKind::PrefillRejected { id, .. } | EventKind::PrefillCompleted { id, .. } => {
+                    let resolved = matches!(event.kind, EventKind::PrefillCompleted { .. });
+                    match prefill.get_mut(id) {
+                        None => {
+                            return Err(format!("prefill request {id} resolved, never arrived"))
+                        }
+                        Some(n @ 0) => *n = 1,
+                        Some(_) => return Err(format!("prefill request {id} resolved twice")),
+                    }
+                    if resolved {
+                        stats.prefill_completed += 1;
+                    } else {
+                        stats.prefill_rejected += 1;
+                    }
+                }
+                EventKind::DecodeArrival {
+                    session_id,
+                    step_index,
+                } => {
+                    if decode.insert((*session_id, *step_index), 0).is_some() {
+                        return Err(format!(
+                            "decode step ({session_id}, {step_index}) arrived twice"
+                        ));
+                    }
+                    stats.decode_arrivals += 1;
+                }
+                EventKind::DecodeStepRejected {
+                    session_id,
+                    step_index,
+                    ..
+                }
+                | EventKind::DecodeCompleted {
+                    session_id,
+                    step_index,
+                    ..
+                } => {
+                    let resolved = matches!(event.kind, EventKind::DecodeCompleted { .. });
+                    match decode.get_mut(&(*session_id, *step_index)) {
+                        None => {
+                            return Err(format!(
+                                "decode step ({session_id}, {step_index}) resolved, never arrived"
+                            ))
+                        }
+                        Some(n @ 0) => *n = 1,
+                        Some(_) => {
+                            return Err(format!(
+                                "decode step ({session_id}, {step_index}) resolved twice"
+                            ))
+                        }
+                    }
+                    if resolved {
+                        stats.decode_completed += 1;
+                    } else {
+                        stats.decode_rejected += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((id, _)) = prefill.iter().find(|(_, &n)| n == 0) {
+            return Err(format!("prefill request {id} arrived, never resolved"));
+        }
+        if let Some(((sid, idx), _)) = decode.iter().find(|(_, &n)| n == 0) {
+            return Err(format!(
+                "decode step ({sid}, {idx}) arrived, never resolved"
+            ));
+        }
+        Ok(stats)
+    }
+
+    /// Checks per-track timestamp monotonicity (see the module docs for the
+    /// track assignment).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first out-of-order pair found.
+    pub fn tracks_monotone(&self) -> Result<(), String> {
+        let mut last: BTreeMap<Track, f64> = BTreeMap::new();
+        let mut launch_device: BTreeMap<u64, u32> = BTreeMap::new();
+        for (seq, event) in self.events.iter().enumerate() {
+            let track = match &event.kind {
+                EventKind::LaunchDispatched {
+                    launch_id, device, ..
+                } => {
+                    launch_device.insert(*launch_id, *device);
+                    Track::Device(*device)
+                }
+                EventKind::PrefillCompleted { launch_id, .. }
+                | EventKind::DecodeCompleted { launch_id, .. } => Track::Device(
+                    *launch_device
+                        .get(launch_id)
+                        .ok_or_else(|| format!("completion references launch {launch_id}"))?,
+                ),
+                _ => Track::Timeline,
+            };
+            let prev = last.entry(track).or_insert(f64::NEG_INFINITY);
+            if event.t_s < *prev {
+                return Err(format!(
+                    "event {seq} ({:?}) at t={} regresses behind t={} on {track:?}",
+                    std::mem::discriminant(&event.kind),
+                    event.t_s,
+                    *prev,
+                ));
+            }
+            *prev = event.t_s;
+        }
+        Ok(())
+    }
+
+    /// Exports the log as Chrome trace-event JSON (Perfetto /
+    /// `chrome://tracing`): one thread per device plus an `engine` thread,
+    /// `"X"` spans for launches, `"C"` counters for budget occupancy and
+    /// queue depth, `"i"` instants for rejects.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        let devices = self
+            .events
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::RunStart { devices, .. } => Some(devices),
+                _ => None,
+            })
+            .unwrap_or(0);
+        let engine_tid = devices; // one tid past the device tracks
+        let us = |t_s: f64| t_s * 1e6;
+        let mut out = String::with_capacity(256 + self.events.len() * 128);
+        out.push('[');
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, event: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+            out.push_str(&event);
+        };
+        push(
+            &mut out,
+            &mut first,
+            r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"mas-serve engine"}}"#
+                .to_string(),
+        );
+        for d in 0..devices {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{d},"args":{{"name":"device {d}"}}}}"#
+                ),
+            );
+        }
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{engine_tid},"args":{{"name":"engine"}}}}"#
+            ),
+        );
+        // Running counters.
+        let (mut prefill_bytes, mut decode_bytes) = (0u64, 0u64);
+        let (mut prefill_depth, mut decode_depth) = (0i64, 0i64);
+        let budget_counter = |out: &mut String, first: &mut bool, t: f64, p: u64, d: u64| {
+            push(
+                out,
+                first,
+                format!(
+                    r#"{{"name":"shared_budget_bytes","ph":"C","pid":0,"tid":0,"ts":{},"args":{{"prefill":{p},"decode":{d}}}}}"#,
+                    us(t)
+                ),
+            );
+        };
+        let depth_counter = |out: &mut String, first: &mut bool, t: f64, p: i64, d: i64| {
+            push(
+                out,
+                first,
+                format!(
+                    r#"{{"name":"queue_depth","ph":"C","pid":0,"tid":0,"ts":{},"args":{{"prefill":{p},"decode":{d}}}}}"#,
+                    us(t)
+                ),
+            );
+        };
+        for event in &self.events {
+            let t = event.t_s;
+            match &event.kind {
+                EventKind::PrefillJoin { charged_bytes, .. } => {
+                    prefill_bytes += charged_bytes;
+                    prefill_depth += 1;
+                    budget_counter(&mut out, &mut first, t, prefill_bytes, decode_bytes);
+                    depth_counter(&mut out, &mut first, t, prefill_depth, decode_depth);
+                }
+                EventKind::SessionOpen { charged_bytes, .. } => {
+                    decode_bytes += charged_bytes;
+                    budget_counter(&mut out, &mut first, t, prefill_bytes, decode_bytes);
+                }
+                EventKind::KvGrow { delta_bytes, .. } => {
+                    decode_bytes += delta_bytes;
+                    budget_counter(&mut out, &mut first, t, prefill_bytes, decode_bytes);
+                }
+                EventKind::DecodeJoin { .. } => {
+                    decode_depth += 1;
+                    depth_counter(&mut out, &mut first, t, prefill_depth, decode_depth);
+                }
+                EventKind::BudgetRelease { owner, bytes, .. } => {
+                    match owner {
+                        MemOwner::PrefillLaunch(_) => {
+                            prefill_bytes = prefill_bytes.saturating_sub(*bytes);
+                        }
+                        MemOwner::Session(_) => {
+                            decode_bytes = decode_bytes.saturating_sub(*bytes);
+                        }
+                    }
+                    budget_counter(&mut out, &mut first, t, prefill_bytes, decode_bytes);
+                }
+                EventKind::LaunchDispatched {
+                    launch_id,
+                    key,
+                    device,
+                    start_s,
+                    service_s,
+                    members,
+                    cause,
+                    ..
+                } => {
+                    match key.class() {
+                        WorkClass::Prefill => prefill_depth -= i64::from(*members),
+                        WorkClass::Decode => decode_depth -= i64::from(*members),
+                    }
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            r#"{{"name":{},"cat":"{}","ph":"X","pid":0,"tid":{device},"ts":{},"dur":{},"args":{{"launch_id":{launch_id},"members":{members},"cause":"{}"}}}}"#,
+                            escape_json(&key.to_string()),
+                            key.class(),
+                            us(*start_s),
+                            us(*service_s),
+                            cause.label(),
+                        ),
+                    );
+                    depth_counter(&mut out, &mut first, t, prefill_depth, decode_depth);
+                }
+                EventKind::PrefillRejected { id, reason } => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            r#"{{"name":{},"ph":"i","s":"t","pid":0,"tid":{engine_tid},"ts":{},"args":{{"id":{id}}}}}"#,
+                            escape_json(&format!("reject prefill: {}", reason.label())),
+                            us(t),
+                        ),
+                    );
+                }
+                EventKind::SessionRejected { session_id, reason } => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            r#"{{"name":{},"ph":"i","s":"t","pid":0,"tid":{engine_tid},"ts":{},"args":{{"session_id":{session_id}}}}}"#,
+                            escape_json(&format!("reject session: {}", reason.label())),
+                            us(t),
+                        ),
+                    );
+                }
+                EventKind::DecodeStepRejected {
+                    session_id, reason, ..
+                } => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            r#"{{"name":{},"ph":"i","s":"t","pid":0,"tid":{engine_tid},"ts":{},"args":{{"session_id":{session_id}}}}}"#,
+                            escape_json(&format!("reject step: {}", reason.label())),
+                            us(t),
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Exports a Prometheus text-exposition snapshot: `mas_engine_*`
+    /// counters, gauges and log-bucketed latency histograms.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        let mut arrivals = [0u64; 2];
+        let mut completed = [0u64; 2];
+        let mut launches = [0u64; 2];
+        let mut prefill_rejects: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut step_rejects: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut session_rejects: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut sessions_admitted = 0u64;
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        for event in &self.events {
+            match &event.kind {
+                EventKind::PrefillArrival { .. } => arrivals[0] += 1,
+                EventKind::DecodeArrival { .. } => arrivals[1] += 1,
+                EventKind::PrefillCompleted { .. } => completed[0] += 1,
+                EventKind::DecodeCompleted { .. } => completed[1] += 1,
+                EventKind::PrefillRejected { reason, .. } => {
+                    *prefill_rejects.entry(reason.label()).or_insert(0) += 1;
+                }
+                EventKind::DecodeStepRejected { reason, .. } => {
+                    *step_rejects.entry(reason.label()).or_insert(0) += 1;
+                }
+                EventKind::SessionRejected { reason, .. } => {
+                    *session_rejects.entry(reason.label()).or_insert(0) += 1;
+                }
+                EventKind::SessionOpen { .. } => sessions_admitted += 1,
+                EventKind::LaunchDispatched { key, cache_hit, .. } => {
+                    match key.class() {
+                        WorkClass::Prefill => {
+                            launches[0] += 1;
+                            if *cache_hit {
+                                cache_hits += 1;
+                            } else {
+                                cache_misses += 1;
+                            }
+                        }
+                        WorkClass::Decode => launches[1] += 1,
+                    };
+                }
+                _ => {}
+            }
+        }
+        let replay = if self.is_complete() {
+            Replay::run(&self.events)
+        } else {
+            None
+        };
+        let mut out = String::with_capacity(4096);
+        let metric = |out: &mut String, name: &str, help: &str, kind: &str| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        };
+        metric(
+            &mut out,
+            "mas_engine_arrivals_total",
+            "Work-item arrivals by class.",
+            "counter",
+        );
+        out.push_str(&format!(
+            "mas_engine_arrivals_total{{class=\"prefill\"}} {}\nmas_engine_arrivals_total{{class=\"decode\"}} {}\n",
+            arrivals[0], arrivals[1]
+        ));
+        metric(
+            &mut out,
+            "mas_engine_completed_total",
+            "Completed work items by class.",
+            "counter",
+        );
+        out.push_str(&format!(
+            "mas_engine_completed_total{{class=\"prefill\"}} {}\nmas_engine_completed_total{{class=\"decode\"}} {}\n",
+            completed[0], completed[1]
+        ));
+        metric(
+            &mut out,
+            "mas_engine_rejected_total",
+            "Rejected work items by class and reason.",
+            "counter",
+        );
+        for (reason, n) in &prefill_rejects {
+            out.push_str(&format!(
+                "mas_engine_rejected_total{{class=\"prefill\",reason=\"{reason}\"}} {n}\n"
+            ));
+        }
+        for (reason, n) in &step_rejects {
+            out.push_str(&format!(
+                "mas_engine_rejected_total{{class=\"decode\",reason=\"{reason}\"}} {n}\n"
+            ));
+        }
+        metric(
+            &mut out,
+            "mas_engine_sessions_rejected_total",
+            "Decode sessions rejected at open, by reason.",
+            "counter",
+        );
+        for (reason, n) in &session_rejects {
+            out.push_str(&format!(
+                "mas_engine_sessions_rejected_total{{reason=\"{reason}\"}} {n}\n"
+            ));
+        }
+        metric(
+            &mut out,
+            "mas_engine_sessions_admitted_total",
+            "Decode sessions admitted.",
+            "counter",
+        );
+        out.push_str(&format!(
+            "mas_engine_sessions_admitted_total {sessions_admitted}\n"
+        ));
+        metric(
+            &mut out,
+            "mas_engine_launches_total",
+            "Device launches by class.",
+            "counter",
+        );
+        out.push_str(&format!(
+            "mas_engine_launches_total{{class=\"prefill\"}} {}\nmas_engine_launches_total{{class=\"decode\"}} {}\n",
+            launches[0], launches[1]
+        ));
+        metric(
+            &mut out,
+            "mas_engine_cache_lookups_total",
+            "Prefill plan-cache lookups by result.",
+            "counter",
+        );
+        out.push_str(&format!(
+            "mas_engine_cache_lookups_total{{result=\"hit\"}} {cache_hits}\nmas_engine_cache_lookups_total{{result=\"miss\"}} {cache_misses}\n"
+        ));
+        if let Some(replay) = &replay {
+            metric(
+                &mut out,
+                "mas_engine_mem_budget_bytes",
+                "Shared memory budget.",
+                "gauge",
+            );
+            out.push_str(&format!("mas_engine_mem_budget_bytes {}\n", replay.budget));
+            metric(
+                &mut out,
+                "mas_engine_mem_peak_bytes",
+                "Peak shared-budget occupancy, total and by class.",
+                "gauge",
+            );
+            out.push_str(&format!(
+                "mas_engine_mem_peak_bytes{{class=\"total\"}} {}\nmas_engine_mem_peak_bytes{{class=\"prefill\"}} {}\nmas_engine_mem_peak_bytes{{class=\"decode\"}} {}\n",
+                replay.mem_peak.total, replay.mem_peak.prefill, replay.mem_peak.decode
+            ));
+            metric(
+                &mut out,
+                "mas_engine_makespan_seconds",
+                "Virtual time of the last completion.",
+                "gauge",
+            );
+            out.push_str(&format!(
+                "mas_engine_makespan_seconds {}\n",
+                replay.makespan_s
+            ));
+            metric(
+                &mut out,
+                "mas_engine_device_busy_seconds",
+                "Busy time per device.",
+                "gauge",
+            );
+            for (d, util) in replay.device_util().iter().enumerate() {
+                out.push_str(&format!(
+                    "mas_engine_device_busy_seconds{{device=\"{d}\"}} {}\n",
+                    util.busy_s
+                ));
+            }
+            metric(
+                &mut out,
+                "mas_engine_device_idle_gaps_total",
+                "Idle gaps between launches per device.",
+                "counter",
+            );
+            for (d, util) in replay.device_util().iter().enumerate() {
+                out.push_str(&format!(
+                    "mas_engine_device_idle_gaps_total{{device=\"{d}\"}} {}\n",
+                    util.idle_gaps
+                ));
+            }
+        }
+        metric(
+            &mut out,
+            "mas_engine_latency_seconds",
+            "End-to-end completion latency by class (log2 buckets).",
+            "histogram",
+        );
+        for (class, hist) in [
+            ("prefill", &self.prefill_hist),
+            ("decode", &self.decode_hist),
+        ] {
+            let mut cumulative = 0u64;
+            for (i, &n) in hist.bucket_counts().iter().enumerate() {
+                cumulative += n;
+                if n > 0 || i + 1 == LOG_HISTOGRAM_BUCKETS {
+                    out.push_str(&format!(
+                        "mas_engine_latency_seconds_bucket{{class=\"{class}\",le=\"{:e}\"}} {cumulative}\n",
+                        LogHistogram::bucket_upper_bound_s(i)
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "mas_engine_latency_seconds_bucket{{class=\"{class}\",le=\"+Inf\"}} {}\n",
+                hist.count()
+            ));
+            out.push_str(&format!(
+                "mas_engine_latency_seconds_sum{{class=\"{class}\"}} {}\n",
+                hist.sum_s()
+            ));
+            out.push_str(&format!(
+                "mas_engine_latency_seconds_count{{class=\"{class}\"}} {}\n",
+                hist.count()
+            ));
+        }
+        out
+    }
+}
+
+/// Conservation tallies returned by [`Telemetry::conservation_check`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ConservationStats {
+    /// Prefill requests that arrived.
+    pub prefill_arrivals: usize,
+    /// Prefill requests that completed.
+    pub prefill_completed: usize,
+    /// Prefill requests that were rejected.
+    pub prefill_rejected: usize,
+    /// Decode steps that arrived.
+    pub decode_arrivals: usize,
+    /// Decode steps that completed.
+    pub decode_completed: usize,
+    /// Decode steps that were rejected.
+    pub decode_rejected: usize,
+}
+
+/// The shared-budget occupancy peak with its holders, from
+/// [`Telemetry::peak_attribution`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PeakAttribution {
+    /// Peak bytes charged at once.
+    pub peak_bytes: u64,
+    /// Prefill activation share of the peak.
+    pub prefill_bytes: u64,
+    /// Decode KV share of the peak.
+    pub decode_bytes: u64,
+    /// Virtual time of the peak instant.
+    pub t_s: f64,
+    /// Every holder's charge at the peak instant, largest first (ties by
+    /// owner identity).
+    pub holders: Vec<(MemOwner, u64)>,
+}
+
+/// A timestamped value series (gauges over virtual time).
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct TimeSeries<T> {
+    /// `(t_s, value)` points in time order.
+    pub points: Vec<(f64, T)>,
+}
+
+impl<T> TimeSeries<T> {
+    /// An empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, t_s: f64, value: T) {
+        self.points.push((t_s, value));
+    }
+
+    /// The most recent value.
+    #[must_use]
+    pub fn last(&self) -> Option<&T> {
+        self.points.last().map(|(_, v)| v)
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Bucket count of [`LogHistogram`].
+pub const LOG_HISTOGRAM_BUCKETS: usize = 32;
+
+/// Smallest bucket exponent: bucket 0 covers values below
+/// 2^(`LOG_HISTOGRAM_MIN_EXP` + 1) seconds.
+pub const LOG_HISTOGRAM_MIN_EXP: i32 = -24;
+
+/// A streaming log₂-bucketed histogram: 32 power-of-two buckets from
+/// `2^-24` s (~60 ns) to `2^8` s, each holding a count. Observation is two
+/// integer ops (IEEE-754 exponent extraction) plus a float add; histograms
+/// merge by bucket-wise addition — the property the future multi-engine
+/// cluster layer needs to aggregate per-shard latency without raw samples.
+/// Quantiles come back as bucket upper bounds (≤ one octave of error),
+/// coexisting with the exact [`crate::metrics::LatencyStats`] figures.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LogHistogram {
+    counts: [u64; LOG_HISTOGRAM_BUCKETS],
+    count: u64,
+    sum_s: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: [0; LOG_HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_s: 0.0,
+        }
+    }
+
+    /// The bucket index of a value: its binary exponent, clamped to the
+    /// bucket range (non-positive and subnormal values land in bucket 0,
+    /// values ≥ `2^8` s in the last bucket).
+    #[must_use]
+    pub fn bucket_index(v_s: f64) -> usize {
+        if v_s <= 0.0 || !v_s.is_finite() {
+            return 0;
+        }
+        // floor(log2(v)) for normal doubles, straight from the exponent bits.
+        let e = ((v_s.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        (e - LOG_HISTOGRAM_MIN_EXP).clamp(0, LOG_HISTOGRAM_BUCKETS as i32 - 1) as usize
+    }
+
+    /// Upper bound of bucket `i` in seconds: `2^(MIN_EXP + i + 1)`. The
+    /// last bucket is a catch-all; its nominal bound understates extreme
+    /// outliers (the `+Inf` exposition line carries the true total).
+    #[must_use]
+    pub fn bucket_upper_bound_s(i: usize) -> f64 {
+        f64::from(LOG_HISTOGRAM_MIN_EXP + i as i32 + 1).exp2()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, v_s: f64) {
+        self.counts[Self::bucket_index(v_s)] += 1;
+        self.count += 1;
+        self.sum_s += v_s;
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition;
+    /// commutative and associative).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations in seconds.
+    #[must_use]
+    pub fn sum_s(&self) -> f64 {
+        self.sum_s
+    }
+
+    /// Whether nothing was observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket counts.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; LOG_HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`), reported as the containing
+    /// bucket's upper bound. `None` when empty.
+    #[must_use]
+    pub fn quantile_upper_bound_s(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(Self::bucket_upper_bound_s(i));
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report reconstruction: replay the event stream in the exact order the
+// engine mutated its state, so every f64 accumulation chain matches
+// bit-for-bit.
+// ---------------------------------------------------------------------------
+
+struct ArrivalInfo {
+    workload: String,
+    method: DataflowKind,
+    batch: u32,
+    deadline_s: Option<f64>,
+    arrival_s: f64,
+}
+
+#[derive(Clone, Copy)]
+struct LaunchInfo {
+    device: u32,
+    start_s: f64,
+    completion_s: f64,
+    service_s: f64,
+    total_batch: u32,
+    energy_pj: f64,
+    cache_hit: bool,
+}
+
+struct Replay {
+    policy: SchedulePolicy,
+    devices: usize,
+    budget: u64,
+    step_deadline_s: Option<f64>,
+    prefill_report: ServeReport,
+    decode_report: DecodeReport,
+    makespan_s: f64,
+    mem_peak: MemPeak,
+    kv_in_use: u64,
+    kv_used: u64,
+    blocks_in_use: u64,
+    prefill_charged: u64,
+    free_at: Vec<f64>,
+    busy_prefill: Vec<f64>,
+    busy_decode: Vec<f64>,
+    idle_gaps: Vec<usize>,
+    launch_counts: Vec<usize>,
+    holders: BTreeMap<MemOwner, u64>,
+    peak: Option<PeakAttribution>,
+}
+
+impl Replay {
+    /// Replays the full event stream; `None` without a leading `RunStart`.
+    #[allow(clippy::too_many_lines)]
+    fn run(events: &[EngineEvent]) -> Option<Self> {
+        let (policy, devices, budget, step_deadline_s) =
+            events.iter().find_map(|e| match e.kind {
+                EventKind::RunStart {
+                    policy,
+                    devices,
+                    budget_bytes,
+                    step_deadline_s,
+                    ..
+                } => Some((policy, devices as usize, budget_bytes, step_deadline_s)),
+                _ => None,
+            })?;
+        let devices = devices.max(1);
+        let mut replay = Self {
+            policy,
+            devices,
+            budget,
+            step_deadline_s,
+            prefill_report: ServeReport::default(),
+            decode_report: DecodeReport::default(),
+            makespan_s: 0.0,
+            mem_peak: MemPeak::default(),
+            kv_in_use: 0,
+            kv_used: 0,
+            blocks_in_use: 0,
+            prefill_charged: 0,
+            free_at: vec![0.0; devices],
+            busy_prefill: vec![0.0; devices],
+            busy_decode: vec![0.0; devices],
+            idle_gaps: vec![0; devices],
+            launch_counts: vec![0; devices],
+            holders: BTreeMap::new(),
+            peak: None,
+        };
+        let mut arrivals: BTreeMap<u64, ArrivalInfo> = BTreeMap::new();
+        let mut decode_arrivals: BTreeMap<(u64, u32), f64> = BTreeMap::new();
+        let mut launches: BTreeMap<u64, LaunchInfo> = BTreeMap::new();
+        let mut open_charges: BTreeMap<u64, u64> = BTreeMap::new();
+        for event in events {
+            let t = event.t_s;
+            match &event.kind {
+                EventKind::RunStart { .. } => {}
+                EventKind::PrefillArrival {
+                    id,
+                    workload,
+                    method,
+                    batch,
+                    deadline_s,
+                } => {
+                    arrivals.insert(
+                        *id,
+                        ArrivalInfo {
+                            workload: workload.clone(),
+                            method: *method,
+                            batch: *batch,
+                            deadline_s: *deadline_s,
+                            arrival_s: t,
+                        },
+                    );
+                }
+                EventKind::PrefillRejected { id, reason } => {
+                    let info = arrivals.get(id)?;
+                    replay.prefill_report.rejected.push(RejectedRequest {
+                        id: *id,
+                        workload: info.workload.clone(),
+                        arrival_s: t,
+                        reason: *reason,
+                    });
+                }
+                EventKind::PrefillJoin {
+                    launch_id,
+                    charged_bytes,
+                    ..
+                } => {
+                    *open_charges.entry(*launch_id).or_insert(0) += charged_bytes;
+                    replay.prefill_charged += charged_bytes;
+                    replay.charge(MemOwner::PrefillLaunch(*launch_id), *charged_bytes, t);
+                }
+                EventKind::DecodeArrival {
+                    session_id,
+                    step_index,
+                } => {
+                    decode_arrivals.insert((*session_id, *step_index), t);
+                }
+                EventKind::SessionOpen {
+                    session_id,
+                    charged_bytes,
+                    used_bytes,
+                    blocks,
+                    ..
+                } => {
+                    replay.kv_in_use += charged_bytes;
+                    replay.kv_used += used_bytes;
+                    replay.blocks_in_use += blocks;
+                    note_kv_peak(
+                        &mut replay.decode_report,
+                        replay.kv_in_use,
+                        replay.kv_used,
+                        replay.blocks_in_use,
+                    );
+                    replay.charge(MemOwner::Session(*session_id), *charged_bytes, t);
+                    replay.decode_report.sessions_admitted += 1;
+                }
+                EventKind::SessionRejected { session_id, reason } => {
+                    replay
+                        .decode_report
+                        .rejected_sessions
+                        .push((*session_id, *reason));
+                }
+                EventKind::DecodeStepRejected {
+                    session_id,
+                    step_index,
+                    reason,
+                } => {
+                    replay.decode_report.rejected.push(RejectedDecodeStep {
+                        session_id: *session_id,
+                        step_index: *step_index as usize,
+                        arrival_s: t,
+                        reason: *reason,
+                    });
+                }
+                EventKind::KvGrow {
+                    session_id,
+                    delta_bytes,
+                    delta_blocks,
+                } => {
+                    replay.kv_in_use += delta_bytes;
+                    replay.blocks_in_use += delta_blocks;
+                    note_kv_peak(
+                        &mut replay.decode_report,
+                        replay.kv_in_use,
+                        replay.kv_used,
+                        replay.blocks_in_use,
+                    );
+                    replay.charge(MemOwner::Session(*session_id), *delta_bytes, t);
+                }
+                EventKind::DecodeJoin { token_bytes, .. } => {
+                    replay.kv_used += token_bytes;
+                    note_kv_peak(
+                        &mut replay.decode_report,
+                        replay.kv_in_use,
+                        replay.kv_used,
+                        replay.blocks_in_use,
+                    );
+                }
+                EventKind::LaunchDispatched {
+                    launch_id,
+                    key,
+                    device,
+                    start_s,
+                    completion_s,
+                    service_s,
+                    total_batch,
+                    energy_pj,
+                    cache_hit,
+                    ..
+                } => {
+                    launches.insert(
+                        *launch_id,
+                        LaunchInfo {
+                            device: *device,
+                            start_s: *start_s,
+                            completion_s: *completion_s,
+                            service_s: *service_s,
+                            total_batch: *total_batch,
+                            energy_pj: *energy_pj,
+                            cache_hit: *cache_hit,
+                        },
+                    );
+                    let d = *device as usize;
+                    if d >= replay.devices {
+                        return None;
+                    }
+                    // Mirrors `EngineRun::note_device_span`: gap check
+                    // against the device's previous completion, then busy
+                    // accumulation in dispatch order.
+                    if replay.launch_counts[d] > 0 && *start_s > replay.free_at[d] {
+                        replay.idle_gaps[d] += 1;
+                    }
+                    replay.launch_counts[d] += 1;
+                    replay.free_at[d] = *completion_s;
+                    match key.class() {
+                        WorkClass::Prefill => {
+                            replay.busy_prefill[d] += service_s;
+                            replay.prefill_report.batches += 1;
+                            if *cache_hit {
+                                replay.prefill_report.cache_hits += 1;
+                            } else {
+                                replay.prefill_report.cache_misses += 1;
+                            }
+                            replay.prefill_report.makespan_s =
+                                replay.prefill_report.makespan_s.max(*completion_s);
+                        }
+                        WorkClass::Decode => {
+                            replay.busy_decode[d] += service_s;
+                            replay.decode_report.launches += 1;
+                            replay.decode_report.makespan_s =
+                                replay.decode_report.makespan_s.max(*completion_s);
+                        }
+                    }
+                    replay.makespan_s = replay.makespan_s.max(*completion_s);
+                }
+                EventKind::PrefillCompleted { id, launch_id } => {
+                    let info = arrivals.get(id)?;
+                    let launch = launches.get(launch_id)?;
+                    let latency_s = launch.completion_s - info.arrival_s;
+                    let deadline_met = info.deadline_s.is_none_or(|d| latency_s <= d);
+                    // The engine's exact energy-share expression.
+                    let energy_pj =
+                        launch.energy_pj * f64::from(info.batch) / f64::from(launch.total_batch);
+                    replay.prefill_report.total_energy_pj += energy_pj;
+                    replay.prefill_report.outcomes.push(RequestOutcome {
+                        id: *id,
+                        workload: info.workload.clone(),
+                        method: info.method,
+                        arrival_s: info.arrival_s,
+                        start_s: launch.start_s,
+                        completion_s: launch.completion_s,
+                        service_s: launch.service_s,
+                        deadline_s: info.deadline_s,
+                        deadline_met,
+                        energy_pj,
+                        cache_hit: launch.cache_hit,
+                        batch_id: *launch_id,
+                        device: launch.device as usize,
+                    });
+                }
+                EventKind::DecodeCompleted {
+                    session_id,
+                    step_index,
+                    context_len,
+                    launch_id,
+                } => {
+                    let arrival_s = *decode_arrivals.get(&(*session_id, *step_index))?;
+                    let launch = launches.get(launch_id)?;
+                    let latency_s = launch.completion_s - arrival_s;
+                    replay.decode_report.outcomes.push(DecodeStepOutcome {
+                        session_id: *session_id,
+                        step_index: *step_index as usize,
+                        context_len: *context_len as usize,
+                        arrival_s,
+                        start_s: launch.start_s,
+                        completion_s: launch.completion_s,
+                        service_s: launch.service_s,
+                        deadline_s: replay.step_deadline_s,
+                        deadline_met: replay.step_deadline_s.is_none_or(|d| latency_s <= d),
+                        launch_id: *launch_id,
+                        device: launch.device as usize,
+                    });
+                }
+                EventKind::BudgetRelease {
+                    owner,
+                    bytes,
+                    used_bytes,
+                    blocks,
+                    ..
+                } => {
+                    match owner {
+                        MemOwner::PrefillLaunch(_) => {
+                            replay.prefill_charged = replay.prefill_charged.saturating_sub(*bytes);
+                        }
+                        MemOwner::Session(_) => {
+                            replay.kv_in_use = replay.kv_in_use.saturating_sub(*bytes);
+                            replay.kv_used = replay.kv_used.saturating_sub(*used_bytes);
+                            replay.blocks_in_use = replay.blocks_in_use.saturating_sub(*blocks);
+                        }
+                    }
+                    replay.holders.remove(owner);
+                }
+            }
+        }
+        Some(replay)
+    }
+
+    /// Applies a charge: updates the shared peak (`MemPeak::note`, the
+    /// engine's own logic) and snapshots holder attribution when the peak
+    /// moves.
+    fn charge(&mut self, owner: MemOwner, bytes: u64, t_s: f64) {
+        *self.holders.entry(owner).or_insert(0) += bytes;
+        let before = self.mem_peak.total;
+        self.mem_peak.note(self.prefill_charged, self.kv_in_use);
+        let total = self.prefill_charged.saturating_add(self.kv_in_use);
+        if self.mem_peak.total == total && (total > before || (total == before && total > 0)) {
+            let mut holders: Vec<(MemOwner, u64)> = self
+                .holders
+                .iter()
+                .map(|(&owner, &bytes)| (owner, bytes))
+                .collect();
+            holders.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            self.peak = Some(PeakAttribution {
+                peak_bytes: self.mem_peak.total,
+                prefill_bytes: self.mem_peak.prefill,
+                decode_bytes: self.mem_peak.decode,
+                t_s,
+                holders,
+            });
+        }
+    }
+
+    /// Combined per-device utilization (prefill + decode busy time, summed
+    /// at read-out like the engine's report builder).
+    fn device_util(&self) -> Vec<DeviceUtil> {
+        (0..self.devices)
+            .map(|d| DeviceUtil {
+                busy_s: self.busy_prefill[d] + self.busy_decode[d],
+                idle_gaps: self.idle_gaps[d],
+                launches: self.launch_counts[d],
+            })
+            .collect()
+    }
+
+    /// Assembles the [`EngineReport`], mirroring the engine's report
+    /// builder (including the rule that a class's `device_busy_s` stays
+    /// empty unless the class dispatched at least one launch).
+    fn into_report(mut self) -> EngineReport {
+        self.prefill_report.device_busy_s = if self.prefill_report.batches > 0 {
+            self.busy_prefill.clone()
+        } else {
+            Vec::new()
+        };
+        self.decode_report.device_busy_s = if self.decode_report.launches > 0 {
+            self.busy_decode.clone()
+        } else {
+            Vec::new()
+        };
+        let launches = self.prefill_report.batches + self.decode_report.launches;
+        let device_util = self.device_util();
+        EngineReport {
+            policy: self.policy,
+            prefill: self.prefill_report,
+            decode: self.decode_report,
+            launches,
+            makespan_s: self.makespan_s,
+            mem_budget_bytes: self.budget,
+            mem_peak_bytes: self.mem_peak.total,
+            mem_peak_prefill_bytes: self.mem_peak.prefill,
+            mem_peak_decode_bytes: self.mem_peak.decode,
+            device_util,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace validation: a minimal JSON parser plus per-track span
+// overlap checking (used by CI on serve_trace output).
+// ---------------------------------------------------------------------------
+
+/// Summary of a validated Chrome trace, from [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct ChromeTraceStats {
+    /// Total trace events.
+    pub total_events: usize,
+    /// `"X"` complete-event spans.
+    pub spans: usize,
+    /// `"C"` counter samples.
+    pub counters: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// Distinct `(pid, tid)` tracks carrying at least one span.
+    pub span_tracks: usize,
+}
+
+/// Parses Chrome trace-event JSON and verifies its structure: a top-level
+/// array of objects, every `"X"` span with numeric `pid`/`tid`/`ts`/`dur`,
+/// and — the scheduling invariant — **no two spans overlapping within one
+/// `(pid, tid)` track** (1 ns tolerance for decimal round-tripping).
+///
+/// # Errors
+///
+/// A description of the first structural or overlap violation.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let value = parse_json(json)?;
+    let JsonValue::Array(events) = value else {
+        return Err("top-level value is not an array".to_string());
+    };
+    let mut stats = ChromeTraceStats {
+        total_events: events.len(),
+        ..ChromeTraceStats::default()
+    };
+    let mut tracks: BTreeMap<(i64, i64), Vec<(f64, f64)>> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let JsonValue::Object(fields) = event else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let Some(JsonValue::String(ph)) = get("ph") else {
+            return Err(format!("event {i} lacks a string \"ph\""));
+        };
+        match ph.as_str() {
+            "X" => {
+                stats.spans += 1;
+                let num = |k: &str| match get(k) {
+                    Some(JsonValue::Number(n)) => Ok(*n),
+                    _ => Err(format!("span {i} lacks numeric \"{k}\"")),
+                };
+                let (pid, tid) = (num("pid")?, num("tid")?);
+                let (ts, dur) = (num("ts")?, num("dur")?);
+                if !matches!(get("name"), Some(JsonValue::String(_))) {
+                    return Err(format!("span {i} lacks a string \"name\""));
+                }
+                if dur < 0.0 {
+                    return Err(format!("span {i} has negative dur"));
+                }
+                tracks
+                    .entry((pid as i64, tid as i64))
+                    .or_default()
+                    .push((ts, dur));
+            }
+            "C" => stats.counters += 1,
+            "i" => stats.instants += 1,
+            _ => {}
+        }
+    }
+    stats.span_tracks = tracks.len();
+    for ((pid, tid), mut spans) in tracks {
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+        for pair in spans.windows(2) {
+            let (prev_ts, prev_dur) = pair[0];
+            let (next_ts, _) = pair[1];
+            // 1e-3 µs = 1 ns tolerance for decimal formatting round-trips.
+            if next_ts < prev_ts + prev_dur - 1e-3 {
+                return Err(format!(
+                    "track (pid {pid}, tid {tid}): span at ts={next_ts} overlaps previous span \
+                     [{prev_ts}, {}]",
+                    prev_ts + prev_dur
+                ));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Escapes a string for embedding in JSON (returns the quoted literal).
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+enum JsonValue {
+    Null,
+    // The payload is carried for parse fidelity; no validator rule reads it.
+    Bool(#[allow(dead_code)] bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let mut parser = JsonParser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| "invalid \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", self.pos - 1)),
+                    }
+                }
+                b => {
+                    // Re-borrow multi-byte UTF-8 sequences whole.
+                    if b < 0x80 {
+                        out.push(char::from(b));
+                    } else {
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while self.bytes.get(end).is_some_and(|&b| b & 0xc0 == 0x80) {
+                            end += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..end])
+                                .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                        );
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Bridges a cycle-level [`mas_sim::trace::Trace`] into Chrome trace-event
+/// JSON: one thread per resource (first-appearance order), one `"X"` span
+/// per trace entry, cycles converted to microseconds at `clock_hz`. The
+/// output validates under [`validate_chrome_trace`] whenever the source
+/// trace's per-resource spans are non-overlapping (which
+/// `mas_sim::trace::Trace::overlap_cycles` can confirm).
+#[must_use]
+pub fn chrome_trace_from_sim(trace: &mas_sim::trace::Trace, clock_hz: f64) -> String {
+    let clock_hz = if clock_hz > 0.0 { clock_hz } else { 1.0 };
+    let us_per_cycle = 1e6 / clock_hz;
+    let resources = trace.resources();
+    let tid_of = |r: &mas_sim::Resource| {
+        resources
+            .iter()
+            .position(|x| x == r)
+            .expect("resource listed")
+    };
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, event: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&event);
+    };
+    push(
+        &mut out,
+        &mut first,
+        r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"mas-sim"}}"#.to_string(),
+    );
+    for (tid, resource) in resources.iter().enumerate() {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":{}}}}}"#,
+                escape_json(&resource.to_string())
+            ),
+        );
+    }
+    for entry in trace.entries() {
+        let ts = entry.start_cycle as f64 * us_per_cycle;
+        let dur = entry.end_cycle.saturating_sub(entry.start_cycle) as f64 * us_per_cycle;
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                r#"{{"name":{},"cat":{},"ph":"X","pid":0,"tid":{},"ts":{ts},"dur":{dur}}}"#,
+                escape_json(&entry.label),
+                escape_json(&format!("{:?}", entry.task)),
+                tid_of(&entry.resource),
+            ),
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_histogram_buckets_by_binary_exponent() {
+        // 2^-24 ≤ v < 2^-23 is bucket 0; each octave up is the next bucket.
+        assert_eq!(LogHistogram::bucket_index(0.0), 0);
+        assert_eq!(LogHistogram::bucket_index(-1.0), 0);
+        assert_eq!(LogHistogram::bucket_index(f64::NAN), 0);
+        assert_eq!(LogHistogram::bucket_index(2f64.powi(-24)), 0);
+        assert_eq!(LogHistogram::bucket_index(2f64.powi(-23)), 1);
+        assert_eq!(LogHistogram::bucket_index(1e-3), 14);
+        assert_eq!(LogHistogram::bucket_index(1.0), 24);
+        assert_eq!(LogHistogram::bucket_index(1e9), 31);
+        // Upper bounds bracket their bucket.
+        for v in [1e-6, 3.7e-4, 0.01, 2.5] {
+            let i = LogHistogram::bucket_index(v);
+            assert!(v < LogHistogram::bucket_upper_bound_s(i), "{v}");
+            if i > 0 {
+                assert!(v >= LogHistogram::bucket_upper_bound_s(i - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_histogram_merges_like_combined_observation() {
+        let samples = [1e-5, 2e-5, 1e-4, 3e-3, 3e-3, 0.5, 2.0];
+        let mut combined = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            combined.observe(s);
+            if i % 2 == 0 {
+                left.observe(s);
+            } else {
+                right.observe(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, combined);
+        assert_eq!(left.count(), samples.len() as u64);
+        assert!((left.sum_s() - samples.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_return_bucket_bounds() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile_upper_bound_s(0.5), None);
+        for _ in 0..9 {
+            h.observe(1e-4); // bucket 10 (2^-14 ≤ v < 2^-13)
+        }
+        h.observe(1.0); // bucket 24
+        let p50 = h.quantile_upper_bound_s(0.5).unwrap();
+        assert!(1e-4 < p50 && p50 < 2e-4, "{p50}");
+        let p99 = h.quantile_upper_bound_s(0.99).unwrap();
+        assert_eq!(p99, LogHistogram::bucket_upper_bound_s(24));
+    }
+
+    #[test]
+    fn json_parser_round_trips_structures() {
+        let value = parse_json(
+            r#"[{"name":"a\"b","ph":"X","ts":1.5e3,"dur":2,"ok":true,"none":null,"arr":[1,2]}]"#,
+        )
+        .unwrap();
+        let JsonValue::Array(items) = value else {
+            panic!("not an array")
+        };
+        assert_eq!(items.len(), 1);
+        let JsonValue::Object(fields) = &items[0] else {
+            panic!("not an object")
+        };
+        assert!(matches!(
+            fields.iter().find(|(k, _)| k == "name"),
+            Some((_, JsonValue::String(s))) if s == "a\"b"
+        ));
+        assert!(matches!(
+            fields.iter().find(|(k, _)| k == "ts"),
+            Some((_, JsonValue::Number(n))) if (*n - 1500.0).abs() < 1e-9
+        ));
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_disjoint_and_rejects_overlapping_spans() {
+        let good = r#"[
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":10},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":10,"dur":5},
+            {"name":"c","ph":"X","pid":0,"tid":1,"ts":3,"dur":100},
+            {"name":"q","ph":"C","pid":0,"tid":0,"ts":1,"args":{"v":1}},
+            {"name":"r","ph":"i","s":"t","pid":0,"tid":0,"ts":2}
+        ]"#;
+        let stats = validate_chrome_trace(good).unwrap();
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.span_tracks, 2);
+        let overlapping = r#"[
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":10},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":5,"dur":5}
+        ]"#;
+        let err = validate_chrome_trace(overlapping).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"[{"ph":"X","pid":0,"tid":0,"ts":0}]"#).is_err());
+    }
+
+    #[test]
+    fn escape_json_quotes_specials() {
+        assert_eq!(escape_json("plain"), "\"plain\"");
+        assert_eq!(escape_json("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(escape_json("\u{1}"), "\"\\u0001\"");
+        // Escaped output parses back to the original.
+        let original = "span \"x\" \\ with\nnewline";
+        let parsed = parse_json(&escape_json(original)).unwrap();
+        assert!(matches!(parsed, JsonValue::String(s) if s == original));
+    }
+
+    #[test]
+    fn time_series_accumulates_points() {
+        let mut series = TimeSeries::new();
+        assert!(series.is_empty());
+        series.push(0.0, 1i64);
+        series.push(1.0, 3);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.last(), Some(&3));
+        assert_eq!(series.points[0], (0.0, 1));
+    }
+
+    #[test]
+    fn seal_cause_and_mem_owner_labels() {
+        assert_eq!(SealCause::Window.label(), "window");
+        assert_eq!(SealCause::Flush.label(), "flush");
+        assert_eq!(MemOwner::Session(3).to_string(), "session 3");
+        assert_eq!(MemOwner::PrefillLaunch(1).to_string(), "prefill-launch 1");
+    }
+}

@@ -1,0 +1,360 @@
+//! Telemetry contract tests: recording off is free and bit-identical,
+//! recording on conserves every arrival, keeps each track monotone, and
+//! carries enough information to reconstruct the engine report exactly —
+//! pinned on a hand-built mixed scenario and under proptest-generated
+//! mixed traces across policies, budgets and charging modes.
+
+use proptest::prelude::*;
+
+use mas_dataflow::{AttentionWorkload, DataflowKind};
+use mas_serve::{
+    validate_chrome_trace, DecodePolicy, EngineConfig, SchedulePolicy, ServeEngine, ServeRequest,
+    TelemetryConfig, WorkClass,
+};
+use mas_workloads::{
+    mixed_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTraceConfig, Network,
+};
+
+/// `sessions` decode sessions in lockstep: step `k` of every session
+/// arrives at `k · gap_s` (cross-session simultaneous, so steps batch).
+fn lockstep_decode(sessions: u64, steps: usize, prompt: usize, gap_s: f64) -> DecodeTrace {
+    let specs: Vec<DecodeSessionSpec> = (0..sessions)
+        .map(|id| DecodeSessionSpec {
+            id,
+            network: Network::BertSmall,
+            start_s: 0.0,
+            heads: 8,
+            kv_heads: 8,
+            embed: 64,
+            prompt_len: prompt,
+            steps,
+        })
+        .collect();
+    let mut events = Vec::new();
+    for step_index in 0..steps {
+        for id in 0..sessions {
+            events.push(DecodeStepEvent {
+                session_id: id,
+                step_index,
+                arrival_s: step_index as f64 * gap_s + 1e-9,
+            });
+        }
+    }
+    DecodeTrace {
+        sessions: specs,
+        steps: events,
+    }
+}
+
+/// `bursts` bursts of `per_burst` identical prefill requests, burst `k`
+/// arriving at `offset_s + k · gap_s`.
+fn prefill_bursts(
+    bursts: usize,
+    per_burst: usize,
+    offset_s: f64,
+    gap_s: f64,
+    workload: &AttentionWorkload,
+) -> Vec<ServeRequest> {
+    let mut requests = Vec::new();
+    for k in 0..bursts {
+        for j in 0..per_burst {
+            requests.push(ServeRequest::new(
+                (k * per_burst + j) as u64,
+                offset_s + k as f64 * gap_s,
+                DataflowKind::MasAttention,
+                workload.clone(),
+                None,
+            ));
+        }
+    }
+    requests
+}
+
+/// A contended mixed scenario: lockstep decode launches and prefill bursts
+/// share one device (the `engine_mixed` policy scenario at reduced size).
+fn mixed_scenario() -> (Vec<ServeRequest>, DecodeTrace) {
+    let decode = lockstep_decode(6, 10, 1500, 0.01);
+    let prefill = prefill_bursts(9, 4, 0.001, 0.01, &Network::BertSmall.attention_workload(1));
+    (prefill, decode)
+}
+
+fn telemetry_config(policy: SchedulePolicy, devices: usize) -> EngineConfig {
+    EngineConfig {
+        policy,
+        devices,
+        telemetry: Some(TelemetryConfig::default()),
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn recording_off_is_the_default_and_bit_identical_to_recording_on() {
+    let (prefill, decode) = mixed_scenario();
+    let mut plain = ServeEngine::new(EngineConfig::default());
+    let baseline = plain.run(&prefill, &decode).unwrap();
+    assert!(plain.telemetry().is_none(), "off by default");
+
+    let mut observed = ServeEngine::new(telemetry_config(SchedulePolicy::FairShare, 1));
+    let recorded = observed.run(&prefill, &decode).unwrap();
+    let telemetry = observed.telemetry().expect("recording was enabled");
+    assert!(!telemetry.events().is_empty());
+
+    // Recording must never perturb the replay (same f64s, same order).
+    assert_eq!(baseline.prefill, recorded.prefill);
+    assert_eq!(baseline.decode, recorded.decode);
+    assert_eq!(baseline.makespan_s, recorded.makespan_s);
+    assert_eq!(baseline.mem_peak_bytes, recorded.mem_peak_bytes);
+}
+
+#[test]
+fn events_conserve_arrivals_and_every_track_is_monotone() {
+    let (prefill, decode) = mixed_scenario();
+    let mut engine = ServeEngine::new(telemetry_config(SchedulePolicy::DecodePriority, 2));
+    let report = engine.run(&prefill, &decode).unwrap();
+    let telemetry = engine.telemetry().unwrap();
+
+    let stats = telemetry.conservation_check().expect("conserved");
+    assert_eq!(stats.prefill_arrivals, prefill.len());
+    assert_eq!(stats.decode_arrivals, decode.total_steps());
+    assert_eq!(
+        stats.prefill_completed + stats.prefill_rejected,
+        prefill.len()
+    );
+    assert_eq!(
+        stats.decode_completed + stats.decode_rejected,
+        decode.total_steps()
+    );
+    assert_eq!(stats.prefill_completed, report.prefill.completed());
+    assert_eq!(stats.decode_completed, report.decode.completed());
+
+    telemetry.tracks_monotone().expect("monotone per track");
+}
+
+#[test]
+fn report_reconstructed_from_events_matches_the_engine_report_exactly() {
+    let (prefill, decode) = mixed_scenario();
+    for policy in [
+        SchedulePolicy::FairShare,
+        SchedulePolicy::DecodePriority,
+        SchedulePolicy::PrefillPriority,
+    ] {
+        let mut engine = ServeEngine::new(telemetry_config(policy, 2));
+        let report = engine.run(&prefill, &decode).unwrap();
+        let telemetry = engine.telemetry().unwrap();
+        let rebuilt = telemetry.report().expect("complete event log");
+        assert_eq!(rebuilt, report, "policy {policy:?}");
+    }
+}
+
+#[test]
+fn per_device_utilization_is_attributed_and_consistent() {
+    let (prefill, decode) = mixed_scenario();
+    let mut engine = ServeEngine::new(telemetry_config(SchedulePolicy::FairShare, 2));
+    let report = engine.run(&prefill, &decode).unwrap();
+    let telemetry = engine.telemetry().unwrap();
+
+    assert_eq!(report.device_util.len(), 2);
+    assert_eq!(telemetry.device_utilization(), report.device_util);
+    let total_launches: usize = report.device_util.iter().map(|d| d.launches).sum();
+    assert_eq!(
+        total_launches,
+        report.prefill.batches + report.decode.launches
+    );
+    for util in &report.device_util {
+        assert!(util.busy_s <= report.makespan_s + 1e-12);
+        let frac = util.busy_fraction(report.makespan_s);
+        assert!((0.0..=1.0).contains(&frac));
+    }
+    // The per-class split sums to the combined per-device busy time.
+    for (d, util) in report.device_util.iter().enumerate() {
+        let prefill_busy = report.prefill.device_busy_s.get(d).copied().unwrap_or(0.0);
+        let decode_busy = report.decode.device_busy_s.get(d).copied().unwrap_or(0.0);
+        assert!((prefill_busy + decode_busy - util.busy_s).abs() < 1e-12);
+    }
+    // The summary surfaces the attribution.
+    assert!(
+        report.summary().contains("devices:"),
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn peak_attribution_names_holders_that_sum_to_the_peak() {
+    let (prefill, decode) = mixed_scenario();
+    let mut engine = ServeEngine::new(telemetry_config(SchedulePolicy::FairShare, 1));
+    let report = engine.run(&prefill, &decode).unwrap();
+    let telemetry = engine.telemetry().unwrap();
+
+    let peak = telemetry.peak_attribution().expect("work was charged");
+    assert_eq!(peak.peak_bytes, report.mem_peak_bytes);
+    assert_eq!(
+        peak.prefill_bytes + peak.decode_bytes,
+        peak.peak_bytes,
+        "the per-class split partitions the peak"
+    );
+    assert!(!peak.holders.is_empty());
+    let held: u64 = peak.holders.iter().map(|(_, bytes)| bytes).sum();
+    assert_eq!(held, peak.peak_bytes, "holders partition the peak");
+    // Sorted descending by bytes.
+    for pair in peak.holders.windows(2) {
+        assert!(pair[0].1 >= pair[1].1);
+    }
+}
+
+#[test]
+fn streaming_histograms_agree_with_exact_latency_stats() {
+    let (prefill, decode) = mixed_scenario();
+    let mut engine = ServeEngine::new(telemetry_config(SchedulePolicy::FairShare, 1));
+    let report = engine.run(&prefill, &decode).unwrap();
+    let telemetry = engine.telemetry().unwrap();
+
+    for (class, stats) in [
+        (WorkClass::Prefill, report.prefill.latency_stats()),
+        (WorkClass::Decode, report.decode.latency_stats()),
+    ] {
+        let hist = telemetry.latency_histogram(class);
+        let stats = stats.expect("both classes completed work");
+        assert_eq!(hist.count() as usize, stats.count, "{class:?}");
+        // The histogram's mean is exact (sum is exact, only quantiles
+        // bucket); the p50 upper bound brackets the exact p50 from above
+        // within one octave.
+        assert!((hist.sum_s() / hist.count() as f64 - stats.mean_s).abs() < 1e-12);
+        let p50_bound = hist.quantile_upper_bound_s(0.5).unwrap();
+        assert!(p50_bound >= stats.p50_s);
+        assert!(p50_bound <= stats.p50_s * 2.0 + 1e-12);
+    }
+}
+
+#[test]
+fn chrome_trace_validates_and_prometheus_mentions_the_key_series() {
+    let (prefill, decode) = mixed_scenario();
+    let mut engine = ServeEngine::new(telemetry_config(SchedulePolicy::FairShare, 2));
+    let report = engine.run(&prefill, &decode).unwrap();
+    let telemetry = engine.telemetry().unwrap();
+
+    let json = telemetry.chrome_trace_json();
+    let stats = validate_chrome_trace(&json).expect("well-formed, non-overlapping");
+    assert_eq!(
+        stats.spans,
+        report.prefill.batches + report.decode.launches,
+        "one span per launch"
+    );
+
+    let prom = telemetry.prometheus_text();
+    for series in [
+        "mas_engine_arrivals_total{class=\"prefill\"}",
+        "mas_engine_completed_total{class=\"decode\"}",
+        "mas_engine_rejected_total",
+        "mas_engine_mem_peak_bytes",
+        "mas_engine_device_busy_seconds{device=\"0\"}",
+        "mas_engine_latency_seconds_bucket{class=\"prefill\"",
+        "le=\"+Inf\"",
+        "# TYPE mas_engine_latency_seconds histogram",
+    ] {
+        assert!(prom.contains(series), "missing {series} in:\n{prom}");
+    }
+}
+
+#[test]
+fn an_event_cap_counts_drops_and_declines_reconstruction() {
+    let (prefill, decode) = mixed_scenario();
+    let config = EngineConfig {
+        telemetry: Some(TelemetryConfig {
+            max_events: Some(16),
+        }),
+        ..EngineConfig::default()
+    };
+    let mut engine = ServeEngine::new(config);
+    engine.run(&prefill, &decode).unwrap();
+    let telemetry = engine.telemetry().unwrap();
+    assert_eq!(telemetry.events().len(), 16);
+    assert!(telemetry.dropped() > 0);
+    assert!(!telemetry.is_complete());
+    assert!(
+        telemetry.report().is_none(),
+        "a truncated log must decline rather than reconstruct partially"
+    );
+}
+
+#[test]
+fn queue_depth_and_batch_fill_gauges_reflect_the_replay() {
+    let (prefill, decode) = mixed_scenario();
+    let mut engine = ServeEngine::new(telemetry_config(SchedulePolicy::FairShare, 1));
+    let report = engine.run(&prefill, &decode).unwrap();
+    let telemetry = engine.telemetry().unwrap();
+
+    let depth = telemetry.queue_depth(WorkClass::Prefill);
+    assert!(!depth.is_empty());
+    // Every admission raises the depth and every dispatch empties its
+    // members; the walk ends at zero with no negative excursions.
+    assert_eq!(*depth.last().unwrap(), 0);
+    let fill = telemetry.mean_batch_fill(WorkClass::Prefill).unwrap();
+    assert!(fill > 0.0 && fill <= 1.0);
+    assert!(report.prefill.batches > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The reconstruction contract under random mixed traces: whatever the
+    // interleaving, policy, budget and charging mode, the event log alone
+    // rebuilds the engine report bit-for-bit and stays conserved/monotone.
+    #[test]
+    fn event_log_rebuilds_the_report_under_random_mixed_interleavings(
+        prefill_count in 0usize..10,
+        sessions in 0usize..5,
+        seed in 0u64..1000,
+        budget_pick in 0usize..4,
+        policy_pick in 0usize..3,
+        paged_pick in 0usize..2,
+        devices in 1usize..3,
+    ) {
+        let budget_mb = [1u64, 4, 16, 3072][budget_pick];
+        let policy = [
+            SchedulePolicy::FairShare,
+            SchedulePolicy::DecodePriority,
+            SchedulePolicy::PrefillPriority,
+        ][policy_pick];
+        let paged = paged_pick == 1;
+        let trace = mixed_trace(&MixedTraceConfig::poisson(
+            vec![Network::BertSmall, Network::T5Mini],
+            prefill_count,
+            2000.0,
+            sessions,
+            300.0,
+            seed,
+        ));
+        let config = EngineConfig {
+            decode: DecodePolicy {
+                kv_block_tokens: if paged { Some(16) } else { None },
+                ..DecodePolicy::default()
+            },
+            policy,
+            devices,
+            shared_budget_bytes: Some(budget_mb * 1_000_000),
+            telemetry: Some(TelemetryConfig::default()),
+            ..EngineConfig::default()
+        };
+        let stream = ServeRequest::stream_from_trace(
+            &trace.prefill,
+            DataflowKind::MasAttention,
+            Some(0.05),
+        );
+        let mut engine = ServeEngine::new(config);
+        let report = engine.run(&stream, &trace.decode).unwrap();
+        let telemetry = engine.telemetry().unwrap();
+
+        let stats = telemetry.conservation_check().expect("conserved");
+        prop_assert_eq!(stats.prefill_arrivals, stream.len());
+        prop_assert_eq!(stats.decode_arrivals, trace.decode.total_steps());
+        telemetry.tracks_monotone().expect("monotone per track");
+
+        let rebuilt = telemetry.report().expect("complete event log");
+        prop_assert_eq!(rebuilt, report.clone());
+
+        let json = telemetry.chrome_trace_json();
+        let chrome = validate_chrome_trace(&json).expect("valid Chrome trace");
+        prop_assert_eq!(chrome.spans, report.prefill.batches + report.decode.launches);
+    }
+}

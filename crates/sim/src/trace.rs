@@ -62,6 +62,19 @@ impl Trace {
         &self.entries
     }
 
+    /// The distinct resources the trace touched, in first-appearance order
+    /// (stable track assignment for trace exporters).
+    #[must_use]
+    pub fn resources(&self) -> Vec<Resource> {
+        let mut seen = Vec::new();
+        for e in &self.entries {
+            if !seen.contains(&e.resource) {
+                seen.push(e.resource);
+            }
+        }
+        seen
+    }
+
     /// Entries that ran on a particular resource, in start order.
     #[must_use]
     pub fn on_resource(&self, resource: Resource) -> Vec<&TraceEntry> {

@@ -7,6 +7,12 @@
 //! real serde without touching call sites once a registry is available.
 //! Nothing in the workspace performs actual serialization through these
 //! traits; machine-readable output is hand-formatted (see `mas-bench`).
+//!
+//! Beyond the derives, the marker traits are implemented for the std types
+//! the workspace's derived types embed (primitives, `String`, `Vec`,
+//! `Option`, tuples, maps, …) so that *generic* derived types such as
+//! `TimeSeries<T: Serialize>` can state the same bounds the real serde
+//! derive would emit.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -19,3 +25,86 @@ pub trait Deserialize<'de>: Sized {}
 /// Marker stand-in for `serde::de::DeserializeOwned`.
 pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
 impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Implements both marker traits for a list of concrete std types.
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, String
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+// The derive expansion names `::serde::Serialize`; alias the crate to itself
+// so the in-crate test module below can exercise the derives.
+#[cfg(test)]
+extern crate self as serde;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A generic container mirroring mas-serve's `TimeSeries<T>`: the derive
+    // must carry the type parameters (with `Serialize` bounds) onto the impl.
+    // The fields are never read — the test only checks the derives compile
+    // and the marker impls resolve.
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T> {
+        #[allow(dead_code)]
+        points: Vec<(f64, T)>,
+    }
+
+    #[derive(Serialize)]
+    struct Arrayed<const N: usize> {
+        #[allow(dead_code)]
+        buckets: [u64; N],
+    }
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: DeserializeOwned>() {}
+
+    #[test]
+    fn generic_derive_bounds_resolve() {
+        assert_serialize::<Generic<i64>>();
+        assert_serialize::<Generic<String>>();
+        assert_deserialize::<Generic<f64>>();
+        assert_serialize::<Arrayed<32>>();
+        assert_serialize::<Vec<Option<(f64, u64)>>>();
+        assert_serialize::<std::collections::BTreeMap<String, Vec<u64>>>();
+    }
+}

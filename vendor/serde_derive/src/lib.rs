@@ -4,42 +4,201 @@
 //! provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` that emit empty
 //! marker-trait impls (the shim `serde` crate defines `Serialize` and
 //! `Deserialize` as marker traits). `#[serde(...)]` helper attributes are
-//! accepted and ignored. Only non-generic types are supported, which covers
-//! every derived type in this workspace.
+//! accepted and ignored.
+//!
+//! Generic types are supported: lifetime, type and const parameters are
+//! carried onto the impl, with each type parameter bounded by the derived
+//! marker trait — mirroring the bounds the real serde derive emits, so a
+//! `TimeSeries<T>` derive produces
+//! `impl<T: ::serde::Serialize> ::serde::Serialize for TimeSeries<T> {}`.
+//! Parameter bounds and defaults in the declaration are dropped (the impl
+//! supplies its own bounds); `Deserialize` rejects lifetime parameters, which
+//! no derived type in this workspace uses.
 
 use proc_macro::{TokenStream, TokenTree};
 
 /// Derives the shim `serde::Serialize` marker impl.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl ::serde::Serialize for {name} {{}}")
-        .parse()
-        .expect("generated impl parses")
+    let ty = parse_type(input);
+    let impl_params = ty.impl_params("::serde::Serialize");
+    format!(
+        "impl{impl_params} ::serde::Serialize for {}{} {{}}",
+        ty.name,
+        ty.type_args()
+    )
+    .parse()
+    .expect("generated impl parses")
 }
 
 /// Derives the shim `serde::Deserialize` marker impl.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
-        .parse()
-        .expect("generated impl parses")
+    let ty = parse_type(input);
+    if ty.params.iter().any(|p| matches!(p, Param::Lifetime(_))) {
+        panic!("serde shim: Deserialize on lifetime-generic types is not supported");
+    }
+    let mut params = vec!["'de".to_string()];
+    for p in &ty.params {
+        params.push(match p {
+            Param::Lifetime(_) => unreachable!(),
+            Param::Type(name) => format!("{name}: ::serde::Deserialize<'de>"),
+            Param::Const(decl, _) => decl.clone(),
+        });
+    }
+    format!(
+        "impl<{}> ::serde::Deserialize<'de> for {}{} {{}}",
+        params.join(", "),
+        ty.name,
+        ty.type_args()
+    )
+    .parse()
+    .expect("generated impl parses")
 }
 
-/// Extracts the type identifier following the `struct`/`enum` keyword.
-fn type_name(input: TokenStream) -> String {
-    let mut iter = input.into_iter();
-    while let Some(tt) = iter.next() {
-        if let TokenTree::Ident(id) = &tt {
+/// One generic parameter of the deriving type.
+enum Param {
+    /// `'a` — stored without the leading quote.
+    Lifetime(String),
+    /// `T` — bounds and defaults stripped.
+    Type(String),
+    /// `const N: usize` — (full declaration, bare name).
+    Const(String, String),
+}
+
+/// Name plus generic parameters of the type under derive.
+struct TypeDecl {
+    name: String,
+    params: Vec<Param>,
+}
+
+impl TypeDecl {
+    /// `<'a, T: Bound, const N: usize>` for the impl header (empty when
+    /// the type is not generic).
+    fn impl_params(&self, bound: &str) -> String {
+        if self.params.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| match p {
+                Param::Lifetime(l) => format!("'{l}"),
+                Param::Type(name) => format!("{name}: {bound}"),
+                Param::Const(decl, _) => decl.clone(),
+            })
+            .collect();
+        format!("<{}>", parts.join(", "))
+    }
+
+    /// `<'a, T, N>` for the self-type (empty when the type is not generic).
+    fn type_args(&self) -> String {
+        if self.params.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| match p {
+                Param::Lifetime(l) => format!("'{l}"),
+                Param::Type(name) => name.clone(),
+                Param::Const(_, name) => name.clone(),
+            })
+            .collect();
+        format!("<{}>", parts.join(", "))
+    }
+}
+
+/// Extracts the type name and generic parameters following the
+/// `struct`/`enum` keyword.
+fn parse_type(input: TokenStream) -> TypeDecl {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
             let kw = id.to_string();
             if kw == "struct" || kw == "enum" {
-                match iter.next() {
-                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
                     other => panic!("serde shim: expected type name, found {other:?}"),
-                }
+                };
+                let params = match tokens.get(i + 2) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        parse_params(&tokens[i + 3..])
+                    }
+                    _ => Vec::new(),
+                };
+                return TypeDecl { name, params };
             }
         }
+        i += 1;
     }
     panic!("serde shim: no struct/enum keyword in derive input");
+}
+
+/// Parses the generic parameter list starting just after the opening `<`,
+/// stopping at its matching `>`.
+fn parse_params(tokens: &[TokenTree]) -> Vec<Param> {
+    // Split the angle-bracketed region at depth-0 commas; nested `<`/`>`
+    // (e.g. in bounds like `T: Into<u64>`) only adjust the depth.
+    let mut params = Vec::new();
+    let mut current: Vec<&TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    if depth == 0 {
+                        if !current.is_empty() {
+                            params.push(parse_param(&current));
+                        }
+                        return params;
+                    }
+                    depth -= 1;
+                }
+                ',' if depth == 0 => {
+                    params.push(parse_param(&current));
+                    current.clear();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    panic!("serde shim: unclosed generic parameter list");
+}
+
+/// Parses one comma-separated generic parameter.
+fn parse_param(tokens: &[&TokenTree]) -> Param {
+    match tokens.first() {
+        // `'a` lexes as a joint `'` punct followed by the lifetime ident.
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => match tokens.get(1) {
+            Some(TokenTree::Ident(id)) => Param::Lifetime(id.to_string()),
+            other => panic!("serde shim: expected lifetime ident, found {other:?}"),
+        },
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            let name = match tokens.get(1) {
+                Some(TokenTree::Ident(name)) => name.to_string(),
+                other => panic!("serde shim: expected const param name, found {other:?}"),
+            };
+            // Keep `const N: Type` up to (excluding) any `= default`.
+            let mut decl = String::new();
+            for tt in tokens {
+                if let TokenTree::Punct(p) = tt {
+                    if p.as_char() == '=' {
+                        break;
+                    }
+                }
+                if !decl.is_empty() {
+                    decl.push(' ');
+                }
+                decl.push_str(&tt.to_string());
+            }
+            Param::Const(decl, name)
+        }
+        Some(TokenTree::Ident(id)) => Param::Type(id.to_string()),
+        other => panic!("serde shim: unsupported generic parameter start: {other:?}"),
+    }
 }
