@@ -142,6 +142,8 @@ fn admission_trace(sessions: u64, prompt: usize, declared: usize, actual: usize)
             embed: EMBED,
             prompt_len: prompt,
             steps: declared,
+            prefix_group: None,
+            shared_prefix_len: 0,
         })
         .collect();
     let mut steps = Vec::new();

@@ -40,6 +40,8 @@ fn contention_scenario() -> (Vec<ServeRequest>, DecodeTrace) {
             embed: 64,
             prompt_len: 2000,
             steps,
+            prefix_group: None,
+            shared_prefix_len: 0,
         })
         .collect();
     let mut events = Vec::new();

@@ -6,6 +6,7 @@
 //!             [--deadline-ms MS] [--devices N] [--search] [--serial]
 //!             [--mixed] [--sessions N] [--session-rate RPS]
 //!             [--policy decode|prefill|fair] [--kv-dtype f32|f16]
+//!             [--prefix-share]
 //!             [--load-cache PATH]... [--save-cache PATH] [--json]
 //!             [--trace-out PATH] [--metrics-out PATH]
 //! ```
@@ -24,6 +25,11 @@
 //! `ServeEngine` on one device timeline (`--policy` selects the
 //! iteration-level scheduling policy), reporting per-class latency plus the
 //! shared-budget peak.
+//!
+//! `--prefix-share` (with `--mixed`) prepends a 64-token shared system
+//! prompt to every session of a network and enables cross-session KV
+//! prefix sharing: the shared prefix blocks are charged against the budget
+//! once per group, and the report's decode detail shows the sharing peak.
 
 use mas_attention::planner::{PlannerConfig, TilingStrategy};
 use mas_dataflow::DataflowKind;
@@ -50,6 +56,7 @@ struct Args {
     session_rate_rps: f64,
     policy: SchedulePolicy,
     kv_dtype: Option<KvDtype>,
+    prefix_share: bool,
     load_caches: Vec<String>,
     save_cache: Option<String>,
     json: bool,
@@ -115,6 +122,7 @@ fn parse_args() -> Args {
         kv_dtype: value("--kv-dtype").map(|v| {
             KvDtype::parse(&v).unwrap_or_else(|| panic!("--kv-dtype: expected f32|f16, got {v:?}"))
         }),
+        prefix_share: argv.iter().any(|a| a == "--prefix-share"),
         load_caches: values("--load-cache"),
         save_cache: value("--save-cache"),
         json: argv.iter().any(|a| a == "--json"),
@@ -243,15 +251,23 @@ fn run_mixed(
     networks: Vec<Network>,
     warm_entries: usize,
 ) {
-    let dtrace = decode_trace(&DecodeTraceConfig::poisson(
+    let mut dconfig = DecodeTraceConfig::poisson(
         networks,
         args.sessions,
         args.session_rate_rps,
         args.seed ^ MIXED_DECODE_SEED_SALT,
-    ));
+    );
+    if args.prefix_share {
+        // A 64-token shared system prompt per network, with pool-level
+        // prefix sharing enabled below. Arrival times and shapes are
+        // identical to the unshared trace at the same seed.
+        dconfig = dconfig.with_system_prompt(64);
+    }
+    let dtrace = decode_trace(&dconfig);
     let mut engine_config: EngineConfig = config.into();
     engine_config.policy = args.policy;
     engine_config.decode.kv_dtype = args.kv_dtype;
+    engine_config.decode.prefix_share = args.prefix_share;
     // The From<ServeConfig> lifting disables the shared budget for legacy
     // prefill-shim compatibility; a mixed replay wants the engine's real
     // default (the decode policy's half-DRAM KV budget) so the cross-class
@@ -273,11 +289,13 @@ fn run_mixed(
         args.seed
     );
     println!(
-        "runtime: {} device(s), policy {}, kv dtype {}, cache warm entries {} -> final {}",
+        "runtime: {} device(s), policy {}, kv dtype {}, prefix sharing {}, \
+         cache warm entries {} -> final {}",
         args.devices.max(1),
         args.policy,
         args.kv_dtype
             .map_or("device default".to_string(), |d| d.to_string()),
+        if args.prefix_share { "on" } else { "off" },
         warm_entries,
         engine.cache().len(),
     );
@@ -300,7 +318,8 @@ fn run_mixed(
              \"rejected\":{},\"launches\":{},\"makespan_s\":{:.9},\
              \"prefill_p50_ms\":{pf_p50:.6},\"prefill_p99_ms\":{pf_p99:.6},\
              \"decode_p50_ms\":{dc_p50:.6},\"decode_p99_ms\":{dc_p99:.6},\
-             \"mem_budget_bytes\":{},\"mem_peak_bytes\":{}}}",
+             \"mem_budget_bytes\":{},\"mem_peak_bytes\":{},\
+             \"shared_sessions\":{},\"kv_shared_peak_bytes\":{}}}",
             report.policy,
             report.prefill.completed(),
             report.decode.completed(),
@@ -309,6 +328,8 @@ fn run_mixed(
             report.makespan_s,
             report.mem_budget_bytes,
             report.mem_peak_bytes,
+            report.decode.shared_sessions,
+            report.decode.kv_shared_peak_bytes,
         );
     }
     export_telemetry(engine.telemetry(), args);

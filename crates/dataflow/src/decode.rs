@@ -189,6 +189,24 @@ impl DecodeStep {
         self.kv_blocks(block_tokens) * self.kv_block_bytes(block_tokens, element_bytes)
     }
 
+    /// Bytes of this step's allocated KV blocks that are *shared* with
+    /// sibling sessions under cross-session prefix sharing: only whole
+    /// blocks fully inside the shared prefix count (the floor — a partially
+    /// shared tail block is private after copy-on-write), clamped to the
+    /// session's own context. A serving layer charges these bytes once per
+    /// prefix group, not once per session, so effective residency is
+    /// `paged_kv_bytes − shared_kv_bytes` plus one group-wide copy.
+    #[must_use]
+    pub fn shared_kv_bytes(
+        &self,
+        block_tokens: usize,
+        shared_prefix_len: usize,
+        element_bytes: usize,
+    ) -> u64 {
+        let shared_blocks = (shared_prefix_len.min(self.context_len) / block_tokens.max(1)) as u64;
+        shared_blocks * self.kv_block_bytes(block_tokens, element_bytes)
+    }
+
     /// Internal fragmentation of block-granular residency at this context:
     /// the fraction of allocated token slots not holding a token (`0.0`
     /// when the context fills its blocks exactly, bounded by
@@ -396,6 +414,24 @@ mod tests {
             s.with_context(512).kv_cache_bytes(2),
             2 * s.kv_cache_bytes(2)
         );
+    }
+
+    #[test]
+    fn shared_kv_bytes_count_whole_prefix_blocks_clamped_to_context() {
+        let s = step(); // context 256
+                        // 100 shared tokens at 16-token blocks: 6 whole blocks, the partial
+                        // 7th is private (copy-on-write makes it so).
+        assert_eq!(s.shared_kv_bytes(16, 100, 2), 6 * s.kv_block_bytes(16, 2));
+        // Block-aligned prefix shares exactly its blocks.
+        assert_eq!(s.shared_kv_bytes(16, 96, 2), 6 * s.kv_block_bytes(16, 2));
+        // A prefix longer than the session's own context clamps to it.
+        assert_eq!(s.shared_kv_bytes(16, 10_000, 2), s.paged_kv_bytes(16, 2));
+        // Shared bytes never exceed the allocated paged bytes.
+        assert!(s.shared_kv_bytes(16, 200, 2) <= s.paged_kv_bytes(16, 2));
+        // No sharing, no bytes; degenerate block size is clamped like
+        // kv_blocks.
+        assert_eq!(s.shared_kv_bytes(16, 0, 2), 0);
+        assert_eq!(s.shared_kv_bytes(0, 10, 2), s.shared_kv_bytes(1, 10, 2));
     }
 
     #[test]

@@ -156,6 +156,16 @@ pub struct DecodePolicy {
     /// is unchanged (kernels widen KV tiles to f32).
     #[serde(default)]
     pub kv_dtype: Option<KvDtype>,
+    /// Cross-session KV prefix sharing. When `true` and a session declares a
+    /// prefix group (`DecodeSessionSpec::prefix_group`), the whole blocks of
+    /// its shared prefix ([`DecodeStep::shared_kv_bytes`]) are charged
+    /// against the budget *once per group* instead of once per session —
+    /// modeling the pool-level radix index + copy-on-write block tables of
+    /// `mas_tensor::paged`. Requires paged charging (`kv_block_tokens`);
+    /// ignored (fully private residency) under legacy contiguous charging.
+    /// Default `false` keeps every existing replay bit-identical.
+    #[serde(default)]
+    pub prefix_share: bool,
 }
 
 impl Default for DecodePolicy {
@@ -169,6 +179,7 @@ impl Default for DecodePolicy {
             kv_tile_rows: 64,
             kv_block_tokens: Some(16),
             kv_dtype: None,
+            prefix_share: false,
         }
     }
 }
@@ -324,6 +335,15 @@ pub struct DecodeReport {
     /// engine runs keep this report equal to its default, as pinned).
     #[serde(default)]
     pub device_busy_s: Vec<f64>,
+    /// Peak bytes of group-shared prefix blocks resident at once (charged
+    /// once per prefix group). Zero unless `DecodePolicy::prefix_share` is
+    /// on and some admitted session declared a prefix group.
+    #[serde(default)]
+    pub kv_shared_peak_bytes: u64,
+    /// Sessions admitted with prefix sharing active (their shared prefix
+    /// blocks were charged group-wide rather than privately).
+    #[serde(default)]
+    pub shared_sessions: usize,
 }
 
 impl DecodeReport {
@@ -416,6 +436,13 @@ impl DecodeReport {
             self.kv_frag_at_peak * 100.0,
             self.pool_overflows(),
         );
+        if self.shared_sessions > 0 {
+            out.push_str(&format!(
+                " | shared prefixes: {} sessions, {:.1} MB shared peak",
+                self.shared_sessions,
+                self.kv_shared_peak_bytes as f64 / 1e6,
+            ));
+        }
         if !self.device_busy_s.is_empty() {
             let per_device: Vec<String> = self
                 .device_busy_s
@@ -522,6 +549,8 @@ mod tests {
                 embed: 64,
                 prompt_len: prompt,
                 steps,
+                prefix_group: None,
+                shared_prefix_len: 0,
             })
             .collect();
         let mut events = Vec::new();
@@ -657,6 +686,8 @@ mod tests {
                 embed: 64,
                 prompt_len: 32,
                 steps: 2,
+                prefix_group: None,
+                shared_prefix_len: 0,
             },
             DecodeSessionSpec {
                 id: 1,
@@ -667,6 +698,8 @@ mod tests {
                 embed: 64,
                 prompt_len: 32,
                 steps: 2,
+                prefix_group: None,
+                shared_prefix_len: 0,
             },
         ];
         let mut events = Vec::new();
@@ -750,6 +783,8 @@ mod tests {
             embed: 128,
             prompt_len: 1 << 28, // ~2 TB of KV at max context
             steps: 1,
+            prefix_group: None,
+            shared_prefix_len: 0,
         }];
         let trace = DecodeTrace {
             sessions: specs,
@@ -782,6 +817,8 @@ mod tests {
                 embed: 64,
                 prompt_len: 32,
                 steps: 2,
+                prefix_group: None,
+                shared_prefix_len: 0,
             },
             DecodeSessionSpec {
                 id: 1,
@@ -792,6 +829,8 @@ mod tests {
                 embed: 64,
                 prompt_len: 32,
                 steps: 2,
+                prefix_group: None,
+                shared_prefix_len: 0,
             },
         ];
         let mut events = Vec::new();
@@ -843,6 +882,8 @@ mod tests {
                 embed: 64,
                 prompt_len: 16,
                 steps: 3,
+                prefix_group: None,
+                shared_prefix_len: 0,
             }],
             steps: vec![
                 DecodeStepEvent {

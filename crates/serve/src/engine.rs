@@ -550,6 +550,8 @@ impl ServeEngine {
                         charged_bytes: 0,
                         charged_blocks: 0,
                         used_bytes: 0,
+                        shared_blocks: 0,
+                        prefix_group: None,
                     },
                 )
             })
@@ -580,6 +582,8 @@ impl ServeEngine {
             kv_in_use: 0,
             kv_used: 0,
             blocks_in_use: 0,
+            kv_shared_in_use: 0,
+            prefix_groups: BTreeMap::new(),
             active_sessions: 0,
             prefill_charged: 0,
             inserted_this_run,
@@ -764,6 +768,13 @@ struct SessionState {
     /// Bytes of actual resident context tokens (prompt plus generated),
     /// used for fragmentation reporting.
     used_bytes: u64,
+    /// Whole KV blocks of the session's shared prefix charged group-wide
+    /// instead of privately (zero without prefix sharing). The session's
+    /// own `charged_blocks`/`charged_bytes` cover only its private tail.
+    shared_blocks: u64,
+    /// The prefix group the session joined at admission (`None` = fully
+    /// private residency).
+    prefix_group: Option<u64>,
 }
 
 impl SessionState {
@@ -805,15 +816,44 @@ impl SessionState {
     }
 }
 
+/// Group-wide bookkeeping for one shared prefix under
+/// [`DecodePolicy::prefix_share`]: the whole blocks of the common prompt
+/// prefix are charged against the budget once here, referenced by every
+/// member session, and released when the last member releases.
+struct PrefixGroupState {
+    /// Member sessions currently holding the group's blocks.
+    refs: usize,
+    /// Shared prefix blocks charged group-wide (the longest member prefix
+    /// seen so far).
+    charged_blocks: u64,
+    /// Budget bytes those blocks occupy.
+    charged_bytes: u64,
+    /// Resident-token bytes of the shared region (shared blocks are always
+    /// full, so this equals `charged_bytes`; kept separate for the release
+    /// event's accounting).
+    used_bytes: u64,
+    /// `K`+`V` bytes of one block at the group's shape — sessions whose
+    /// block bytes differ cannot share and fall back to private residency.
+    block_bytes: u64,
+}
+
 /// Records the decode-class charge high-water mark with its block count and
-/// fragmentation snapshot. `pub(crate)` so telemetry replay reuses the
-/// engine's exact peak rule.
-pub(crate) fn note_kv_peak(report: &mut DecodeReport, charged: u64, used: u64, blocks: u64) {
+/// fragmentation snapshot, plus the high-water mark of group-shared prefix
+/// bytes. `pub(crate)` so telemetry replay reuses the engine's exact peak
+/// rule.
+pub(crate) fn note_kv_peak(
+    report: &mut DecodeReport,
+    charged: u64,
+    used: u64,
+    blocks: u64,
+    shared: u64,
+) {
     if charged >= report.kv_peak_bytes && charged > 0 {
         report.kv_peak_bytes = charged;
         report.kv_peak_blocks = blocks;
         report.kv_frag_at_peak = 1.0 - used as f64 / charged as f64;
     }
+    report.kv_shared_peak_bytes = report.kv_shared_peak_bytes.max(shared);
 }
 
 /// All mutable state of one engine replay. Methods mirror the legacy
@@ -853,6 +893,11 @@ struct EngineRun<'a> {
     kv_in_use: u64,
     kv_used: u64,
     blocks_in_use: u64,
+    /// Of `kv_in_use`, the bytes charged group-wide for shared prefixes
+    /// (each group's blocks counted once, no matter how many members).
+    kv_shared_in_use: u64,
+    /// Live prefix groups under [`DecodePolicy::prefix_share`].
+    prefix_groups: BTreeMap<u64, PrefixGroupState>,
     active_sessions: usize,
     prefill_charged: u64,
     inserted_this_run: BTreeSet<CacheKey>,
@@ -955,6 +1000,34 @@ impl EngineRun<'_> {
                     s.charged_blocks = 0;
                     s.used_bytes = 0;
                     self.active_sessions = self.active_sessions.saturating_sub(1);
+                    // Refcount semantics for the shared prefix: the group's
+                    // blocks are released only with its last member.
+                    if let Some(g) = s.prefix_group.take() {
+                        s.shared_blocks = 0;
+                        let gs = self.prefix_groups.get_mut(&g).expect("group exists");
+                        gs.refs -= 1;
+                        if gs.refs == 0 {
+                            let gs = self.prefix_groups.remove(&g).expect("present");
+                            if let Some(recorder) = self.recorder.as_mut() {
+                                recorder.record(
+                                    now_s,
+                                    EventKind::BudgetRelease {
+                                        owner: MemOwner::PrefixGroup(g),
+                                        bytes: gs.charged_bytes,
+                                        used_bytes: gs.used_bytes,
+                                        blocks: gs.charged_blocks,
+                                        scheduled_s: release_s,
+                                    },
+                                );
+                            }
+                            self.kv_in_use = self.kv_in_use.saturating_sub(gs.charged_bytes);
+                            self.kv_used = self.kv_used.saturating_sub(gs.used_bytes);
+                            self.blocks_in_use =
+                                self.blocks_in_use.saturating_sub(gs.charged_blocks);
+                            self.kv_shared_in_use =
+                                self.kv_shared_in_use.saturating_sub(gs.charged_bytes);
+                        }
+                    }
                 }
                 Release::PrefillBytes { launch_id, bytes } => {
                     if let Some(recorder) = self.recorder.as_mut() {
@@ -1155,8 +1228,34 @@ impl EngineRun<'_> {
             let spec = &session.spec;
             let grouping_valid =
                 spec.kv_heads > 0 && spec.kv_heads <= spec.heads && spec.heads % spec.kv_heads == 0;
+            // Cross-session prefix sharing needs the policy switch, a
+            // declared group, paged charging, and a group whose block shape
+            // matches (a mismatched shape falls back to private residency
+            // rather than mixing block geometries in one group).
+            let sharing = match (self.config.decode.kv_block_tokens, spec.prefix_group) {
+                (Some(bt), Some(g)) if self.config.decode.prefix_share && grouping_valid => {
+                    let block_bytes = session.block_bytes(bt, self.kv_element_bytes);
+                    match self.prefix_groups.get(&g) {
+                        Some(gs) if gs.block_bytes != block_bytes => None,
+                        _ => Some((bt, g, block_bytes)),
+                    }
+                }
+                _ => None,
+            };
+            // Shared prefix blocks already charged group-wide are free for
+            // this session; only the group's growth plus the private tail
+            // hit the budget.
+            let (shared_blocks, group_delta_blocks) = match sharing {
+                Some((bt, g, _)) => {
+                    let shared = (spec.shared_prefix_len.min(spec.prompt_len) / bt.max(1)) as u64;
+                    let already = self.prefix_groups.get(&g).map_or(0, |gs| gs.charged_blocks);
+                    (shared, shared.saturating_sub(already))
+                }
+                None => (0, 0),
+            };
             // Initial charge: worst-case max context under legacy charging,
-            // the first step's blocks under paged charging.
+            // the first step's blocks under paged charging (minus the
+            // blocks the prefix group already holds).
             let (initial_bytes, initial_blocks) = if !grouping_valid {
                 (0, 0)
             } else {
@@ -1166,7 +1265,9 @@ impl EngineRun<'_> {
                         0,
                     ),
                     Some(bt) => {
-                        let blocks = SessionState::blocks_at(context_len, bt);
+                        let blocks = SessionState::blocks_at(context_len, bt)
+                            .saturating_sub(shared_blocks)
+                            + group_delta_blocks;
                         (
                             blocks * session.block_bytes(bt, self.kv_element_bytes),
                             blocks,
@@ -1220,21 +1321,58 @@ impl EngineRun<'_> {
                 }
                 None => {
                     session.admitted = true;
-                    session.charged_bytes = initial_bytes;
-                    session.charged_blocks = initial_blocks;
+                    // The session itself is charged only its private tail;
+                    // the group's growth is charged on the group entry.
+                    let private_blocks = initial_blocks - group_delta_blocks;
+                    let token_bytes = session.token_bytes(self.kv_element_bytes);
+                    let (private_bytes, delta_bytes) = match sharing {
+                        Some((_, _, block_bytes)) => (
+                            private_blocks * block_bytes,
+                            group_delta_blocks * block_bytes,
+                        ),
+                        None => (initial_bytes, 0),
+                    };
+                    session.charged_bytes = private_bytes;
+                    session.charged_blocks = private_blocks;
                     // The prompt is resident from admission; each joined
-                    // step adds one token below.
+                    // step adds one token below. Shared-prefix tokens are
+                    // resident on the group, not the session.
+                    let shared_tokens = match sharing {
+                        Some((bt, _, _)) => shared_blocks * bt as u64,
+                        None => 0,
+                    };
                     session.used_bytes =
-                        session.spec.prompt_len as u64 * session.token_bytes(self.kv_element_bytes);
-                    self.kv_in_use += initial_bytes;
-                    self.kv_used += session.used_bytes;
-                    self.blocks_in_use += initial_blocks;
+                        (session.spec.prompt_len as u64 - shared_tokens) * token_bytes;
+                    self.kv_in_use += private_bytes + delta_bytes;
+                    self.kv_used += session.used_bytes + delta_bytes;
+                    self.blocks_in_use += private_blocks + group_delta_blocks;
                     self.active_sessions += 1;
+                    let mut group_refs = 0u32;
+                    if let Some((_, g, block_bytes)) = sharing {
+                        session.shared_blocks = shared_blocks;
+                        session.prefix_group = Some(g);
+                        let gs = self.prefix_groups.entry(g).or_insert(PrefixGroupState {
+                            refs: 0,
+                            charged_blocks: 0,
+                            charged_bytes: 0,
+                            used_bytes: 0,
+                            block_bytes,
+                        });
+                        gs.refs += 1;
+                        gs.charged_blocks += group_delta_blocks;
+                        gs.charged_bytes += delta_bytes;
+                        // Shared blocks hold only full prompt tokens.
+                        gs.used_bytes += delta_bytes;
+                        group_refs = gs.refs as u32;
+                        self.kv_shared_in_use += delta_bytes;
+                        self.decode_report.shared_sessions += 1;
+                    }
                     note_kv_peak(
                         &mut self.decode_report,
                         self.kv_in_use,
                         self.kv_used,
                         self.blocks_in_use,
+                        self.kv_shared_in_use,
                     );
                     self.mem_peak.note(self.prefill_charged, self.kv_in_use);
                     self.decode_report.sessions_admitted += 1;
@@ -1244,11 +1382,24 @@ impl EngineRun<'_> {
                             EventKind::SessionOpen {
                                 session_id: event.session_id,
                                 prompt_len: session.spec.prompt_len as u32,
-                                charged_bytes: initial_bytes,
+                                charged_bytes: private_bytes,
                                 used_bytes: session.used_bytes,
-                                blocks: initial_blocks,
+                                blocks: private_blocks,
                             },
                         );
+                        if let Some((_, g, _)) = sharing {
+                            recorder.record(
+                                now_s,
+                                EventKind::PrefixShared {
+                                    group: g,
+                                    session_id: event.session_id,
+                                    delta_bytes,
+                                    delta_blocks: group_delta_blocks,
+                                    used_delta_bytes: delta_bytes,
+                                    refs: group_refs,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -1320,7 +1471,10 @@ impl EngineRun<'_> {
         // drained by prefill activations) is shed as a pool overflow while
         // the session keeps its residency.
         if let Some(bt) = self.config.decode.kv_block_tokens {
-            let needed = SessionState::blocks_at(context_len, bt);
+            // A sharing session grows only its private tail: the group's
+            // shared prefix blocks stay charged once, group-wide.
+            let needed =
+                SessionState::blocks_at(context_len, bt).saturating_sub(session.shared_blocks);
             if needed > session.charged_blocks {
                 let delta_blocks = needed - session.charged_blocks;
                 let delta_bytes = delta_blocks * session.block_bytes(bt, self.kv_element_bytes);
@@ -1362,6 +1516,7 @@ impl EngineRun<'_> {
                     self.kv_in_use,
                     self.kv_used,
                     self.blocks_in_use,
+                    self.kv_shared_in_use,
                 );
                 self.mem_peak.note(self.prefill_charged, self.kv_in_use);
                 if let Some(recorder) = self.recorder.as_mut() {
@@ -1386,6 +1541,7 @@ impl EngineRun<'_> {
             self.kv_in_use,
             self.kv_used,
             self.blocks_in_use,
+            self.kv_shared_in_use,
         );
 
         // Join (or open) the launch for this shape key.

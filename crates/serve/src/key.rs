@@ -252,6 +252,8 @@ mod tests {
             embed: 64,
             prompt_len: 16,
             steps: 4,
+            prefix_group: None,
+            shared_prefix_len: 0,
         };
         let dk = DecodeKey::of(&session);
         assert_eq!((dk.heads, dk.kv_heads, dk.embed), (32, 8, 64));

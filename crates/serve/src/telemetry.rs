@@ -17,6 +17,7 @@
 //! | [`EventKind::SessionRejected`] | a session refuses at first sight | timeline |
 //! | [`EventKind::DecodeStepRejected`] | a step is screened or shed | timeline |
 //! | [`EventKind::KvGrow`] | paged block growth charges the pool | timeline |
+//! | [`EventKind::PrefixShared`] | an admitted session joins a shared-prefix group | timeline |
 //! | [`EventKind::DecodeJoin`] | a step joins an open launch | timeline |
 //! | [`EventKind::LaunchDispatched`] | a sealed launch starts on a device | device |
 //! | [`EventKind::PrefillCompleted`] | a member request completes | device |
@@ -111,6 +112,9 @@ pub enum MemOwner {
     PrefillLaunch(u64),
     /// A decode session's KV residency, by session id.
     Session(u64),
+    /// A shared-prefix group's block charge (held once for all member
+    /// sessions), by group id.
+    PrefixGroup(u64),
 }
 
 impl std::fmt::Display for MemOwner {
@@ -118,6 +122,7 @@ impl std::fmt::Display for MemOwner {
         match self {
             MemOwner::PrefillLaunch(id) => write!(f, "prefill-launch {id}"),
             MemOwner::Session(id) => write!(f, "session {id}"),
+            MemOwner::PrefixGroup(id) => write!(f, "prefix-group {id}"),
         }
     }
 }
@@ -262,6 +267,26 @@ pub enum EventKind {
         delta_bytes: u64,
         /// Blocks allocated.
         delta_blocks: u64,
+    },
+    /// An admitted session joined a shared-prefix group: the whole blocks
+    /// of its shared prompt prefix are charged once per group (recorded
+    /// right after the session's [`EventKind::SessionOpen`], which carries
+    /// only the private charges).
+    PrefixShared {
+        /// The prefix group joined.
+        group: u64,
+        /// The joining session.
+        session_id: u64,
+        /// Budget bytes the group's charge *grew* by (zero when the prefix
+        /// was already fully charged by earlier members).
+        delta_bytes: u64,
+        /// Blocks the group's charge grew by.
+        delta_blocks: u64,
+        /// Resident-token bytes the group's charge grew by (shared blocks
+        /// are always full, so this equals `delta_bytes`).
+        used_delta_bytes: u64,
+        /// Member count after the join.
+        refs: u32,
     },
     /// A decode step joined an open launch; its token became resident.
     DecodeJoin {
@@ -769,6 +794,10 @@ impl Telemetry {
                     decode_bytes += delta_bytes;
                     budget_counter(&mut out, &mut first, t, prefill_bytes, decode_bytes);
                 }
+                EventKind::PrefixShared { delta_bytes, .. } => {
+                    decode_bytes += delta_bytes;
+                    budget_counter(&mut out, &mut first, t, prefill_bytes, decode_bytes);
+                }
                 EventKind::DecodeJoin { .. } => {
                     decode_depth += 1;
                     depth_counter(&mut out, &mut first, t, prefill_depth, decode_depth);
@@ -778,7 +807,7 @@ impl Telemetry {
                         MemOwner::PrefillLaunch(_) => {
                             prefill_bytes = prefill_bytes.saturating_sub(*bytes);
                         }
-                        MemOwner::Session(_) => {
+                        MemOwner::Session(_) | MemOwner::PrefixGroup(_) => {
                             decode_bytes = decode_bytes.saturating_sub(*bytes);
                         }
                     }
@@ -1301,6 +1330,7 @@ struct Replay {
     kv_in_use: u64,
     kv_used: u64,
     blocks_in_use: u64,
+    shared_in_use: u64,
     prefill_charged: u64,
     free_at: Vec<f64>,
     busy_prefill: Vec<f64>,
@@ -1339,6 +1369,7 @@ impl Replay {
             kv_in_use: 0,
             kv_used: 0,
             blocks_in_use: 0,
+            shared_in_use: 0,
             prefill_charged: 0,
             free_at: vec![0.0; devices],
             busy_prefill: vec![0.0; devices],
@@ -1413,9 +1444,33 @@ impl Replay {
                         replay.kv_in_use,
                         replay.kv_used,
                         replay.blocks_in_use,
+                        replay.shared_in_use,
                     );
                     replay.charge(MemOwner::Session(*session_id), *charged_bytes, t);
                     replay.decode_report.sessions_admitted += 1;
+                }
+                EventKind::PrefixShared {
+                    group,
+                    delta_bytes,
+                    delta_blocks,
+                    used_delta_bytes,
+                    ..
+                } => {
+                    replay.kv_in_use += delta_bytes;
+                    replay.kv_used += used_delta_bytes;
+                    replay.blocks_in_use += delta_blocks;
+                    replay.shared_in_use += delta_bytes;
+                    replay.decode_report.shared_sessions += 1;
+                    note_kv_peak(
+                        &mut replay.decode_report,
+                        replay.kv_in_use,
+                        replay.kv_used,
+                        replay.blocks_in_use,
+                        replay.shared_in_use,
+                    );
+                    if *delta_bytes > 0 {
+                        replay.charge(MemOwner::PrefixGroup(*group), *delta_bytes, t);
+                    }
                 }
                 EventKind::SessionRejected { session_id, reason } => {
                     replay
@@ -1447,6 +1502,7 @@ impl Replay {
                         replay.kv_in_use,
                         replay.kv_used,
                         replay.blocks_in_use,
+                        replay.shared_in_use,
                     );
                     replay.charge(MemOwner::Session(*session_id), *delta_bytes, t);
                 }
@@ -1457,6 +1513,7 @@ impl Replay {
                         replay.kv_in_use,
                         replay.kv_used,
                         replay.blocks_in_use,
+                        replay.shared_in_use,
                     );
                 }
                 EventKind::LaunchDispatched {
@@ -1579,6 +1636,12 @@ impl Replay {
                             replay.kv_in_use = replay.kv_in_use.saturating_sub(*bytes);
                             replay.kv_used = replay.kv_used.saturating_sub(*used_bytes);
                             replay.blocks_in_use = replay.blocks_in_use.saturating_sub(*blocks);
+                        }
+                        MemOwner::PrefixGroup(_) => {
+                            replay.kv_in_use = replay.kv_in_use.saturating_sub(*bytes);
+                            replay.kv_used = replay.kv_used.saturating_sub(*used_bytes);
+                            replay.blocks_in_use = replay.blocks_in_use.saturating_sub(*blocks);
+                            replay.shared_in_use = replay.shared_in_use.saturating_sub(*bytes);
                         }
                     }
                     replay.holders.remove(owner);

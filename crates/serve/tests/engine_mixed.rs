@@ -31,6 +31,8 @@ fn lockstep_decode(sessions: u64, steps: usize, prompt: usize, gap_s: f64) -> De
             embed: 64,
             prompt_len: prompt,
             steps,
+            prefix_group: None,
+            shared_prefix_len: 0,
         })
         .collect();
     let mut events = Vec::new();

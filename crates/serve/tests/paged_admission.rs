@@ -5,6 +5,13 @@
 //! charging bills only the blocks a session has actually grown into, so the
 //! same budget admits strictly more (here 4×) concurrent sessions with zero
 //! pool overflows during replay.
+//!
+//! Plus the cross-session prefix-sharing extension: under
+//! [`DecodePolicy::prefix_share`], sessions declaring the same
+//! `prefix_group` charge the whole blocks of their shared prompt prefix
+//! once group-wide, so the same budget admits ≥2× the sessions of private
+//! paged charging on a shared-system-prompt trace — and the group's blocks
+//! are released exactly once, with its last member.
 
 use mas_dataflow::decode::DecodeStep;
 use mas_serve::{DecodePolicy, DecodeRuntime};
@@ -32,6 +39,8 @@ fn overcommit_trace(
             embed: 64,
             prompt_len: prompt,
             steps: declared_steps,
+            prefix_group: None,
+            shared_prefix_len: 0,
         })
         .collect();
     let mut steps = Vec::new();
@@ -137,4 +146,128 @@ fn paged_charging_still_bounds_the_budget_under_real_pressure() {
     // Sessions kept decoding at their capped residency: every non-overflow
     // step completed.
     assert_eq!(report.completed() + report.pool_overflows(), 4 * 96);
+}
+
+/// `n` simultaneous sessions all declaring the same `prefix_group` whose
+/// first `shared_prefix_len` prompt tokens are a shared system prompt;
+/// every session replays `steps` decode steps.
+fn shared_prompt_trace(
+    n: u64,
+    prompt: usize,
+    shared_prefix_len: usize,
+    steps: usize,
+) -> DecodeTrace {
+    let sessions: Vec<DecodeSessionSpec> = (0..n)
+        .map(|id| DecodeSessionSpec {
+            id,
+            network: Network::BertSmall,
+            start_s: 0.0,
+            heads: 8,
+            kv_heads: 8,
+            embed: 64,
+            prompt_len: prompt,
+            steps,
+            prefix_group: Some(7),
+            shared_prefix_len,
+        })
+        .collect();
+    let mut events = Vec::new();
+    for step_index in 0..steps {
+        for id in 0..n {
+            events.push(DecodeStepEvent {
+                session_id: id,
+                step_index,
+                arrival_s: step_index as f64 * 0.01 + 1e-9,
+            });
+        }
+    }
+    DecodeTrace {
+        sessions,
+        steps: events,
+    }
+}
+
+#[test]
+fn prefix_sharing_charges_the_shared_prompt_once_and_admits_twice_the_sessions() {
+    let hw = HardwareConfig::edge_default();
+    let block_tokens = 16;
+    let block_bytes =
+        DecodeStep::new("b", 1, 8, 1, 64).kv_block_bytes(block_tokens, hw.element_bytes);
+
+    // 8 sessions, 64-token shared system prompt (exactly 4 blocks), 8
+    // decode steps each (context 65..=72 tokens = 5 blocks). Budget: 16
+    // blocks of KV.
+    let trace = shared_prompt_trace(8, 64, 64, 8);
+    let budget = 16 * block_bytes;
+
+    let private_policy = DecodePolicy {
+        kv_budget_bytes: Some(budget),
+        kv_block_tokens: Some(block_tokens),
+        ..DecodePolicy::default()
+    };
+    let shared_policy = DecodePolicy {
+        prefix_share: true,
+        ..private_policy
+    };
+
+    // Private paged charging: each session charges 5 blocks at open
+    // (context 65 tokens), so 16 blocks admit only 3 sessions.
+    let private = DecodeRuntime::new(hw.clone(), private_policy).run_trace(&trace);
+    assert_eq!(private.sessions_admitted, 3, "{}", private.summary());
+    assert_eq!(private.shared_sessions, 0);
+    assert_eq!(private.kv_shared_peak_bytes, 0);
+
+    // Prefix sharing: the 4 prefix blocks are charged once group-wide;
+    // each session privately holds only its 1-block decode tail, so all 8
+    // sessions fit (4 + 8 = 12 blocks) — ≥2x the private admissions.
+    let shared = DecodeRuntime::new(hw, shared_policy).run_trace(&trace);
+    assert_eq!(shared.sessions_admitted, 8, "{}", shared.summary());
+    assert!(shared.sessions_admitted >= 2 * private.sessions_admitted);
+    assert!(shared.rejected_sessions.is_empty());
+    assert_eq!(shared.pool_overflows(), 0);
+    assert_eq!(shared.completed(), 8 * 8);
+
+    // The shared-residency split is exact: 4 group blocks + 8 private
+    // tail blocks at peak, with the shared peak counted once.
+    assert_eq!(shared.shared_sessions, 8);
+    assert_eq!(shared.kv_shared_peak_bytes, 4 * block_bytes);
+    assert_eq!(shared.kv_peak_blocks, 4 + 8);
+    assert_eq!(shared.kv_peak_bytes, (4 + 8) * block_bytes);
+    assert!(shared.kv_peak_bytes <= budget);
+    assert!(shared.kv_peak_bytes < private.kv_peak_bytes);
+
+    // The summary surfaces the sharing.
+    assert!(
+        shared.summary().contains("shared prefixes: 8 sessions"),
+        "{}",
+        shared.summary()
+    );
+}
+
+#[test]
+fn sharing_with_a_partial_tail_charges_only_whole_prefix_blocks_group_wide() {
+    let hw = HardwareConfig::edge_default();
+    let block_tokens = 16;
+    let block_bytes =
+        DecodeStep::new("b", 1, 8, 1, 64).kv_block_bytes(block_tokens, hw.element_bytes);
+
+    // A 40-token shared prefix covers only 2 whole 16-token blocks; the
+    // 8-token tail of the prefix plus the 24 private prompt tokens live in
+    // each session's private blocks (blocks 3 and 4 of the 64-token
+    // prompt, plus the decode tail's block 5).
+    let trace = shared_prompt_trace(4, 64, 40, 4);
+    let policy = DecodePolicy {
+        kv_budget_bytes: Some(64 * block_bytes),
+        kv_block_tokens: Some(block_tokens),
+        prefix_share: true,
+        ..DecodePolicy::default()
+    };
+    let report = DecodeRuntime::new(hw, policy).run_trace(&trace);
+    assert_eq!(report.sessions_admitted, 4, "{}", report.summary());
+    assert_eq!(report.shared_sessions, 4);
+    assert_eq!(report.kv_shared_peak_bytes, 2 * block_bytes);
+    // 2 shared + 4 sessions x 3 private blocks (tokens 33..=68 span
+    // blocks 3..=5 of each session's context).
+    assert_eq!(report.kv_peak_blocks, 2 + 4 * 3);
+    assert_eq!(report.pool_overflows(), 0);
 }

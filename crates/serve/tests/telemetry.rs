@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use mas_dataflow::{AttentionWorkload, DataflowKind};
 use mas_serve::{
-    validate_chrome_trace, DecodePolicy, EngineConfig, SchedulePolicy, ServeEngine, ServeRequest,
-    TelemetryConfig, WorkClass,
+    validate_chrome_trace, DecodePolicy, EngineConfig, EventKind, MemOwner, SchedulePolicy,
+    ServeEngine, ServeRequest, TelemetryConfig, WorkClass,
 };
 use mas_workloads::{
     mixed_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTraceConfig, Network,
@@ -28,6 +28,8 @@ fn lockstep_decode(sessions: u64, steps: usize, prompt: usize, gap_s: f64) -> De
             embed: 64,
             prompt_len: prompt,
             steps,
+            prefix_group: None,
+            shared_prefix_len: 0,
         })
         .collect();
     let mut events = Vec::new();
@@ -257,6 +259,111 @@ fn chrome_trace_validates_and_prometheus_mentions_the_key_series() {
 }
 
 #[test]
+fn prefix_sharing_events_rebuild_the_report_and_release_the_group_last() {
+    // 6 sessions in one prefix group sharing a 64-token system prompt,
+    // replayed with telemetry on and prefix sharing enabled. A private
+    // straggler arrives long after the group finishes so the deferred
+    // session releases (and with them the group release) fire in-log.
+    let mut decode = lockstep_decode(6, 8, 64, 0.01);
+    for spec in &mut decode.sessions {
+        spec.prefix_group = Some(3);
+        spec.shared_prefix_len = 64;
+    }
+    decode.sessions.push(DecodeSessionSpec {
+        id: 6,
+        network: Network::BertSmall,
+        start_s: 100.0,
+        heads: 8,
+        kv_heads: 8,
+        embed: 64,
+        prompt_len: 16,
+        steps: 1,
+        prefix_group: None,
+        shared_prefix_len: 0,
+    });
+    decode.steps.push(DecodeStepEvent {
+        session_id: 6,
+        step_index: 0,
+        arrival_s: 100.0,
+    });
+    let config = EngineConfig {
+        decode: DecodePolicy {
+            kv_block_tokens: Some(16),
+            prefix_share: true,
+            ..DecodePolicy::default()
+        },
+        telemetry: Some(TelemetryConfig::default()),
+        ..EngineConfig::default()
+    };
+    let mut engine = ServeEngine::new(config);
+    let report = engine.run(&[], &decode).unwrap();
+    assert_eq!(report.decode.shared_sessions, 6);
+    assert!(report.decode.kv_shared_peak_bytes > 0);
+    let telemetry = engine.telemetry().unwrap();
+
+    // One PrefixShared event per admitted session, refs counting up;
+    // only the first carries the group's block charge.
+    let events = telemetry.events();
+    let shares: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::PrefixShared {
+                group,
+                delta_bytes,
+                refs,
+                ..
+            } => Some((group, delta_bytes, refs)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shares.len(), 6);
+    for (i, &(group, delta_bytes, refs)) in shares.iter().enumerate() {
+        assert_eq!(group, 3);
+        assert_eq!(refs, i as u32 + 1);
+        assert_eq!(delta_bytes > 0, i == 0, "only the first member charges");
+    }
+
+    // The group's blocks are released exactly once, after every member
+    // session's own release.
+    let group_release = events
+        .iter()
+        .position(|e| {
+            matches!(
+                e.kind,
+                EventKind::BudgetRelease {
+                    owner: MemOwner::PrefixGroup(3),
+                    ..
+                }
+            )
+        })
+        .expect("the group must be released");
+    let session_releases: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e.kind {
+            EventKind::BudgetRelease {
+                owner: MemOwner::Session(_),
+                ..
+            } => Some(i),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(session_releases.len(), 6);
+    assert!(session_releases.iter().all(|&i| i < group_release));
+    let shared_bytes = match events[group_release].kind {
+        EventKind::BudgetRelease { bytes, .. } => bytes,
+        _ => unreachable!(),
+    };
+    assert_eq!(shared_bytes, report.decode.kv_shared_peak_bytes);
+
+    // The event log alone rebuilds the sharing-aware report exactly.
+    let rebuilt = telemetry.report().expect("complete event log");
+    assert_eq!(rebuilt, report);
+    telemetry.tracks_monotone().expect("monotone per track");
+    validate_chrome_trace(&telemetry.chrome_trace_json()).expect("valid Chrome trace");
+}
+
+#[test]
 fn an_event_cap_counts_drops_and_declines_reconstruction() {
     let (prefill, decode) = mixed_scenario();
     let config = EngineConfig {
@@ -308,6 +415,7 @@ proptest! {
         budget_pick in 0usize..4,
         policy_pick in 0usize..3,
         paged_pick in 0usize..2,
+        share_pick in 0usize..2,
         devices in 1usize..3,
     ) {
         let budget_mb = [1u64, 4, 16, 3072][budget_pick];
@@ -317,17 +425,23 @@ proptest! {
             SchedulePolicy::PrefillPriority,
         ][policy_pick];
         let paged = paged_pick == 1;
-        let trace = mixed_trace(&MixedTraceConfig::poisson(
+        let share = share_pick == 1;
+        let mut trace_config = MixedTraceConfig::poisson(
             vec![Network::BertSmall, Network::T5Mini],
             prefill_count,
             2000.0,
             sessions,
             300.0,
             seed,
-        ));
+        );
+        if share {
+            trace_config = trace_config.with_shared_system_prompt(64);
+        }
+        let trace = mixed_trace(&trace_config);
         let config = EngineConfig {
             decode: DecodePolicy {
                 kv_block_tokens: if paged { Some(16) } else { None },
+                prefix_share: share,
                 ..DecodePolicy::default()
             },
             policy,

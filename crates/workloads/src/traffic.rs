@@ -189,6 +189,15 @@ pub struct DecodeTraceConfig {
     pub token_gap_s: f64,
     /// RNG seed; traces are a pure function of the whole config.
     pub seed: u64,
+    /// Shared system-prompt length in tokens. `Some(len)` marks every
+    /// session's first `min(len, prompt_len)` tokens as a prefix shared
+    /// with all same-network sessions (`DecodeSessionSpec::prefix_group` =
+    /// the network's index in [`DecodeTraceConfig::networks`]), modeling a
+    /// per-model system prompt. `None` (default) generates fully private
+    /// sessions — and leaves the sampled trace byte-identical to configs
+    /// predating this field.
+    #[serde(default)]
+    pub system_prompt_len: Option<usize>,
 }
 
 impl DecodeTraceConfig {
@@ -204,7 +213,18 @@ impl DecodeTraceConfig {
             steps_per_session: (8, 64),
             token_gap_s: 0.01,
             seed,
+            system_prompt_len: None,
         }
+    }
+
+    /// Marks the first `len` tokens of every session's prompt as a shared
+    /// per-network system prompt (see
+    /// [`DecodeTraceConfig::system_prompt_len`]). Arrival times, shapes and
+    /// prompt lengths are unchanged — only the sharing annotation differs.
+    #[must_use]
+    pub fn with_system_prompt(mut self, len: usize) -> Self {
+        self.system_prompt_len = Some(len);
+        self
     }
 }
 
@@ -230,6 +250,17 @@ pub struct DecodeSessionSpec {
     pub prompt_len: usize,
     /// Number of decode steps the session will request.
     pub steps: usize,
+    /// Cross-session prefix-sharing group: sessions with the same group id
+    /// share the whole KV blocks of their common prompt prefix when the
+    /// serving policy enables prefix sharing. `None` (default) keeps the
+    /// session fully private.
+    #[serde(default)]
+    pub prefix_group: Option<u64>,
+    /// Length in tokens of the prompt prefix shared with the group (already
+    /// clamped to `prompt_len` by the generator). Only whole KV blocks of
+    /// it are charged group-wide; `0` without a group.
+    #[serde(default)]
+    pub shared_prefix_len: usize,
 }
 
 impl DecodeSessionSpec {
@@ -320,9 +351,16 @@ pub fn decode_trace(config: &DecodeTraceConfig) -> DecodeTrace {
     let mut now_s = 0.0f64;
     for id in 0..config.sessions as u64 {
         now_s += exp_sample(1.0 / config.session_rate_rps, &mut rng);
-        let network = config.networks[rng.gen_range(0..config.networks.len())];
+        let network_index = rng.gen_range(0..config.networks.len());
+        let network = config.networks[network_index];
         let shape = network.attention_workload(1);
         let prompt_len = rng.gen_range(config.prompt_len.0..config.prompt_len.1 + 1);
+        // The sharing annotation draws nothing from the RNG, so traces with
+        // and without a system prompt have identical arrivals and shapes.
+        let (prefix_group, shared_prefix_len) = match config.system_prompt_len {
+            Some(len) => (Some(network_index as u64), len.min(prompt_len)),
+            None => (None, 0),
+        };
         let step_count = rng.gen_range(config.steps_per_session.0..config.steps_per_session.1 + 1);
         let mut t = now_s;
         for step_index in 0..step_count {
@@ -342,6 +380,8 @@ pub fn decode_trace(config: &DecodeTraceConfig) -> DecodeTrace {
             embed: shape.embed,
             prompt_len,
             steps: step_count,
+            prefix_group,
+            shared_prefix_len,
         });
     }
     steps.sort_by(|a, b| {
@@ -395,6 +435,16 @@ impl MixedTraceConfig {
                 seed ^ MIXED_DECODE_SEED_SALT,
             ),
         }
+    }
+
+    /// The shared-system-prompt leg: every decode session's first `len`
+    /// prompt tokens become a per-network shared prefix (see
+    /// [`DecodeTraceConfig::with_system_prompt`]). The prefill leg and all
+    /// arrival times are unchanged.
+    #[must_use]
+    pub fn with_shared_system_prompt(mut self, len: usize) -> Self {
+        self.decode = self.decode.with_system_prompt(len);
+        self
     }
 }
 
@@ -561,6 +611,61 @@ mod tests {
                 prev = e.arrival_s;
             }
         }
+    }
+
+    #[test]
+    fn system_prompt_annotation_leaves_arrivals_and_shapes_unchanged() {
+        // The shared-system-prompt leg must not disturb the RNG stream:
+        // same seed with and without the annotation gives identical
+        // arrivals, shapes, prompt lengths and step schedules.
+        let base = DecodeTraceConfig::poisson(nets(), 25, 80.0, 42);
+        let shared_cfg = base.clone().with_system_prompt(64);
+        let plain = decode_trace(&base);
+        let shared = decode_trace(&shared_cfg);
+        assert_eq!(plain.steps, shared.steps);
+        assert_eq!(plain.sessions.len(), shared.sessions.len());
+        for (p, s) in plain.sessions.iter().zip(&shared.sessions) {
+            assert_eq!(
+                (
+                    p.start_s,
+                    p.heads,
+                    p.kv_heads,
+                    p.embed,
+                    p.prompt_len,
+                    p.steps
+                ),
+                (
+                    s.start_s,
+                    s.heads,
+                    s.kv_heads,
+                    s.embed,
+                    s.prompt_len,
+                    s.steps
+                )
+            );
+            // Private leg carries no sharing; shared leg groups by network
+            // and clamps the prefix to the prompt.
+            assert_eq!((p.prefix_group, p.shared_prefix_len), (None, 0));
+            assert_eq!(s.shared_prefix_len, 64.min(s.prompt_len));
+            let group = s.prefix_group.expect("shared sessions carry a group");
+            assert_eq!(nets()[group as usize], s.network);
+        }
+        // Same-network sessions share a group id.
+        for a in &shared.sessions {
+            for b in &shared.sessions {
+                assert_eq!(a.network == b.network, a.prefix_group == b.prefix_group);
+            }
+        }
+        // The mixed-trace builder threads the annotation through.
+        let mixed_cfg =
+            MixedTraceConfig::poisson(nets(), 5, 50.0, 10, 40.0, 9).with_shared_system_prompt(32);
+        assert_eq!(mixed_cfg.decode.system_prompt_len, Some(32));
+        let mixed = mixed_trace(&mixed_cfg);
+        assert!(mixed
+            .decode
+            .sessions
+            .iter()
+            .all(|s| s.prefix_group.is_some() && s.shared_prefix_len <= s.prompt_len));
     }
 
     #[test]
