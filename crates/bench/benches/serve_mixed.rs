@@ -13,10 +13,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mas_dataflow::DataflowKind;
 use mas_serve::{
-    DecodePolicy, EngineConfig, EngineReport, KvDtype, SchedulePolicy, ServeEngine, ServeRequest,
+    ChunkPolicy, DecodePolicy, EngineConfig, EngineReport, KvDtype, PreemptMode, SchedulePolicy,
+    ServeEngine, ServeRequest,
 };
 use mas_workloads::{
-    mixed_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTraceConfig, Network,
+    mixed_trace, overload_burst_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTrace,
+    MixedTraceConfig, Network, OverloadBurstConfig,
 };
 
 /// The deterministic contention scenario (mirrors `tests/engine_mixed.rs`):
@@ -175,6 +177,76 @@ fn pin_f16_decode_tail(_c: &mut Criterion) {
     );
 }
 
+/// Decode tail latency under the overload-burst trace: a convoy of
+/// distinct multi-ms monolithic prefills lands on steady decode traffic.
+/// With chunked prefill + iteration-level preemption off, decode launches
+/// wall behind whole prefill services; with both on, decode p99 must stay
+/// within 2× of the uncontended decode-only baseline (the PR acceptance
+/// bar, also pinned by `tests/engine_mixed.rs`).
+fn pin_overload_tail(_c: &mut Criterion) {
+    let trace = overload_burst_trace(&OverloadBurstConfig::new(Network::Llama3_8B));
+    let stream = ServeRequest::stream_from_trace(&trace.prefill, DataflowKind::MasAttention, None);
+    let config = |chunk: Option<ChunkPolicy>, preempt: Option<PreemptMode>| EngineConfig {
+        policy: SchedulePolicy::DecodePriority,
+        decode: DecodePolicy {
+            step_deadline_s: Some(0.004),
+            ..DecodePolicy::default()
+        },
+        chunked_prefill: chunk,
+        preempt,
+        ..EngineConfig::default()
+    };
+    let chunk = Some(ChunkPolicy::new(64));
+    let preempt = Some(PreemptMode::Hold);
+    let baseline = ServeEngine::new(config(chunk, preempt))
+        .run(&[], &trace.decode)
+        .expect("baseline replay");
+    let base_p99 = baseline.decode_latency().expect("baseline completes").p99_s;
+    let off = ServeEngine::new(config(None, None))
+        .run(&stream, &trace.decode)
+        .expect("features-off replay");
+    let on = ServeEngine::new(config(chunk, preempt))
+        .run(&stream, &trace.decode)
+        .expect("features-on replay");
+    let off_p99 = off.decode_latency().expect("off completes").p99_s;
+    let on_p99 = on.decode_latency().expect("on completes").p99_s;
+
+    println!(
+        "\noverload-burst decode p99 (decode-only baseline {:.3} ms):",
+        base_p99 * 1e3
+    );
+    println!("| chunked prefill + preemption | decode p99 | vs baseline | preemptions |");
+    println!("|---|---|---|---|");
+    println!(
+        "| off | {:.3} ms | {:.2}x | {} |",
+        off_p99 * 1e3,
+        off_p99 / base_p99,
+        off.preemptions_prefill + off.preemptions_decode,
+    );
+    println!(
+        "| on (chunk 64, hold) | {:.3} ms | {:.2}x | {} |",
+        on_p99 * 1e3,
+        on_p99 / base_p99,
+        on.preemptions_prefill + on.preemptions_decode,
+    );
+
+    assert!(
+        off_p99 > 2.0 * base_p99,
+        "the overload convoy must blow features-off decode p99 ({:.3} ms) \
+         past 2x the baseline ({:.3} ms)",
+        off_p99 * 1e3,
+        base_p99 * 1e3,
+    );
+    assert!(
+        on_p99 <= 2.0 * base_p99,
+        "chunked prefill + preemption must bound decode p99 ({:.3} ms) to \
+         2x the baseline ({:.3} ms)",
+        on_p99 * 1e3,
+        base_p99 * 1e3,
+    );
+    assert!(on.preemptions_prefill > 0, "{}", on.summary());
+}
+
 /// Wall-clock engine throughput on a generated Poisson mixed trace.
 fn bench_mixed_replay(c: &mut Criterion) {
     let trace = mixed_trace(&MixedTraceConfig::poisson(
@@ -212,6 +284,7 @@ criterion_group!(
     benches,
     pin_policy_separation,
     pin_f16_decode_tail,
+    pin_overload_tail,
     bench_mixed_replay
 );
 criterion_main!(benches);

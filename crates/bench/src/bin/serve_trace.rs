@@ -6,7 +6,8 @@
 //!             [--deadline-ms MS] [--devices N] [--search] [--serial]
 //!             [--mixed] [--sessions N] [--session-rate RPS]
 //!             [--policy decode|prefill|fair] [--kv-dtype f32|f16]
-//!             [--prefix-share]
+//!             [--prefix-share] [--chunked-prefill TOKENS]
+//!             [--preempt hold|recompute]
 //!             [--load-cache PATH]... [--save-cache PATH] [--json]
 //!             [--trace-out PATH] [--metrics-out PATH]
 //! ```
@@ -30,13 +31,21 @@
 //! prompt to every session of a network and enables cross-session KV
 //! prefix sharing: the shared prefix blocks are charged against the budget
 //! once per group, and the report's decode detail shows the sharing peak.
+//!
+//! `--chunked-prefill TOKENS` (with `--mixed`) lowers long prefill batches
+//! into chains of TOKENS-sized chunk launches, and `--preempt` enables
+//! iteration-level preemption (`hold` keeps an evicted session's KV
+//! swap-resident, `recompute` re-prices it on resume); together they bound
+//! decode tail latency under prefill overload, with preemption counters in
+//! the `--json` report.
 
 use mas_attention::planner::{PlannerConfig, TilingStrategy};
 use mas_dataflow::DataflowKind;
 use mas_search::tuner::TunerConfig;
 use mas_serve::{
-    validate_chrome_trace, EngineConfig, KvDtype, ScheduleCache, SchedulePolicy, ServeConfig,
-    ServeEngine, ServeReport, ServeRequest, ServeRuntime, Telemetry, TelemetryConfig,
+    validate_chrome_trace, ChunkPolicy, EngineConfig, KvDtype, PreemptMode, ScheduleCache,
+    SchedulePolicy, ServeConfig, ServeEngine, ServeReport, ServeRequest, ServeRuntime, Telemetry,
+    TelemetryConfig,
 };
 use mas_workloads::{
     decode_trace, request_trace, DecodeTraceConfig, Network, TraceConfig, MIXED_DECODE_SEED_SALT,
@@ -57,6 +66,8 @@ struct Args {
     policy: SchedulePolicy,
     kv_dtype: Option<KvDtype>,
     prefix_share: bool,
+    chunked_prefill: Option<usize>,
+    preempt: Option<PreemptMode>,
     load_caches: Vec<String>,
     save_cache: Option<String>,
     json: bool,
@@ -123,6 +134,11 @@ fn parse_args() -> Args {
             KvDtype::parse(&v).unwrap_or_else(|| panic!("--kv-dtype: expected f32|f16, got {v:?}"))
         }),
         prefix_share: argv.iter().any(|a| a == "--prefix-share"),
+        chunked_prefill: parsed("--chunked-prefill", value("--chunked-prefill")),
+        preempt: value("--preempt").map(|v| {
+            v.parse()
+                .unwrap_or_else(|e: String| panic!("--preempt: {e}"))
+        }),
         load_caches: values("--load-cache"),
         save_cache: value("--save-cache"),
         json: argv.iter().any(|a| a == "--json"),
@@ -268,6 +284,8 @@ fn run_mixed(
     engine_config.policy = args.policy;
     engine_config.decode.kv_dtype = args.kv_dtype;
     engine_config.decode.prefix_share = args.prefix_share;
+    engine_config.chunked_prefill = args.chunked_prefill.map(ChunkPolicy::new);
+    engine_config.preempt = args.preempt;
     // The From<ServeConfig> lifting disables the shared budget for legacy
     // prefill-shim compatibility; a mixed replay wants the engine's real
     // default (the decode policy's half-DRAM KV budget) so the cross-class
@@ -290,12 +308,15 @@ fn run_mixed(
     );
     println!(
         "runtime: {} device(s), policy {}, kv dtype {}, prefix sharing {}, \
-         cache warm entries {} -> final {}",
+         chunked prefill {}, preemption {}, cache warm entries {} -> final {}",
         args.devices.max(1),
         args.policy,
         args.kv_dtype
             .map_or("device default".to_string(), |d| d.to_string()),
         if args.prefix_share { "on" } else { "off" },
+        args.chunked_prefill
+            .map_or("off".to_string(), |t| format!("{t} tokens")),
+        args.preempt.map_or("off".to_string(), |m| m.to_string()),
         warm_entries,
         engine.cache().len(),
     );
@@ -319,7 +340,8 @@ fn run_mixed(
              \"prefill_p50_ms\":{pf_p50:.6},\"prefill_p99_ms\":{pf_p99:.6},\
              \"decode_p50_ms\":{dc_p50:.6},\"decode_p99_ms\":{dc_p99:.6},\
              \"mem_budget_bytes\":{},\"mem_peak_bytes\":{},\
-             \"shared_sessions\":{},\"kv_shared_peak_bytes\":{}}}",
+             \"shared_sessions\":{},\"kv_shared_peak_bytes\":{},\
+             \"preempted_prefill\":{},\"preempted_decode\":{}}}",
             report.policy,
             report.prefill.completed(),
             report.decode.completed(),
@@ -330,6 +352,8 @@ fn run_mixed(
             report.mem_peak_bytes,
             report.decode.shared_sessions,
             report.decode.kv_shared_peak_bytes,
+            report.preemptions_prefill,
+            report.preemptions_decode,
         );
     }
     export_telemetry(engine.telemetry(), args);

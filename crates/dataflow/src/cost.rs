@@ -18,7 +18,7 @@
 
 use mas_sim::HardwareConfig;
 
-use crate::decode::DecodeStep;
+use crate::decode::{DecodeStep, PrefillChunk};
 use crate::workload::AttentionWorkload;
 
 /// The three-stream resource demand of one unit of attention work (a
@@ -74,6 +74,26 @@ impl StreamDemand {
             mac_ops: step.mac_ops() as f64,
             vec_ops: step.softmax_elements() as f64 * hw.softmax_ops_per_element as f64,
             dram_bytes: step.min_dram_traffic_bytes_split(hw.element_bytes, kv_element_bytes)
+                as f64,
+        }
+    }
+
+    /// The demand of one chunk of a chunked prefill with the KV terms
+    /// priced at `kv_element_bytes`: the decode cost split
+    /// ([`StreamDemand::of_decode_step_with_kv`]) summed in closed form over
+    /// the chunk's causal query rows ([`PrefillChunk`]). A chunk covering a
+    /// whole prompt therefore prices identically to the per-token decode
+    /// chain it replaces, up to the per-launch issue overhead.
+    #[must_use]
+    pub fn of_prefill_chunk_with_kv(
+        chunk: &PrefillChunk,
+        hw: &HardwareConfig,
+        kv_element_bytes: usize,
+    ) -> Self {
+        Self {
+            mac_ops: chunk.mac_ops() as f64,
+            vec_ops: chunk.softmax_elements() as f64 * hw.softmax_ops_per_element as f64,
+            dram_bytes: chunk.min_dram_traffic_bytes_split(hw.element_bytes, kv_element_bytes)
                 as f64,
         }
     }
@@ -190,6 +210,25 @@ mod tests {
             dram_heavy.bound_seconds(&hw),
             1e12 / hw.dram_bandwidth_bytes_per_s
         );
+    }
+
+    #[test]
+    fn chunk_demand_sums_its_decode_steps() {
+        // A chunk's demand must equal the accumulated demand of the decode
+        // steps it fuses, for any KV pricing — this is what makes chunked
+        // prefill cost-neutral relative to the decode timeline it shares.
+        let hw = hw();
+        let chunk = PrefillChunk::new(1, 8, 100, 32, 64).with_kv_heads(2);
+        for kv_eb in [hw.element_bytes, hw.element_bytes / 2] {
+            let direct = StreamDemand::of_prefill_chunk_with_kv(&chunk, &hw, kv_eb);
+            let mut summed = StreamDemand::default();
+            for s in chunk.decode_steps() {
+                summed.accumulate(&StreamDemand::of_decode_step_with_kv(&s, &hw, kv_eb));
+            }
+            assert_eq!(direct.mac_ops, summed.mac_ops);
+            assert_eq!(direct.vec_ops, summed.vec_ops);
+            assert_eq!(direct.dram_bytes, summed.dram_bytes);
+        }
     }
 
     #[test]

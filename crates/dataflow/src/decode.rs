@@ -301,6 +301,186 @@ impl fmt::Display for DecodeStep {
     }
 }
 
+/// One chunk of a chunked (Sarathi-style) prefill: `chunk_tokens` new query
+/// rows attending causally over the `prefilled_len` tokens already in the
+/// KV cache plus the chunk itself. The cost model is the decode model
+/// generalized from one query row to `chunk_tokens` rows: the chunk is
+/// arithmetically identical to the sum of the decode steps at contexts
+/// `prefilled_len + 1 ..= prefilled_len + chunk_tokens`, fused into one
+/// launch (one issue overhead, one kernel).
+///
+/// Splitting a long prompt into such chunks bounds how long a single
+/// prefill launch can occupy a device, which is what lets a serving layer
+/// interleave decode steps at chunk granularity instead of stalling them
+/// for a full prompt length.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrefillChunk {
+    /// Number of sequences prefilled together.
+    pub batch: usize,
+    /// Number of query attention heads `H`.
+    pub heads: usize,
+    /// Number of shared key/value heads (`kv_heads ≤ heads`, dividing
+    /// `heads`).
+    pub kv_heads: usize,
+    /// Tokens already resident in the KV cache before this chunk (zero for
+    /// the first chunk of a prompt).
+    pub prefilled_len: usize,
+    /// New tokens this chunk prefills.
+    pub chunk_tokens: usize,
+    /// Per-head embedding size `E`.
+    pub embed: usize,
+}
+
+impl PrefillChunk {
+    /// Creates a plain multi-head chunk description (`kv_heads == heads`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch`, `heads`, `chunk_tokens` or `embed` is zero
+    /// (`prefilled_len` may be zero: the first chunk of a prompt).
+    #[must_use]
+    pub fn new(
+        batch: usize,
+        heads: usize,
+        prefilled_len: usize,
+        chunk_tokens: usize,
+        embed: usize,
+    ) -> Self {
+        assert!(
+            batch > 0 && heads > 0 && chunk_tokens > 0 && embed > 0,
+            "prefill chunk dimensions must be non-zero"
+        );
+        Self {
+            batch,
+            heads,
+            kv_heads: heads,
+            prefilled_len,
+            chunk_tokens,
+            embed,
+        }
+    }
+
+    /// Returns the chunk with `kv_heads` shared key/value heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_heads` is zero, exceeds `heads` or does not divide it.
+    #[must_use]
+    pub fn with_kv_heads(mut self, kv_heads: usize) -> Self {
+        assert!(
+            kv_heads > 0 && kv_heads <= self.heads && self.heads.is_multiple_of(kv_heads),
+            "kv_heads must be non-zero and divide the query head count"
+        );
+        self.kv_heads = kv_heads;
+        self
+    }
+
+    /// Summed context length over the chunk's query rows under causal
+    /// attention: row `i` (zero-based) attends `prefilled_len + i + 1`
+    /// tokens, so the total is
+    /// `Σ_{t = p+1}^{p+c} t = c·p + c·(c+1)/2`.
+    #[must_use]
+    pub fn token_span(&self) -> u64 {
+        let p = self.prefilled_len as u64;
+        let c = self.chunk_tokens as u64;
+        c * p + c * (c + 1) / 2
+    }
+
+    /// Multiply-accumulate operations of the chunk: each query row pays the
+    /// decode-step `2·B·H·t·E` at its own causal context, summed —
+    /// `2 · B · H · token_span · E`.
+    #[must_use]
+    pub fn mac_ops(&self) -> u64 {
+        2 * self.batch as u64 * self.heads as u64 * self.token_span() * self.embed as u64
+    }
+
+    /// Softmax elements of the chunk (`B · H · token_span`).
+    #[must_use]
+    pub fn softmax_elements(&self) -> u64 {
+        self.batch as u64 * self.heads as u64 * self.token_span()
+    }
+
+    /// Bytes of the chunk's *query-head-wide* new rows (`q` in or `o` out):
+    /// `B · H · chunk_tokens · E` elements.
+    #[must_use]
+    pub fn new_row_bytes(&self, element_bytes: usize) -> u64 {
+        self.batch as u64
+            * self.heads as u64
+            * self.chunk_tokens as u64
+            * self.embed as u64
+            * element_bytes as u64
+    }
+
+    /// Bytes of the chunk's *KV-head-wide* appended rows (`k` or `v`):
+    /// `B · H_kv · chunk_tokens · E` elements.
+    #[must_use]
+    pub fn new_kv_row_bytes(&self, element_bytes: usize) -> u64 {
+        self.batch as u64
+            * self.kv_heads as u64
+            * self.chunk_tokens as u64
+            * self.embed as u64
+            * element_bytes as u64
+    }
+
+    /// Minimum DRAM traffic of the chunk with the KV terms priced at
+    /// `kv_element_bytes` and the activation rows at
+    /// `activation_element_bytes` — exactly the decode cost split
+    /// ([`DecodeStep::min_dram_traffic_bytes_split`]) summed over the
+    /// chunk's rows: the incremental KV stream
+    /// (`2 · B · H_kv · token_span · E`), the `q`/`o` activation rows and
+    /// the appended `k`/`v` rows.
+    #[must_use]
+    pub fn min_dram_traffic_bytes_split(
+        &self,
+        activation_element_bytes: usize,
+        kv_element_bytes: usize,
+    ) -> u64 {
+        let kv_stream = 2
+            * self.batch as u64
+            * self.kv_heads as u64
+            * self.token_span()
+            * self.embed as u64
+            * kv_element_bytes as u64;
+        kv_stream
+            + 2 * self.new_row_bytes(activation_element_bytes)
+            + 2 * self.new_kv_row_bytes(kv_element_bytes)
+    }
+
+    /// The decode steps this chunk fuses: one per new token, at the causal
+    /// contexts `prefilled_len + 1 ..= prefilled_len + chunk_tokens`. Used
+    /// by the differential tests; the closed forms above avoid allocating
+    /// these on hot paths.
+    #[must_use]
+    pub fn decode_steps(&self) -> Vec<DecodeStep> {
+        (1..=self.chunk_tokens)
+            .map(|i| {
+                DecodeStep::new(
+                    "chunk-row",
+                    self.batch,
+                    self.heads,
+                    self.prefilled_len + i,
+                    self.embed,
+                )
+                .with_kv_heads(self.kv_heads)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PrefillChunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunk (B={}, H={}, p={}, c={}, E={}",
+            self.batch, self.heads, self.prefilled_len, self.chunk_tokens, self.embed
+        )?;
+        if self.kv_heads != self.heads {
+            write!(f, ", KV={}", self.kv_heads)?;
+        }
+        f.write_str(")")
+    }
+}
+
 /// L1 working set of the streaming decode kernel for one `(batch, head)`
 /// slice processed at a time, with the cached `K`/`V` rows streamed through
 /// in `kv_tile_rows`-row sub-tiles (double buffered): the query row, two
@@ -569,5 +749,73 @@ mod tests {
         let s = format!("{}", step());
         assert!(s.contains("H=8"));
         assert!(s.contains("t=256"));
+    }
+
+    #[test]
+    fn chunk_cost_equals_summed_decode_steps() {
+        // The chunk's closed forms must match the per-row decode steps it
+        // fuses, exactly, for every cost component and both byte pricings.
+        for (p, c) in [(0usize, 1usize), (0, 17), (100, 1), (100, 32), (255, 3)] {
+            let chunk = PrefillChunk::new(2, 8, p, c, 64).with_kv_heads(2);
+            let steps = chunk.decode_steps();
+            assert_eq!(steps.len(), c);
+            assert_eq!(
+                chunk.token_span(),
+                steps.iter().map(|s| s.context_len as u64).sum::<u64>()
+            );
+            assert_eq!(
+                chunk.mac_ops(),
+                steps.iter().map(DecodeStep::mac_ops).sum::<u64>()
+            );
+            assert_eq!(
+                chunk.softmax_elements(),
+                steps.iter().map(DecodeStep::softmax_elements).sum::<u64>()
+            );
+            for (act_eb, kv_eb) in [(4usize, 4usize), (4, 2), (2, 2)] {
+                assert_eq!(
+                    chunk.min_dram_traffic_bytes_split(act_eb, kv_eb),
+                    steps
+                        .iter()
+                        .map(|s| s.min_dram_traffic_bytes_split(act_eb, kv_eb))
+                        .sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_chain_covers_the_monolithic_prompt_span() {
+        // Chaining chunks over a whole prompt yields exactly the causal
+        // token span of prefilling it in one go: Σ_{t=1}^{n} t.
+        let n = 1000usize;
+        let mut covered = 0u64;
+        let mut p = 0usize;
+        while p < n {
+            let c = (n - p).min(192);
+            covered += PrefillChunk::new(1, 8, p, c, 64).token_span();
+            p += c;
+        }
+        assert_eq!(covered, (n as u64) * (n as u64 + 1) / 2);
+    }
+
+    #[test]
+    fn chunk_new_row_bytes_follow_head_widths() {
+        let chunk = PrefillChunk::new(2, 8, 64, 16, 32).with_kv_heads(2);
+        assert_eq!(chunk.new_row_bytes(4), 2 * 8 * 16 * 32 * 4);
+        assert_eq!(chunk.new_kv_row_bytes(2), 2 * 2 * 16 * 32 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunk_tokens_panics() {
+        let _ = PrefillChunk::new(1, 8, 64, 0, 64);
+    }
+
+    #[test]
+    fn chunk_display_contains_dimensions() {
+        let s = format!("{}", PrefillChunk::new(1, 8, 128, 64, 32).with_kv_heads(4));
+        assert!(s.contains("p=128"));
+        assert!(s.contains("c=64"));
+        assert!(s.contains("KV=4"));
     }
 }

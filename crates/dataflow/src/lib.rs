@@ -75,7 +75,7 @@ pub mod tiling;
 pub mod workload;
 
 pub use cost::StreamDemand;
-pub use decode::DecodeStep;
+pub use decode::{DecodeStep, PrefillChunk};
 pub use kind::DataflowKind;
 pub use mas_tensor::half::KvDtype;
 pub use schedule::{build_dataflow, BuildStats, Schedule};

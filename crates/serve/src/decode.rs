@@ -48,7 +48,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mas_dataflow::decode::DecodeStep;
+use mas_dataflow::decode::{DecodeStep, PrefillChunk};
 use mas_dataflow::{KvDtype, StreamDemand};
 use mas_sim::HardwareConfig;
 use mas_workloads::DecodeTrace;
@@ -191,6 +191,17 @@ impl DecodePolicy {
         self.kv_budget_bytes.unwrap_or(hw.dram_bytes as u64 / 2)
     }
 
+    /// The launch-size cap the engine actually enforces: a degenerate
+    /// `max_steps_per_launch == 0` clamps to 1 (every step launches alone),
+    /// exactly like the `kv_block_tokens == 0` → one-token-blocks
+    /// normalization. This is the *single* normalization site — the engine
+    /// must never re-derive the clamp inline, so the replayed policy and
+    /// the telemetry-reconstructed one can't drift.
+    #[must_use]
+    pub fn effective_max_steps_per_launch(&self) -> usize {
+        self.max_steps_per_launch.max(1)
+    }
+
     /// Bytes per stored KV element under this policy on `hw`: the explicit
     /// [`DecodePolicy::kv_dtype`]'s width, or the device element size.
     #[must_use]
@@ -249,6 +260,22 @@ pub fn launch_service_s_with_kv(
         ));
     }
     demand.bound_seconds(hw) + hw.issue_overhead_cycles as f64 / hw.frequency_hz
+}
+
+/// Service time of one chunked-prefill chunk launch: the chunk's summed
+/// causal-row demand ([`StreamDemand::of_prefill_chunk_with_kv`], the exact
+/// closed-form sum of the decode steps it fuses) bounded by the binding
+/// component, plus one issue overhead per chunk — which is the chunking
+/// trade: more chunks bound the per-launch occupancy that stalls decode,
+/// at one extra issue overhead each.
+#[must_use]
+pub fn prefill_chunk_service_s_with_kv(
+    chunk: &PrefillChunk,
+    hw: &HardwareConfig,
+    kv_element_bytes: usize,
+) -> f64 {
+    StreamDemand::of_prefill_chunk_with_kv(chunk, hw, kv_element_bytes).bound_seconds(hw)
+        + hw.issue_overhead_cycles as f64 / hw.frequency_hz
 }
 
 /// The fate of one completed decode step.
@@ -907,6 +934,64 @@ mod tests {
         assert_eq!(report.completed(), 1, "the mid-stream session still runs");
         assert_eq!(report.outcomes[0].context_len, 16 + 1 + 1);
         assert_eq!(report.sessions_admitted, 1);
+    }
+
+    #[test]
+    fn zero_max_steps_per_launch_normalizes_to_one() {
+        // The single normalization site (satellite of the chunked-prefill
+        // PR): a degenerate 0 behaves exactly like 1, and the engine replay
+        // under both policies is identical.
+        let zero = DecodePolicy {
+            max_steps_per_launch: 0,
+            ..DecodePolicy::default()
+        };
+        let one = DecodePolicy {
+            max_steps_per_launch: 1,
+            ..DecodePolicy::default()
+        };
+        assert_eq!(zero.effective_max_steps_per_launch(), 1);
+        assert_eq!(one.effective_max_steps_per_launch(), 1);
+        assert_eq!(
+            DecodePolicy::default().effective_max_steps_per_launch(),
+            DecodePolicy::default().max_steps_per_launch
+        );
+        let trace = lockstep_trace(3, 4, 16, 0.01);
+        let with_zero = DecodeRuntime::new(hw(), zero).run_trace(&trace);
+        let with_one = DecodeRuntime::new(hw(), one).run_trace(&trace);
+        assert_eq!(with_zero, with_one);
+        // Size-1 launches: nothing ever coalesces.
+        assert_eq!(with_zero.launches, with_zero.completed());
+    }
+
+    #[test]
+    fn chunk_service_time_matches_its_fused_decode_steps() {
+        // A chunk's service time is the fused decode chain's demand bound
+        // plus ONE issue overhead (that is the fusion saving), priced under
+        // any KV dtype.
+        let hw = hw();
+        let chunk = PrefillChunk::new(1, 8, 64, 16, 64);
+        for kv_eb in [hw.element_bytes, hw.element_bytes / 2] {
+            let fused = prefill_chunk_service_s_with_kv(&chunk, &hw, kv_eb);
+            let chain = launch_service_s_with_kv(&chunk.decode_steps(), &hw, kv_eb);
+            assert!((fused - chain).abs() < 1e-15, "fused {fused} chain {chain}");
+        }
+        // More chunks over the same prompt slice can only add issue
+        // overheads.
+        let whole = prefill_chunk_service_s_with_kv(
+            &PrefillChunk::new(1, 8, 0, 128, 64),
+            &hw,
+            hw.element_bytes,
+        );
+        let halves = prefill_chunk_service_s_with_kv(
+            &PrefillChunk::new(1, 8, 0, 64, 64),
+            &hw,
+            hw.element_bytes,
+        ) + prefill_chunk_service_s_with_kv(
+            &PrefillChunk::new(1, 8, 64, 64, 64),
+            &hw,
+            hw.element_bytes,
+        );
+        assert!(halves > whole);
     }
 
     #[test]

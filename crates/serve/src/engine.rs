@@ -57,6 +57,39 @@
 //!    budget. These invariants are pinned by a proptest over random mixed
 //!    interleavings (`tests/engine_mixed.rs`).
 //!
+//! ## Chunked prefill and preemption invariants
+//!
+//! Two opt-in features bound decode tail latency under overload; both
+//! default off, and every replay with them off is bit-identical to the
+//! pre-feature engine:
+//!
+//! 1. **Chunk-chain ordering.** Under [`EngineConfig::chunked_prefill`] a
+//!    prefill batch longer than the chunk token budget lowers into a chain
+//!    of chunk launches keyed by [`LaunchKey::PrefillChunk`]. Chunks of one
+//!    chain dispatch strictly in index order — chunk `k+1` becomes ready
+//!    only at chunk `k`'s completion, so decode launches can slot between
+//!    chunks (the head-of-line-blocking fix) — and chunks of *different*
+//!    requests never coalesce: the chain id is part of the launch key.
+//!    This holds under any batching window, including `window_s = 0.0`.
+//!    Chunk service times split the monolithic plan's seconds
+//!    proportionally to each chunk's closed-form stream demand, plus one
+//!    launch-issue overhead per chunk after the first — chunking is priced
+//!    as issue overhead, never as replanning the batch.
+//! 2. **Budget charged once per chain.** A chunked batch charges its
+//!    activation footprint once, at join, exactly like a monolithic batch,
+//!    and releases it exactly once — when the chain's *last* chunk
+//!    completes. Member requests complete at the last chunk's completion.
+//! 3. **Preemption never drops an admitted session's tokens.** Under
+//!    [`EngineConfig::preempt`], slot preemption displaces only launches
+//!    that have not yet *started* (their effects are staged until their
+//!    start instant passes), and the displaced batch re-places behind the
+//!    preempting decode launch — it is delayed, never dropped. KV
+//!    preemption evicts an idle session's block charge but stashes its
+//!    resident-token bytes: they swap back in at the session's next step
+//!    ([`PreemptMode::Hold`]) or are re-priced as recompute work on that
+//!    step's launch ([`PreemptMode::Recompute`]). Steps are shed only
+//!    through the pre-existing screening and overflow paths.
+//!
 //! ## Backward equivalence
 //!
 //! A prefill-only stream through the engine reproduces the legacy
@@ -98,18 +131,18 @@ use serde::{Deserialize, Serialize};
 
 use mas_attention::planner::TilingStrategy;
 use mas_attention::{Planner, PlannerConfig};
-use mas_dataflow::decode::{decode_step_fits_with_kv, DecodeStep};
-use mas_dataflow::AttentionWorkload;
+use mas_dataflow::decode::{decode_step_fits_with_kv, DecodeStep, PrefillChunk};
+use mas_dataflow::{AttentionWorkload, StreamDemand};
 use mas_sim::{HardwareConfig, Result};
 use mas_workloads::{DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTrace};
 
 use crate::batcher::{coalesce, BatchPolicy};
 use crate::cache::{CacheKey, CachedPlan, ScheduleCache};
 use crate::decode::{
-    decode_step_lower_bound_s_with_kv, launch_service_s_with_kv, DecodePolicy, DecodeRejectReason,
-    DecodeReport, DecodeStepOutcome, RejectedDecodeStep,
+    decode_step_lower_bound_s_with_kv, launch_service_s_with_kv, prefill_chunk_service_s_with_kv,
+    DecodePolicy, DecodeRejectReason, DecodeReport, DecodeStepOutcome, RejectedDecodeStep,
 };
-use crate::key::{BatchKey, DecodeKey, LaunchKey, WorkClass};
+use crate::key::{BatchKey, ChunkKey, DecodeKey, LaunchKey, WorkClass};
 use crate::metrics::{LatencyStats, RejectedRequest, RequestOutcome, ServeReport};
 use crate::queue::{
     service_time_lower_bound_s, workload_is_feasible, AdmissionPolicy, BacklogEstimator,
@@ -117,7 +150,7 @@ use crate::queue::{
 };
 use crate::request::ServeRequest;
 use crate::telemetry::{
-    EventKind, MemOwner, SealCause, Telemetry, TelemetryConfig, TelemetryRecorder,
+    EventKind, MemOwner, PreemptVictim, SealCause, Telemetry, TelemetryConfig, TelemetryRecorder,
 };
 
 /// Which queue feeds the launch slots when launches of both classes are
@@ -160,6 +193,80 @@ impl std::fmt::Display for SchedulePolicy {
     }
 }
 
+/// Chunked-prefill policy ([`EngineConfig::chunked_prefill`]): a prefill
+/// batch whose sequence length exceeds the per-chunk token budget lowers
+/// into a chain of chunk launches instead of one monolithic launch, so
+/// decode work can slot into the gaps between chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkPolicy {
+    /// Token budget per chunk: each chunk covers at most this many query
+    /// rows of the prompt. `0` disables chunking (every batch stays one
+    /// monolithic launch), as does any budget at or above the prompt
+    /// length.
+    pub chunk_tokens: usize,
+}
+
+impl ChunkPolicy {
+    /// A policy with the given per-chunk token budget.
+    #[must_use]
+    pub fn new(chunk_tokens: usize) -> Self {
+        Self { chunk_tokens }
+    }
+
+    /// The chunk sizes covering a `seq_len`-token prompt: full chunks of
+    /// `chunk_tokens` rows plus one ragged tail. A single-element result
+    /// means the batch dispatches monolithically.
+    #[must_use]
+    pub fn chunk_sizes(&self, seq_len: usize) -> Vec<usize> {
+        if self.chunk_tokens == 0 || self.chunk_tokens >= seq_len {
+            return vec![seq_len];
+        }
+        let mut sizes = vec![self.chunk_tokens; seq_len / self.chunk_tokens];
+        let tail = seq_len % self.chunk_tokens;
+        if tail > 0 {
+            sizes.push(tail);
+        }
+        sizes
+    }
+}
+
+/// What happens to a decode session's KV residency when the session is
+/// preempted under shared-pool pressure ([`EngineConfig::preempt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PreemptMode {
+    /// Swap: the evicted KV is held host-side and its resident-token bytes
+    /// are restored when the session's next step arrives. The host
+    /// transfer is off the device timeline, so the resumed step pays no
+    /// extra service time.
+    #[default]
+    Hold,
+    /// Drop-and-recompute: the evicted KV is discarded, and the session's
+    /// resumed step is additionally priced for recomputing the evicted
+    /// context as a [`PrefillChunk`] demand folded into its launch.
+    Recompute,
+}
+
+impl std::fmt::Display for PreemptMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PreemptMode::Hold => "hold",
+            PreemptMode::Recompute => "recompute",
+        })
+    }
+}
+
+impl std::str::FromStr for PreemptMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "hold" => Ok(PreemptMode::Hold),
+            "recompute" => Ok(PreemptMode::Recompute),
+            other => Err(format!("unknown preempt mode `{other}` (hold|recompute)")),
+        }
+    }
+}
+
 /// One unit of schedulable work in the engine's unified stream: a prefill
 /// attention request or a single decode step.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -183,6 +290,11 @@ pub struct DecodeStepItem {
     pub context_len: usize,
     /// Arrival time in seconds.
     pub arrival_s: f64,
+    /// Context tokens whose KV must be recomputed before this step can run
+    /// (nonzero only for the first step after a
+    /// [`PreemptMode::Recompute`] eviction): priced into the step's launch
+    /// as a [`PrefillChunk`] demand.
+    pub recompute_tokens: usize,
 }
 
 /// Configuration of the unified serve engine.
@@ -214,6 +326,19 @@ pub struct EngineConfig {
     /// the pre-telemetry engine; `Some` records a typed [`EventKind`]
     /// stream retrievable via [`ServeEngine::telemetry`] after a run.
     pub telemetry: Option<TelemetryConfig>,
+    /// Opt-in chunked prefill. `None` (the default) keeps every replay
+    /// bit-identical to the pre-chunking engine; `Some` lowers long
+    /// prefill batches into chunk chains (see the module docs'
+    /// chunking/preemption invariants).
+    pub chunked_prefill: Option<ChunkPolicy>,
+    /// Opt-in iteration-level preemption. `None` (the default) keeps every
+    /// replay bit-identical to the pre-preemption engine. `Some` enables
+    /// both mechanisms: deadline-pressed decode launches may displace
+    /// not-yet-started prefill-class launches (only under
+    /// [`SchedulePolicy::DecodePriority`], which expresses that decode
+    /// latency outranks prefill), and KV-pool pressure may evict idle
+    /// sessions' block charges with the chosen [`PreemptMode`].
+    pub preempt: Option<PreemptMode>,
 }
 
 impl Default for EngineConfig {
@@ -228,6 +353,8 @@ impl Default for EngineConfig {
             policy: SchedulePolicy::default(),
             shared_budget_bytes: None,
             telemetry: None,
+            chunked_prefill: None,
+            preempt: None,
         }
     }
 }
@@ -270,6 +397,14 @@ pub struct EngineReport {
     /// Per-device utilization on the shared timeline (both classes), one
     /// entry per virtual device.
     pub device_util: Vec<DeviceUtil>,
+    /// Prefill-class launches displaced by deadline-pressed decode launches
+    /// before starting (slot preemption). Zero unless
+    /// [`EngineConfig::preempt`] is set.
+    pub preemptions_prefill: usize,
+    /// Decode sessions whose KV block charge was evicted under pool
+    /// pressure (KV preemption). Zero unless [`EngineConfig::preempt`] is
+    /// set.
+    pub preemptions_decode: usize,
 }
 
 /// Utilization of one virtual device over a replay's timeline.
@@ -349,9 +484,17 @@ impl EngineReport {
                 .collect();
             format!("\n  devices: {}", per_device.join(" | "))
         };
+        let preempt = if self.preemptions_prefill + self.preemptions_decode > 0 {
+            format!(
+                " | preempted {} launches / {} sessions",
+                self.preemptions_prefill, self.preemptions_decode
+            )
+        } else {
+            String::new()
+        };
         format!(
             "engine[{}]: {} launches in {:.3} ms makespan | shared budget {:.1} MB peak {:.1} MB \
-             ({:.1} prefill + {:.1} decode)\n  prefill: {}\n  decode:  {}{}",
+             ({:.1} prefill + {:.1} decode){preempt}\n  prefill: {}\n  decode:  {}{}",
             self.policy,
             self.launches,
             self.makespan_s * 1e3,
@@ -526,7 +669,8 @@ impl ServeEngine {
                     devices: self.config.devices.max(1) as u32,
                     budget_bytes: budget,
                     max_batch: self.config.batching.max_batch.max(1) as u32,
-                    max_steps_per_launch: self.config.decode.max_steps_per_launch.max(1) as u32,
+                    max_steps_per_launch: self.config.decode.effective_max_steps_per_launch()
+                        as u32,
                     step_deadline_s: self.config.decode.step_deadline_s,
                 },
             );
@@ -552,6 +696,7 @@ impl ServeEngine {
                         used_bytes: 0,
                         shared_blocks: 0,
                         prefix_group: None,
+                        swapped: None,
                     },
                 )
             })
@@ -567,7 +712,7 @@ impl ServeEngine {
             budget,
             tuned: self.config.planner.tiling == TilingStrategy::Search,
             max_batch: self.config.batching.max_batch.max(1),
-            max_steps_per_launch: self.config.decode.max_steps_per_launch.max(1),
+            max_steps_per_launch: self.config.decode.effective_max_steps_per_launch(),
             free_at: vec![0.0f64; self.config.devices.max(1)],
             busy_prefill: vec![0.0f64; self.config.devices.max(1)],
             busy_decode: vec![0.0f64; self.config.devices.max(1)],
@@ -578,6 +723,11 @@ impl ServeEngine {
             next_launch_id: 0,
             sessions,
             releases: Vec::new(),
+            ledger: ReleaseLedger::default(),
+            chunk_chains: BTreeMap::new(),
+            staged: (0..self.config.devices.max(1)).map(|_| None).collect(),
+            preemptions_prefill: 0,
+            preemptions_decode: 0,
             estimator: BacklogEstimator::new(self.config.devices),
             kv_in_use: 0,
             kv_used: 0,
@@ -641,6 +791,8 @@ impl ServeEngine {
             idle_gaps,
             launch_counts,
             recorder,
+            preemptions_prefill,
+            preemptions_decode,
             ..
         } = pass;
         // A class's per-device busy vector is populated only when the class
@@ -677,6 +829,8 @@ impl ServeEngine {
             mem_peak_prefill_bytes: mem_peak.prefill,
             mem_peak_decode_bytes: mem_peak.decode,
             device_util,
+            preemptions_prefill,
+            preemptions_decode,
         })
     }
 }
@@ -727,6 +881,120 @@ enum Release {
     },
 }
 
+/// Live-charge ledger for shared-budget owners. Releases are saturating,
+/// so a duplicated release for the same owner would silently under-report
+/// occupancy instead of failing; the ledger detects the hazard — a release
+/// for an owner with no live charge — so the caller can drop it (and count
+/// the drop) rather than absorb it.
+#[derive(Debug, Default)]
+struct ReleaseLedger {
+    live: BTreeSet<MemOwner>,
+    drops: u64,
+}
+
+impl ReleaseLedger {
+    /// Marks `owner` as holding a live charge (idempotent: growing an
+    /// existing charge needs no second mark).
+    fn charge(&mut self, owner: MemOwner) {
+        self.live.insert(owner);
+    }
+
+    /// Consumes `owner`'s live charge. Returns `false` — counting a drop —
+    /// when the owner holds none: the double-release hazard.
+    fn release(&mut self, owner: MemOwner) -> bool {
+        let live = self.live.remove(&owner);
+        if !live {
+            self.drops += 1;
+        }
+        live
+    }
+
+    /// Releases dropped because their owner held no live charge.
+    #[cfg(test)]
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+/// One in-flight chunked-prefill chain: the sealed batch's members and
+/// launch payload, the chunk layout, and the lazy-dispatch cursor. The
+/// chain id is the launch id of the chain's first chunk.
+struct ChunkChain {
+    requests: Vec<ServeRequest>,
+    /// Summed member activation charge, released once at chain completion.
+    charged_bytes: u64,
+    total_batch: usize,
+    /// The monolithic plan's energy, attributed to the last chunk's launch
+    /// (earlier chunks carry zero) and split across members at completion.
+    energy_pj: f64,
+    cache_hit: bool,
+    chunk_sizes: Vec<usize>,
+    /// Per-chunk service seconds: the monolithic plan's seconds split
+    /// proportionally to each chunk's closed-form stream demand, plus one
+    /// launch-issue overhead for every chunk after the first (the modeled
+    /// cost of chunking). The chain's total service is therefore the
+    /// monolithic service plus `(chunks - 1)` issue overheads.
+    chunk_service_s: Vec<f64>,
+    /// Index of the next chunk to place (`chunk_sizes.len()` = all placed).
+    next_index: usize,
+    /// Earliest instant the next chunk may start: the batch's ready time
+    /// for chunk 0, then the previous chunk's completion.
+    next_ready_s: f64,
+    /// First chunk's start (member queueing ends here); set at its harden.
+    first_start_s: f64,
+    /// Running sum of hardened chunk service times, accumulated in chunk
+    /// order (chunks harden in start order, and chain starts ascend).
+    service_sum_s: f64,
+    /// Chunks hardened so far; the chain finalizes at `chunk_sizes.len()`.
+    done_chunks: usize,
+    /// The last chunk's `(launch_id, completion_s, device)`, set at its
+    /// harden — member outcomes close on it.
+    last_span: Option<(u64, f64, usize)>,
+}
+
+/// A placed prefill-class launch whose effects (events, outcomes, budget
+/// release, utilization tallies) are deferred until it *starts*: while
+/// staged, a deadline-pressed decode launch may displace it back to the
+/// queue. Device `free_at` is already advanced past the span —
+/// `prev_free_s` is what displacement rolls back to.
+struct StagedSpan {
+    launch_id: u64,
+    key: LaunchKey,
+    device: usize,
+    ready_s: f64,
+    start_s: f64,
+    service_s: f64,
+    completion_s: f64,
+    /// `free_at[device]` before this span was placed (displacement rolls
+    /// back to it).
+    prev_free_s: f64,
+    /// The idle-gap verdict captured at placement (against the device's
+    /// pre-placement completion), applied at harden.
+    gap: bool,
+    members: u32,
+    total_batch: u32,
+    energy_pj: f64,
+    cache_hit: bool,
+    cause: SealCause,
+    /// What the backlog estimator is fed at harden (the merged workload's
+    /// service lower bound for monolithic batches — the legacy feed — and
+    /// the chunk's own service time for chunks).
+    est_service_s: f64,
+    payload: StagedPayload,
+}
+
+/// What a prefill-class span completes into at harden.
+enum StagedPayload {
+    /// A monolithic prefill batch: member outcomes close on the span.
+    Batch {
+        requests: Vec<ServeRequest>,
+        charged_bytes: u64,
+    },
+    /// One chunk of a chain: the chain aggregates, and finalizes when all
+    /// its chunks have hardened.
+    Chunk { chain: u64, index: usize },
+}
+
 /// Tracks the shared-budget high-water mark with its per-class split.
 /// `pub(crate)` so telemetry replay reuses the engine's exact peak rule.
 #[derive(Debug, Default, Clone, Copy)]
@@ -775,6 +1043,10 @@ struct SessionState {
     /// The prefix group the session joined at admission (`None` = fully
     /// private residency).
     prefix_group: Option<u64>,
+    /// Set while the session is KV-preempted: the stashed resident-token
+    /// bytes and the eviction mode. The session's block charge is zero
+    /// until its next step re-charges through the normal growth path.
+    swapped: Option<(u64, PreemptMode)>,
 }
 
 impl SessionState {
@@ -889,6 +1161,21 @@ struct EngineRun<'a> {
     next_launch_id: u64,
     sessions: BTreeMap<u64, SessionState>,
     releases: Vec<(f64, Release)>,
+    /// Live-charge ledger guarding against double releases (see
+    /// [`ReleaseLedger`]).
+    ledger: ReleaseLedger,
+    /// In-flight chunked-prefill chains by chain id
+    /// ([`EngineConfig::chunked_prefill`]).
+    chunk_chains: BTreeMap<u64, ChunkChain>,
+    /// At most one staged (placed, effects-deferred, displaceable)
+    /// prefill-class span per device. Always empty unless slot preemption
+    /// is active ([`EngineConfig::preempt`] under
+    /// [`SchedulePolicy::DecodePriority`]).
+    staged: Vec<Option<StagedSpan>>,
+    /// Prefill-class launches displaced by decode launches.
+    preemptions_prefill: usize,
+    /// Sessions whose KV charge was evicted under pool pressure.
+    preemptions_decode: usize,
     estimator: BacklogEstimator,
     kv_in_use: u64,
     kv_used: u64,
@@ -946,11 +1233,24 @@ impl EngineRun<'_> {
             .expect("at least one device")
     }
 
+    /// Whether slot preemption is active: prefill-class placements stage
+    /// (effects deferred, displaceable until started) only when preemption
+    /// is configured *and* decode outranks prefill — the policy that says
+    /// decode latency is worth displacing prefill for.
+    fn staging_active(&self) -> bool {
+        self.config.preempt.is_some() && self.config.policy == SchedulePolicy::DecodePriority
+    }
+
     /// Dispatches every open launch whose window ended at or before `now`,
     /// ordered by the scheduling policy's class rank and then by launch
     /// creation order (pure creation order for a single class — the legacy
-    /// order).
+    /// order). Ready chunk-chain chunks place first: they continue work
+    /// already committed to the timeline.
     fn dispatch_expired(&mut self, now_s: f64) -> Result<()> {
+        // Staged spans that have started are no longer displaceable: pin
+        // their effects before anything new dispatches at `now`.
+        self.harden_through(now_s);
+        self.dispatch_ready_chunks(now_s);
         let mut expired: Vec<(u8, u64, LaunchKey)> = self
             .open
             .iter()
@@ -961,9 +1261,344 @@ impl EngineRun<'_> {
         for (_, _, key) in expired {
             let launch = self.open.remove(&key).expect("key collected from the map");
             let ready_s = launch.first_arrival_s + self.window_s(key.class());
-            self.dispatch(key, launch, ready_s, SealCause::Window)?;
+            self.dispatch(key, launch, ready_s, SealCause::Window, now_s)?;
         }
         Ok(())
+    }
+
+    /// Places every chunk whose chain is ready at or before `now`, in
+    /// `(ready, chain id)` order. Chunk `k+1` becomes ready only at chunk
+    /// `k`'s completion, so the loop walks each chain at most one virtual
+    /// completion at a time — the lazy dispatch that lets decode launches
+    /// slot between chunks.
+    fn dispatch_ready_chunks(&mut self, now_s: f64) {
+        loop {
+            let next = self
+                .chunk_chains
+                .iter()
+                .filter(|(_, chain)| {
+                    chain.next_index < chain.chunk_sizes.len() && chain.next_ready_s <= now_s
+                })
+                .map(|(id, chain)| (chain.next_ready_s, *id))
+                .min_by(|a, b| a.partial_cmp(b).expect("ready times are finite"));
+            let Some((_, chain_id)) = next else { return };
+            if self.staging_active() {
+                // With preemption on, keep the committed horizon to one
+                // running span plus one displaceable staged span per
+                // device: placing another chunk would harden the
+                // incumbent while it is still displaceable, walling
+                // decode launches behind committed prefill work. Defer —
+                // the chain stays ready and places once the incumbent
+                // starts (hardens) or is displaced.
+                let device = self.earliest_free_device();
+                if let Some(span) = self.staged[device].as_ref() {
+                    if span.start_s > now_s {
+                        return;
+                    }
+                }
+            }
+            self.place_chunk(chain_id, SealCause::Chain);
+        }
+    }
+
+    /// Places one chunk of a chain on the earliest-free device. `cause` is
+    /// the batch's real seal cause for chunk 0 and [`SealCause::Chain`]
+    /// for every later chunk.
+    fn place_chunk(&mut self, chain_id: u64, cause: SealCause) {
+        let chain = self.chunk_chains.get(&chain_id).expect("chain exists");
+        let index = chain.next_index;
+        let of = chain.chunk_sizes.len();
+        let service_s = chain.chunk_service_s[index];
+        let ready_s = chain.next_ready_s;
+        let members = chain.requests.len() as u32;
+        let total_batch = chain.total_batch as u32;
+        // Member outcomes split the plan's energy via the *last* chunk's
+        // launch record; earlier chunks carry zero.
+        let energy_pj = if index + 1 == of {
+            chain.energy_pj
+        } else {
+            0.0
+        };
+        let cache_hit = chain.cache_hit;
+        let key = LaunchKey::PrefillChunk(ChunkKey {
+            chain: chain_id,
+            index: index as u32,
+            of: of as u32,
+        });
+        // Chunk 0 reuses the chain id (it *is* the sealed batch's launch);
+        // later chunks draw fresh ids from the shared launch-id space.
+        let launch_id = if index == 0 {
+            chain_id
+        } else {
+            let id = self.next_launch_id;
+            self.next_launch_id += 1;
+            id
+        };
+        self.chunk_chains
+            .get_mut(&chain_id)
+            .expect("chain exists")
+            .next_index = index + 1;
+        let completion_s = self.place_prefill_span(
+            launch_id,
+            key,
+            ready_s,
+            service_s,
+            members,
+            total_batch,
+            energy_pj,
+            cache_hit,
+            cause,
+            service_s,
+            StagedPayload::Chunk {
+                chain: chain_id,
+                index,
+            },
+        );
+        // On the immediate (non-staging) path the last chunk hardens inside
+        // `place_prefill_span`, finalizing and removing the chain — the
+        // cursor update is moot then.
+        if let Some(chain) = self.chunk_chains.get_mut(&chain_id) {
+            chain.next_ready_s = completion_s;
+        }
+    }
+
+    /// Places one prefill-class span on the earliest-free device and either
+    /// hardens it immediately (the legacy path, bit-identical with
+    /// preemption off) or stages it for possible displacement. Returns the
+    /// span's completion instant.
+    #[allow(clippy::too_many_arguments)]
+    fn place_prefill_span(
+        &mut self,
+        launch_id: u64,
+        key: LaunchKey,
+        ready_s: f64,
+        service_s: f64,
+        members: u32,
+        total_batch: u32,
+        energy_pj: f64,
+        cache_hit: bool,
+        cause: SealCause,
+        est_service_s: f64,
+        payload: StagedPayload,
+    ) -> f64 {
+        let staging = self.staging_active();
+        let device = self.earliest_free_device();
+        if staging {
+            if let Some(span) = self.staged[device].as_ref() {
+                // One staged span per device: pin the incumbent (its slot
+                // is committed — the new span starts after it) in global
+                // start order.
+                let limit = span.start_s;
+                self.harden_through(limit);
+            }
+        }
+        let prev_free_s = self.free_at[device];
+        let start_s = prev_free_s.max(ready_s);
+        let completion_s = start_s + service_s;
+        let gap = self.launch_counts[device] > 0 && start_s > prev_free_s;
+        self.free_at[device] = completion_s;
+        let span = StagedSpan {
+            launch_id,
+            key,
+            device,
+            ready_s,
+            start_s,
+            service_s,
+            completion_s,
+            prev_free_s,
+            gap,
+            members,
+            total_batch,
+            energy_pj,
+            cache_hit,
+            cause,
+            est_service_s,
+            payload,
+        };
+        if staging {
+            self.staged[device] = Some(span);
+        } else {
+            self.harden_span(span);
+        }
+        completion_s
+    }
+
+    /// Hardens every staged span whose start is at or before `limit_s`, in
+    /// ascending start order. Global start order keeps per-device event
+    /// order equal to start order and chunk events in chain order.
+    fn harden_through(&mut self, limit_s: f64) {
+        loop {
+            let next = self
+                .staged
+                .iter()
+                .enumerate()
+                .filter_map(|(d, slot)| slot.as_ref().map(|span| (span.start_s, d)))
+                .min_by(|a, b| a.partial_cmp(b).expect("start times are finite"));
+            let Some((start_s, device)) = next else {
+                return;
+            };
+            if start_s > limit_s {
+                return;
+            }
+            let span = self.staged[device].take().expect("selected above");
+            self.harden_span(span);
+        }
+    }
+
+    /// Applies a placed span's deferred effects: utilization tallies,
+    /// makespans, the launch event, and the payload's completions. The
+    /// effect order matches the legacy dispatch path exactly, so the
+    /// immediate (preemption-off) path is bit-identical to it.
+    fn harden_span(&mut self, span: StagedSpan) {
+        let device = span.device;
+        if span.gap {
+            self.idle_gaps[device] += 1;
+        }
+        self.launch_counts[device] += 1;
+        self.busy_prefill[device] += span.service_s;
+        self.prefill_report.makespan_s = self.prefill_report.makespan_s.max(span.completion_s);
+        self.makespan_s = self.makespan_s.max(span.completion_s);
+        self.prefill_report.batches += 1;
+        self.estimator.feed(span.ready_s, span.est_service_s);
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                span.start_s,
+                EventKind::LaunchDispatched {
+                    launch_id: span.launch_id,
+                    key: span.key,
+                    device: device as u32,
+                    ready_s: span.ready_s,
+                    start_s: span.start_s,
+                    completion_s: span.completion_s,
+                    service_s: span.service_s,
+                    members: span.members,
+                    total_batch: span.total_batch,
+                    energy_pj: span.energy_pj,
+                    cache_hit: span.cache_hit,
+                    cause: span.cause,
+                },
+            );
+        }
+        match span.payload {
+            StagedPayload::Batch {
+                requests,
+                charged_bytes,
+            } => {
+                let total = f64::from(span.total_batch);
+                for request in &requests {
+                    let latency_s = span.completion_s - request.arrival_s;
+                    let deadline_met = request.deadline_s.is_none_or(|d| latency_s <= d);
+                    let energy_pj = span.energy_pj * request.workload.batch as f64 / total;
+                    self.prefill_report.total_energy_pj += energy_pj;
+                    self.prefill_report.outcomes.push(RequestOutcome {
+                        id: request.id,
+                        workload: request.workload.name.clone(),
+                        method: request.method,
+                        arrival_s: request.arrival_s,
+                        start_s: span.start_s,
+                        completion_s: span.completion_s,
+                        service_s: span.service_s,
+                        deadline_s: request.deadline_s,
+                        deadline_met,
+                        energy_pj,
+                        cache_hit: span.cache_hit,
+                        batch_id: span.launch_id,
+                        device,
+                    });
+                    if let Some(recorder) = self.recorder.as_mut() {
+                        recorder.record(
+                            span.completion_s,
+                            EventKind::PrefillCompleted {
+                                id: request.id,
+                                launch_id: span.launch_id,
+                            },
+                        );
+                        recorder.observe_latency(WorkClass::Prefill, latency_s);
+                    }
+                }
+                if charged_bytes > 0 {
+                    self.ledger.charge(MemOwner::PrefillLaunch(span.launch_id));
+                    self.releases.push((
+                        span.completion_s,
+                        Release::PrefillBytes {
+                            launch_id: span.launch_id,
+                            bytes: charged_bytes,
+                        },
+                    ));
+                }
+            }
+            StagedPayload::Chunk { chain, index } => {
+                let c = self.chunk_chains.get_mut(&chain).expect("chain exists");
+                if index == 0 {
+                    c.first_start_s = span.start_s;
+                }
+                c.service_sum_s += span.service_s;
+                c.done_chunks += 1;
+                if index + 1 == c.chunk_sizes.len() {
+                    c.last_span = Some((span.launch_id, span.completion_s, device));
+                }
+                if c.done_chunks == c.chunk_sizes.len() {
+                    self.finalize_chain(chain);
+                }
+            }
+        }
+    }
+
+    /// Completes a chunked-prefill chain once every chunk has hardened:
+    /// member outcomes span the whole chain (queueing ends at the first
+    /// chunk's start, service sums over every chunk, the last chunk's
+    /// completion and device close the outcome, the chain id is the batch
+    /// id) and the chain's activation charge releases exactly once.
+    fn finalize_chain(&mut self, chain_id: u64) {
+        let chain = self.chunk_chains.remove(&chain_id).expect("chain exists");
+        let (last_launch_id, completion_s, device) = chain
+            .last_span
+            .expect("last chunk hardened before finalize");
+        let total = chain.total_batch as f64;
+        for request in &chain.requests {
+            let latency_s = completion_s - request.arrival_s;
+            let deadline_met = request.deadline_s.is_none_or(|d| latency_s <= d);
+            let energy_pj = chain.energy_pj * request.workload.batch as f64 / total;
+            self.prefill_report.total_energy_pj += energy_pj;
+            self.prefill_report.outcomes.push(RequestOutcome {
+                id: request.id,
+                workload: request.workload.name.clone(),
+                method: request.method,
+                arrival_s: request.arrival_s,
+                start_s: chain.first_start_s,
+                completion_s,
+                service_s: chain.service_sum_s,
+                deadline_s: request.deadline_s,
+                deadline_met,
+                energy_pj,
+                cache_hit: chain.cache_hit,
+                batch_id: chain_id,
+                device,
+            });
+            if let Some(recorder) = self.recorder.as_mut() {
+                // The completion event references the last chunk's launch
+                // (the one whose completion closes the outcome); replay
+                // re-derives the chain id from its chunk key.
+                recorder.record(
+                    completion_s,
+                    EventKind::PrefillCompleted {
+                        id: request.id,
+                        launch_id: last_launch_id,
+                    },
+                );
+                recorder.observe_latency(WorkClass::Prefill, latency_s);
+            }
+        }
+        if chain.charged_bytes > 0 {
+            self.ledger.charge(MemOwner::PrefillLaunch(chain_id));
+            self.releases.push((
+                completion_s,
+                Release::PrefillBytes {
+                    launch_id: chain_id,
+                    bytes: chain.charged_bytes,
+                },
+            ));
+        }
     }
 
     /// Applies every deferred release whose completion instant has passed,
@@ -978,6 +1613,17 @@ impl EngineRun<'_> {
             }
             match release {
                 Release::Session(session_id) => {
+                    // Double-release guard: a session with no live charge
+                    // has already released — applying the duplicate would
+                    // silently under-report through the saturating
+                    // subtractions below, so it is dropped and counted.
+                    if !self.ledger.release(MemOwner::Session(session_id)) {
+                        debug_assert!(false, "duplicate release for session {session_id}");
+                        if let Some(recorder) = self.recorder.as_mut() {
+                            recorder.note_release_drop();
+                        }
+                        continue;
+                    }
                     let s = self.sessions.get_mut(&session_id).expect("session exists");
                     if let Some(recorder) = self.recorder.as_mut() {
                         // Recorded before zeroing so the event carries the
@@ -1008,6 +1654,8 @@ impl EngineRun<'_> {
                         gs.refs -= 1;
                         if gs.refs == 0 {
                             let gs = self.prefix_groups.remove(&g).expect("present");
+                            let live = self.ledger.release(MemOwner::PrefixGroup(g));
+                            debug_assert!(live, "duplicate release for prefix group {g}");
                             if let Some(recorder) = self.recorder.as_mut() {
                                 recorder.record(
                                     now_s,
@@ -1030,6 +1678,13 @@ impl EngineRun<'_> {
                     }
                 }
                 Release::PrefillBytes { launch_id, bytes } => {
+                    if !self.ledger.release(MemOwner::PrefillLaunch(launch_id)) {
+                        debug_assert!(false, "duplicate release for prefill launch {launch_id}");
+                        if let Some(recorder) = self.recorder.as_mut() {
+                            recorder.note_release_drop();
+                        }
+                        continue;
+                    }
                     if let Some(recorder) = self.recorder.as_mut() {
                         recorder.record(
                             now_s,
@@ -1145,7 +1800,7 @@ impl EngineRun<'_> {
             );
             if !workload_is_feasible(batch_key.method, &prospective, &self.hw) {
                 let launch = self.open.remove(&key).expect("present");
-                self.dispatch(key, launch, now_s, SealCause::Feasibility)?;
+                self.dispatch(key, launch, now_s, SealCause::Feasibility, now_s)?;
             }
         }
         let next_id = self.next_launch_id;
@@ -1181,7 +1836,7 @@ impl EngineRun<'_> {
         }
         if full {
             let launch = self.open.remove(&key).expect("just inserted");
-            self.dispatch(key, launch, now_s, SealCause::Fill)?;
+            self.dispatch(key, launch, now_s, SealCause::Fill, now_s)?;
         }
         Ok(())
     }
@@ -1321,6 +1976,7 @@ impl EngineRun<'_> {
                 }
                 None => {
                     session.admitted = true;
+                    self.ledger.charge(MemOwner::Session(event.session_id));
                     // The session itself is charged only its private tail;
                     // the group's growth is charged on the group entry.
                     let private_blocks = initial_blocks - group_delta_blocks;
@@ -1351,6 +2007,7 @@ impl EngineRun<'_> {
                     if let Some((_, g, block_bytes)) = sharing {
                         session.shared_blocks = shared_blocks;
                         session.prefix_group = Some(g);
+                        self.ledger.charge(MemOwner::PrefixGroup(g));
                         let gs = self.prefix_groups.entry(g).or_insert(PrefixGroupState {
                             refs: 0,
                             charged_blocks: 0,
@@ -1464,6 +2121,31 @@ impl EngineRun<'_> {
                 return;
             }
         }
+        // A swapped-out session resumes at its next surviving step: `Hold`
+        // restores the stashed resident bytes from host memory off the
+        // device timeline; `Recompute` additionally re-prices the evicted
+        // context as prefill-chunk work folded into this step's launch.
+        // Charged blocks re-grow through the normal paged path below.
+        // (`note_kv_peak` is deliberately not called here: restoring cannot
+        // exceed the pre-eviction peak.)
+        let mut recompute_tokens = 0usize;
+        if let Some((stashed_used, mode)) = session.swapped.take() {
+            session.used_bytes = stashed_used;
+            self.kv_used += stashed_used;
+            if mode == PreemptMode::Recompute {
+                recompute_tokens = context_len.saturating_sub(1);
+            }
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record(
+                    now_s,
+                    EventKind::SessionResumed {
+                        session_id: event.session_id,
+                        restored_used_bytes: stashed_used,
+                        recompute_tokens: recompute_tokens as u32,
+                    },
+                );
+            }
+        }
         // Paged charging: grow the session's block allocation to cover this
         // step's context. Growth runs *after* the deadline screen — a
         // screened step generates no token, so it must not keep a block. A
@@ -1478,12 +2160,22 @@ impl EngineRun<'_> {
             if needed > session.charged_blocks {
                 let delta_blocks = needed - session.charged_blocks;
                 let delta_bytes = delta_blocks * session.block_bytes(bt, self.kv_element_bytes);
-                if self
-                    .kv_in_use
-                    .saturating_add(self.prefill_charged)
-                    .saturating_add(delta_bytes)
-                    > self.budget
-                {
+                let over_budget = |engine: &Self| {
+                    engine
+                        .kv_in_use
+                        .saturating_add(engine.prefill_charged)
+                        .saturating_add(delta_bytes)
+                        > engine.budget
+                };
+                let mut over = over_budget(self);
+                // KV preemption: before shedding the step, try evicting
+                // idle sessions' residency to make room for the growth.
+                if over && self.config.preempt.is_some() {
+                    self.try_evict_for(delta_bytes, event.session_id, now_s);
+                    over = over_budget(self);
+                }
+                let session = self.sessions.get_mut(&event.session_id).expect("present");
+                if over {
                     session.rejected_steps += 1;
                     if session.finished() {
                         self.releases
@@ -1531,6 +2223,7 @@ impl EngineRun<'_> {
                 }
             }
         }
+        let session = self.sessions.get_mut(&event.session_id).expect("present");
         session.pending_steps += 1;
         // The step's token becomes resident context.
         let token = session.token_bytes(self.kv_element_bytes);
@@ -1566,6 +2259,7 @@ impl EngineRun<'_> {
             step_index: event.step_index,
             context_len,
             arrival_s: now_s,
+            recompute_tokens,
         }));
         let full =
             launch.items.len() >= self.max_steps_per_launch || self.config.decode.window_s == 0.0;
@@ -1597,25 +2291,32 @@ impl EngineRun<'_> {
                 launch,
                 now_s,
                 SealCause::Fill,
+                now_s,
             );
         }
     }
 
-    /// Dispatches one launch of either class.
+    /// Dispatches one launch of either class. `now_s` is the stream
+    /// instant of the dispatch ([`f64::INFINITY`] at flush): decode
+    /// launches use it to judge whether a staged span has started yet.
     fn dispatch(
         &mut self,
         key: LaunchKey,
         launch: OpenLaunch,
         ready_s: f64,
         cause: SealCause,
+        now_s: f64,
     ) -> Result<()> {
         match key {
             LaunchKey::Prefill(batch_key) => {
                 self.dispatch_prefill(batch_key, launch, ready_s, cause)
             }
             LaunchKey::Decode(decode_key) => {
-                self.dispatch_decode(decode_key, launch, ready_s, cause);
+                self.dispatch_decode(decode_key, launch, ready_s, cause, now_s);
                 Ok(())
+            }
+            LaunchKey::PrefillChunk(_) => {
+                unreachable!("chunk launches are placed by their chain, never opened")
             }
         }
     }
@@ -1677,89 +2378,102 @@ impl EngineRun<'_> {
             self.used_keys.insert(cache_key);
         }
 
-        let device = self.earliest_free_device();
-        let start_s = self.free_at[device].max(ready_s);
-        let completion_s = start_s + plan.seconds;
-        self.note_device_span(device, WorkClass::Prefill, start_s, plan.seconds);
-        self.free_at[device] = completion_s;
-        self.prefill_report.makespan_s = self.prefill_report.makespan_s.max(completion_s);
-        self.makespan_s = self.makespan_s.max(completion_s);
-        self.prefill_report.batches += 1;
-        self.estimator
-            .feed(ready_s, service_time_lower_bound_s(&merged, &self.hw));
-        if let Some(recorder) = self.recorder.as_mut() {
-            recorder.record(
-                start_s,
-                EventKind::LaunchDispatched {
-                    launch_id,
-                    key: LaunchKey::Prefill(batch_key),
-                    device: device as u32,
-                    ready_s,
-                    start_s,
-                    completion_s,
-                    service_s: plan.seconds,
-                    members: requests.len() as u32,
-                    total_batch: total_batch as u32,
-                    energy_pj: plan.energy_pj,
-                    cache_hit: hit,
-                    cause,
-                },
-            );
-        }
+        self.open_prefill_members -= requests.len();
 
-        let total = total_batch as f64;
-        for request in &requests {
-            let latency_s = completion_s - request.arrival_s;
-            let deadline_met = request.deadline_s.is_none_or(|d| latency_s <= d);
-            let energy_pj = plan.energy_pj * request.workload.batch as f64 / total;
-            self.prefill_report.total_energy_pj += energy_pj;
-            self.prefill_report.outcomes.push(RequestOutcome {
-                id: request.id,
-                workload: request.workload.name.clone(),
-                method: request.method,
-                arrival_s: request.arrival_s,
-                start_s,
-                completion_s,
-                service_s: plan.seconds,
-                deadline_s: request.deadline_s,
-                deadline_met,
-                energy_pj,
-                cache_hit: hit,
-                batch_id: launch_id,
-                device,
-            });
-            if let Some(recorder) = self.recorder.as_mut() {
-                recorder.record(
-                    completion_s,
-                    EventKind::PrefillCompleted {
-                        id: request.id,
-                        launch_id,
+        // Chunked prefill: a batch longer than the chunk budget lowers
+        // into a chain of chunk launches. Chunk 0 places now with the
+        // batch's real seal cause; later chunks place lazily as virtual
+        // time reaches each predecessor's completion. A single-chunk
+        // layout falls through to the monolithic path below (and so stays
+        // bit-identical to it).
+        if let Some(policy) = self.config.chunked_prefill {
+            let chunk_sizes = policy.chunk_sizes(batch_key.seq_len);
+            if chunk_sizes.len() > 1 {
+                let chain_id = launch_id;
+                // Split the monolithic plan's seconds across chunks in
+                // proportion to each chunk's closed-form stream demand
+                // (later chunks re-stream more prior KV, so they cost
+                // more per token); every chunk after the first adds one
+                // launch-issue overhead.
+                let issue_s = self.hw.issue_overhead_cycles as f64 / self.hw.frequency_hz;
+                let mut prefilled = 0usize;
+                let raw: Vec<f64> = chunk_sizes
+                    .iter()
+                    .map(|&tokens| {
+                        let chunk = PrefillChunk::new(
+                            total_batch,
+                            batch_key.heads,
+                            prefilled,
+                            tokens,
+                            batch_key.embed,
+                        );
+                        prefilled += tokens;
+                        prefill_chunk_service_s_with_kv(&chunk, &self.hw, self.kv_element_bytes)
+                    })
+                    .collect();
+                let raw_sum: f64 = raw.iter().sum();
+                let chunk_service_s: Vec<f64> = raw
+                    .iter()
+                    .enumerate()
+                    .map(|(k, r)| plan.seconds * r / raw_sum + if k > 0 { issue_s } else { 0.0 })
+                    .collect();
+                self.chunk_chains.insert(
+                    chain_id,
+                    ChunkChain {
+                        requests,
+                        charged_bytes,
+                        total_batch,
+                        energy_pj: plan.energy_pj,
+                        cache_hit: hit,
+                        chunk_sizes,
+                        chunk_service_s,
+                        next_index: 0,
+                        next_ready_s: ready_s,
+                        first_start_s: 0.0,
+                        service_sum_s: 0.0,
+                        done_chunks: 0,
+                        last_span: None,
                     },
                 );
-                recorder.observe_latency(WorkClass::Prefill, latency_s);
+                self.place_chunk(chain_id, cause);
+                return Ok(());
             }
         }
-        self.open_prefill_members -= requests.len();
-        if charged_bytes > 0 {
-            self.releases.push((
-                completion_s,
-                Release::PrefillBytes {
-                    launch_id,
-                    bytes: charged_bytes,
-                },
-            ));
-        }
+
+        let members = requests.len() as u32;
+        let est_service_s = service_time_lower_bound_s(&merged, &self.hw);
+        self.place_prefill_span(
+            launch_id,
+            LaunchKey::Prefill(batch_key),
+            ready_s,
+            plan.seconds,
+            members,
+            total_batch as u32,
+            plan.energy_pj,
+            hit,
+            cause,
+            est_service_s,
+            StagedPayload::Batch {
+                requests,
+                charged_bytes,
+            },
+        );
         Ok(())
     }
 
     /// Dispatches one batched decode launch: closed-form service time,
     /// earliest-free device, per-step outcomes, session-finish releases.
+    /// With slot preemption active, a launch whose members would miss the
+    /// step deadline may first displace a staged (not-yet-started)
+    /// prefill-class span; `now_s` judges "started" ([`f64::INFINITY`] at
+    /// flush disables displacement — everything has started by then).
     fn dispatch_decode(
         &mut self,
         decode_key: DecodeKey,
         launch: OpenLaunch,
         ready_s: f64,
         cause: SealCause,
+        now_s: f64,
     ) {
         let OpenLaunch {
             id: launch_id,
@@ -1786,9 +2500,98 @@ impl EngineRun<'_> {
                 .with_kv_heads(decode_key.kv_heads)
             })
             .collect();
-        let service_s = launch_service_s_with_kv(&steps, &self.hw, self.kv_element_bytes);
-        let device = self.earliest_free_device();
-        let start_s = self.free_at[device].max(ready_s);
+        // Recompute-priced resumes fold their evicted context back in as a
+        // prefill-chunk demand on the same launch; without any, the legacy
+        // closed form applies verbatim (bit-identical).
+        let service_s = if pending.iter().any(|p| p.recompute_tokens > 0) {
+            let mut demand = StreamDemand::default();
+            for step in &steps {
+                demand.accumulate(&StreamDemand::of_decode_step_with_kv(
+                    step,
+                    &self.hw,
+                    self.kv_element_bytes,
+                ));
+            }
+            for p in &pending {
+                if p.recompute_tokens > 0 {
+                    let chunk = PrefillChunk::new(
+                        1,
+                        decode_key.heads,
+                        0,
+                        p.recompute_tokens,
+                        decode_key.embed,
+                    )
+                    .with_kv_heads(decode_key.kv_heads);
+                    demand.accumulate(&StreamDemand::of_prefill_chunk_with_kv(
+                        &chunk,
+                        &self.hw,
+                        self.kv_element_bytes,
+                    ));
+                }
+            }
+            demand.bound_seconds(&self.hw)
+                + self.hw.issue_overhead_cycles as f64 / self.hw.frequency_hz
+        } else {
+            launch_service_s_with_kv(&steps, &self.hw, self.kv_element_bytes)
+        };
+        let mut device = self.earliest_free_device();
+        let mut start_s = self.free_at[device].max(ready_s);
+        let mut requeue: Option<StagedSpan> = None;
+        if self.staging_active() && now_s.is_finite() {
+            if let Some(deadline) = self.config.decode.step_deadline_s {
+                let misses = |start: f64| {
+                    pending
+                        .iter()
+                        .filter(|p| start + service_s - p.arrival_s > deadline)
+                        .count()
+                };
+                if misses(start_s) > 0 {
+                    // Candidate victims: staged spans that have not started
+                    // yet. Pick the one whose rollback yields the earliest
+                    // decode start; displace only if that actually fixes a
+                    // deadline miss.
+                    let candidate = self
+                        .staged
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(d, slot)| {
+                            slot.as_ref().and_then(|span| {
+                                (span.start_s > now_s).then_some((span.prev_free_s.max(ready_s), d))
+                            })
+                        })
+                        .min_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+                    if let Some((cand_start, d)) = candidate {
+                        if cand_start < start_s && misses(cand_start) < misses(start_s) {
+                            let victim = self.staged[d].take().expect("candidate");
+                            self.free_at[d] = victim.prev_free_s;
+                            self.preemptions_prefill += 1;
+                            if let Some(recorder) = self.recorder.as_mut() {
+                                recorder.record(
+                                    now_s,
+                                    EventKind::Preempted {
+                                        victim: PreemptVictim::Launch {
+                                            launch_id: victim.launch_id,
+                                            key: victim.key,
+                                            device: d as u32,
+                                            start_s: victim.start_s,
+                                        },
+                                    },
+                                );
+                            }
+                            requeue = Some(victim);
+                            device = self.earliest_free_device();
+                            start_s = self.free_at[device].max(ready_s);
+                        }
+                    }
+                }
+            }
+        }
+        if self.staged[device].is_some() {
+            // Pin the incumbent staged span (the decode launch starts after
+            // it) so per-device event order stays start order.
+            let limit = self.staged[device].as_ref().expect("present").start_s;
+            self.harden_through(limit);
+        }
         let completion_s = start_s + service_s;
         self.note_device_span(device, WorkClass::Decode, start_s, service_s);
         self.free_at[device] = completion_s;
@@ -1856,11 +2659,112 @@ impl EngineRun<'_> {
                 recorder.observe_latency(WorkClass::Decode, latency_s);
             }
         }
+        // The displaced span re-places now — behind the decode launch, never
+        // dropped. A chunk victim rewinds its chain to the displaced index;
+        // the chain re-places it with the same identity.
+        if let Some(victim) = requeue {
+            match victim.payload {
+                StagedPayload::Batch {
+                    requests,
+                    charged_bytes,
+                } => {
+                    self.place_prefill_span(
+                        victim.launch_id,
+                        victim.key,
+                        victim.ready_s,
+                        victim.service_s,
+                        victim.members,
+                        victim.total_batch,
+                        victim.energy_pj,
+                        victim.cache_hit,
+                        victim.cause,
+                        victim.est_service_s,
+                        StagedPayload::Batch {
+                            requests,
+                            charged_bytes,
+                        },
+                    );
+                }
+                StagedPayload::Chunk { chain, index } => {
+                    let state = self.chunk_chains.get_mut(&chain).expect("chain is live");
+                    state.next_index = index;
+                    state.next_ready_s = victim.ready_s;
+                    self.place_chunk(chain, victim.cause);
+                }
+            }
+        }
+    }
+
+    /// Evicts idle sessions' KV residency (largest session id first) until
+    /// the pending growth `delta_bytes` would fit the budget, or no victim
+    /// remains. A victim must be admitted, unfinished, not already swapped,
+    /// have no step riding an open launch, hold a nonzero charge, and not
+    /// share a prefix group (group blocks are held collectively — evicting
+    /// one member cannot reclaim them). The victim's session stays
+    /// admitted: its tokens swap out and come back at its next step.
+    fn try_evict_for(&mut self, delta_bytes: u64, keep: u64, now_s: f64) {
+        let mode = self.config.preempt.expect("caller gates on preempt");
+        loop {
+            if self
+                .kv_in_use
+                .saturating_add(self.prefill_charged)
+                .saturating_add(delta_bytes)
+                <= self.budget
+            {
+                return;
+            }
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(id, s)| {
+                    **id != keep
+                        && s.admitted
+                        && !s.finished()
+                        && s.swapped.is_none()
+                        && s.pending_steps == 0
+                        && s.charged_bytes > 0
+                        && s.prefix_group.is_none()
+                })
+                .map(|(id, _)| *id)
+                .next_back();
+            let Some(vid) = victim else { return };
+            let s = self.sessions.get_mut(&vid).expect("present");
+            let bytes = s.charged_bytes;
+            let blocks = s.charged_blocks;
+            let used = s.used_bytes;
+            s.swapped = Some((used, mode));
+            s.charged_bytes = 0;
+            s.charged_blocks = 0;
+            s.used_bytes = 0;
+            self.kv_in_use = self.kv_in_use.saturating_sub(bytes);
+            self.kv_used = self.kv_used.saturating_sub(used);
+            self.blocks_in_use = self.blocks_in_use.saturating_sub(blocks);
+            self.preemptions_decode += 1;
+            // The ledger entry stays live: the session is still admitted
+            // and its one finish-release is still owed. No `note_kv_peak`:
+            // eviction only lowers the gauges.
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record(
+                    now_s,
+                    EventKind::Preempted {
+                        victim: PreemptVictim::Session {
+                            session_id: vid,
+                            mode,
+                            bytes,
+                            used_bytes: used,
+                            blocks,
+                        },
+                    },
+                );
+            }
+        }
     }
 
     /// Flushes the straggler launches at their window ends, ordered by
     /// `(ready, policy class rank, creation order)` — for a single class
-    /// this is exactly the legacy flush order.
+    /// this is exactly the legacy flush order. Chunk chains opened by
+    /// flushed batches drain to completion afterwards, then every still-
+    /// staged span hardens.
     fn flush(&mut self) -> Result<()> {
         let mut rest: Vec<(LaunchKey, OpenLaunch)> =
             std::mem::take(&mut self.open).into_iter().collect();
@@ -1880,8 +2784,65 @@ impl EngineRun<'_> {
         });
         for (key, launch) in rest {
             let ready_s = launch.first_arrival_s + self.window_s(key.class());
-            self.dispatch(key, launch, ready_s, SealCause::Flush)?;
+            self.dispatch(key, launch, ready_s, SealCause::Flush, f64::INFINITY)?;
         }
+        self.dispatch_ready_chunks(f64::INFINITY);
+        self.harden_through(f64::INFINITY);
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_policy_covers_every_token_exactly_once() {
+        let p = ChunkPolicy::new(128);
+        assert_eq!(p.chunk_sizes(512), vec![128, 128, 128, 128]);
+        assert_eq!(p.chunk_sizes(300), vec![128, 128, 44]);
+        assert_eq!(p.chunk_sizes(100), vec![100], "budget >= prompt: one chunk");
+        assert_eq!(p.chunk_sizes(128), vec![128]);
+        // A zero budget disables chunking rather than dividing by zero.
+        assert_eq!(ChunkPolicy::new(0).chunk_sizes(512), vec![512]);
+        for seq in [1usize, 127, 128, 129, 1000, 4096] {
+            assert_eq!(p.chunk_sizes(seq).iter().sum::<usize>(), seq, "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn preempt_mode_round_trips_display_and_parse() {
+        for mode in [PreemptMode::Hold, PreemptMode::Recompute] {
+            assert_eq!(mode.to_string().parse::<PreemptMode>().unwrap(), mode);
+        }
+        assert!("swap".parse::<PreemptMode>().is_err());
+        assert_eq!(PreemptMode::default(), PreemptMode::Hold);
+    }
+
+    /// The double-release hazard (satellite of the chunked-prefill PR): a
+    /// second release for the same owner must be rejected and counted, not
+    /// silently absorbed by saturating arithmetic.
+    #[test]
+    fn release_ledger_rejects_duplicate_releases() {
+        let mut ledger = ReleaseLedger::default();
+        ledger.charge(MemOwner::Session(7));
+        assert!(
+            ledger.release(MemOwner::Session(7)),
+            "first release is live"
+        );
+        assert!(
+            !ledger.release(MemOwner::Session(7)),
+            "second release of the same owner is a duplicate"
+        );
+        assert_eq!(ledger.drops(), 1);
+        // A release for an owner never charged is also a duplicate.
+        assert!(!ledger.release(MemOwner::PrefillLaunch(3)));
+        assert_eq!(ledger.drops(), 2);
+        // Charging is idempotent: re-charging a live owner keeps one entry.
+        ledger.charge(MemOwner::PrefixGroup(1));
+        ledger.charge(MemOwner::PrefixGroup(1));
+        assert!(ledger.release(MemOwner::PrefixGroup(1)));
+        assert!(!ledger.release(MemOwner::PrefixGroup(1)));
+        assert_eq!(ledger.drops(), 3);
     }
 }

@@ -104,16 +104,41 @@ impl std::fmt::Display for DecodeKey {
     }
 }
 
+/// The identity of one chunk within a chunked-prefill chain. Unlike
+/// [`BatchKey`]/[`DecodeKey`], a chunk key never coalesces: the chain id is
+/// part of the identity precisely so chunks of *different* requests can
+/// never merge into one launch, and the index pins each chunk's position in
+/// its chain (dispatch is strictly `index` order within a chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkKey {
+    /// Id of the chunk chain (the launch id of the chain's first chunk).
+    pub chain: u64,
+    /// Zero-based position of this chunk within the chain.
+    pub index: u32,
+    /// Total chunks in the chain (`index < of`).
+    pub of: u32,
+}
+
+impl std::fmt::Display for ChunkKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chain{} {}/{}", self.chain, self.index + 1, self.of)
+    }
+}
+
 /// The unified coalescing key of the engine's launch map: a prefill batch
-/// shape or a decode step shape. Keys of different classes never compare
-/// equal, so one `BTreeMap<LaunchKey, _>` coalesces both traffic classes
-/// with one mechanism while keeping their launches disjoint.
+/// shape, a decode step shape, or one chunk of a chunked-prefill chain.
+/// Keys of different classes never compare equal, so one
+/// `BTreeMap<LaunchKey, _>` coalesces both traffic classes with one
+/// mechanism while keeping their launches disjoint. Chunk keys carry their
+/// chain id, so they are never shared across requests and never coalesce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum LaunchKey {
     /// A prefill micro-batch shape.
     Prefill(BatchKey),
     /// A batched decode-step shape.
     Decode(DecodeKey),
+    /// One chunk of a chunked-prefill chain (prefill traffic class).
+    PrefillChunk(ChunkKey),
 }
 
 impl LaunchKey {
@@ -121,7 +146,7 @@ impl LaunchKey {
     #[must_use]
     pub fn class(&self) -> WorkClass {
         match self {
-            LaunchKey::Prefill(_) => WorkClass::Prefill,
+            LaunchKey::Prefill(_) | LaunchKey::PrefillChunk(_) => WorkClass::Prefill,
             LaunchKey::Decode(_) => WorkClass::Decode,
         }
     }
@@ -132,6 +157,7 @@ impl std::fmt::Display for LaunchKey {
         match self {
             LaunchKey::Prefill(k) => write!(f, "prefill[{k}]"),
             LaunchKey::Decode(k) => write!(f, "decode[{k}]"),
+            LaunchKey::PrefillChunk(k) => write!(f, "prefill-chunk[{k}]"),
         }
     }
 }
@@ -265,6 +291,28 @@ mod tests {
         keys.sort();
         assert_eq!(keys[0].class(), WorkClass::Prefill);
         assert_eq!(keys[1].class(), WorkClass::Decode);
+    }
+
+    #[test]
+    fn chunk_keys_carry_chain_identity_and_never_collide_across_chains() {
+        let k = |chain: u64, index: u32| {
+            LaunchKey::PrefillChunk(ChunkKey {
+                chain,
+                index,
+                of: 4,
+            })
+        };
+        assert_eq!(k(7, 0).class(), WorkClass::Prefill);
+        assert_eq!(k(7, 2), k(7, 2));
+        assert_eq!(hash_of(&k(7, 2)), hash_of(&k(7, 2)));
+        // Same index, different chain: distinct — chunks of different
+        // requests can never coalesce into one launch.
+        assert_ne!(k(7, 2), k(8, 2));
+        // Within a chain, ordering follows the chunk index.
+        assert!(k(7, 0) < k(7, 1));
+        let s = k(7, 2).to_string();
+        assert!(s.contains("prefill-chunk"), "{s}");
+        assert!(s.contains("chain7") && s.contains("3/4"), "{s}");
     }
 
     #[test]

@@ -163,13 +163,14 @@ pub use cache::{
 };
 pub use decode::{
     decode_step_lower_bound_s, decode_step_lower_bound_s_with_kv, launch_service_s,
-    launch_service_s_with_kv, DecodePolicy, DecodeRejectReason, DecodeReport, DecodeRuntime,
-    DecodeStepOutcome, RejectedDecodeStep,
+    launch_service_s_with_kv, prefill_chunk_service_s_with_kv, DecodePolicy, DecodeRejectReason,
+    DecodeReport, DecodeRuntime, DecodeStepOutcome, RejectedDecodeStep,
 };
 pub use engine::{
-    DecodeStepItem, DeviceUtil, EngineConfig, EngineReport, SchedulePolicy, ServeEngine, WorkItem,
+    ChunkPolicy, DecodeStepItem, DeviceUtil, EngineConfig, EngineReport, PreemptMode,
+    SchedulePolicy, ServeEngine, WorkItem,
 };
-pub use key::{BatchKey, DecodeKey, LaunchKey, WorkClass};
+pub use key::{BatchKey, ChunkKey, DecodeKey, LaunchKey, WorkClass};
 pub use mas_dataflow::KvDtype;
 pub use metrics::{
     percentile, percentile_sorted, LatencyStats, RejectedRequest, RequestOutcome, ServeReport,
@@ -179,6 +180,6 @@ pub use request::ServeRequest;
 pub use runtime::{ServeConfig, ServeRuntime};
 pub use telemetry::{
     chrome_trace_from_sim, validate_chrome_trace, ChromeTraceStats, ConservationStats, EngineEvent,
-    EventKind, LogHistogram, MemOwner, PeakAttribution, SealCause, Telemetry, TelemetryConfig,
-    TimeSeries, Track,
+    EventKind, LogHistogram, MemOwner, PeakAttribution, PreemptVictim, SealCause, Telemetry,
+    TelemetryConfig, TimeSeries, Track,
 };

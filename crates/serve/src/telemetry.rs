@@ -23,6 +23,8 @@
 //! | [`EventKind::PrefillCompleted`] | a member request completes | device |
 //! | [`EventKind::DecodeCompleted`] | a member step completes | device |
 //! | [`EventKind::BudgetRelease`] | a deferred release applies | timeline |
+//! | [`EventKind::Preempted`] | a staged launch is displaced, or a session's KV is evicted | timeline |
+//! | [`EventKind::SessionResumed`] | a preempted session's next step swaps its KV back in | timeline |
 //!
 //! Timestamps are monotone **per track** (the virtual timeline, and one
 //! track per device): timeline events carry the stream instant at which the
@@ -91,7 +93,7 @@ use mas_dataflow::DataflowKind;
 
 use crate::decode::{DecodeRejectReason, DecodeReport, DecodeStepOutcome, RejectedDecodeStep};
 use crate::engine::{note_kv_peak, DeviceUtil, EngineReport, MemPeak, SchedulePolicy};
-use crate::key::{LaunchKey, WorkClass};
+use crate::key::{ChunkKey, LaunchKey, WorkClass};
 use crate::metrics::{RejectedRequest, RequestOutcome, ServeReport};
 use crate::queue::RejectReason;
 
@@ -140,6 +142,9 @@ pub enum SealCause {
     Feasibility,
     /// End-of-stream flush at the window end.
     Flush,
+    /// A non-first chunk of a chunked-prefill chain: it dispatched because
+    /// its predecessor chunk completed, not because of any batching rule.
+    Chain,
 }
 
 impl SealCause {
@@ -151,6 +156,7 @@ impl SealCause {
             SealCause::Fill => "fill",
             SealCause::Feasibility => "feasibility",
             SealCause::Flush => "flush",
+            SealCause::Chain => "chain",
         }
     }
 }
@@ -363,6 +369,58 @@ pub enum EventKind {
         /// The completion instant that scheduled the release.
         scheduled_s: f64,
     },
+    /// Iteration-level preemption fired: a staged (not-yet-hardened) launch
+    /// was displaced back behind a deadline-pressed decode launch, or a
+    /// decode session's KV residency was evicted under pool pressure.
+    Preempted {
+        /// What was displaced.
+        victim: PreemptVictim,
+    },
+    /// A preempted decode session's next step arrived: its device KV
+    /// residency is restored (swap-in under `Hold`, rebuild under
+    /// `Recompute` — the rebuild cost rides on the resuming launch).
+    SessionResumed {
+        /// The resuming session.
+        session_id: u64,
+        /// Resident-token bytes restored to the device.
+        restored_used_bytes: u64,
+        /// Context tokens the resuming launch must recompute (zero under
+        /// `Hold`, `context_len - 1` under `Recompute`).
+        recompute_tokens: u32,
+    },
+}
+
+/// What an [`EventKind::Preempted`] displaced.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PreemptVictim {
+    /// A scheduled-but-unstarted (staged) launch was pushed back behind a
+    /// deadline-pressed decode launch. No device span was emitted for the
+    /// displaced placement — the launch re-places and dispatches later.
+    Launch {
+        /// The displaced launch.
+        launch_id: u64,
+        /// Its coalescing key.
+        key: LaunchKey,
+        /// The device it had been staged on.
+        device: u32,
+        /// The start time the staged placement would have had.
+        start_s: f64,
+    },
+    /// A decode session's KV charge was evicted from the shared pool to
+    /// admit higher-priority growth. The session stays admitted; none of
+    /// its completed tokens are lost (they swap to host or recompute).
+    Session {
+        /// The evicted session.
+        session_id: u64,
+        /// How the session's KV comes back.
+        mode: crate::engine::PreemptMode,
+        /// Budget bytes released by the eviction.
+        bytes: u64,
+        /// Resident-token bytes swapped out.
+        used_bytes: u64,
+        /// KV blocks released.
+        blocks: u64,
+    },
 }
 
 /// The in-flight recorder owned by one engine replay. Append-only; all
@@ -372,6 +430,7 @@ pub(crate) struct TelemetryRecorder {
     events: Vec<EngineEvent>,
     max_events: usize,
     dropped: u64,
+    release_drops: u64,
     prefill_hist: LogHistogram,
     decode_hist: LogHistogram,
 }
@@ -399,9 +458,17 @@ impl TelemetryRecorder {
             events,
             max_events,
             dropped: 0,
+            release_drops: 0,
             prefill_hist: LogHistogram::new(),
             decode_hist: LogHistogram::new(),
         }
+    }
+
+    /// Counts one rejected duplicate budget release (a release arriving for
+    /// an owner with no live charge — the double-release hazard).
+    #[inline]
+    pub(crate) fn note_release_drop(&mut self) {
+        self.release_drops += 1;
     }
 
     /// Appends one event, or counts it dropped past the cap.
@@ -428,6 +495,7 @@ impl TelemetryRecorder {
         Telemetry {
             events: self.events,
             dropped: self.dropped,
+            release_drops: self.release_drops,
             prefill_hist: self.prefill_hist,
             decode_hist: self.decode_hist,
         }
@@ -441,6 +509,7 @@ impl TelemetryRecorder {
 pub struct Telemetry {
     events: Vec<EngineEvent>,
     dropped: u64,
+    release_drops: u64,
     prefill_hist: LogHistogram,
     decode_hist: LogHistogram,
 }
@@ -462,6 +531,15 @@ impl Telemetry {
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Duplicate budget releases the engine detected and rejected (a
+    /// release arriving for an owner with no live charge). Always zero in a
+    /// correct replay; a non-zero count flags the double-release hazard the
+    /// saturating arithmetic would otherwise silently absorb.
+    #[must_use]
+    pub fn release_drops(&self) -> u64 {
+        self.release_drops
     }
 
     /// Whether the log captured every transition (nothing dropped).
@@ -895,6 +973,7 @@ impl Telemetry {
         let mut session_rejects: BTreeMap<&'static str, u64> = BTreeMap::new();
         let mut sessions_admitted = 0u64;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        let (mut preempted_launches, mut preempted_sessions) = (0u64, 0u64);
         for event in &self.events {
             match &event.kind {
                 EventKind::PrefillArrival { .. } => arrivals[0] += 1,
@@ -915,15 +994,28 @@ impl Telemetry {
                     match key.class() {
                         WorkClass::Prefill => {
                             launches[0] += 1;
-                            if *cache_hit {
-                                cache_hits += 1;
-                            } else {
-                                cache_misses += 1;
+                            // One plan-cache lookup per chain, on its first
+                            // chunk (plain prefill launches are one-chunk
+                            // chains in this respect).
+                            let looked_up = match key {
+                                LaunchKey::PrefillChunk(ck) => ck.index == 0,
+                                _ => true,
+                            };
+                            if looked_up {
+                                if *cache_hit {
+                                    cache_hits += 1;
+                                } else {
+                                    cache_misses += 1;
+                                }
                             }
                         }
                         WorkClass::Decode => launches[1] += 1,
                     };
                 }
+                EventKind::Preempted { victim } => match victim {
+                    PreemptVictim::Launch { .. } => preempted_launches += 1,
+                    PreemptVictim::Session { .. } => preempted_sessions += 1,
+                },
                 _ => {}
             }
         }
@@ -1010,6 +1102,25 @@ impl Telemetry {
         );
         out.push_str(&format!(
             "mas_engine_cache_lookups_total{{result=\"hit\"}} {cache_hits}\nmas_engine_cache_lookups_total{{result=\"miss\"}} {cache_misses}\n"
+        ));
+        metric(
+            &mut out,
+            "mas_engine_preemptions_total",
+            "Iteration-level preemptions by victim kind.",
+            "counter",
+        );
+        out.push_str(&format!(
+            "mas_engine_preemptions_total{{victim=\"launch\"}} {preempted_launches}\nmas_engine_preemptions_total{{victim=\"session\"}} {preempted_sessions}\n"
+        ));
+        metric(
+            &mut out,
+            "mas_engine_release_drops_total",
+            "Duplicate budget releases detected and rejected.",
+            "counter",
+        );
+        out.push_str(&format!(
+            "mas_engine_release_drops_total {}\n",
+            self.release_drops
         ));
         if let Some(replay) = &replay {
             metric(
@@ -1316,6 +1427,15 @@ struct LaunchInfo {
     total_batch: u32,
     energy_pj: f64,
     cache_hit: bool,
+    chunk: Option<ChunkKey>,
+}
+
+/// Per-chain accumulation for chunked-prefill member outcomes: the chain's
+/// first chunk start and the running service sum, folded in chunk-dispatch
+/// order so the f64 chain matches the engine's bit-for-bit.
+struct ChainAgg {
+    first_start_s: f64,
+    service_sum_s: f64,
 }
 
 struct Replay {
@@ -1339,6 +1459,8 @@ struct Replay {
     launch_counts: Vec<usize>,
     holders: BTreeMap<MemOwner, u64>,
     peak: Option<PeakAttribution>,
+    preemptions_prefill: usize,
+    preemptions_decode: usize,
 }
 
 impl Replay {
@@ -1378,10 +1500,13 @@ impl Replay {
             launch_counts: vec![0; devices],
             holders: BTreeMap::new(),
             peak: None,
+            preemptions_prefill: 0,
+            preemptions_decode: 0,
         };
         let mut arrivals: BTreeMap<u64, ArrivalInfo> = BTreeMap::new();
         let mut decode_arrivals: BTreeMap<(u64, u32), f64> = BTreeMap::new();
         let mut launches: BTreeMap<u64, LaunchInfo> = BTreeMap::new();
+        let mut chains: BTreeMap<u64, ChainAgg> = BTreeMap::new();
         let mut open_charges: BTreeMap<u64, u64> = BTreeMap::new();
         for event in events {
             let t = event.t_s;
@@ -1528,6 +1653,10 @@ impl Replay {
                     cache_hit,
                     ..
                 } => {
+                    let chunk = match key {
+                        LaunchKey::PrefillChunk(ck) => Some(*ck),
+                        _ => None,
+                    };
                     launches.insert(
                         *launch_id,
                         LaunchInfo {
@@ -1538,8 +1667,16 @@ impl Replay {
                             total_batch: *total_batch,
                             energy_pj: *energy_pj,
                             cache_hit: *cache_hit,
+                            chunk,
                         },
                     );
+                    if let Some(ck) = chunk {
+                        let agg = chains.entry(ck.chain).or_insert(ChainAgg {
+                            first_start_s: *start_s,
+                            service_sum_s: 0.0,
+                        });
+                        agg.service_sum_s += service_s;
+                    }
                     let d = *device as usize;
                     if d >= replay.devices {
                         return None;
@@ -1556,10 +1693,15 @@ impl Replay {
                         WorkClass::Prefill => {
                             replay.busy_prefill[d] += service_s;
                             replay.prefill_report.batches += 1;
-                            if *cache_hit {
-                                replay.prefill_report.cache_hits += 1;
-                            } else {
-                                replay.prefill_report.cache_misses += 1;
+                            // A chunk chain does one plan-cache lookup, on
+                            // its first chunk; later chunks repeat the
+                            // chain's flag without a lookup of their own.
+                            if chunk.is_none_or(|ck| ck.index == 0) {
+                                if *cache_hit {
+                                    replay.prefill_report.cache_hits += 1;
+                                } else {
+                                    replay.prefill_report.cache_misses += 1;
+                                }
                             }
                             replay.prefill_report.makespan_s =
                                 replay.prefill_report.makespan_s.max(*completion_s);
@@ -1582,19 +1724,31 @@ impl Replay {
                     let energy_pj =
                         launch.energy_pj * f64::from(info.batch) / f64::from(launch.total_batch);
                     replay.prefill_report.total_energy_pj += energy_pj;
+                    // A chunked request's outcome spans its whole chain:
+                    // queueing ends at the first chunk's start, service sums
+                    // over every chunk, and the chain id identifies the
+                    // batch (the completion event references the *last*
+                    // chunk, whose completion/device close the outcome).
+                    let (start_s, service_s, batch_id) = match launch.chunk {
+                        Some(ck) => {
+                            let agg = chains.get(&ck.chain)?;
+                            (agg.first_start_s, agg.service_sum_s, ck.chain)
+                        }
+                        None => (launch.start_s, launch.service_s, *launch_id),
+                    };
                     replay.prefill_report.outcomes.push(RequestOutcome {
                         id: *id,
                         workload: info.workload.clone(),
                         method: info.method,
                         arrival_s: info.arrival_s,
-                        start_s: launch.start_s,
+                        start_s,
                         completion_s: launch.completion_s,
-                        service_s: launch.service_s,
+                        service_s,
                         deadline_s: info.deadline_s,
                         deadline_met,
                         energy_pj,
                         cache_hit: launch.cache_hit,
-                        batch_id: *launch_id,
+                        batch_id,
                         device: launch.device as usize,
                     });
                 }
@@ -1645,6 +1799,28 @@ impl Replay {
                         }
                     }
                     replay.holders.remove(owner);
+                }
+                EventKind::Preempted { victim } => match victim {
+                    PreemptVictim::Launch { .. } => replay.preemptions_prefill += 1,
+                    PreemptVictim::Session {
+                        session_id,
+                        bytes,
+                        used_bytes,
+                        blocks,
+                        ..
+                    } => {
+                        replay.preemptions_decode += 1;
+                        replay.kv_in_use = replay.kv_in_use.saturating_sub(*bytes);
+                        replay.kv_used = replay.kv_used.saturating_sub(*used_bytes);
+                        replay.blocks_in_use = replay.blocks_in_use.saturating_sub(*blocks);
+                        replay.holders.remove(&MemOwner::Session(*session_id));
+                    }
+                },
+                EventKind::SessionResumed {
+                    restored_used_bytes,
+                    ..
+                } => {
+                    replay.kv_used += restored_used_bytes;
                 }
             }
         }
@@ -1715,6 +1891,8 @@ impl Replay {
             mem_peak_prefill_bytes: self.mem_peak.prefill,
             mem_peak_decode_bytes: self.mem_peak.decode,
             device_util,
+            preemptions_prefill: self.preemptions_prefill,
+            preemptions_decode: self.preemptions_decode,
         }
     }
 }

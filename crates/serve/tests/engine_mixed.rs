@@ -7,11 +7,13 @@ use proptest::prelude::*;
 
 use mas_dataflow::{AttentionWorkload, DataflowKind, DecodeStep};
 use mas_serve::{
-    DecodePolicy, EngineConfig, RejectReason, SchedulePolicy, ServeEngine, ServeRequest,
+    BatchPolicy, ChunkPolicy, DecodePolicy, EngineConfig, EventKind, LaunchKey, PreemptMode,
+    PreemptVictim, RejectReason, SchedulePolicy, ServeEngine, ServeRequest, TelemetryConfig,
 };
 use mas_sim::HardwareConfig;
 use mas_workloads::{
-    mixed_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTraceConfig, Network,
+    mixed_trace, overload_burst_trace, DecodeSessionSpec, DecodeStepEvent, DecodeTrace,
+    MixedTraceConfig, Network, OverloadBurstConfig,
 };
 
 fn hw() -> HardwareConfig {
@@ -328,5 +330,342 @@ proptest! {
         // Determinism: a second replay is bit-identical.
         let again = ServeEngine::new(config).run(&stream, &trace.decode).unwrap();
         prop_assert_eq!(report, again);
+    }
+}
+
+/// The overload scenario's engine config: decode-priority scheduling with
+/// a 4 ms per-step SLO, and chunked prefill + iteration-level preemption
+/// either both off (the head-of-line-blocking shape) or both on.
+fn overload_config(chunk: Option<ChunkPolicy>, preempt: Option<PreemptMode>) -> EngineConfig {
+    EngineConfig {
+        policy: SchedulePolicy::DecodePriority,
+        decode: DecodePolicy {
+            step_deadline_s: Some(0.004),
+            ..DecodePolicy::default()
+        },
+        chunked_prefill: chunk,
+        preempt,
+        ..EngineConfig::default()
+    }
+}
+
+/// The overload acceptance scenario: a convoy of distinct multi-ms
+/// monolithic prefills lands mid-stream on steady decode traffic. With
+/// chunking and preemption off, decode launches wall behind whole prefill
+/// services (unbounded head-of-line blocking); with both on, decode p99
+/// stays within 2x of the uncontended decode-only baseline while the same
+/// work completes, the telemetry replay stays bit-identical, and no budget
+/// release is ever dropped.
+#[test]
+fn chunked_prefill_and_preemption_bound_decode_tail_under_overload() {
+    let trace = overload_burst_trace(&OverloadBurstConfig::new(Network::Llama3_8B));
+    let stream = ServeRequest::stream_from_trace(&trace.prefill, DataflowKind::MasAttention, None);
+    let chunk = Some(ChunkPolicy::new(64));
+    let preempt = Some(PreemptMode::Hold);
+
+    let baseline = ServeEngine::new(overload_config(chunk, preempt))
+        .run(&[], &trace.decode)
+        .unwrap();
+    let base_p99 = baseline.decode_latency().unwrap().p99_s;
+
+    let off = ServeEngine::new(overload_config(None, None))
+        .run(&stream, &trace.decode)
+        .unwrap();
+    let off_p99 = off.decode_latency().unwrap().p99_s;
+    assert!(
+        off_p99 > 2.0 * base_p99,
+        "without chunking/preemption the convoy must blow decode p99 past \
+         2x the decode-only baseline ({:.3} ms vs {:.3} ms)",
+        off_p99 * 1e3,
+        base_p99 * 1e3,
+    );
+    assert_eq!(off.preemptions_prefill + off.preemptions_decode, 0);
+
+    let mut engine = ServeEngine::new(EngineConfig {
+        telemetry: Some(TelemetryConfig::default()),
+        ..overload_config(chunk, preempt)
+    });
+    let on = engine.run(&stream, &trace.decode).unwrap();
+    let on_p99 = on.decode_latency().unwrap().p99_s;
+    assert!(
+        on_p99 <= 2.0 * base_p99,
+        "chunking + preemption must bound decode p99 to 2x the decode-only \
+         baseline ({:.3} ms vs {:.3} ms)",
+        on_p99 * 1e3,
+        base_p99 * 1e3,
+    );
+    assert!(on.preemptions_prefill > 0, "{}", on.summary());
+
+    // Both shapes complete the same work: bounding the tail sheds nothing.
+    for report in [&off, &on] {
+        assert_eq!(report.decode.completed(), trace.decode.total_steps());
+        assert_eq!(report.prefill.completed(), stream.len());
+        assert_eq!(report.rejected(), 0, "{}", report.summary());
+    }
+
+    // Telemetry replays the preempting run bit-identically, no release is
+    // ever dropped, and the event log carries exactly the counted launch
+    // displacements.
+    let telemetry = engine.telemetry().unwrap();
+    assert_eq!(telemetry.report().expect("complete event log"), on);
+    assert_eq!(telemetry.release_drops(), 0);
+    let preempted_launches = telemetry
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::Preempted {
+                    victim: PreemptVictim::Launch { .. }
+                }
+            )
+        })
+        .count();
+    assert_eq!(preempted_launches, on.preemptions_prefill);
+
+    // Determinism: telemetry never perturbs the replay.
+    let again = ServeEngine::new(overload_config(chunk, preempt))
+        .run(&stream, &trace.decode)
+        .unwrap();
+    assert_eq!(on, again);
+}
+
+/// One decode session of the KV-preemption scenario: a 255-token prompt
+/// at 2 KiB/token (f16 KV), so admission charges 16 blocks (512 KiB) and
+/// the session's second step crosses into a 17th block.
+fn kv_swap_spec(id: u64, start_s: f64, steps: usize) -> DecodeSessionSpec {
+    DecodeSessionSpec {
+        id,
+        network: Network::BertSmall,
+        start_s,
+        heads: 8,
+        kv_heads: 8,
+        embed: 64,
+        prompt_len: 255,
+        steps,
+        prefix_group: None,
+        shared_prefix_len: 0,
+    }
+}
+
+/// KV-side preemption: when a session's block growth cannot fit the shared
+/// pool, an idle session is swapped out (charges freed, residency stashed)
+/// instead of shedding the step, and it resumes at its next surviving
+/// step. `Hold` restores the stash off the timeline; `Recompute`
+/// additionally re-prices the evicted context as prefill work folded into
+/// the resuming launch, so the resumed step is strictly slower.
+#[test]
+fn kv_pressure_swaps_idle_session_and_resumes_it() {
+    // The budget fits both admissions (1 MiB) plus one growth block, so
+    // the second session's growth at 0.07 must evict the idle first
+    // session rather than shed the step.
+    let step_times = [
+        (0u64, 0usize, 0.01),
+        (0, 1, 0.02), // session 0 grows its 17th block
+        (1, 0, 0.06),
+        (1, 1, 0.07), // session 1's growth evicts the idle session 0
+        (0, 2, 0.20), // session 0 resumes here
+        (0, 3, 0.21),
+    ];
+    let trace = DecodeTrace {
+        sessions: vec![kv_swap_spec(0, 0.0, 4), kv_swap_spec(1, 0.05, 2)],
+        steps: step_times
+            .iter()
+            .map(|&(session_id, step_index, arrival_s)| DecodeStepEvent {
+                session_id,
+                step_index,
+                arrival_s,
+            })
+            .collect(),
+    };
+    let run = |mode: PreemptMode| {
+        let mut engine = ServeEngine::new(EngineConfig {
+            shared_budget_bytes: Some(1_100_000),
+            preempt: Some(mode),
+            telemetry: Some(TelemetryConfig::default()),
+            ..EngineConfig::default()
+        });
+        let report = engine.run(&[], &trace).unwrap();
+        let telemetry = engine.telemetry().unwrap();
+        assert_eq!(telemetry.report().expect("complete event log"), report);
+        assert_eq!(telemetry.release_drops(), 0);
+        let swaps = telemetry
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Preempted {
+                        victim: PreemptVictim::Session { session_id: 0, .. }
+                    }
+                )
+            })
+            .count();
+        let resumes = telemetry
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SessionResumed { session_id: 0, .. }))
+            .count();
+        assert_eq!((swaps, resumes), (1, 1), "{}", report.summary());
+        report
+    };
+    let hold = run(PreemptMode::Hold);
+    let recompute = run(PreemptMode::Recompute);
+    for report in [&hold, &recompute] {
+        assert_eq!(report.decode.completed(), 6, "{}", report.summary());
+        assert_eq!(report.rejected(), 0, "{}", report.summary());
+        assert_eq!(report.preemptions_decode, 1);
+        assert_eq!(report.preemptions_prefill, 0);
+    }
+    let step_latency = |report: &mas_serve::EngineReport, step_index: usize| {
+        let o = report
+            .decode
+            .outcomes
+            .iter()
+            .find(|o| o.session_id == 0 && o.step_index == step_index)
+            .expect("step completed");
+        o.completion_s - o.arrival_s
+    };
+    // The resumed step pays the recompute cost; before the swap the two
+    // modes price identically.
+    assert!(step_latency(&recompute, 2) > step_latency(&hold, 2));
+    assert_eq!(step_latency(&recompute, 0), step_latency(&hold, 0));
+}
+
+/// A zero batching window disables coalescing, and chunked prefill must
+/// preserve that: each request lowers into its own chunk chain whose
+/// launches dispatch in chain order (indices 0..of ascending, starts
+/// nondecreasing) with exactly one member request each.
+#[test]
+fn zero_window_dispatches_chunks_in_chain_order_without_coalescing() {
+    let requests = vec![
+        ServeRequest::new(
+            0,
+            0.001,
+            DataflowKind::MasAttention,
+            Network::BertSmall.attention_workload(1),
+            None,
+        ),
+        ServeRequest::new(
+            1,
+            0.002,
+            DataflowKind::MasAttention,
+            Network::BertBase.attention_workload(1),
+            None,
+        ),
+    ];
+    let mut engine = ServeEngine::new(EngineConfig {
+        batching: BatchPolicy {
+            window_s: 0.0,
+            ..BatchPolicy::default()
+        },
+        chunked_prefill: Some(ChunkPolicy::new(128)),
+        telemetry: Some(TelemetryConfig::default()),
+        ..EngineConfig::default()
+    });
+    let empty = DecodeTrace {
+        sessions: Vec::new(),
+        steps: Vec::new(),
+    };
+    let report = engine.run(&requests, &empty).unwrap();
+    assert_eq!(report.prefill.completed(), 2, "{}", report.summary());
+    assert_eq!(report.rejected(), 0);
+
+    // Chunk launches in event order, per chain: indices must ascend 0..of
+    // contiguously and starts must never regress within a chain.
+    let telemetry = engine.telemetry().unwrap();
+    let mut per_chain: std::collections::BTreeMap<u64, Vec<(u32, u32, u32, f64)>> =
+        std::collections::BTreeMap::new();
+    for event in telemetry.events() {
+        if let EventKind::LaunchDispatched {
+            key: LaunchKey::PrefillChunk(chunk_key),
+            members,
+            start_s,
+            ..
+        } = event.kind
+        {
+            per_chain.entry(chunk_key.chain).or_default().push((
+                chunk_key.index,
+                chunk_key.of,
+                members,
+                start_s,
+            ));
+        }
+    }
+    // Both 512-token requests chunk at 128 tokens: two chains of four.
+    assert_eq!(per_chain.len(), 2);
+    for chunks in per_chain.values() {
+        assert_eq!(chunks.len(), 4);
+        for (position, &(index, of, members, start_s)) in chunks.iter().enumerate() {
+            assert_eq!(index as usize, position, "chain order violated");
+            assert_eq!(of, 4);
+            assert_eq!(members, 1, "zero window must never coalesce");
+            if position > 0 {
+                assert!(start_s >= chunks[position - 1].3);
+            }
+        }
+    }
+}
+
+/// `DecodePolicy::max_steps_per_launch == 0` is normalized to 1 (every
+/// step launches alone) rather than wedging the launch-full check.
+#[test]
+fn zero_max_steps_per_launch_behaves_as_one() {
+    let decode = lockstep_decode(3, 10, 512, 0.005);
+    let run = |max_steps: usize| {
+        ServeEngine::new(EngineConfig {
+            decode: DecodePolicy {
+                max_steps_per_launch: max_steps,
+                ..DecodePolicy::default()
+            },
+            ..EngineConfig::default()
+        })
+        .run(&[], &decode)
+        .unwrap()
+    };
+    let zero = run(0);
+    assert_eq!(zero.decode.completed(), 30, "{}", zero.summary());
+    assert_eq!(zero, run(1));
+    // The normalization is observable: real batching prices differently.
+    assert_ne!(zero, run(16));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // A chunk policy that lowers every batch into exactly one chunk (a
+    // zero budget means "whole prompt") must replay bit-identically to
+    // the monolithic engine with chunking disabled.
+    #[test]
+    fn single_chunk_layouts_replay_bitwise_equal_to_monolithic(
+        prefill_count in 1usize..8,
+        sessions in 0usize..4,
+        seed in 0u64..1000,
+        whole_prompt in 0usize..2,
+    ) {
+        let chunk_tokens = if whole_prompt == 1 { 0 } else { 1 << 20 };
+        let trace = mixed_trace(&MixedTraceConfig::poisson(
+            vec![Network::BertSmall, Network::T5Mini],
+            prefill_count,
+            2000.0,
+            sessions,
+            300.0,
+            seed,
+        ));
+        let stream = ServeRequest::stream_from_trace(
+            &trace.prefill,
+            DataflowKind::MasAttention,
+            Some(0.05),
+        );
+        let monolithic = ServeEngine::new(EngineConfig::default())
+            .run(&stream, &trace.decode)
+            .unwrap();
+        let chunked = ServeEngine::new(EngineConfig {
+            chunked_prefill: Some(ChunkPolicy::new(chunk_tokens)),
+            ..EngineConfig::default()
+        })
+        .run(&stream, &trace.decode)
+        .unwrap();
+        prop_assert_eq!(monolithic, chunked);
     }
 }

@@ -902,10 +902,7 @@ impl PrefixIndex {
 
 /// Allocates from `pool`, reclaiming LRU index-only prefix blocks on
 /// exhaustion (the pool-pressure path of module invariant 6).
-fn alloc_with_reclaim(
-    pool: &mut KvBlockPool,
-    index: Option<&mut PrefixIndex>,
-) -> Result<BlockId> {
+fn alloc_with_reclaim(pool: &mut KvBlockPool, index: Option<&mut PrefixIndex>) -> Result<BlockId> {
     match pool.alloc() {
         Ok(id) => Ok(id),
         Err(TensorError::BlockPoolExhausted { .. }) if index.is_some() => {

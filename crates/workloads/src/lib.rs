@@ -37,7 +37,7 @@ pub mod traffic;
 pub use networks::Network;
 pub use sdunet::{sd15_reduced_unet, SdAttentionUnit};
 pub use traffic::{
-    decode_trace, mixed_trace, request_trace, ArrivalProcess, DecodeSessionSpec, DecodeStepEvent,
-    DecodeTrace, DecodeTraceConfig, MixedTrace, MixedTraceConfig, TraceConfig, TraceEvent,
-    MIXED_DECODE_SEED_SALT,
+    decode_trace, mixed_trace, overload_burst_trace, request_trace, ArrivalProcess,
+    DecodeSessionSpec, DecodeStepEvent, DecodeTrace, DecodeTraceConfig, MixedTrace,
+    MixedTraceConfig, OverloadBurstConfig, TraceConfig, TraceEvent, MIXED_DECODE_SEED_SALT,
 };

@@ -486,6 +486,145 @@ pub fn mixed_trace(config: &MixedTraceConfig) -> MixedTrace {
     }
 }
 
+/// Configuration of a deterministic overload burst: steady decode traffic
+/// plus a simultaneous burst of long prefill requests — the head-of-line
+/// blocking scenario chunked prefill and iteration-level preemption exist
+/// for. Unlike the Poisson generators this draws **nothing** from an RNG:
+/// session starts are uniformly staggered, decode steps arrive at a fixed
+/// inter-token gap, and every burst prefill lands at the same instant, so
+/// the trace (and any replay of it) is reproducible term by term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadBurstConfig {
+    /// Network supplying the attention shape of both legs.
+    pub network: Network,
+    /// Steady decode sessions running through the burst.
+    pub sessions: usize,
+    /// Decode steps per session.
+    pub steps_per_session: usize,
+    /// Prompt length of every session, in tokens.
+    pub prompt_len: usize,
+    /// Fixed inter-token gap between a session's steps, in seconds.
+    pub token_gap_s: f64,
+    /// Fixed stagger between consecutive session starts, in seconds
+    /// (decorrelates the steady steps without an RNG).
+    pub session_stagger_s: f64,
+    /// Long prefill requests arriving together in the burst.
+    pub burst_prefills: usize,
+    /// The instant the whole burst arrives, in seconds.
+    pub burst_at_s: f64,
+    /// Sequence length of the burst's first prefill — sized so one
+    /// monolithic launch dwarfs a decode step's service time.
+    pub burst_seq_len: usize,
+    /// Sequence-length increment between consecutive burst prefills:
+    /// request `i` asks for `burst_seq_len + i * burst_seq_step` tokens.
+    /// `0` makes the burst one coalescible shape (a single giant batch);
+    /// nonzero gives every request its own batch key, so the burst becomes
+    /// a convoy of back-to-back monolithic launches instead.
+    pub burst_seq_step: usize,
+    /// Batch dimension of each burst prefill.
+    pub burst_batch: usize,
+}
+
+impl OverloadBurstConfig {
+    /// A steady-decode-plus-prefill-burst scenario on one network: a few
+    /// long-context sessions decoding at a 10 ms token gap, hit at 50 ms by
+    /// a convoy of 2048+-token prefills (distinct shapes, so they dispatch
+    /// as back-to-back monolithic launches rather than one batch).
+    #[must_use]
+    pub fn new(network: Network) -> Self {
+        Self {
+            network,
+            sessions: 4,
+            steps_per_session: 48,
+            prompt_len: 2048,
+            token_gap_s: 0.01,
+            session_stagger_s: 0.0025,
+            burst_prefills: 4,
+            burst_at_s: 0.05,
+            burst_seq_len: 2048,
+            burst_seq_step: 256,
+            burst_batch: 1,
+        }
+    }
+}
+
+/// Generates the mixed trace of an [`OverloadBurstConfig`]: the decode leg
+/// holds `sessions` uniformly staggered sessions stepping at the fixed
+/// token gap; the prefill leg holds `burst_prefills` identical long
+/// requests all arriving at `burst_at_s` (one coalescible shape — without
+/// chunking they seal into one monolithic head-of-line launch). The trace
+/// is a pure function of the config; no RNG is involved.
+///
+/// # Panics
+///
+/// Panics if the gaps are non-positive, the prompt is empty, or a burst
+/// request has a zero dimension.
+#[must_use]
+pub fn overload_burst_trace(config: &OverloadBurstConfig) -> MixedTrace {
+    assert!(config.token_gap_s > 0.0, "token gap must be positive");
+    assert!(config.session_stagger_s >= 0.0, "stagger must be >= 0");
+    assert!(config.prompt_len > 0, "sessions need a prompt");
+    assert!(
+        config.burst_seq_len > 0 && config.burst_batch > 0,
+        "burst requests need nonzero dimensions"
+    );
+    let shape = config.network.attention_workload(1);
+    let prefill = (0..config.burst_prefills)
+        .map(|i| {
+            let seq_len = config.burst_seq_len + i * config.burst_seq_step;
+            TraceEvent {
+                arrival_s: config.burst_at_s,
+                workload: AttentionWorkload::new(
+                    format!(
+                        "burst-{i}-b{}h{}n{}e{}",
+                        config.burst_batch, shape.heads, seq_len, shape.embed
+                    ),
+                    config.burst_batch,
+                    shape.heads,
+                    seq_len,
+                    shape.embed,
+                ),
+                network: config.network,
+            }
+        })
+        .collect();
+    let mut sessions = Vec::with_capacity(config.sessions);
+    let mut steps = Vec::new();
+    for id in 0..config.sessions as u64 {
+        let start_s = id as f64 * config.session_stagger_s;
+        for step_index in 0..config.steps_per_session {
+            steps.push(DecodeStepEvent {
+                session_id: id,
+                step_index,
+                arrival_s: start_s + (step_index + 1) as f64 * config.token_gap_s,
+            });
+        }
+        sessions.push(DecodeSessionSpec {
+            id,
+            network: config.network,
+            start_s,
+            heads: shape.heads,
+            kv_heads: config.network.kv_heads(),
+            embed: shape.embed,
+            prompt_len: config.prompt_len,
+            steps: config.steps_per_session,
+            prefix_group: None,
+            shared_prefix_len: 0,
+        });
+    }
+    steps.sort_by(|a, b| {
+        a.arrival_s
+            .partial_cmp(&b.arrival_s)
+            .expect("arrival times are finite")
+            .then(a.session_id.cmp(&b.session_id))
+            .then(a.step_index.cmp(&b.step_index))
+    });
+    MixedTrace {
+        prefill,
+        decode: DecodeTrace { sessions, steps },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,6 +835,43 @@ mod tests {
         let b = mixed_trace(&MixedTraceConfig::poisson(nets(), 30, 1000.0, 8, 100.0, 18));
         assert_ne!(a.prefill, b.prefill);
         assert_ne!(a.decode, b.decode);
+    }
+
+    #[test]
+    fn overload_burst_trace_is_deterministic_and_rng_free() {
+        let cfg = OverloadBurstConfig::new(Network::Llama3_8B);
+        let a = overload_burst_trace(&cfg);
+        assert_eq!(a, overload_burst_trace(&cfg), "pure function of the config");
+        // Every burst prefill arrives at the same instant with the same
+        // coalescible shape (method-independent BatchKey fields).
+        assert_eq!(a.prefill.len(), cfg.burst_prefills);
+        for (i, e) in a.prefill.iter().enumerate() {
+            assert_eq!(e.arrival_s, cfg.burst_at_s);
+            assert_eq!(
+                e.workload.seq_len,
+                cfg.burst_seq_len + i * cfg.burst_seq_step,
+                "distinct shapes form a convoy, not one batch"
+            );
+            assert_eq!(e.workload.batch, cfg.burst_batch);
+            assert_eq!(e.workload.heads, a.prefill[0].workload.heads);
+        }
+        // Steady decode leg: staggered sessions, uniform token gaps, steps
+        // globally sorted.
+        assert_eq!(a.decode.sessions.len(), cfg.sessions);
+        assert_eq!(a.decode.total_steps(), cfg.sessions * cfg.steps_per_session);
+        for s in &a.decode.sessions {
+            assert_eq!(s.start_s, s.id as f64 * cfg.session_stagger_s);
+            assert_eq!(s.prompt_len, cfg.prompt_len);
+            assert_eq!((s.prefix_group, s.shared_prefix_len), (None, 0));
+        }
+        for pair in a.decode.steps.windows(2) {
+            assert!(pair[1].arrival_s >= pair[0].arrival_s);
+        }
+        let first = &a.decode.steps[0];
+        assert!(
+            (first.arrival_s - cfg.token_gap_s).abs() < 1e-12,
+            "session 0's first step arrives one token gap after its start"
+        );
     }
 
     #[test]
