@@ -7,7 +7,7 @@
 //!             [--mixed] [--sessions N] [--session-rate RPS]
 //!             [--policy decode|prefill|fair] [--kv-dtype f32|f16]
 //!             [--prefix-share] [--chunked-prefill TOKENS]
-//!             [--preempt hold|recompute]
+//!             [--preempt hold|recompute] [--tracks]
 //!             [--load-cache PATH]... [--save-cache PATH] [--json]
 //!             [--trace-out PATH] [--metrics-out PATH]
 //! ```
@@ -38,6 +38,14 @@
 //! swap-resident, `recompute` re-prices it on resume); together they bound
 //! decode tail latency under prefill overload, with preemption counters in
 //! the `--json` report.
+//!
+//! `--tracks` (with `--mixed`) enables the overlap-aware track executor:
+//! each launch lowers into per-stage DMA-in/MAC/VEC/writeback demands
+//! flow-shop scheduled on four per-device queues, committing the overlapped
+//! placement whenever it strictly beats the scalar span. With `--trace-out`
+//! the Chrome trace gains one thread row per track, with overlap-committed
+//! launches' stage spans on those rows; `trace_check` validates each row
+//! individually.
 
 use mas_attention::planner::{PlannerConfig, TilingStrategy};
 use mas_dataflow::DataflowKind;
@@ -45,7 +53,7 @@ use mas_search::tuner::TunerConfig;
 use mas_serve::{
     validate_chrome_trace, ChunkPolicy, EngineConfig, KvDtype, PreemptMode, ScheduleCache,
     SchedulePolicy, ServeConfig, ServeEngine, ServeReport, ServeRequest, ServeRuntime, Telemetry,
-    TelemetryConfig,
+    TelemetryConfig, TrackConfig,
 };
 use mas_workloads::{
     decode_trace, request_trace, DecodeTraceConfig, Network, TraceConfig, MIXED_DECODE_SEED_SALT,
@@ -68,6 +76,7 @@ struct Args {
     prefix_share: bool,
     chunked_prefill: Option<usize>,
     preempt: Option<PreemptMode>,
+    tracks: bool,
     load_caches: Vec<String>,
     save_cache: Option<String>,
     json: bool,
@@ -139,6 +148,7 @@ fn parse_args() -> Args {
             v.parse()
                 .unwrap_or_else(|e: String| panic!("--preempt: {e}"))
         }),
+        tracks: argv.iter().any(|a| a == "--tracks"),
         load_caches: values("--load-cache"),
         save_cache: value("--save-cache"),
         json: argv.iter().any(|a| a == "--json"),
@@ -148,7 +158,7 @@ fn parse_args() -> Args {
 }
 
 /// Writes the requested telemetry exports. The Chrome trace is validated
-/// (well-formed JSON, no overlapping spans per device track) before it is
+/// (well-formed JSON, no overlapping spans per thread row) before it is
 /// written — an invalid export is a bug, not an artifact.
 fn export_telemetry(telemetry: Option<&Telemetry>, args: &Args) {
     if args.trace_out.is_none() && args.metrics_out.is_none() {
@@ -286,6 +296,7 @@ fn run_mixed(
     engine_config.decode.prefix_share = args.prefix_share;
     engine_config.chunked_prefill = args.chunked_prefill.map(ChunkPolicy::new);
     engine_config.preempt = args.preempt;
+    engine_config.tracks = args.tracks.then(TrackConfig::default);
     // The From<ServeConfig> lifting disables the shared budget for legacy
     // prefill-shim compatibility; a mixed replay wants the engine's real
     // default (the decode policy's half-DRAM KV budget) so the cross-class
@@ -308,7 +319,8 @@ fn run_mixed(
     );
     println!(
         "runtime: {} device(s), policy {}, kv dtype {}, prefix sharing {}, \
-         chunked prefill {}, preemption {}, cache warm entries {} -> final {}",
+         chunked prefill {}, preemption {}, track overlap {}, \
+         cache warm entries {} -> final {}",
         args.devices.max(1),
         args.policy,
         args.kv_dtype
@@ -317,6 +329,7 @@ fn run_mixed(
         args.chunked_prefill
             .map_or("off".to_string(), |t| format!("{t} tokens")),
         args.preempt.map_or("off".to_string(), |m| m.to_string()),
+        if args.tracks { "on" } else { "off" },
         warm_entries,
         engine.cache().len(),
     );

@@ -9,9 +9,13 @@
 //! `mas_serve::telemetry` is self-contained) and the trace is checked
 //! structurally: every event object carries the required fields for its
 //! phase, and complete-span (`"X"`) events never overlap on one
-//! `(pid, tid)` track — a device cannot run two launches at once. Prints
-//! per-file span/counter/instant counts; exits non-zero on the first
-//! invalid file so CI can gate on it.
+//! `(pid, tid)` thread row — each row is a serial queue. The invariant is
+//! deliberately per *row*, not per device: under the overlap executor
+//! (`serve_trace --tracks`) one device exports its scalar dispatch row
+//! plus one row per DMA-in/MAC/VEC/writeback track, and spans on
+//! different rows of one device overlap by design. Prints per-file
+//! span/counter/instant counts; exits non-zero on the first invalid file
+//! so CI can gate on it.
 
 use mas_serve::validate_chrome_trace;
 

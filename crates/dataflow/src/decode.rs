@@ -250,6 +250,22 @@ impl DecodeStep {
             + 2 * self.new_kv_token_bytes(kv_element_bytes)
     }
 
+    /// The write-direction share of [`DecodeStep::min_dram_traffic_bytes_split`]:
+    /// the appended `k`/`v` rows (KV dtype) and the output row (activation
+    /// dtype). The remainder of the split traffic — the cache stream plus
+    /// the `q` row — is read-direction. The track executor puts the two
+    /// directions on separate DMA queues, so the split must partition the
+    /// total exactly.
+    #[must_use]
+    pub fn min_dram_write_bytes_split(
+        &self,
+        activation_element_bytes: usize,
+        kv_element_bytes: usize,
+    ) -> u64 {
+        self.new_token_bytes(activation_element_bytes)
+            + 2 * self.new_kv_token_bytes(kv_element_bytes)
+    }
+
     /// Minimum DRAM traffic of the recompute-per-step baseline: re-running
     /// full prefill over the `t`-token sequence (read `Q`, `K`, `V`, write
     /// `O` — all `t × E` per head), which is what a runtime without a KV
@@ -444,6 +460,21 @@ impl PrefillChunk {
         kv_stream
             + 2 * self.new_row_bytes(activation_element_bytes)
             + 2 * self.new_kv_row_bytes(kv_element_bytes)
+    }
+
+    /// The write-direction share of
+    /// [`PrefillChunk::min_dram_traffic_bytes_split`]: the chunk's output
+    /// rows (activation dtype) plus its appended `k`/`v` rows (KV dtype).
+    /// Reads are the incremental KV stream and the `q` rows — the split
+    /// partitions the total exactly, mirroring
+    /// [`DecodeStep::min_dram_write_bytes_split`] summed over the chunk.
+    #[must_use]
+    pub fn min_dram_write_bytes_split(
+        &self,
+        activation_element_bytes: usize,
+        kv_element_bytes: usize,
+    ) -> u64 {
+        self.new_row_bytes(activation_element_bytes) + 2 * self.new_kv_row_bytes(kv_element_bytes)
     }
 
     /// The decode steps this chunk fuses: one per new token, at the causal

@@ -74,7 +74,7 @@ pub mod tileflow;
 pub mod tiling;
 pub mod workload;
 
-pub use cost::StreamDemand;
+pub use cost::{StreamDemand, TrackDemand};
 pub use decode::{DecodeStep, PrefillChunk};
 pub use kind::DataflowKind;
 pub use mas_tensor::half::KvDtype;

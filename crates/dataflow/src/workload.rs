@@ -89,6 +89,16 @@ impl AttentionWorkload {
         4 * self.operand_bytes(element_bytes)
     }
 
+    /// The write-direction share of
+    /// [`AttentionWorkload::min_dram_traffic_bytes`]: the single `O`
+    /// operand. Reads are `Q`, `K` and `V`; the split partitions the total
+    /// exactly, which the track executor relies on to place the two
+    /// directions on separate DMA queues.
+    #[must_use]
+    pub fn min_dram_write_bytes(&self, element_bytes: usize) -> u64 {
+        self.operand_bytes(element_bytes)
+    }
+
     /// Returns a copy with a different sequence length (used by sweeps such
     /// as the §5.6 maximum-sequence-length analysis).
     #[must_use]

@@ -132,8 +132,11 @@ use serde::{Deserialize, Serialize};
 use mas_attention::planner::TilingStrategy;
 use mas_attention::{Planner, PlannerConfig};
 use mas_dataflow::decode::{decode_step_fits_with_kv, DecodeStep, PrefillChunk};
-use mas_dataflow::{AttentionWorkload, StreamDemand};
-use mas_sim::{HardwareConfig, Result};
+use mas_dataflow::{AttentionWorkload, StreamDemand, TrackDemand};
+use mas_sim::{
+    DeviceTracks, HardwareConfig, Result, StageSpan, TrackConfig, TrackKind, TrackPlacement,
+    TRACK_COUNT,
+};
 use mas_workloads::{DecodeSessionSpec, DecodeStepEvent, DecodeTrace, MixedTrace};
 
 use crate::batcher::{coalesce, BatchPolicy};
@@ -339,6 +342,16 @@ pub struct EngineConfig {
     /// latency outranks prefill), and KV-pool pressure may evict idle
     /// sessions' block charges with the chosen [`PreemptMode`].
     pub preempt: Option<PreemptMode>,
+    /// Opt-in overlap-aware track executor. `None` (the default) keeps the
+    /// scalar service-time device model and every replay bit-identical.
+    /// `Some` lowers each launch into per-tile stage demands flow-shop
+    /// scheduled over the device's DMA-in/MAC/VEC/writeback tracks
+    /// ([`mas_sim::DeviceTracks`]); a launch commits the earlier of the
+    /// scalar span and the track schedule, so makespans are never worse
+    /// than the scalar model's, and [`TrackConfig::degenerate`] reproduces
+    /// the scalar model bit-for-bit. Admission, deadline screening and
+    /// budget sizing keep using the scalar estimates in both modes.
+    pub tracks: Option<TrackConfig>,
 }
 
 impl Default for EngineConfig {
@@ -355,6 +368,7 @@ impl Default for EngineConfig {
             telemetry: None,
             chunked_prefill: None,
             preempt: None,
+            tracks: None,
         }
     }
 }
@@ -519,6 +533,9 @@ pub struct ServeEngine {
     cache: ScheduleCache,
     /// The telemetry of the most recent run, when recording was configured.
     telemetry: Option<Telemetry>,
+    /// Per-device track executor state of the most recent run, when
+    /// [`EngineConfig::tracks`] was set.
+    track_stats: Option<Vec<DeviceTracks>>,
 }
 
 impl ServeEngine {
@@ -537,6 +554,7 @@ impl ServeEngine {
             planner,
             cache,
             telemetry: None,
+            track_stats: None,
         }
     }
 
@@ -545,6 +563,14 @@ impl ServeEngine {
     #[must_use]
     pub fn telemetry(&self) -> Option<&Telemetry> {
         self.telemetry.as_ref()
+    }
+
+    /// Per-device track executor state after the last run (`None` unless
+    /// [`EngineConfig::tracks`] was set): per-track busy seconds and
+    /// overlap-vs-scalar commit counts.
+    #[must_use]
+    pub fn track_stats(&self) -> Option<&[DeviceTracks]> {
+        self.track_stats.as_deref()
     }
 
     /// The engine's configuration.
@@ -728,6 +754,10 @@ impl ServeEngine {
             staged: (0..self.config.devices.max(1)).map(|_| None).collect(),
             preemptions_prefill: 0,
             preemptions_decode: 0,
+            tracks: self
+                .config
+                .tracks
+                .map(|_| vec![DeviceTracks::new(); self.config.devices.max(1)]),
             estimator: BacklogEstimator::new(self.config.devices),
             kv_in_use: 0,
             kv_used: 0,
@@ -793,6 +823,7 @@ impl ServeEngine {
             recorder,
             preemptions_prefill,
             preemptions_decode,
+            tracks,
             ..
         } = pass;
         // A class's per-device busy vector is populated only when the class
@@ -816,6 +847,7 @@ impl ServeEngine {
             })
             .collect();
         self.telemetry = recorder.map(TelemetryRecorder::finish);
+        self.track_stats = tracks;
 
         let launches = prefill_report.batches + decode_report.launches;
         Ok(EngineReport {
@@ -935,6 +967,10 @@ struct ChunkChain {
     /// cost of chunking). The chain's total service is therefore the
     /// monolithic service plus `(chunks - 1)` issue overheads.
     chunk_service_s: Vec<f64>,
+    /// Per-chunk four-track demands for the overlap executor; empty with
+    /// the track executor off (the chunk shapes are gone by placement
+    /// time, so the demands are precomputed at dispatch).
+    chunk_demands: Vec<TrackDemand>,
     /// Index of the next chunk to place (`chunk_sizes.len()` = all placed).
     next_index: usize,
     /// Earliest instant the next chunk may start: the batch's ready time
@@ -978,8 +1014,23 @@ struct StagedSpan {
     cause: SealCause,
     /// What the backlog estimator is fed at harden (the merged workload's
     /// service lower bound for monolithic batches — the legacy feed — and
-    /// the chunk's own service time for chunks).
+    /// the chunk's own service time for chunks). Always the *scalar*
+    /// estimate, even when the track executor commits a shorter span, so
+    /// admission stays identical across modes.
     est_service_s: f64,
+    /// The scalar-model service time the span was placed with (equals
+    /// `service_s` on scalar commits); a displaced span re-places with it.
+    scalar_service_s: f64,
+    /// The launch's four-track demand and issue overhead (`None` with the
+    /// track executor off), kept so a displaced span re-places with the
+    /// same profile.
+    profile: Option<(TrackDemand, f64)>,
+    /// The flow-shop stage spans when the track executor committed this
+    /// span (`None` = scalar commit); emitted as telemetry at harden.
+    stages: Option<Vec<StageSpan>>,
+    /// The device's track state before this placement; displacement rolls
+    /// back to it (`None` with the track executor off).
+    prev_tracks: Option<DeviceTracks>,
     payload: StagedPayload,
 }
 
@@ -1176,6 +1227,11 @@ struct EngineRun<'a> {
     preemptions_prefill: usize,
     /// Sessions whose KV charge was evicted under pool pressure.
     preemptions_decode: usize,
+    /// Per-device continuous-time track clocks, `Some` only under
+    /// [`EngineConfig::tracks`]. Every launch placement either commits a
+    /// flow-shop schedule here or barriers the clocks behind its scalar
+    /// span, so the clocks always cover everything committed to `free_at`.
+    tracks: Option<Vec<DeviceTracks>>,
     estimator: BacklogEstimator,
     kv_in_use: u64,
     kv_used: u64,
@@ -1220,6 +1276,79 @@ impl EngineRun<'_> {
             WorkClass::Prefill => self.busy_prefill[device] += service_s,
             WorkClass::Decode => self.busy_decode[device] += service_s,
         }
+    }
+
+    /// Attempts the overlap-aware flow-shop placement of one launch on
+    /// `device` and commits whichever candidate completes earlier:
+    ///
+    /// * Returns `Some(placement)` — and commits it to the device's track
+    ///   clocks — when the stage DAG beats the scalar span strictly.
+    /// * Returns `None` — and barriers the track clocks behind
+    ///   `scalar_completion_s` — when the scalar candidate wins (ties go to
+    ///   scalar), the demand profile is missing, or its bound is zero.
+    ///
+    /// The stage durations spread the launch's *modeled* service time (not
+    /// just the roofline bound) over the streams: each track's ideal
+    /// seconds are stretched by `(scalar_service − issue) / bound ≥ 1`, so
+    /// tiling slack and simulation overheads are conserved, and the issue
+    /// overhead rides the MAC queue ahead of the first compute stage where
+    /// it can hide under the first tile's DMA. With
+    /// [`TrackConfig::degenerate`] the serialized DAG is provably ≥ the
+    /// scalar span, so scalar always wins and replays stay bit-identical.
+    fn try_track_placement(
+        &mut self,
+        device: usize,
+        ready_s: f64,
+        scalar_service_s: f64,
+        scalar_completion_s: f64,
+        profile: Option<&(TrackDemand, f64)>,
+    ) -> Option<TrackPlacement> {
+        let cfg = self.config.tracks?;
+        let stage_s: Option<Vec<[f64; TRACK_COUNT]>> = profile.and_then(|(demand, issue_s)| {
+            let bound = demand.stream().bound_seconds(&self.hw);
+            if bound <= 0.0 {
+                return None;
+            }
+            let stretch = ((scalar_service_s - issue_s) / bound).max(1.0);
+            let mut stages: Vec<[f64; TRACK_COUNT]> = demand
+                .split_stages(cfg.stages)
+                .iter()
+                .map(|d| {
+                    let mut s = d.track_seconds(&self.hw);
+                    for v in &mut s {
+                        *v *= stretch;
+                    }
+                    s
+                })
+                .collect();
+            if *issue_s > 0.0 {
+                stages[0][TrackKind::Mac.index()] += *issue_s;
+            }
+            Some(stages)
+        });
+        let dev = &mut self.tracks.as_mut()?[device];
+        if let Some(stage_s) = stage_s {
+            let placement = dev.plan(ready_s, &stage_s, cfg.fused_queue);
+            if placement.completion_s < scalar_completion_s {
+                dev.commit(&placement);
+                return Some(placement);
+            }
+            // Scalar wins: the launch occupies the whole device, but its
+            // demand still loads specific queues — attribute it so the
+            // per-track busy figures expose the workload's regime
+            // (DMA-bound vs MAC-bound) on either commit path.
+            let mut seconds = [0.0; TRACK_COUNT];
+            for durs in &stage_s {
+                for (sum, d) in seconds.iter_mut().zip(durs) {
+                    *sum += d;
+                }
+            }
+            dev.barrier(scalar_completion_s);
+            dev.attribute(seconds);
+            return None;
+        }
+        dev.barrier(scalar_completion_s);
+        None
     }
 
     /// The earliest-free virtual device (first index on ties — the same
@@ -1320,6 +1449,17 @@ impl EngineRun<'_> {
             0.0
         };
         let cache_hit = chain.cache_hit;
+        // The chunk's track profile (empty with the executor off). Chunks
+        // after the first carry the one launch-issue overhead their service
+        // time was charged with.
+        let profile = chain.chunk_demands.get(index).map(|d| {
+            let issue_s = if index > 0 {
+                self.hw.issue_overhead_cycles as f64 / self.hw.frequency_hz
+            } else {
+                0.0
+            };
+            (*d, issue_s)
+        });
         let key = LaunchKey::PrefillChunk(ChunkKey {
             chain: chain_id,
             index: index as u32,
@@ -1349,6 +1489,7 @@ impl EngineRun<'_> {
             cache_hit,
             cause,
             service_s,
+            profile,
             StagedPayload::Chunk {
                 chain: chain_id,
                 index,
@@ -1379,6 +1520,7 @@ impl EngineRun<'_> {
         cache_hit: bool,
         cause: SealCause,
         est_service_s: f64,
+        profile: Option<(TrackDemand, f64)>,
         payload: StagedPayload,
     ) -> f64 {
         let staging = self.staging_active();
@@ -1393,8 +1535,27 @@ impl EngineRun<'_> {
             }
         }
         let prev_free_s = self.free_at[device];
-        let start_s = prev_free_s.max(ready_s);
-        let completion_s = start_s + service_s;
+        let scalar_start_s = prev_free_s.max(ready_s);
+        let scalar_completion_s = scalar_start_s + service_s;
+        let mut start_s = scalar_start_s;
+        let mut completion_s = scalar_completion_s;
+        let mut span_service_s = service_s;
+        let mut stages = None;
+        let prev_tracks = self.tracks.as_ref().map(|t| t[device]);
+        if self.tracks.is_some() {
+            if let Some(p) = self.try_track_placement(
+                device,
+                ready_s,
+                service_s,
+                scalar_completion_s,
+                profile.as_ref(),
+            ) {
+                start_s = p.start_s;
+                completion_s = p.completion_s;
+                span_service_s = completion_s - start_s;
+                stages = Some(p.stages);
+            }
+        }
         let gap = self.launch_counts[device] > 0 && start_s > prev_free_s;
         self.free_at[device] = completion_s;
         let span = StagedSpan {
@@ -1403,7 +1564,7 @@ impl EngineRun<'_> {
             device,
             ready_s,
             start_s,
-            service_s,
+            service_s: span_service_s,
             completion_s,
             prev_free_s,
             gap,
@@ -1413,6 +1574,10 @@ impl EngineRun<'_> {
             cache_hit,
             cause,
             est_service_s,
+            scalar_service_s: service_s,
+            profile,
+            stages,
+            prev_tracks,
             payload,
         };
         if staging {
@@ -1478,6 +1643,21 @@ impl EngineRun<'_> {
                     cause: span.cause,
                 },
             );
+            if let Some(stages) = span.stages.as_ref() {
+                for s in stages {
+                    recorder.record(
+                        s.start_s,
+                        EventKind::LaunchStage {
+                            launch_id: span.launch_id,
+                            device: device as u32,
+                            track: s.track,
+                            stage: s.stage as u32,
+                            start_s: s.start_s,
+                            end_s: s.end_s,
+                        },
+                    );
+                }
+            }
         }
         match span.payload {
             StagedPayload::Batch {
@@ -2397,6 +2577,12 @@ impl EngineRun<'_> {
                 // launch-issue overhead.
                 let issue_s = self.hw.issue_overhead_cycles as f64 / self.hw.frequency_hz;
                 let mut prefilled = 0usize;
+                let mut chunk_demands: Vec<TrackDemand> =
+                    Vec::with_capacity(if self.tracks.is_some() {
+                        chunk_sizes.len()
+                    } else {
+                        0
+                    });
                 let raw: Vec<f64> = chunk_sizes
                     .iter()
                     .map(|&tokens| {
@@ -2408,6 +2594,13 @@ impl EngineRun<'_> {
                             batch_key.embed,
                         );
                         prefilled += tokens;
+                        if self.tracks.is_some() {
+                            chunk_demands.push(TrackDemand::of_prefill_chunk_with_kv(
+                                &chunk,
+                                &self.hw,
+                                self.kv_element_bytes,
+                            ));
+                        }
                         prefill_chunk_service_s_with_kv(&chunk, &self.hw, self.kv_element_bytes)
                     })
                     .collect();
@@ -2427,6 +2620,7 @@ impl EngineRun<'_> {
                         cache_hit: hit,
                         chunk_sizes,
                         chunk_service_s,
+                        chunk_demands,
                         next_index: 0,
                         next_ready_s: ready_s,
                         first_start_s: 0.0,
@@ -2442,6 +2636,13 @@ impl EngineRun<'_> {
 
         let members = requests.len() as u32;
         let est_service_s = service_time_lower_bound_s(&merged, &self.hw);
+        // A monolithic batch's plan already amortizes its issue cost into
+        // `plan.seconds`; the whole modeled service spreads over the
+        // streams via the stretch factor.
+        let profile = self
+            .tracks
+            .is_some()
+            .then(|| (TrackDemand::of_prefill(&merged, &self.hw), 0.0));
         self.place_prefill_span(
             launch_id,
             LaunchKey::Prefill(batch_key),
@@ -2453,6 +2654,7 @@ impl EngineRun<'_> {
             hit,
             cause,
             est_service_s,
+            profile,
             StagedPayload::Batch {
                 requests,
                 charged_bytes,
@@ -2534,6 +2736,39 @@ impl EngineRun<'_> {
         } else {
             launch_service_s_with_kv(&steps, &self.hw, self.kv_element_bytes)
         };
+        // The launch's four-track demand (same step + recompute-chunk sum
+        // as the scalar service, split by direction); the decode issue
+        // overhead is explicit in the scalar closed form, so it stays a
+        // separate term the flow-shop can hide under the KV stream.
+        let profile = self.tracks.is_some().then(|| {
+            let mut demand = TrackDemand::default();
+            for step in &steps {
+                demand.accumulate(&TrackDemand::of_decode_step_with_kv(
+                    step,
+                    &self.hw,
+                    self.kv_element_bytes,
+                ));
+            }
+            for p in &pending {
+                if p.recompute_tokens > 0 {
+                    let chunk = PrefillChunk::new(
+                        1,
+                        decode_key.heads,
+                        0,
+                        p.recompute_tokens,
+                        decode_key.embed,
+                    )
+                    .with_kv_heads(decode_key.kv_heads);
+                    demand.accumulate(&TrackDemand::of_prefill_chunk_with_kv(
+                        &chunk,
+                        &self.hw,
+                        self.kv_element_bytes,
+                    ));
+                }
+            }
+            let issue_s = self.hw.issue_overhead_cycles as f64 / self.hw.frequency_hz;
+            (demand, issue_s)
+        });
         let mut device = self.earliest_free_device();
         let mut start_s = self.free_at[device].max(ready_s);
         let mut requeue: Option<StagedSpan> = None;
@@ -2564,6 +2799,15 @@ impl EngineRun<'_> {
                         if cand_start < start_s && misses(cand_start) < misses(start_s) {
                             let victim = self.staged[d].take().expect("candidate");
                             self.free_at[d] = victim.prev_free_s;
+                            // Roll the device's track clocks back too: the
+                            // victim is always the device's last placement
+                            // (a newer one would have hardened it), so its
+                            // pre-placement snapshot is current.
+                            if let (Some(tracks), Some(prev)) =
+                                (self.tracks.as_mut(), victim.prev_tracks)
+                            {
+                                tracks[d] = prev;
+                            }
                             self.preemptions_prefill += 1;
                             if let Some(recorder) = self.recorder.as_mut() {
                                 recorder.record(
@@ -2592,14 +2836,32 @@ impl EngineRun<'_> {
             let limit = self.staged[device].as_ref().expect("present").start_s;
             self.harden_through(limit);
         }
-        let completion_s = start_s + service_s;
-        self.note_device_span(device, WorkClass::Decode, start_s, service_s);
+        let scalar_completion_s = start_s + service_s;
+        let mut completion_s = scalar_completion_s;
+        let mut span_service_s = service_s;
+        let mut stage_spans: Option<Vec<StageSpan>> = None;
+        if self.tracks.is_some() {
+            if let Some(p) = self.try_track_placement(
+                device,
+                ready_s,
+                service_s,
+                scalar_completion_s,
+                profile.as_ref(),
+            ) {
+                start_s = p.start_s;
+                completion_s = p.completion_s;
+                span_service_s = completion_s - start_s;
+                stage_spans = Some(p.stages);
+            }
+        }
+        self.note_device_span(device, WorkClass::Decode, start_s, span_service_s);
         self.free_at[device] = completion_s;
         self.decode_report.makespan_s = self.decode_report.makespan_s.max(completion_s);
         self.makespan_s = self.makespan_s.max(completion_s);
         self.decode_report.launches += 1;
         // Decode launches occupy the shared timeline too: account them in
-        // the backlog estimate prefill admission sees.
+        // the backlog estimate prefill admission sees. Always the scalar
+        // service, so admission decisions match across executor modes.
         self.estimator.feed(ready_s, service_s);
         if let Some(recorder) = self.recorder.as_mut() {
             recorder.record(
@@ -2611,7 +2873,7 @@ impl EngineRun<'_> {
                     ready_s,
                     start_s,
                     completion_s,
-                    service_s,
+                    service_s: span_service_s,
                     members: pending.len() as u32,
                     total_batch: pending.len() as u32,
                     energy_pj: 0.0,
@@ -2619,6 +2881,21 @@ impl EngineRun<'_> {
                     cause,
                 },
             );
+            if let Some(stages) = stage_spans.as_ref() {
+                for s in stages {
+                    recorder.record(
+                        s.start_s,
+                        EventKind::LaunchStage {
+                            launch_id,
+                            device: device as u32,
+                            track: s.track,
+                            stage: s.stage as u32,
+                            start_s: s.start_s,
+                            end_s: s.end_s,
+                        },
+                    );
+                }
+            }
         }
         for p in pending {
             let deadline_s = self.config.decode.step_deadline_s;
@@ -2640,7 +2917,7 @@ impl EngineRun<'_> {
                 arrival_s: p.arrival_s,
                 start_s,
                 completion_s,
-                service_s,
+                service_s: span_service_s,
                 deadline_s,
                 deadline_met: deadline_s.is_none_or(|d| latency_s <= d),
                 launch_id,
@@ -2672,13 +2949,14 @@ impl EngineRun<'_> {
                         victim.launch_id,
                         victim.key,
                         victim.ready_s,
-                        victim.service_s,
+                        victim.scalar_service_s,
                         victim.members,
                         victim.total_batch,
                         victim.energy_pj,
                         victim.cache_hit,
                         victim.cause,
                         victim.est_service_s,
+                        victim.profile,
                         StagedPayload::Batch {
                             requests,
                             charged_bytes,

@@ -123,6 +123,17 @@
 //! [`EngineReport`] breaks a mixed replay down per class with shared
 //! [`LatencyStats`].
 //!
+//! With [`EngineConfig::tracks`](engine::EngineConfig::tracks) set, the
+//! scalar one-number-per-launch device model gives way to the
+//! **overlap-aware track executor**: each launch's closed-form cost is
+//! split per tile/chunk stage into DMA-in / MAC / VEC / writeback demands
+//! ([`mas_dataflow::TrackDemand`]) and flow-shop scheduled on four
+//! per-device FIFO tracks ([`TrackKind`]), so stage `k+1`'s DMA streams
+//! under stage `k`'s compute — the paper's intra-kernel overlap, recovered
+//! at the serving layer. A launch commits the overlapped placement only
+//! when it strictly beats the scalar one (never-worse by construction),
+//! and the default `tracks: None` keeps every pinned replay bit-identical.
+//!
 //! ## Example
 //!
 //! ```
@@ -172,6 +183,7 @@ pub use engine::{
 };
 pub use key::{BatchKey, ChunkKey, DecodeKey, LaunchKey, WorkClass};
 pub use mas_dataflow::KvDtype;
+pub use mas_sim::{DeviceTracks, TrackConfig, TrackKind, TRACK_COUNT};
 pub use metrics::{
     percentile, percentile_sorted, LatencyStats, RejectedRequest, RequestOutcome, ServeReport,
 };

@@ -143,8 +143,9 @@ impl ServeRuntime {
         self.engine.into_cache()
     }
 
-    /// The telemetry captured by the most recent [`run_trace`]
-    /// (`Self::run_trace`) call, or `None` when recording is disabled
+    /// The telemetry captured by the most recent
+    /// [`run_trace`](Self::run_trace) call, or `None` when recording is
+    /// disabled
     /// ([`ServeConfig::telemetry`]) or nothing has run yet.
     #[must_use]
     pub fn telemetry(&self) -> Option<&Telemetry> {

@@ -20,20 +20,25 @@
 //! | [`EventKind::PrefixShared`] | an admitted session joins a shared-prefix group | timeline |
 //! | [`EventKind::DecodeJoin`] | a step joins an open launch | timeline |
 //! | [`EventKind::LaunchDispatched`] | a sealed launch starts on a device | device |
-//! | [`EventKind::PrefillCompleted`] | a member request completes | device |
-//! | [`EventKind::DecodeCompleted`] | a member step completes | device |
+//! | [`EventKind::LaunchStage`] | a track-executor stage occupies a per-device track | device |
+//! | [`EventKind::PrefillCompleted`] | a member request completes | launch |
+//! | [`EventKind::DecodeCompleted`] | a member step completes | launch |
 //! | [`EventKind::BudgetRelease`] | a deferred release applies | timeline |
 //! | [`EventKind::Preempted`] | a staged launch is displaced, or a session's KV is evicted | timeline |
 //! | [`EventKind::SessionResumed`] | a preempted session's next step swaps its KV back in | timeline |
 //!
-//! Timestamps are monotone **per track** (the virtual timeline, and one
-//! track per device): timeline events carry the stream instant at which the
-//! engine processed them, device events carry launch start/completion
-//! times, and within one device launches never overlap. The raw event
-//! sequence is *not* globally time-sorted (completion events are recorded
-//! at dispatch, timestamped in the future); sort by `(track, t_s)` — or
-//! feed [`Telemetry::chrome_trace_json`] to a viewer — for a wall-clock
-//! view.
+//! Timestamps are monotone **per track** (the virtual timeline, one track
+//! per device, and one per launch): timeline events carry the stream
+//! instant at which the engine processed them, device events carry launch
+//! *start* times (monotone because dispatch order is start order even under
+//! the overlap executor), and member completions ride each launch's own
+//! track — with [`EngineConfig::tracks`](crate::engine::EngineConfig::tracks)
+//! a later launch may legitimately start before an earlier launch's
+//! completion on the same device, so
+//! completions cannot share the device track. The raw event sequence is
+//! *not* globally time-sorted (completion events are recorded at dispatch,
+//! timestamped in the future); sort by `(track, t_s)` — or feed
+//! [`Telemetry::chrome_trace_json`] to a viewer — for a wall-clock view.
 //!
 //! ## Overhead contract
 //!
@@ -66,11 +71,14 @@
 //!
 //! * [`Telemetry::chrome_trace_json`] — Chrome trace-event JSON (the
 //!   Perfetto / `chrome://tracing` format): one thread per device plus an
-//!   `engine` thread, `"X"` complete-events for launches, `"C"` counters
-//!   for shared-budget occupancy and queue depth, `"i"` instants for
-//!   rejects. [`validate_chrome_trace`] parses it back and proves spans
-//!   never overlap within a device track (run by CI on `serve_trace`
-//!   output).
+//!   `engine` thread (and, under the track executor, four extra threads
+//!   per device — one per [`TrackKind`]), `"X"` complete-events for
+//!   launches and launch stages, `"C"` counters for shared-budget occupancy
+//!   and queue depth, `"i"` instants for rejects. [`validate_chrome_trace`]
+//!   parses it back and proves spans never overlap within one thread row —
+//!   a device's scalar launches serialize, and each track's stages
+//!   serialize, while stages on *different* tracks of one device may
+//!   overlap by design (run by CI on `serve_trace` output).
 //! * [`Telemetry::prometheus_text`] — Prometheus text exposition: typed
 //!   `mas_engine_*` counters and gauges with `class` / `reason` / `device`
 //!   labels, plus log-bucketed latency histograms
@@ -90,6 +98,7 @@ use std::collections::BTreeMap;
 use serde::Serialize;
 
 use mas_dataflow::DataflowKind;
+use mas_sim::{TrackKind, TRACK_COUNT};
 
 use crate::decode::{DecodeRejectReason, DecodeReport, DecodeStepOutcome, RejectedDecodeStep};
 use crate::engine::{note_kv_peak, DeviceUtil, EngineReport, MemPeak, SchedulePolicy};
@@ -162,13 +171,29 @@ impl SealCause {
 }
 
 /// The track an event belongs to for per-track monotonicity: the engine's
-/// virtual timeline, or one device's launch history.
+/// virtual timeline, one device's dispatch history, one execution track of
+/// one device, or one launch's completion batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Track {
     /// Stream-processing events, stamped at the engine's current instant.
     Timeline,
-    /// Launch start/completion events on one virtual device.
+    /// Launch dispatches on one virtual device, stamped at launch start.
+    /// Starts are monotone even under the overlap executor: every launch's
+    /// first stage queues FIFO on a per-device track whose clock never goes
+    /// backwards, and scalar launches barrier all track clocks.
     Device(u32),
+    /// One execution track of one device: the overlap executor's stage
+    /// spans ([`EventKind::LaunchStage`]), stamped at stage start. Each
+    /// track is a FIFO queue, so its stage starts are monotone — while
+    /// stages on *different* tracks of the same device overlap freely.
+    DeviceTrack(u32, TrackKind),
+    /// One launch's member completions, all stamped at the launch's
+    /// completion instant. Completions cannot ride the device track: under
+    /// [`EngineConfig::tracks`] a later launch may start before an earlier
+    /// launch's completion on the same device.
+    ///
+    /// [`EngineConfig::tracks`]: crate::engine::EngineConfig::tracks
+    Launch(u64),
 }
 
 /// One typed lifecycle event. The sequence number is the event's index in
@@ -335,6 +360,29 @@ pub enum EventKind {
         cache_hit: bool,
         /// Why the launch sealed.
         cause: SealCause,
+    },
+    /// One stage of a track-executor launch occupied a per-device track for
+    /// `[start_s, end_s)`. Recorded (in track-then-stage order) right after
+    /// the launch's [`EventKind::LaunchDispatched`] when
+    /// [`crate::engine::EngineConfig::tracks`] committed an overlapped
+    /// placement; scalar-committed launches emit no stage events. Stage
+    /// spans of one launch chain in dataflow order; spans on *different*
+    /// tracks of the same device may overlap — that overlap is the whole
+    /// point of the track executor, and the Chrome trace exporter gives
+    /// each track its own thread row so viewers render it correctly.
+    LaunchStage {
+        /// The launch the stage belongs to.
+        launch_id: u64,
+        /// Device index.
+        device: u32,
+        /// The per-device track the stage occupied.
+        track: TrackKind,
+        /// Zero-based stage (tile/chunk) index within the launch.
+        stage: u32,
+        /// Track occupancy start.
+        start_s: f64,
+        /// Track occupancy end.
+        end_s: f64,
     },
     /// A member prefill request completed (stamped at launch completion).
     PrefillCompleted {
@@ -761,12 +809,14 @@ impl Telemetry {
                     launch_device.insert(*launch_id, *device);
                     Track::Device(*device)
                 }
+                EventKind::LaunchStage { device, track, .. } => Track::DeviceTrack(*device, *track),
                 EventKind::PrefillCompleted { launch_id, .. }
-                | EventKind::DecodeCompleted { launch_id, .. } => Track::Device(
-                    *launch_device
-                        .get(launch_id)
-                        .ok_or_else(|| format!("completion references launch {launch_id}"))?,
-                ),
+                | EventKind::DecodeCompleted { launch_id, .. } => {
+                    if !launch_device.contains_key(launch_id) {
+                        return Err(format!("completion references launch {launch_id}"));
+                    }
+                    Track::Launch(*launch_id)
+                }
                 _ => Track::Timeline,
             };
             let prev = last.entry(track).or_insert(f64::NEG_INFINITY);
@@ -787,6 +837,14 @@ impl Telemetry {
     /// `chrome://tracing`): one thread per device plus an `engine` thread,
     /// `"X"` spans for launches, `"C"` counters for budget occupancy and
     /// queue depth, `"i"` instants for rejects.
+    ///
+    /// Under the track executor ([`EventKind::LaunchStage`]), each device
+    /// additionally gets one thread row per [`TrackKind`]; a launch that
+    /// committed an overlapped placement renders as per-stage `"X"` spans
+    /// on those track rows *instead of* one span on the device row (spans
+    /// on one device's different track rows overlap by design, which a
+    /// single row cannot represent without violating the viewer's nesting
+    /// rules). Scalar-committed launches keep their device-row span.
     #[must_use]
     pub fn chrome_trace_json(&self) -> String {
         let devices = self
@@ -798,6 +856,32 @@ impl Telemetry {
             })
             .unwrap_or(0);
         let engine_tid = devices; // one tid past the device tracks
+                                  // Per-device-track thread rows sit past the engine thread:
+                                  // tid = devices + 1 + device·TRACK_COUNT + track.index().
+        let track_tid = |device: u32, track: TrackKind| {
+            devices + 1 + device * TRACK_COUNT as u32 + track.index() as u32
+        };
+        // Pre-scan: group the overlap executor's stage spans by launch so
+        // the dispatch arm below knows which launches render per-track.
+        // (device, track, stage, start_s, end_s)
+        type StageSpanRow = (u32, TrackKind, u32, f64, f64);
+        let mut stage_spans: BTreeMap<u64, Vec<StageSpanRow>> = BTreeMap::new();
+        for event in &self.events {
+            if let EventKind::LaunchStage {
+                launch_id,
+                device,
+                track,
+                stage,
+                start_s,
+                end_s,
+            } = &event.kind
+            {
+                stage_spans
+                    .entry(*launch_id)
+                    .or_default()
+                    .push((*device, *track, *stage, *start_s, *end_s));
+            }
+        }
         let us = |t_s: f64| t_s * 1e6;
         let mut out = String::with_capacity(256 + self.events.len() * 128);
         out.push('[');
@@ -832,6 +916,20 @@ impl Telemetry {
                 r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{engine_tid},"args":{{"name":"engine"}}}}"#
             ),
         );
+        if !stage_spans.is_empty() {
+            for d in 0..devices {
+                for track in TrackKind::ALL {
+                    let tid = track_tid(d, track);
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":"device {d} {track}"}}}}"#
+                        ),
+                    );
+                }
+            }
+        }
         // Running counters.
         let (mut prefill_bytes, mut decode_bytes) = (0u64, 0u64);
         let (mut prefill_depth, mut decode_depth) = (0i64, 0i64);
@@ -905,18 +1003,39 @@ impl Telemetry {
                         WorkClass::Prefill => prefill_depth -= i64::from(*members),
                         WorkClass::Decode => decode_depth -= i64::from(*members),
                     }
-                    push(
-                        &mut out,
-                        &mut first,
-                        format!(
-                            r#"{{"name":{},"cat":"{}","ph":"X","pid":0,"tid":{device},"ts":{},"dur":{},"args":{{"launch_id":{launch_id},"members":{members},"cause":"{}"}}}}"#,
-                            escape_json(&key.to_string()),
-                            key.class(),
-                            us(*start_s),
-                            us(*service_s),
-                            cause.label(),
-                        ),
-                    );
+                    if let Some(stages) = stage_spans.get(launch_id) {
+                        // Overlap-committed launch: one span per stage on
+                        // the per-track rows; the device row stays clear so
+                        // it never shows two overlapping launches.
+                        for (dev, track, stage, stage_start, stage_end) in stages {
+                            push(
+                                &mut out,
+                                &mut first,
+                                format!(
+                                    r#"{{"name":{},"cat":"{}","ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"args":{{"launch_id":{launch_id},"stage":{stage},"members":{members},"cause":"{}"}}}}"#,
+                                    escape_json(&format!("{key} s{stage} {track}")),
+                                    key.class(),
+                                    track_tid(*dev, *track),
+                                    us(*stage_start),
+                                    us(stage_end - stage_start),
+                                    cause.label(),
+                                ),
+                            );
+                        }
+                    } else {
+                        push(
+                            &mut out,
+                            &mut first,
+                            format!(
+                                r#"{{"name":{},"cat":"{}","ph":"X","pid":0,"tid":{device},"ts":{},"dur":{},"args":{{"launch_id":{launch_id},"members":{members},"cause":"{}"}}}}"#,
+                                escape_json(&key.to_string()),
+                                key.class(),
+                                us(*start_s),
+                                us(*service_s),
+                                cause.label(),
+                            ),
+                        );
+                    }
                     depth_counter(&mut out, &mut first, t, prefill_depth, decode_depth);
                 }
                 EventKind::PrefillRejected { id, reason } => {
@@ -1822,6 +1941,9 @@ impl Replay {
                 } => {
                     replay.kv_used += restored_used_bytes;
                 }
+                // Stage spans refine a launch's device occupancy; every
+                // report quantity already flows from its LaunchDispatched.
+                EventKind::LaunchStage { .. } => {}
             }
         }
         Some(replay)
@@ -1921,6 +2043,13 @@ pub struct ChromeTraceStats {
 /// array of objects, every `"X"` span with numeric `pid`/`tid`/`ts`/`dur`,
 /// and — the scheduling invariant — **no two spans overlapping within one
 /// `(pid, tid)` track** (1 ns tolerance for decimal round-tripping).
+///
+/// The invariant is deliberately per *thread row*, not per device: under
+/// the overlap executor one device exports several rows (its scalar
+/// dispatch row plus one row per [`TrackKind`]), and spans on different
+/// rows of the same device overlap by design — a DMA stage streaming the
+/// next tile runs under the current tile's MAC stage. Each single row is
+/// still a FIFO queue and must serialize.
 ///
 /// # Errors
 ///

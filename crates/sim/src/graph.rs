@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SimError};
-use crate::task::{Resource, Task, TaskId, TaskKind};
+use crate::task::{Resource, Task, TaskId, TaskKind, TrackKind, TRACK_COUNT};
 
 /// An append-only directed acyclic graph of [`Task`]s.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -46,6 +46,42 @@ impl TaskGraph {
             deps: deps.to_vec(),
         });
         id
+    }
+
+    /// Appends a per-tile stage pipeline: for each stage, one task per
+    /// present track kind placed on that track's resource
+    /// ([`TrackKind::resource`]), dependency-chained in dataflow order
+    /// within the stage (DMA-in → MAC → VEC → writeback). Across stages the
+    /// only ordering is per-resource FIFO (program order), which is exactly
+    /// what lets stage `k+1`'s DMA run under stage `k`'s compute — this is
+    /// the cycle-level lowering of the continuous-time track executor
+    /// (`DeviceTracks::plan`), and the two agree on the makespan when issue
+    /// and fill/drain overheads are zero.
+    ///
+    /// Returns the ids of the appended tasks in insertion order.
+    pub fn stage_pipeline(
+        &mut self,
+        label_prefix: &str,
+        stages: &[[Option<TaskKind>; TRACK_COUNT]],
+    ) -> Vec<TaskId> {
+        let mut ids = Vec::new();
+        for (k, stage) in stages.iter().enumerate() {
+            let mut prev: Option<TaskId> = None;
+            for (t, kind) in stage.iter().enumerate() {
+                let Some(kind) = kind else { continue };
+                let track = TrackKind::ALL[t];
+                let deps: Vec<TaskId> = prev.into_iter().collect();
+                let id = self.add_task(
+                    format!("{label_prefix}/s{k}-{track}"),
+                    track.resource(),
+                    *kind,
+                    &deps,
+                );
+                prev = Some(id);
+                ids.push(id);
+            }
+        }
+        ids
     }
 
     /// Number of tasks in the graph.

@@ -66,7 +66,7 @@ pub mod trace;
 pub use config::HardwareConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::{Result, SimError};
-pub use executor::Executor;
+pub use executor::{DeviceTracks, Executor, StageSpan, TrackConfig, TrackPlacement};
 pub use graph::TaskGraph;
 pub use report::SimReport;
-pub use task::{Resource, TaskId, TaskKind};
+pub use task::{Resource, TaskId, TaskKind, TrackKind, TRACK_COUNT};

@@ -75,6 +75,75 @@ impl fmt::Display for Resource {
     }
 }
 
+/// One of the four per-device execution *tracks* of the overlap-aware
+/// executor — the queue a launch stage occupies. Tracks are the
+/// continuous-time counterpart of [`Resource`]: a device schedules each
+/// track FIFO and independently, so stages of successive tiles overlap
+/// across tracks (tile `k+1`'s DMA hides under tile `k`'s compute) while
+/// stages on one track serialize.
+///
+/// The numeric order ([`TrackKind::index`]) is the dataflow order of one
+/// tile — stream in, multiply, reduce, write back — and is also the
+/// per-device thread ordering used by the Chrome trace exporter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrackKind {
+    /// Inbound DMA queue (DRAM → L1 operand/KV streaming).
+    DmaIn,
+    /// MAC (matrix) compute queue.
+    Mac,
+    /// VEC (softmax / element-wise) compute queue.
+    Vec,
+    /// Outbound DMA queue (L1 → DRAM result/appended-row writeback).
+    Writeback,
+}
+
+/// Number of per-device tracks ([`TrackKind`] variants).
+pub const TRACK_COUNT: usize = 4;
+
+impl TrackKind {
+    /// All tracks in dataflow order (also the index order).
+    pub const ALL: [TrackKind; TRACK_COUNT] = [
+        TrackKind::DmaIn,
+        TrackKind::Mac,
+        TrackKind::Vec,
+        TrackKind::Writeback,
+    ];
+
+    /// The track's stable index, `0..TRACK_COUNT`, in dataflow order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            TrackKind::DmaIn => 0,
+            TrackKind::Mac => 1,
+            TrackKind::Vec => 2,
+            TrackKind::Writeback => 3,
+        }
+    }
+
+    /// The cycle-level [`Resource`] this track corresponds to on core 0 of
+    /// a device (used when lowering a stage pipeline to a task graph).
+    #[must_use]
+    pub fn resource(self) -> Resource {
+        match self {
+            TrackKind::DmaIn => Resource::DmaIn,
+            TrackKind::Mac => Resource::Mac { core: 0 },
+            TrackKind::Vec => Resource::Vec { core: 0 },
+            TrackKind::Writeback => Resource::DmaOut,
+        }
+    }
+}
+
+impl fmt::Display for TrackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrackKind::DmaIn => write!(f, "dma-in"),
+            TrackKind::Mac => write!(f, "mac"),
+            TrackKind::Vec => write!(f, "vec"),
+            TrackKind::Writeback => write!(f, "writeback"),
+        }
+    }
+}
+
 /// The kind of work a task performs; drives both timing and energy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TaskKind {
@@ -232,6 +301,19 @@ mod tests {
         assert_eq!(Resource::DmaOut.core(), None);
         assert_eq!(format!("{}", Resource::Mac { core: 0 }), "MAC0");
         assert_eq!(format!("{}", Resource::DmaIn), "DMA-in");
+    }
+
+    #[test]
+    fn track_kinds_enumerate_in_dataflow_order() {
+        for (i, t) in TrackKind::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+        assert_eq!(TrackKind::ALL.len(), TRACK_COUNT);
+        assert_eq!(TrackKind::DmaIn.resource(), Resource::DmaIn);
+        assert_eq!(TrackKind::Mac.resource(), Resource::Mac { core: 0 });
+        assert_eq!(TrackKind::Vec.resource(), Resource::Vec { core: 0 });
+        assert_eq!(TrackKind::Writeback.resource(), Resource::DmaOut);
+        assert_eq!(format!("{}", TrackKind::Writeback), "writeback");
     }
 
     #[test]

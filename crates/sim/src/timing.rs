@@ -19,7 +19,7 @@
 //!   saturate both directions simultaneously — stores are only final outputs).
 
 use crate::config::HardwareConfig;
-use crate::task::TaskKind;
+use crate::task::{TaskKind, TRACK_COUNT};
 
 /// Timing model derived from a [`HardwareConfig`].
 #[derive(Debug, Clone)]
@@ -97,6 +97,31 @@ impl TimingModel {
         } else {
             base
         }
+    }
+
+    /// Makespan in cycles of a stage pipeline
+    /// ([`crate::graph::TaskGraph::stage_pipeline`]) under per-track FIFO
+    /// flow-shop scheduling: stage `k`'s task on track `t` starts at the
+    /// later of the track's clock and the completion of stage `k`'s task on
+    /// the previous track. This closed form equals the event-driven
+    /// executor's makespan on the lowered graph — it is the cycle-level
+    /// counterpart of the continuous-time `DeviceTracks::plan` recurrence.
+    #[must_use]
+    pub fn pipeline_makespan_cycles(&self, stages: &[[Option<TaskKind>; TRACK_COUNT]]) -> u64 {
+        let mut clocks = [0u64; TRACK_COUNT];
+        let mut makespan = 0u64;
+        for stage in stages {
+            let mut dep_done = 0u64;
+            for (t, kind) in stage.iter().enumerate() {
+                let Some(kind) = kind else { continue };
+                let start = clocks[t].max(dep_done);
+                let end = start + self.task_cycles(kind);
+                clocks[t] = end;
+                dep_done = end;
+                makespan = makespan.max(end);
+            }
+        }
+        makespan
     }
 
     /// Ideal (roofline) cycles for a full attention layer on this device:
